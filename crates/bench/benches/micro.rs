@@ -1,0 +1,181 @@
+//! Criterion micro-benchmarks of the hot paths the paper's tuning work
+//! targeted: mbuf manipulation, XDR codec, the Internet checksum, cache
+//! searches and the TCP state machine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use renofs_mbuf::{CopyMeter, MbufChain};
+use renofs_netsim::internet_checksum;
+use renofs_sim::{SimDuration, SimTime};
+use renofs_transport::{TcpConfig, TcpConn};
+use renofs_vfs::{Buf, BufCache, CacheOrg, NameCache, VnodeId};
+use renofs_xdr::{XdrDecoder, XdrEncoder};
+
+fn bench_mbuf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mbuf");
+    let data = vec![0xA5u8; 8192];
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("append_8k", |b| {
+        b.iter(|| {
+            let mut m = CopyMeter::new();
+            MbufChain::from_slice(&data, &mut m)
+        })
+    });
+    let mut meter = CopyMeter::new();
+    let chain = MbufChain::from_slice(&data, &mut meter);
+    g.bench_function("share_range_8k", |b| {
+        b.iter(|| {
+            let mut m = CopyMeter::new();
+            chain.share_range(0, 8192, &mut m)
+        })
+    });
+    g.bench_function("split_cat_8k", |b| {
+        b.iter_batched(
+            || chain.clone(),
+            |mut ch| {
+                let mut m = CopyMeter::new();
+                let tail = ch.split_off(4096, &mut m);
+                ch.append_chain(tail);
+                ch
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_xdr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xdr");
+    g.bench_function("encode_rpc_header_like", |b| {
+        b.iter(|| {
+            let mut m = CopyMeter::new();
+            let mut ch = MbufChain::new();
+            let mut enc = XdrEncoder::new(&mut ch, &mut m);
+            for i in 0..10u32 {
+                enc.put_u32(i);
+            }
+            enc.put_string("some_file_name.c");
+            ch
+        })
+    });
+    let mut m = CopyMeter::new();
+    let mut ch = MbufChain::new();
+    {
+        let mut enc = XdrEncoder::new(&mut ch, &mut m);
+        for i in 0..10u32 {
+            enc.put_u32(i);
+        }
+        enc.put_string("some_file_name.c");
+    }
+    g.bench_function("decode_rpc_header_like", |b| {
+        b.iter(|| {
+            let mut dec = XdrDecoder::new(&ch);
+            let mut sum = 0u64;
+            for _ in 0..10 {
+                sum += dec.get_u32().unwrap() as u64;
+            }
+            let s = dec.get_string(255).unwrap();
+            (sum, s.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    for size in [128usize, 1500, 8192] {
+        let mut m = CopyMeter::new();
+        let data: Vec<u8> = (0..size).map(|i| (i % 256) as u8).collect();
+        let chain = MbufChain::from_slice(&data, &mut m);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("in_cksum_{size}"), |b| {
+            b.iter(|| internet_checksum(&chain))
+        });
+    }
+    g.finish();
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("caches");
+    g.bench_function("namecache_lookup_hit", |b| {
+        let mut nc = NameCache::new(512);
+        for i in 0..200u64 {
+            nc.enter(VnodeId(1), &format!("file{i}"), VnodeId(100 + i));
+        }
+        b.iter(|| nc.lookup(VnodeId(1), "file137"))
+    });
+    for (label, org) in [
+        ("bufcache_pervnode", CacheOrg::PerVnodeChains),
+        ("bufcache_global", CacheOrg::GlobalList),
+    ] {
+        g.bench_function(format!("{label}_lookup"), |b| {
+            let mut bc = BufCache::new(org, 4096);
+            for v in 0..64u64 {
+                for blk in 0..8u64 {
+                    bc.insert(VnodeId(v), blk, Buf::new_valid(vec![0; 64]));
+                }
+            }
+            b.iter(|| bc.lookup(VnodeId(17), 3).1)
+        });
+    }
+    g.finish();
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp");
+    g.bench_function("segment_64k_transfer", |b| {
+        b.iter(|| {
+            let cfg = TcpConfig::for_mss(1460);
+            let now = SimTime::from_millis(1);
+            let (mut a, mut out_a) = TcpConn::client(cfg, 1000, now);
+            let mut bsrv = TcpConn::server(cfg, 9000);
+            // Handshake.
+            let syn = out_a.segments.remove(0);
+            let synack = bsrv.on_segment(syn.seq, syn.ack, syn.window, syn.flags, syn.payload, now);
+            let sa = &synack.segments[0];
+            let est = a.on_segment(
+                sa.seq,
+                sa.ack,
+                sa.window,
+                sa.flags,
+                MbufChain::new(),
+                now + SimDuration::from_millis(1),
+            );
+            for seg in est.segments {
+                bsrv.on_segment(seg.seq, seg.ack, seg.window, seg.flags, seg.payload, now);
+            }
+            // Pump 64K through.
+            let mut meter = CopyMeter::new();
+            let data = MbufChain::from_slice(&vec![7u8; 65536], &mut meter);
+            let mut t = now + SimDuration::from_millis(2);
+            let mut pending = a.send(data, t);
+            let mut delivered = 0usize;
+            for _ in 0..400 {
+                if pending.segments.is_empty() {
+                    break;
+                }
+                let mut acks = Vec::new();
+                for seg in pending.segments.drain(..) {
+                    t += SimDuration::from_micros(100);
+                    let out =
+                        bsrv.on_segment(seg.seq, seg.ack, seg.window, seg.flags, seg.payload, t);
+                    delivered += out.received.iter().map(|r| r.len()).sum::<usize>();
+                    acks.extend(out.segments);
+                }
+                for ack in acks {
+                    t += SimDuration::from_micros(100);
+                    let out = a.on_segment(ack.seq, ack.ack, ack.window, ack.flags, ack.payload, t);
+                    pending.segments.extend(out.segments);
+                }
+            }
+            delivered
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mbuf, bench_xdr, bench_checksum, bench_caches, bench_tcp
+);
+criterion_main!(micro);

@@ -1,0 +1,111 @@
+//! The experiment runner: one subcommand per paper table/figure.
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//!
+//! experiments:
+//!   graph1..graph5   RTT vs load per transport and topology
+//!   table1           read rates per transport and topology
+//!   graph6           server CPU, UDP vs TCP
+//!   graph7           read RTT trace with the A+4D envelope
+//!   graph8 graph9    server comparison (Reno vs Ultrix)
+//!   table2..table4   Modified Andrew Benchmark
+//!   table5           Create-Delete benchmark
+//!   section3         interface-tuning ablation
+//!   ablation-rto ablation-slowstart ablation-namelen
+//!   ablation-preload ablation-rsize ablation-readahead
+//!   ablation-readdirplus
+//!   all              everything above
+//! ```
+
+use renofs_bench::experiments::{ablations, cd, cpu, mab, servercmp, trace, transport};
+use renofs_bench::Scale;
+use renofs_workload::andrew::AndrewSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
+    let spec = if quick {
+        AndrewSpec::small()
+    } else {
+        AndrewSpec::standard()
+    };
+    let run = |name: &str| what == name || what == "all";
+
+    if run("graph1") {
+        println!("{}\n", transport::graph1(&scale));
+    }
+    if run("graph2") {
+        println!("{}\n", transport::graph2(&scale));
+    }
+    if run("graph3") {
+        println!("{}\n", transport::graph3(&scale));
+    }
+    if run("graph4") {
+        println!("{}\n", transport::graph4(&scale));
+    }
+    if run("graph5") {
+        println!("{}\n", transport::graph5(&scale));
+    }
+    if run("table1") {
+        println!("{}\n", transport::table1(&scale));
+    }
+    if run("graph6") {
+        println!("{}\n", cpu::graph6(&scale));
+    }
+    if run("graph7") {
+        println!("{}\n", trace::graph7(&scale));
+    }
+    if run("graph8") {
+        println!("{}\n", servercmp::graph8(&scale));
+    }
+    if run("graph9") {
+        println!("{}\n", servercmp::graph9(&scale));
+    }
+    if run("table2") {
+        println!("{}\n", mab::table2(&spec));
+    }
+    if run("table3") {
+        println!("{}\n", mab::table3(&spec));
+    }
+    if run("table4") {
+        println!("{}\n", mab::table4(&spec));
+    }
+    if run("table5") {
+        println!("{}\n", cd::table5(&scale));
+    }
+    if run("section3") {
+        println!("{}\n", cpu::section3(&scale));
+    }
+    if run("ablation-rto") {
+        println!("{}\n", ablations::ablation_rto(&scale));
+    }
+    if run("ablation-slowstart") {
+        println!("{}\n", ablations::ablation_slowstart(&scale));
+    }
+    if run("ablation-namelen") {
+        println!("{}\n", ablations::ablation_namelen(&scale));
+    }
+    if run("ablation-preload") {
+        println!("{}\n", ablations::ablation_preload(&scale));
+    }
+    if run("ablation-rsize") {
+        println!("{}\n", ablations::ablation_rsize(&scale));
+    }
+    if run("ablation-readahead") {
+        println!("{}\n", ablations::ablation_readahead(&scale));
+    }
+    if run("ablation-readdirplus") {
+        println!("{}\n", ablations::ablation_readdirplus(&scale));
+    }
+}

@@ -1,0 +1,192 @@
+//! Table 5: the Create-Delete benchmark across write policies.
+
+use std::fmt;
+
+use renofs::client::{ClientConfig, ClientFs, WritePolicy};
+use renofs::{TransportKind, World, WorldConfig};
+use renofs_sim::SimDuration;
+use renofs_workload::createdelete::{create_delete_local, create_delete_nfs};
+
+use crate::fmt::table;
+use crate::Scale;
+
+/// The benchmark's file sizes.
+pub const SIZES: [usize; 3] = [0, 10 * 1024, 100 * 1024];
+
+/// One row of Table 5.
+#[derive(Clone, Debug)]
+pub struct Table5Row {
+    /// Row label.
+    pub label: String,
+    /// Mean per-iteration time in ms for each of [`SIZES`].
+    pub ms: [f64; 3],
+}
+
+/// Table 5 results.
+#[derive(Clone, Debug)]
+pub struct Table5 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table5Row>,
+}
+
+impl Table5 {
+    /// The ms cell for a row label and size index.
+    pub fn cell(&self, label: &str, size_idx: usize) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.label == label)
+            .map(|r| r.ms[size_idx])
+            .unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 5: Create-Delete bench, 4.3BSD Reno MicroVAXII (ms)"
+        )?;
+        let paper: &[(&str, [f64; 3])] = &[
+            ("Local", [120.0, 216.0, 1170.0]),
+            ("write thru", [210.0, 475.0, 2401.0]),
+            ("async,4biod", [216.0, 470.0, 1940.0]),
+            ("async,16biod", [210.0, 464.0, 2094.0]),
+            ("delay wrt.", [216.0, 468.0, 2230.0]),
+            ("no consist", [218.0, 244.0, 329.0]),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let reference = paper.iter().find(|(l, _)| *l == r.label);
+                vec![
+                    r.label.clone(),
+                    format!("{:.0}", r.ms[0]),
+                    format!("{:.0}", r.ms[1]),
+                    format!("{:.0}", r.ms[2]),
+                    reference
+                        .map(|(_, p)| format!("{:.0}/{:.0}/{:.0}", p[0], p[1], p[2]))
+                        .unwrap_or_default(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            table(
+                &["Config", "No data", "10Kbytes", "100Kbytes", "paper"],
+                &rows
+            )
+        )
+    }
+}
+
+fn nfs_row(label: &str, cfg: ClientConfig, biods: usize, iters: usize) -> Table5Row {
+    let mut ms = [0.0f64; 3];
+    for (i, &bytes) in SIZES.iter().enumerate() {
+        let mut wcfg = WorldConfig::baseline();
+        wcfg.transport = TransportKind::UdpDynamic {
+            timeo: SimDuration::from_secs(1),
+        };
+        wcfg.biods = biods;
+        wcfg.seed = 500 + i as u64;
+        let mut world = World::new(wcfg);
+        let root = world.root_handle();
+        let (tx, rx) = std::sync::mpsc::channel();
+        world.spawn(move |sys| {
+            let mut fs = ClientFs::mount(sys, cfg, root, "client");
+            let r = create_delete_nfs(&mut fs, bytes, iters).expect("bench runs");
+            let _ = tx.send(r);
+        });
+        world.run();
+        ms[i] = rx.recv().unwrap().per_iter.as_millis_f64();
+    }
+    Table5Row {
+        label: label.to_string(),
+        ms,
+    }
+}
+
+fn local_row(iters: usize) -> Table5Row {
+    let mut ms = [0.0f64; 3];
+    for (i, &bytes) in SIZES.iter().enumerate() {
+        let mut wcfg = WorldConfig::baseline();
+        wcfg.seed = 550 + i as u64;
+        let mut world = World::new(wcfg);
+        let (tx, rx) = std::sync::mpsc::channel();
+        world.spawn(move |sys| {
+            let r = create_delete_local(sys, bytes, iters);
+            let _ = tx.send(r);
+        });
+        world.run();
+        ms[i] = rx.recv().unwrap().per_iter.as_millis_f64();
+    }
+    Table5Row {
+        label: "Local".to_string(),
+        ms,
+    }
+}
+
+/// Runs Table 5.
+pub fn table5(scale: &Scale) -> Table5 {
+    let iters = scale.cd_iters;
+    let wt = ClientConfig {
+        write_policy: WritePolicy::WriteThrough,
+        ..ClientConfig::reno()
+    };
+    let asyncp = ClientConfig {
+        write_policy: WritePolicy::Async,
+        ..ClientConfig::reno()
+    };
+    let delay = ClientConfig {
+        write_policy: WritePolicy::Delayed,
+        ..ClientConfig::reno()
+    };
+    let rows = vec![
+        local_row(iters),
+        nfs_row("write thru", wt, 0, iters),
+        nfs_row("async,4biod", asyncp, 4, iters),
+        nfs_row("async,16biod", asyncp, 16, iters),
+        nfs_row("delay wrt.", delay, 4, iters),
+        nfs_row("no consist", ClientConfig::reno_noconsist(), 4, iters),
+    ];
+    Table5 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_relationships_hold() {
+        let mut scale = Scale::quick();
+        scale.cd_iters = 4;
+        let t = table5(&scale);
+        assert_eq!(t.rows.len(), 6);
+        // Local is fastest at 100K among consistent configurations.
+        let local = t.cell("Local", 2);
+        let wt = t.cell("write thru", 2);
+        assert!(local < wt, "local {local:.0}ms < write-thru {wt:.0}ms");
+        // noconsist crushes everything NFS at 100K — the paper's
+        // headline (2401ms -> 329ms).
+        let nc = t.cell("no consist", 2);
+        for row in ["write thru", "async,4biod", "async,16biod", "delay wrt."] {
+            let v = t.cell(row, 2);
+            assert!(
+                nc * 2.5 < v,
+                "no-consist ({nc:.0}ms) must be far below {row} ({v:.0}ms)"
+            );
+        }
+        // With push-on-close, policies are within a band of each other
+        // at 100K (the paper's ~20% spread).
+        let a4 = t.cell("async,4biod", 2);
+        assert!(
+            a4 <= wt * 1.1,
+            "async ({a4:.0}) should not exceed write-thru ({wt:.0}) much"
+        );
+        // Empty files: all NFS configs similar.
+        let e_wt = t.cell("write thru", 0);
+        let e_nc = t.cell("no consist", 0);
+        assert!((e_wt - e_nc).abs() < e_wt * 0.6);
+    }
+}

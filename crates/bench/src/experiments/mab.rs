@@ -1,0 +1,309 @@
+//! Tables 2–4: the Modified Andrew Benchmark.
+
+use std::fmt;
+
+use renofs::client::ClientFs;
+use renofs::{ClientPreset, HostProfile, NfsProc, ServerPreset, TransportKind, World, WorldConfig};
+use renofs_sim::SimDuration;
+use renofs_workload::andrew::{preload_andrew_source, run_andrew, AndrewReport, AndrewSpec};
+
+use crate::fmt::table;
+
+/// Runs the MAB once for a (client preset, server preset, client
+/// machine) cell.
+pub fn run_mab(
+    client: ClientPreset,
+    server: ServerPreset,
+    client_host: HostProfile,
+    spec: &AndrewSpec,
+    seed: u64,
+) -> AndrewReport {
+    let mut cfg = WorldConfig::baseline();
+    cfg.transport = if client.uses_tcp() {
+        TransportKind::Tcp
+    } else {
+        TransportKind::UdpDynamic {
+            timeo: SimDuration::from_secs(1),
+        }
+    };
+    cfg.server = server.server_config();
+    cfg.server_host = server.host_profile();
+    cfg.client_host = client_host;
+    cfg.seed = seed;
+    let mut world = World::new(cfg);
+    preload_andrew_source(world.server_mut().fs_mut(), spec);
+    let root = world.root_handle();
+    let client_cfg = client.client_config();
+    let spec = spec.clone();
+    let (tx, rx) = std::sync::mpsc::channel();
+    world.spawn(move |sys| {
+        let mut fs = ClientFs::mount(sys, client_cfg, root, "client");
+        let report = run_andrew(&mut fs, &spec).expect("benchmark runs");
+        let _ = tx.send(report);
+    });
+    world.run();
+    rx.recv().expect("report produced")
+}
+
+/// Table 2: MAB wall times on a MicroVAXII client (same Reno server for
+/// every row, per the paper's appendix).
+#[derive(Clone, Debug)]
+pub struct Table2 {
+    /// `(row label, phases I–IV seconds, phase V seconds)`.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2: Mod Andrew Bench, MicroVAXII client (seconds)")?;
+        let paper: &[(&str, f64, f64)] = &[
+            ("Reno", 145.0, 1253.0),
+            ("Reno-TCP", 143.0, 1265.0),
+            ("Reno-nopush", 132.0, 1208.0),
+            ("Ultrix2.2", 184.0, 1183.0),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(l, p14, p5)| {
+                let reference = paper.iter().find(|(pl, _, _)| pl == l);
+                vec![
+                    l.clone(),
+                    format!("{p14:.0}"),
+                    format!("{p5:.0}"),
+                    reference
+                        .map(|(_, a, b)| format!("{a:.0} / {b:.0}"))
+                        .unwrap_or_default(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            table(&["OS", "I-IV (s)", "V (s)", "paper I-IV/V"], &rows)
+        )
+    }
+}
+
+/// Runs Table 2.
+pub fn table2(spec: &AndrewSpec) -> Table2 {
+    let rows = [
+        ClientPreset::Reno,
+        ClientPreset::RenoTcp,
+        ClientPreset::RenoNopush,
+        ClientPreset::Ultrix,
+    ]
+    .into_iter()
+    .map(|preset| {
+        let host = if preset == ClientPreset::Ultrix {
+            HostProfile::microvax_stock()
+        } else {
+            HostProfile::microvax_tuned()
+        };
+        let r = run_mab(preset, ServerPreset::Reno, host, spec, 200);
+        (
+            preset.label().to_string(),
+            r.phases_1_to_4().as_secs_f64(),
+            r.phase_5().as_secs_f64(),
+        )
+    })
+    .collect();
+    Table2 { rows }
+}
+
+/// Table 3: MAB RPC counts per procedure.
+#[derive(Clone, Debug)]
+pub struct Table3 {
+    /// `(row label, report)`.
+    pub rows: Vec<(String, AndrewReport)>,
+}
+
+impl Table3 {
+    /// Count for one row + procedure.
+    pub fn count(&self, label: &str, proc: NfsProc) -> u64 {
+        self.rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, r)| r.counts.count(proc))
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 3: Mod Andrew Bench RPC counts (paper: Reno / Reno-noconsist / Ultrix2.2)"
+        )?;
+        let procs = [
+            ("Getattr", NfsProc::Getattr, [822u64, 780, 877]),
+            ("Setattr", NfsProc::Setattr, [22, 22, 22]),
+            ("Read", NfsProc::Read, [1050, 619, 691]),
+            ("Write", NfsProc::Write, [501, 340, 703]),
+            ("Lookup", NfsProc::Lookup, [872, 918, 1782]),
+            ("Readdir", NfsProc::Readdir, [146, 144, 150]),
+        ];
+        let mut rows = Vec::new();
+        for (name, proc, paper) in procs {
+            let mut row = vec![name.to_string()];
+            for (_, r) in &self.rows {
+                row.push(format!("{}", r.counts.count(proc)));
+            }
+            row.push(format!("{}/{}/{}", paper[0], paper[1], paper[2]));
+            rows.push(row);
+        }
+        let mut other_row = vec!["Other".to_string()];
+        let mut total_row = vec!["Total".to_string()];
+        for (_, r) in &self.rows {
+            other_row.push(format!("{}", r.counts.other()));
+            total_row.push(format!("{}", r.counts.total()));
+        }
+        other_row.push("127/128/127".into());
+        total_row.push("3540/2951/4352".into());
+        rows.push(other_row);
+        rows.push(total_row);
+        let headers: Vec<String> = std::iter::once("RPC".to_string())
+            .chain(self.rows.iter().map(|(l, _)| l.clone()))
+            .chain(std::iter::once("paper".to_string()))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        write!(f, "{}", table(&header_refs, &rows))
+    }
+}
+
+/// Runs Table 3.
+pub fn table3(spec: &AndrewSpec) -> Table3 {
+    let rows = [
+        ClientPreset::Reno,
+        ClientPreset::RenoNoconsist,
+        ClientPreset::Ultrix,
+    ]
+    .into_iter()
+    .map(|preset| {
+        let r = run_mab(
+            preset,
+            ServerPreset::Reno,
+            HostProfile::microvax_tuned(),
+            spec,
+            300,
+        );
+        (preset.label().to_string(), r)
+    })
+    .collect();
+    Table3 { rows }
+}
+
+/// Table 4: MAB on a DS3100 client against both servers.
+#[derive(Clone, Debug)]
+pub struct Table4 {
+    /// `(server label, phases I–IV seconds, phase V seconds)`.
+    pub rows: Vec<(String, f64, f64)>,
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 4: Mod Andrew Bench, DS3100 client (seconds)")?;
+        let paper: &[(&str, f64, f64)] = &[("Reno", 88.0, 180.0), ("Ultrix2.2", 123.0, 226.0)];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(l, p14, p5)| {
+                let reference = paper.iter().find(|(pl, _, _)| pl == l);
+                vec![
+                    l.clone(),
+                    format!("{p14:.0}"),
+                    format!("{p5:.0}"),
+                    reference
+                        .map(|(_, a, b)| format!("{a:.0} / {b:.0}"))
+                        .unwrap_or_default(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            table(&["server", "I-IV (s)", "V (s)", "paper I-IV/V"], &rows)
+        )
+    }
+}
+
+/// Runs Table 4.
+pub fn table4(spec: &AndrewSpec) -> Table4 {
+    let rows = [ServerPreset::Reno, ServerPreset::Ultrix]
+        .into_iter()
+        .map(|server| {
+            let r = run_mab(ClientPreset::Reno, server, HostProfile::ds3100(), spec, 400);
+            (
+                server.label().to_string(),
+                r.phases_1_to_4().as_secs_f64(),
+                r.phase_5().as_secs_f64(),
+            )
+        })
+        .collect();
+    Table4 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_orderings_over_the_wire() {
+        let spec = AndrewSpec::small();
+        let t = table3(&spec);
+        let reno_lookups = t.count("Reno", NfsProc::Lookup);
+        let ultrix_lookups = t.count("Ultrix2.2", NfsProc::Lookup);
+        assert!(
+            ultrix_lookups > reno_lookups * 3 / 2,
+            "Ultrix {ultrix_lookups} vs Reno {reno_lookups} lookups"
+        );
+        let reno_reads = t.count("Reno", NfsProc::Read);
+        let noconsist_reads = t.count("Reno-noconsist", NfsProc::Read);
+        assert!(
+            reno_reads > noconsist_reads,
+            "Reno reads {reno_reads} vs noconsist {noconsist_reads}"
+        );
+        let reno_writes = t.count("Reno", NfsProc::Write);
+        let noconsist_writes = t.count("Reno-noconsist", NfsProc::Write);
+        assert!(
+            reno_writes > noconsist_writes,
+            "Reno writes {reno_writes} vs noconsist {noconsist_writes}"
+        );
+    }
+
+    #[test]
+    fn table4_reno_server_faster() {
+        let spec = AndrewSpec::small();
+        let t = table4(&spec);
+        let reno = t.rows.iter().find(|(l, _, _)| l == "Reno").unwrap();
+        let ultrix = t.rows.iter().find(|(l, _, _)| l == "Ultrix2.2").unwrap();
+        assert!(
+            ultrix.1 > reno.1,
+            "Ultrix server phases I-IV ({:.1}s) should exceed Reno ({:.1}s)",
+            ultrix.1,
+            reno.1
+        );
+    }
+
+    #[test]
+    fn table2_runs_all_rows() {
+        let spec = AndrewSpec::small();
+        let t = table2(&spec);
+        assert_eq!(t.rows.len(), 4);
+        for (label, p14, p5) in &t.rows {
+            assert!(*p14 > 0.0 && *p5 > 0.0, "{label}: {p14} {p5}");
+        }
+        // nopush should beat plain Reno on phases I-IV (fewer waits).
+        let reno = t.rows.iter().find(|(l, _, _)| l == "Reno").unwrap().1;
+        let nopush = t
+            .rows
+            .iter()
+            .find(|(l, _, _)| l == "Reno-nopush")
+            .unwrap()
+            .1;
+        assert!(
+            nopush <= reno * 1.02,
+            "nopush ({nopush:.1}s) should not exceed Reno ({reno:.1}s)"
+        );
+    }
+}

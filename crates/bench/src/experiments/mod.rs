@@ -1,0 +1,48 @@
+//! The experiment implementations, one module per paper artifact group.
+
+pub mod ablations;
+pub mod cd;
+pub mod cpu;
+pub mod mab;
+pub mod scale;
+pub mod servercmp;
+pub mod trace;
+pub mod transport;
+
+use renofs::{TopologyKind, TransportKind, World, WorldConfig};
+use renofs_netsim::topology::presets::Background;
+use renofs_sim::SimDuration;
+
+/// The three transports the paper compares, with their plot labels.
+pub fn paper_transports() -> Vec<(&'static str, TransportKind)> {
+    vec![
+        (
+            "UDP rto=1s",
+            TransportKind::UdpFixed {
+                timeo: SimDuration::from_secs(1),
+            },
+        ),
+        (
+            "UDP rto=A+4D",
+            TransportKind::UdpDynamic {
+                timeo: SimDuration::from_secs(1),
+            },
+        ),
+        ("TCP", TransportKind::Tcp),
+    ]
+}
+
+/// Builds a world for one experimental cell.
+pub fn world_for(
+    topology: TopologyKind,
+    transport: TransportKind,
+    background: Background,
+    seed: u64,
+) -> World {
+    let mut cfg = WorldConfig::baseline();
+    cfg.topology = topology;
+    cfg.background = background;
+    cfg.transport = transport;
+    cfg.seed = seed;
+    World::new(cfg)
+}

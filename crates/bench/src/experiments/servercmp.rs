@@ -1,0 +1,155 @@
+//! Graphs 8–9: server lookup performance — 4.3BSD Reno versus the
+//! Ultrix 2.2 model, with the name-cache ablation.
+//!
+//! The paper found Reno far ahead on lookups; disabling Reno's name
+//! cache explained only a small fraction of the gap, with the remainder
+//! attributed to directory buffers chained off vnodes (cheap cache
+//! searches) versus Ultrix's costlier global search.
+
+use std::fmt;
+
+use renofs::{ServerPreset, TopologyKind, TransportKind, World, WorldConfig};
+use renofs_netsim::topology::presets::Background;
+use renofs_sim::SimDuration;
+use renofs_workload::nhfsstone::{self, LoadMix, NhfsstoneConfig};
+
+use crate::fmt::table;
+use crate::Scale;
+
+/// One server-comparison sweep.
+#[derive(Clone, Debug)]
+pub struct ServerGraph {
+    /// Title.
+    pub title: String,
+    /// `(server label, offered, achieved, rtt ms)` rows.
+    pub rows: Vec<(String, f64, f64, f64)>,
+}
+
+impl ServerGraph {
+    /// Mean RTT for one server across the sweep.
+    pub fn mean_rtt(&self, label: &str) -> f64 {
+        let xs: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|(l, _, _, _)| l == label)
+            .map(|(_, _, _, r)| *r)
+            .collect();
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for ServerGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(l, o, a, r)| {
+                vec![
+                    l.clone(),
+                    format!("{o:.1}"),
+                    format!("{a:.1}"),
+                    format!("{r:.1}"),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            table(&["server", "offered/s", "achieved/s", "rtt ms"], &rows)
+        )
+    }
+}
+
+fn run_sweep(title: &str, mix: LoadMix, scale: &Scale, seed: u64) -> ServerGraph {
+    let mut rows = Vec::new();
+    for preset in [
+        ServerPreset::Reno,
+        ServerPreset::RenoNoNameCache,
+        ServerPreset::Ultrix,
+    ] {
+        for &rate in &scale.lan_rates {
+            let mut cfg = WorldConfig::baseline();
+            cfg.topology = TopologyKind::SameLan;
+            cfg.background = Background::quiet();
+            cfg.transport = TransportKind::UdpDynamic {
+                timeo: SimDuration::from_secs(1),
+            };
+            cfg.server = preset.server_config();
+            cfg.server_host = preset.host_profile();
+            cfg.seed = seed + rate as u64;
+            let mut world = World::new(cfg);
+            let mut ncfg = NhfsstoneConfig::paper(rate, mix);
+            ncfg.duration = scale.duration;
+            ncfg.warmup = scale.warmup;
+            ncfg.nfiles = scale.nfiles;
+            // Short names so the server name cache is exercised (the
+            // appendix notes Nhfsstone's long names would defeat it).
+            ncfg.long_names = false;
+            let report = nhfsstone::run(&mut world, &ncfg);
+            rows.push((
+                preset.label().to_string(),
+                rate,
+                report.achieved_rate,
+                report.rtt_ms.mean(),
+            ));
+        }
+    }
+    ServerGraph {
+        title: title.to_string(),
+        rows,
+    }
+}
+
+/// Graph 8: 100 % lookup mix against the three server configurations.
+pub fn graph8(scale: &Scale) -> ServerGraph {
+    run_sweep(
+        "Graph 8: server comparison, 100% lookup mix",
+        LoadMix::pure_lookup(),
+        scale,
+        800,
+    )
+}
+
+/// Graph 9: 50/50 lookup/read mix against the three servers.
+pub fn graph9(scale: &Scale) -> ServerGraph {
+    run_sweep(
+        "Graph 9: server comparison, 50/50 lookup/read mix",
+        LoadMix::lookup_read(),
+        scale,
+        900,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reno_beats_ultrix_and_namecache_explains_only_part() {
+        let mut scale = Scale::quick();
+        scale.lan_rates = vec![20.0, 35.0];
+        let g = graph8(&scale);
+        let reno = g.mean_rtt("Reno");
+        let no_nc = g.mean_rtt("Reno-nonamecache");
+        let ultrix = g.mean_rtt("Ultrix2.2");
+        assert!(
+            ultrix > reno * 1.2,
+            "Ultrix lookups ({ultrix:.1}ms) must be clearly slower than Reno ({reno:.1}ms)"
+        );
+        assert!(
+            no_nc >= reno,
+            "disabling the name cache cannot make Reno faster"
+        );
+        // The paper: the name cache explains only a small fraction of
+        // the difference.
+        assert!(
+            (no_nc - reno) < (ultrix - reno) * 0.7,
+            "name cache should explain a minority of the gap: reno={reno:.1} nonc={no_nc:.1} ultrix={ultrix:.1}"
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Simulated machines: CPU + disk + network interface.
+
+use renofs_mbuf::MbufChain;
+use renofs_netsim::NicConfig;
+use renofs_sim::cpu::CpuCategory;
+use renofs_sim::disk::Access;
+use renofs_sim::{Cpu, CpuProfile, Disk, DiskProfile, Rng, SimTime};
+
+use crate::costs;
+
+/// Static description of a machine.
+#[derive(Clone, Copy, Debug)]
+pub struct HostProfile {
+    /// CPU speed profile.
+    pub cpu: CpuProfile,
+    /// Disk profile.
+    pub disk: DiskProfile,
+    /// Network interface configuration.
+    pub nic: NicConfig,
+}
+
+impl HostProfile {
+    /// The paper's MicroVAXII with the stock (copying) DEQNA driver.
+    pub fn microvax_stock() -> Self {
+        HostProfile {
+            cpu: CpuProfile::MICROVAX_II,
+            disk: DiskProfile::RD53,
+            nic: NicConfig::stock(),
+        }
+    }
+
+    /// The MicroVAXII after the Section 3 tuning (cluster mapping, no
+    /// transmit interrupts).
+    pub fn microvax_tuned() -> Self {
+        HostProfile {
+            cpu: CpuProfile::MICROVAX_II,
+            disk: DiskProfile::RD53,
+            nic: NicConfig::tuned(),
+        }
+    }
+
+    /// The DECstation 3100 client.
+    pub fn ds3100() -> Self {
+        HostProfile {
+            cpu: CpuProfile::DS3100,
+            disk: DiskProfile::RZ23,
+            nic: NicConfig::tuned(),
+        }
+    }
+}
+
+/// A running machine.
+pub struct Host {
+    /// The CPU resource.
+    pub cpu: Cpu,
+    /// The disk resource.
+    pub disk: Disk,
+    /// Interface configuration (cost model).
+    pub nic: NicConfig,
+    /// Per-host random stream (disk seeks).
+    pub rng: Rng,
+}
+
+impl Host {
+    /// Boots a machine from its profile.
+    pub fn new(profile: HostProfile, seed: u64) -> Self {
+        Host {
+            cpu: Cpu::new(profile.cpu),
+            disk: Disk::new(profile.disk),
+            nic: profile.nic,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Charges the CPU work of transmitting one already-built message as
+    /// `frags` link-level fragments, including checksum and per-fragment
+    /// interface costs. Returns the completion time.
+    pub fn charge_tx(&mut self, now: SimTime, msg: &MbufChain, frags: usize, tcp: bool) -> SimTime {
+        let len = msg.len();
+        let proto = if tcp {
+            costs::TCP_PROTO_FIXED
+        } else {
+            costs::UDP_PROTO_FIXED
+        };
+        let mut t = self.cpu.charge(
+            now,
+            costs::SOCKET_FIXED + costs::RPC_CODEC_FIXED + proto,
+            CpuCategory::Protocol,
+        );
+        t = self
+            .cpu
+            .charge(t, costs::CKSUM_PER_BYTE * len as u64, CpuCategory::Checksum);
+        // Interface: price the payload from its real mbuf layout once,
+        // then per-fragment fixed costs for the remaining fragments.
+        t = self
+            .cpu
+            .charge(t, self.nic.tx_cost(msg), CpuCategory::NetIf);
+        for _ in 1..frags {
+            t = self
+                .cpu
+                .charge(t, self.nic.tx_cost_sized(0), CpuCategory::NetIf);
+        }
+        t
+    }
+
+    /// Charges the CPU work of receiving a message that arrived as
+    /// `frags` fragments. Returns the completion time.
+    pub fn charge_rx(&mut self, now: SimTime, len: usize, frags: usize, tcp: bool) -> SimTime {
+        let mut t = now;
+        let per_frag = len / frags.max(1);
+        for _ in 0..frags.max(1) {
+            t = self
+                .cpu
+                .charge(t, self.nic.rx_cost(per_frag), CpuCategory::NetIf);
+        }
+        t = self
+            .cpu
+            .charge(t, costs::CKSUM_PER_BYTE * len as u64, CpuCategory::Checksum);
+        let proto = if tcp {
+            costs::TCP_PROTO_FIXED
+        } else {
+            costs::UDP_PROTO_FIXED
+        };
+        t = self.cpu.charge(
+            t,
+            costs::SOCKET_FIXED + costs::RPC_CODEC_FIXED + proto,
+            CpuCategory::Protocol,
+        );
+        t
+    }
+
+    /// Charges the CPU work of transmitting one TCP segment: per-segment
+    /// protocol processing (full cost with data, the header-prediction
+    /// fast path for pure ACKs), checksum and interface costs. The
+    /// socket/RPC-codec work is charged once per record via
+    /// [`Host::charge_record`], not per segment.
+    pub fn charge_tcp_tx(&mut self, now: SimTime, payload: &MbufChain) -> SimTime {
+        let len = payload.len();
+        let proto = if len == 0 {
+            costs::TCP_ACK_FIXED
+        } else {
+            costs::TCP_PROTO_FIXED
+        };
+        let mut t = self.cpu.charge(now, proto, CpuCategory::Protocol);
+        if len > 0 {
+            t = self
+                .cpu
+                .charge(t, costs::CKSUM_PER_BYTE * len as u64, CpuCategory::Checksum);
+        }
+        self.cpu
+            .charge(t, self.nic.tx_cost(payload), CpuCategory::NetIf)
+    }
+
+    /// Charges the CPU work of receiving one TCP segment.
+    pub fn charge_tcp_rx(&mut self, now: SimTime, len: usize) -> SimTime {
+        let mut t = self
+            .cpu
+            .charge(now, self.nic.rx_cost(len), CpuCategory::NetIf);
+        if len > 0 {
+            t = self
+                .cpu
+                .charge(t, costs::CKSUM_PER_BYTE * len as u64, CpuCategory::Checksum);
+            t = self
+                .cpu
+                .charge(t, costs::TCP_PROTO_FIXED, CpuCategory::Protocol);
+        } else {
+            t = self
+                .cpu
+                .charge(t, costs::TCP_ACK_FIXED, CpuCategory::Protocol);
+        }
+        t
+    }
+
+    /// Charges the once-per-RPC-record socket and codec work.
+    pub fn charge_record(&mut self, now: SimTime) -> SimTime {
+        self.cpu.charge(
+            now,
+            costs::SOCKET_FIXED + costs::RPC_CODEC_FIXED,
+            CpuCategory::Rpc,
+        )
+    }
+
+    /// Performs a disk operation starting no earlier than `start`,
+    /// charging the interrupt-service CPU. Returns the completion time.
+    pub fn disk_io(&mut self, start: SimTime, bytes: usize, write: bool, seq: bool) -> SimTime {
+        let access = if seq {
+            Access::Sequential
+        } else {
+            Access::Random
+        };
+        let done = if write {
+            self.disk.write(start, bytes, access, &mut self.rng)
+        } else {
+            self.disk.read(start, bytes, access, &mut self.rng)
+        };
+        self.cpu.charge(done, costs::DISK_OP_CPU, CpuCategory::Disk)
+    }
+}
+
+/// Estimates how many link fragments a UDP datagram of `payload_len`
+/// bytes will travel as, given the first-hop MTU.
+pub fn udp_fragments(payload_len: usize, mtu: usize) -> usize {
+    let total = payload_len + renofs_netsim::UDP_HEADER;
+    let per = mtu - renofs_netsim::IP_HEADER;
+    total.div_ceil(per).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renofs_mbuf::CopyMeter;
+    use renofs_sim::SimDuration;
+
+    #[test]
+    fn eight_k_datagram_is_six_fragments() {
+        assert_eq!(udp_fragments(8192 + 120, 1500), 6);
+        assert_eq!(udp_fragments(100, 1500), 1);
+    }
+
+    #[test]
+    fn tx_cost_scales_with_size() {
+        let mut h = Host::new(HostProfile::microvax_stock(), 1);
+        let mut m = CopyMeter::new();
+        let small = MbufChain::from_slice(&[0u8; 128], &mut m);
+        let big = MbufChain::from_slice(&[0u8; 8300], &mut m);
+        let t0 = SimTime::ZERO;
+        let t_small = h.charge_tx(t0, &small, 1, false);
+        h.cpu.reset_accounting(t_small);
+        let t_big = h.charge_tx(t_small, &big, 6, false);
+        assert!(
+            (t_big - t_small).as_nanos() > (t_small - t0).as_nanos() * 3,
+            "8K tx much costlier than 128B"
+        );
+    }
+
+    #[test]
+    fn tcp_rx_costs_more_than_udp() {
+        let mut a = Host::new(HostProfile::microvax_stock(), 1);
+        let mut b = Host::new(HostProfile::microvax_stock(), 1);
+        let t0 = SimTime::ZERO;
+        let udp = a.charge_rx(t0, 1000, 1, false);
+        let tcp = b.charge_rx(t0, 1000, 1, true);
+        assert!(tcp > udp);
+    }
+
+    #[test]
+    fn disk_io_serializes_and_charges_cpu() {
+        let mut h = Host::new(HostProfile::microvax_stock(), 2);
+        let t0 = SimTime::ZERO;
+        let d1 = h.disk_io(t0, 8192, true, false);
+        let d2 = h.disk_io(t0, 8192, true, false);
+        assert!(d2 > d1, "second IO queues behind the first");
+        assert!(
+            h.cpu.busy_in(CpuCategory::Disk) >= SimDuration::from_micros(600),
+            "two interrupt charges"
+        );
+    }
+
+    #[test]
+    fn tuned_nic_cheaper_tx() {
+        let mut stock = Host::new(HostProfile::microvax_stock(), 1);
+        let mut tuned = Host::new(HostProfile::microvax_tuned(), 1);
+        let mut m = CopyMeter::new();
+        let msg = MbufChain::from_slice(&[0u8; 8192], &mut m);
+        let t0 = SimTime::ZERO;
+        let a = stock.charge_tx(t0, &msg, 6, false);
+        let b = tuned.charge_tx(t0, &msg, 6, false);
+        assert!(b < a, "Section 3 tuning reduces tx CPU");
+    }
+}

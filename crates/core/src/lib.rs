@@ -1,0 +1,38 @@
+//! RenoFS: the 4.3BSD Reno NFS implementation, reproduced.
+//!
+//! This crate is the paper's primary contribution: an NFS v2 protocol
+//! implementation (RFC 1094) with the Reno kernel's caching mechanisms,
+//! transport independence, and copy-avoidance — layered over the
+//! simulated hosts, disks, and internetworks of the substrate crates.
+//!
+//! The main entry points:
+//!
+//! - [`proto`]: the NFS v2 wire protocol, encoded directly in mbuf chains.
+//! - [`server::NfsServer`]: the stateless server over a [`renofs_vfs::MemFs`]
+//!   export, with the per-request cost breakdown the host model prices.
+//! - [`client::ClientFs`]: the client — name/attribute/block caching,
+//!   write policies, push-on-close, the `noconsist` experimental mount
+//!   flag, and per-procedure RPC counters (Table 3's instrument).
+//! - [`world::World`]: the deterministic event loop tying client hosts,
+//!   transports, network and server together, with blocking-style
+//!   workload threads.
+//! - [`presets`]: ready-made "4.3BSD Reno" and "Ultrix 2.2" machine and
+//!   mount configurations, plus the MicroVAXII and DS3100 hardware
+//!   profiles.
+
+pub mod client;
+pub mod costs;
+pub mod host;
+pub mod presets;
+pub mod proto;
+pub mod server;
+pub mod syscalls;
+pub mod world;
+
+pub use client::{ClientConfig, ClientFs, RpcCounts, WritePolicy};
+pub use host::{Host, HostProfile};
+pub use presets::{ClientPreset, ServerPreset};
+pub use proto::{FileHandle, NfsProc, NfsStatus};
+pub use server::{NfsServer, ServerConfig};
+pub use syscalls::Syscalls;
+pub use world::{TopologyKind, TransportKind, World, WorldConfig, WorldSys};

@@ -1,0 +1,119 @@
+//! Named machine + software configurations matching the paper's
+//! experiment rows.
+
+use crate::client::ClientConfig;
+use crate::host::HostProfile;
+use crate::server::ServerConfig;
+
+/// A client-side configuration row (Tables 2–5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientPreset {
+    /// 4.3BSD Reno defaults over UDP.
+    Reno,
+    /// Reno over TCP transport ("Reno-TCP").
+    RenoTcp,
+    /// Reno without push-on-close ("Reno-nopush").
+    RenoNopush,
+    /// Reno with the noconsist experimental mount flag.
+    RenoNoconsist,
+    /// The Ultrix 2.2 client model.
+    Ultrix,
+}
+
+impl ClientPreset {
+    /// The mount configuration for this row.
+    pub fn client_config(self) -> ClientConfig {
+        match self {
+            ClientPreset::Reno | ClientPreset::RenoTcp => ClientConfig::reno(),
+            ClientPreset::RenoNopush => ClientConfig::reno_nopush(),
+            ClientPreset::RenoNoconsist => ClientConfig::reno_noconsist(),
+            ClientPreset::Ultrix => ClientConfig::ultrix(),
+        }
+    }
+
+    /// Whether the row uses TCP transport.
+    pub fn uses_tcp(self) -> bool {
+        matches!(self, ClientPreset::RenoTcp)
+    }
+
+    /// The row label used in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClientPreset::Reno => "Reno",
+            ClientPreset::RenoTcp => "Reno-TCP",
+            ClientPreset::RenoNopush => "Reno-nopush",
+            ClientPreset::RenoNoconsist => "Reno-noconsist",
+            ClientPreset::Ultrix => "Ultrix2.2",
+        }
+    }
+}
+
+/// A server-side configuration row (Graphs 8–9, Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerPreset {
+    /// The 4.3BSD Reno server on the tuned MicroVAXII.
+    Reno,
+    /// Reno with the name cache disabled (the Graphs 8–9 ablation).
+    RenoNoNameCache,
+    /// The Ultrix 2.2 server model on the stock MicroVAXII.
+    Ultrix,
+}
+
+impl ServerPreset {
+    /// The server software configuration.
+    pub fn server_config(self) -> ServerConfig {
+        match self {
+            ServerPreset::Reno => ServerConfig::reno(),
+            ServerPreset::RenoNoNameCache => ServerConfig {
+                name_cache: false,
+                ..ServerConfig::reno()
+            },
+            ServerPreset::Ultrix => ServerConfig::ultrix(),
+        }
+    }
+
+    /// The server machine profile: the paper's Reno kernel includes the
+    /// Section 3 interface tuning; the Ultrix kernel does not.
+    pub fn host_profile(self) -> HostProfile {
+        match self {
+            ServerPreset::Reno | ServerPreset::RenoNoNameCache => HostProfile::microvax_tuned(),
+            ServerPreset::Ultrix => HostProfile::microvax_stock(),
+        }
+    }
+
+    /// The row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerPreset::Reno => "Reno",
+            ServerPreset::RenoNoNameCache => "Reno-nonamecache",
+            ServerPreset::Ultrix => "Ultrix2.2",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_configs_differ_where_expected() {
+        assert!(ClientPreset::Reno.client_config().push_on_close);
+        assert!(!ClientPreset::RenoNopush.client_config().push_on_close);
+        assert!(!ClientPreset::RenoNoconsist.client_config().consistency);
+        assert!(!ClientPreset::Ultrix.client_config().name_cache);
+        assert!(ClientPreset::RenoTcp.uses_tcp());
+        assert!(!ClientPreset::Reno.uses_tcp());
+    }
+
+    #[test]
+    fn server_presets() {
+        assert!(ServerPreset::Reno.server_config().name_cache);
+        assert!(!ServerPreset::RenoNoNameCache.server_config().name_cache);
+        assert!(!ServerPreset::Ultrix.server_config().name_cache);
+        assert_eq!(
+            ServerPreset::Ultrix.server_config().cache_org,
+            renofs_vfs::CacheOrg::GlobalList
+        );
+        assert_eq!(ServerPreset::Reno.label(), "Reno");
+    }
+}

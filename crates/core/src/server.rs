@@ -1,0 +1,1030 @@
+//! The stateless NFS server.
+//!
+//! All request state arrives in the RPC itself; crash recovery is
+//! trivial because there is nothing to recover. The cost of statelessness
+//! shows up exactly where the paper says it does: writes must reach disk
+//! before the reply (1–3 disk writes per write RPC), repeated
+//! non-idempotent requests can misbehave under load — mitigated here by
+//! an optional `[Juszczak89]`-style duplicate-request cache — and the
+//! server cannot know about other clients' delayed writes.
+//!
+//! The server is configured as either the 4.3BSD Reno machine (name
+//! cache, buffers chained off vnodes) or the Ultrix 2.2 model (no name
+//! cache, global buffer search) for the Graph 8–9 comparison. Service
+//! returns the reply *plus* a [`ServiceCost`] that the host model turns
+//! into CPU and disk time.
+
+use renofs_mbuf::{CopyMeter, MbufChain};
+use renofs_sim::SimTime;
+use renofs_sunrpc::{AcceptStat, CallHeader, ReplyHeader, NFS_PROGRAM, NFS_VERSION};
+use renofs_vfs::{
+    Buf, BufCache, CacheOrg, FsError, InodeId, MemFs, NameCache, VnodeId, BLOCK_SIZE,
+};
+use renofs_xdr::XdrDecoder;
+
+use crate::proto::{
+    self, decode_args, results, DirEntry, DirEntryPlus, FileHandle, NfsArgs, NfsProc, NfsStatus,
+};
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Enable the VFS name-lookup cache.
+    pub name_cache: bool,
+    /// Buffer-cache search organization.
+    pub cache_org: CacheOrg,
+    /// Buffer cache capacity in 8 KB blocks (the paper configured the
+    /// compared kernels with identically sized caches).
+    pub bufcache_blocks: usize,
+    /// Enable the duplicate-request cache (extension; `[Juszczak89]`).
+    pub dup_cache: bool,
+    /// Future-work extension from Section 3: loan buffer-cache pages to
+    /// the network as mbuf clusters instead of copying read data.
+    pub loan_read_pages: bool,
+    /// Ambient resident buffers a long-running server's cache holds
+    /// (they cost search steps under the global-search organization).
+    pub ambient_blocks: usize,
+    /// Serve the READDIRLOOKUP extension (the paper's Future Directions
+    /// "readdir_and_lookup_files" RPC).
+    pub readdir_lookup: bool,
+}
+
+impl ServerConfig {
+    /// The 4.3BSD Reno server.
+    pub fn reno() -> Self {
+        ServerConfig {
+            name_cache: true,
+            cache_org: CacheOrg::PerVnodeChains,
+            bufcache_blocks: 256,
+            dup_cache: false,
+            loan_read_pages: false,
+            ambient_blocks: 192,
+            readdir_lookup: false,
+        }
+    }
+
+    /// The Ultrix 2.2 (Sun reference port) model.
+    pub fn ultrix() -> Self {
+        ServerConfig {
+            name_cache: false,
+            cache_org: CacheOrg::GlobalList,
+            bufcache_blocks: 256,
+            dup_cache: false,
+            loan_read_pages: false,
+            ambient_blocks: 192,
+            readdir_lookup: false,
+        }
+    }
+}
+
+/// Physical work a request incurred, priced by the host model.
+#[derive(Debug, Default)]
+pub struct ServiceCost {
+    /// Which procedure ran (None for garbled requests).
+    pub proc: Option<NfsProc>,
+    /// Buffer-cache search steps.
+    pub cache_steps: u64,
+    /// Directory entries scanned on uncached lookups.
+    pub dir_scan_entries: u64,
+    /// Bytes copied between the buffer cache and mbufs.
+    pub bytes_copied: u64,
+    /// Disk reads issued, in bytes each.
+    pub disk_reads: Vec<usize>,
+    /// Disk writes issued, in bytes each (write-through: they complete
+    /// before the reply leaves).
+    pub disk_writes: Vec<usize>,
+    /// The request hit the duplicate-request cache.
+    pub dup_hit: bool,
+}
+
+/// Per-procedure service counters.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Calls served, indexed by procedure wire number.
+    pub calls: [u64; 19],
+    /// Garbled requests.
+    pub garbage: u64,
+    /// Duplicate-cache hits.
+    pub dup_hits: u64,
+}
+
+impl ServerStats {
+    /// Calls served for one procedure.
+    pub fn count(&self, proc: NfsProc) -> u64 {
+        self.calls[proc.to_wire() as usize]
+    }
+
+    /// Total calls served.
+    pub fn total(&self) -> u64 {
+        self.calls.iter().sum()
+    }
+}
+
+struct DupCache {
+    entries: Vec<(u32, MbufChain)>,
+    cap: usize,
+}
+
+impl DupCache {
+    fn new(cap: usize) -> Self {
+        DupCache {
+            entries: Vec::new(),
+            cap,
+        }
+    }
+
+    fn get(&self, xid: u32) -> Option<MbufChain> {
+        self.entries
+            .iter()
+            .find(|(x, _)| *x == xid)
+            .map(|(_, r)| r.clone())
+    }
+
+    fn put(&mut self, xid: u32, reply: MbufChain) {
+        if self.entries.len() >= self.cap {
+            self.entries.remove(0);
+        }
+        self.entries.push((xid, reply));
+    }
+}
+
+/// The NFS server instance.
+pub struct NfsServer {
+    cfg: ServerConfig,
+    fs: MemFs,
+    namecache: NameCache,
+    bufcache: BufCache,
+    dupcache: Option<DupCache>,
+    meter: CopyMeter,
+    stats: ServerStats,
+}
+
+impl NfsServer {
+    /// Creates a server exporting a fresh filesystem.
+    pub fn new(cfg: ServerConfig, now: SimTime) -> Self {
+        let mut namecache = NameCache::new(512);
+        namecache.set_enabled(cfg.name_cache);
+        let mut bufcache = BufCache::new(cfg.cache_org, cfg.bufcache_blocks);
+        bufcache.set_ambient(cfg.ambient_blocks);
+        NfsServer {
+            cfg,
+            fs: MemFs::new(now),
+            namecache,
+            bufcache,
+            dupcache: cfg.dup_cache.then(|| DupCache::new(128)),
+            meter: CopyMeter::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// The exported filesystem (for out-of-band test preloading).
+    pub fn fs(&self) -> &MemFs {
+        &self.fs
+    }
+
+    /// Mutable access to the exported filesystem (test preloading only;
+    /// bypasses all caching and costing).
+    pub fn fs_mut(&mut self) -> &mut MemFs {
+        &mut self.fs
+    }
+
+    /// Service statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Simulates a server crash and reboot: every volatile structure
+    /// (name cache, buffer cache, duplicate-request cache) is lost, but
+    /// the statelessness of the protocol means clients simply retry —
+    /// file handles remain valid because inode generations live on disk.
+    pub fn reboot(&mut self) {
+        let mut namecache = NameCache::new(512);
+        namecache.set_enabled(self.cfg.name_cache);
+        self.namecache = namecache;
+        let mut bufcache = BufCache::new(self.cfg.cache_org, self.cfg.bufcache_blocks);
+        bufcache.set_ambient(self.cfg.ambient_blocks);
+        self.bufcache = bufcache;
+        if self.cfg.dup_cache {
+            self.dupcache = Some(DupCache::new(128));
+        }
+    }
+
+    /// The root file handle, as the MOUNT protocol would return it.
+    pub fn root_handle(&self) -> FileHandle {
+        self.handle_for(self.fs.root()).expect("root exists")
+    }
+
+    /// Builds the file handle for an inode.
+    pub fn handle_for(&self, ino: InodeId) -> Result<FileHandle, FsError> {
+        Ok(FileHandle {
+            fsid: 1,
+            ino: ino.0,
+            gen: self.fs.generation(ino)?,
+        })
+    }
+
+    fn resolve(&self, fh: &FileHandle) -> Result<InodeId, NfsStatus> {
+        let ino = InodeId(fh.ino);
+        self.fs
+            .check_handle(ino, fh.gen)
+            .map_err(|_| NfsStatus::Stale)?;
+        Ok(ino)
+    }
+
+    /// Services one RPC request, producing the reply and its cost.
+    pub fn service(&mut self, now: SimTime, request: &MbufChain) -> (MbufChain, ServiceCost) {
+        let mut cost = ServiceCost::default();
+        let mut dec = XdrDecoder::new(request);
+        let header = match CallHeader::decode(&mut dec) {
+            Ok(h) => h,
+            Err(_) => {
+                self.stats.garbage += 1;
+                // Unparseable header: no reply possible (no xid). Return
+                // an empty chain the caller drops.
+                return (MbufChain::new(), cost);
+            }
+        };
+        let xid = header.xid;
+        if header.prog != NFS_PROGRAM || header.vers != NFS_VERSION {
+            let mut reply = MbufChain::new();
+            ReplyHeader {
+                xid,
+                stat: AcceptStat::ProgUnavail,
+            }
+            .encode(&mut reply, &mut self.meter);
+            return (reply, cost);
+        }
+        let proc_supported = |p: NfsProc| p != NfsProc::ReaddirLookup || self.cfg.readdir_lookup;
+        let Some(proc) = NfsProc::from_wire(header.proc).filter(|p| proc_supported(*p)) else {
+            let mut reply = MbufChain::new();
+            ReplyHeader {
+                xid,
+                stat: AcceptStat::ProcUnavail,
+            }
+            .encode(&mut reply, &mut self.meter);
+            return (reply, cost);
+        };
+        cost.proc = Some(proc);
+        // Duplicate-request cache: protect non-idempotent procedures
+        // against retransmitted requests.
+        if !proc.is_idempotent() {
+            if let Some(dc) = &self.dupcache {
+                if let Some(reply) = dc.get(xid) {
+                    self.stats.dup_hits += 1;
+                    cost.dup_hit = true;
+                    return (reply, cost);
+                }
+            }
+        }
+        let args = match decode_args(proc, &mut dec) {
+            Ok(a) => a,
+            Err(_) => {
+                self.stats.garbage += 1;
+                let mut reply = MbufChain::new();
+                ReplyHeader {
+                    xid,
+                    stat: AcceptStat::GarbageArgs,
+                }
+                .encode(&mut reply, &mut self.meter);
+                return (reply, cost);
+            }
+        };
+        self.stats.calls[proc.to_wire() as usize] += 1;
+        let mut reply = MbufChain::new();
+        ReplyHeader {
+            xid,
+            stat: AcceptStat::Success,
+        }
+        .encode(&mut reply, &mut self.meter);
+        self.dispatch(now, proc, args, &mut reply, &mut cost);
+        if !proc.is_idempotent() {
+            if let Some(dc) = &mut self.dupcache {
+                dc.put(xid, reply.clone());
+            }
+        }
+        (reply, cost)
+    }
+
+    fn dispatch(
+        &mut self,
+        now: SimTime,
+        proc: NfsProc,
+        args: NfsArgs,
+        reply: &mut MbufChain,
+        cost: &mut ServiceCost,
+    ) {
+        match (proc, args) {
+            (NfsProc::Null, _) => {}
+            (NfsProc::Getattr, NfsArgs::Handle(fh)) => {
+                let res = self
+                    .resolve(&fh)
+                    .and_then(|ino| self.fs.getattr(ino).map_err(NfsStatus::from));
+                cost.cache_steps += 1;
+                results::put_attrstat(reply, &mut self.meter, &res);
+            }
+            (NfsProc::Setattr, NfsArgs::Setattr(fh, sattr)) => {
+                let res = self.resolve(&fh).and_then(|ino| {
+                    self.fs
+                        .setattr(ino, sattr.size, sattr.mode, sattr.uid, sattr.gid, now)
+                        .map_err(NfsStatus::from)
+                });
+                if res.is_ok() {
+                    cost.disk_writes.push(512); // inode
+                }
+                results::put_attrstat(reply, &mut self.meter, &res);
+            }
+            (NfsProc::Lookup, NfsArgs::DirOp(fh, name)) => {
+                let res = self.do_lookup(&fh, &name, cost);
+                results::put_diropres(reply, &mut self.meter, &res);
+            }
+            (NfsProc::Readlink, NfsArgs::Handle(fh)) => {
+                let res = self
+                    .resolve(&fh)
+                    .and_then(|ino| self.fs.readlink(ino).map_err(NfsStatus::from));
+                results::put_readlinkres(reply, &mut self.meter, &res);
+            }
+            (NfsProc::Read, NfsArgs::Read(fh, offset, count)) => {
+                let res = self.do_read(&fh, offset, count, now, cost);
+                results::put_readres(reply, &mut self.meter, res);
+            }
+            (NfsProc::Write, NfsArgs::Write(fh, offset, data)) => {
+                let res = self.do_write(&fh, offset, data, now, cost);
+                results::put_attrstat(reply, &mut self.meter, &res);
+            }
+            (NfsProc::Create, NfsArgs::Create(fh, name, sattr)) => {
+                let res = self.do_create(&fh, &name, &sattr, now, cost);
+                results::put_diropres(reply, &mut self.meter, &res);
+            }
+            (NfsProc::Mkdir, NfsArgs::Create(fh, name, _sattr)) => {
+                let res = self.resolve(&fh).and_then(|dir| {
+                    let id = self
+                        .fs
+                        .mkdir(dir, &name, 0o755, now)
+                        .map_err(NfsStatus::from)?;
+                    cost.disk_writes.push(512); // dir block
+                    cost.disk_writes.push(512); // inode
+                    self.namecache
+                        .enter(VnodeId(dir.0 as u64), &name, VnodeId(id.0 as u64));
+                    let h = self.handle_for(id).map_err(NfsStatus::from)?;
+                    let a = self.fs.getattr(id).map_err(NfsStatus::from)?;
+                    Ok((h, a))
+                });
+                results::put_diropres(reply, &mut self.meter, &res);
+            }
+            (NfsProc::Remove, NfsArgs::DirOp(fh, name)) => {
+                let res = self.resolve(&fh).and_then(|dir| {
+                    let target = self.fs.lookup(dir, &name).ok();
+                    self.fs.remove(dir, &name, now).map_err(NfsStatus::from)?;
+                    self.namecache.invalidate(VnodeId(dir.0 as u64), &name);
+                    if let Some(t) = target {
+                        self.namecache.purge_vnode(VnodeId(t.0 as u64));
+                        self.bufcache.purge_vnode(VnodeId(t.0 as u64));
+                    }
+                    cost.disk_writes.push(512); // dir block
+                    cost.disk_writes.push(512); // inode free
+                    Ok(())
+                });
+                results::put_stat(reply, &mut self.meter, status_of(res));
+            }
+            (NfsProc::Rmdir, NfsArgs::DirOp(fh, name)) => {
+                let res = self.resolve(&fh).and_then(|dir| {
+                    let target = self.fs.lookup(dir, &name).ok();
+                    self.fs.rmdir(dir, &name, now).map_err(NfsStatus::from)?;
+                    self.namecache.invalidate(VnodeId(dir.0 as u64), &name);
+                    if let Some(t) = target {
+                        self.namecache.purge_vnode(VnodeId(t.0 as u64));
+                    }
+                    cost.disk_writes.push(512);
+                    cost.disk_writes.push(512);
+                    Ok(())
+                });
+                results::put_stat(reply, &mut self.meter, status_of(res));
+            }
+            (NfsProc::Rename, NfsArgs::Rename(ffh, fname, tfh, tname)) => {
+                let res = self.resolve(&ffh).and_then(|fdir| {
+                    let tdir = self.resolve(&tfh)?;
+                    self.fs
+                        .rename(fdir, &fname, tdir, &tname, now)
+                        .map_err(NfsStatus::from)?;
+                    self.namecache.invalidate(VnodeId(fdir.0 as u64), &fname);
+                    self.namecache.invalidate(VnodeId(tdir.0 as u64), &tname);
+                    cost.disk_writes.push(512);
+                    cost.disk_writes.push(512);
+                    Ok(())
+                });
+                results::put_stat(reply, &mut self.meter, status_of(res));
+            }
+            (NfsProc::Link, NfsArgs::Link(target, dirfh, name)) => {
+                let res = self.resolve(&target).and_then(|t| {
+                    let dir = self.resolve(&dirfh)?;
+                    self.fs.link(t, dir, &name, now).map_err(NfsStatus::from)?;
+                    cost.disk_writes.push(512);
+                    cost.disk_writes.push(512);
+                    Ok(())
+                });
+                results::put_stat(reply, &mut self.meter, status_of(res));
+            }
+            (NfsProc::Symlink, NfsArgs::Symlink(dirfh, name, path)) => {
+                let res = self.resolve(&dirfh).and_then(|dir| {
+                    self.fs
+                        .symlink(dir, &name, &path, now)
+                        .map_err(NfsStatus::from)?;
+                    cost.disk_writes.push(512);
+                    cost.disk_writes.push(512);
+                    Ok(())
+                });
+                results::put_stat(reply, &mut self.meter, status_of(res));
+            }
+            (NfsProc::Readdir, NfsArgs::Readdir(fh, cookie, count)) => {
+                let res = self.do_readdir(&fh, cookie, count, cost);
+                results::put_readdirres(reply, &mut self.meter, &res);
+            }
+            (NfsProc::ReaddirLookup, NfsArgs::ReaddirLookup(fh, cookie, count)) => {
+                let res = self.do_readdir_lookup(&fh, cookie, count, cost);
+                results::put_readdirplusres(reply, &mut self.meter, &res);
+            }
+            (NfsProc::Statfs, NfsArgs::Handle(fh)) => {
+                let res = self.resolve(&fh).map(|_| {
+                    let (bsize, blocks, bfree) = self.fs.statfs();
+                    (proto::NFS_MAXDATA as u32, bsize, blocks, bfree, bfree)
+                });
+                results::put_statfsres(reply, &mut self.meter, &res);
+            }
+            _ => {
+                // Argument/procedure mismatch can't happen via decode_args.
+                results::put_stat(reply, &mut self.meter, NfsStatus::Io);
+            }
+        }
+    }
+
+    fn do_lookup(
+        &mut self,
+        fh: &FileHandle,
+        name: &str,
+        cost: &mut ServiceCost,
+    ) -> Result<(FileHandle, renofs_vfs::Vattr), NfsStatus> {
+        let dir = self.resolve(fh)?;
+        let dv = VnodeId(dir.0 as u64);
+        let cached = self.namecache.lookup(dv, name);
+        let id = match cached {
+            Some(v) => InodeId(v.0 as u32),
+            None => {
+                // Scan the directory: read its blocks through the buffer
+                // cache, comparing entries.
+                let entries = self.fs.dir_len(dir).map_err(NfsStatus::from)?;
+                cost.dir_scan_entries += (entries as u64).div_ceil(2);
+                let dir_attr = self.fs.getattr(dir).map_err(NfsStatus::from)?;
+                let dir_blocks = (dir_attr.size as usize).div_ceil(BLOCK_SIZE).max(1);
+                for blk in 0..dir_blocks as u64 {
+                    let (hit, steps) = {
+                        let (buf, steps) = self.bufcache.lookup(dv, blk);
+                        (buf.is_some(), steps)
+                    };
+                    cost.cache_steps += steps;
+                    if !hit {
+                        cost.disk_reads.push(BLOCK_SIZE.min(dir_attr.size as usize));
+                        self.bufcache
+                            .insert(dv, blk, Buf::new_valid(vec![0; BLOCK_SIZE]));
+                    }
+                }
+                let id = self.fs.lookup(dir, name).map_err(NfsStatus::from)?;
+                self.namecache.enter(dv, name, VnodeId(id.0 as u64));
+                id
+            }
+        };
+        let h = self.handle_for(id).map_err(NfsStatus::from)?;
+        let a = self.fs.getattr(id).map_err(NfsStatus::from)?;
+        Ok((h, a))
+    }
+
+    fn do_read(
+        &mut self,
+        fh: &FileHandle,
+        offset: u32,
+        count: u32,
+        now: SimTime,
+        cost: &mut ServiceCost,
+    ) -> Result<(renofs_vfs::Vattr, MbufChain), NfsStatus> {
+        let ino = self.resolve(fh)?;
+        let count = count.min(proto::NFS_MAXDATA as u32);
+        let v = VnodeId(ino.0 as u64);
+        // Touch every block the range covers through the buffer cache.
+        let first_blk = (offset as usize) / BLOCK_SIZE;
+        let last_blk = (offset as usize + count as usize).saturating_sub(1) / BLOCK_SIZE;
+        let attr = self.fs.getattr(ino).map_err(NfsStatus::from)?;
+        for blk in first_blk..=last_blk {
+            if blk * BLOCK_SIZE >= attr.size as usize && attr.size > 0 {
+                break;
+            }
+            let (hit, steps) = {
+                let (buf, steps) = self.bufcache.lookup(v, blk as u64);
+                (buf.is_some(), steps)
+            };
+            cost.cache_steps += steps;
+            if !hit {
+                cost.disk_reads.push(BLOCK_SIZE);
+                let data = self
+                    .fs
+                    .read(ino, (blk * BLOCK_SIZE) as u32, BLOCK_SIZE as u32, now)
+                    .map_err(NfsStatus::from)?;
+                self.bufcache.insert(v, blk as u64, Buf::new_valid(data));
+            }
+        }
+        let data = self
+            .fs
+            .read(ino, offset, count, now)
+            .map_err(NfsStatus::from)?;
+        let attr = self.fs.getattr(ino).map_err(NfsStatus::from)?;
+        // Buffer cache -> mbuf: the paper's remaining third bottleneck,
+        // unless the page-loaning extension is on.
+        let chain = if self.cfg.loan_read_pages {
+            let mut scratch = CopyMeter::new();
+            MbufChain::from_slice(&data, &mut scratch)
+        } else {
+            cost.bytes_copied += data.len() as u64;
+            MbufChain::from_slice(&data, &mut self.meter)
+        };
+        Ok((attr, chain))
+    }
+
+    fn do_write(
+        &mut self,
+        fh: &FileHandle,
+        offset: u32,
+        data: MbufChain,
+        now: SimTime,
+        cost: &mut ServiceCost,
+    ) -> Result<renofs_vfs::Vattr, NfsStatus> {
+        let ino = self.resolve(fh)?;
+        let bytes = data.to_vec_unmetered();
+        // mbuf -> buffer cache copy.
+        cost.bytes_copied += bytes.len() as u64;
+        let attr = self
+            .fs
+            .write(ino, offset, &bytes, now)
+            .map_err(NfsStatus::from)?;
+        // Update the cached block(s).
+        let v = VnodeId(ino.0 as u64);
+        let first_blk = (offset as usize) / BLOCK_SIZE;
+        let last_blk = (offset as usize + bytes.len()).saturating_sub(1) / BLOCK_SIZE;
+        for blk in first_blk..=last_blk {
+            let (found, steps) = {
+                let (buf, steps) = self.bufcache.lookup(v, blk as u64);
+                (buf.is_some(), steps)
+            };
+            cost.cache_steps += steps;
+            if found {
+                let fresh = self
+                    .fs
+                    .read(ino, (blk * BLOCK_SIZE) as u32, BLOCK_SIZE as u32, now)
+                    .map_err(NfsStatus::from)?;
+                if let (Some(buf), _) = self.bufcache.lookup(v, blk as u64) {
+                    buf.merge_read(&fresh);
+                    buf.clear_dirty();
+                }
+            }
+        }
+        // The stateless write-through: data (+ inode, + indirect for
+        // large files) must be on disk before the reply — the paper's
+        // "every write RPC requires 1-3 disk writes on the server".
+        cost.disk_writes.push(bytes.len());
+        cost.disk_writes.push(512); // inode
+        if offset as usize >= 12 * BLOCK_SIZE {
+            cost.disk_writes.push(512); // indirect block
+        }
+        Ok(attr)
+    }
+
+    fn do_create(
+        &mut self,
+        fh: &FileHandle,
+        name: &str,
+        sattr: &crate::proto::Sattr,
+        now: SimTime,
+        cost: &mut ServiceCost,
+    ) -> Result<(FileHandle, renofs_vfs::Vattr), NfsStatus> {
+        let dir = self.resolve(fh)?;
+        let id = self
+            .fs
+            .create(dir, name, sattr.mode.unwrap_or(0o644), now)
+            .map_err(NfsStatus::from)?;
+        if let Some(size) = sattr.size {
+            self.fs
+                .setattr(id, Some(size), None, None, None, now)
+                .map_err(NfsStatus::from)?;
+        }
+        self.namecache
+            .enter(VnodeId(dir.0 as u64), name, VnodeId(id.0 as u64));
+        cost.disk_writes.push(512); // dir block
+        cost.disk_writes.push(512); // inode
+        let h = self.handle_for(id).map_err(NfsStatus::from)?;
+        let a = self.fs.getattr(id).map_err(NfsStatus::from)?;
+        Ok((h, a))
+    }
+
+    fn do_readdir(
+        &mut self,
+        fh: &FileHandle,
+        cookie: u32,
+        count: u32,
+        cost: &mut ServiceCost,
+    ) -> Result<(Vec<DirEntry>, bool), NfsStatus> {
+        let dir = self.resolve(fh)?;
+        // Entries that fit the requested byte count (~24 bytes + name).
+        let max_entries = ((count as usize) / 32).clamp(1, 512);
+        let dv = VnodeId(dir.0 as u64);
+        let attr = self.fs.getattr(dir).map_err(NfsStatus::from)?;
+        let dir_blocks = (attr.size as usize).div_ceil(BLOCK_SIZE).max(1);
+        for blk in 0..dir_blocks as u64 {
+            let (hit, steps) = {
+                let (buf, steps) = self.bufcache.lookup(dv, blk);
+                (buf.is_some(), steps)
+            };
+            cost.cache_steps += steps;
+            if !hit {
+                cost.disk_reads.push(BLOCK_SIZE.min(attr.size as usize));
+                self.bufcache
+                    .insert(dv, blk, Buf::new_valid(vec![0; BLOCK_SIZE]));
+            }
+        }
+        let (raw, eof) = self
+            .fs
+            .readdir(dir, cookie, max_entries)
+            .map_err(NfsStatus::from)?;
+        let entries: Vec<DirEntry> = raw
+            .into_iter()
+            .map(|(cookie, name, id)| DirEntry {
+                fileid: id.0,
+                name,
+                cookie,
+            })
+            .collect();
+        cost.bytes_copied += entries
+            .iter()
+            .map(|e| 24 + e.name.len() as u64)
+            .sum::<u64>();
+        Ok((entries, eof))
+    }
+}
+
+impl NfsServer {
+    fn do_readdir_lookup(
+        &mut self,
+        fh: &FileHandle,
+        cookie: u32,
+        count: u32,
+        cost: &mut ServiceCost,
+    ) -> Result<(Vec<DirEntryPlus>, bool), NfsStatus> {
+        let (entries, eof) = self.do_readdir(fh, cookie, count, cost)?;
+        let dir = self.resolve(fh)?;
+        let dv = VnodeId(dir.0 as u64);
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries {
+            let id = InodeId(e.fileid);
+            let fh = self.handle_for(id).map_err(NfsStatus::from)?;
+            let attr = self.fs.getattr(id).map_err(NfsStatus::from)?;
+            // Each embedded lookup still touches the caches, but the
+            // per-RPC protocol overhead is paid once.
+            self.namecache.enter(dv, &e.name, VnodeId(id.0 as u64));
+            cost.cache_steps += 1;
+            out.push(DirEntryPlus { entry: e, fh, attr });
+        }
+        Ok((out, eof))
+    }
+}
+
+fn status_of(res: Result<(), NfsStatus>) -> NfsStatus {
+    match res {
+        Ok(()) => NfsStatus::Ok,
+        Err(s) => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renofs_sunrpc::AuthUnix;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_secs(n)
+    }
+
+    /// Builds a complete call message.
+    fn call(
+        xid: u32,
+        proc: NfsProc,
+        args: impl FnOnce(&mut MbufChain, &mut CopyMeter),
+    ) -> MbufChain {
+        let mut meter = CopyMeter::new();
+        let mut chain = MbufChain::new();
+        CallHeader {
+            xid,
+            prog: NFS_PROGRAM,
+            vers: NFS_VERSION,
+            proc: proc.to_wire(),
+            auth: AuthUnix::root("testclient"),
+        }
+        .encode(&mut chain, &mut meter);
+        args(&mut chain, &mut meter);
+        chain
+    }
+
+    fn reply_body(reply: &MbufChain) -> XdrDecoder<'_> {
+        let mut dec = XdrDecoder::new(reply);
+        let h = ReplyHeader::decode(&mut dec).unwrap();
+        assert_eq!(h.stat, AcceptStat::Success);
+        dec
+    }
+
+    fn server() -> NfsServer {
+        NfsServer::new(ServerConfig::reno(), t(0))
+    }
+
+    #[test]
+    fn null_proc() {
+        let mut s = server();
+        let req = call(1, NfsProc::Null, |_, _| {});
+        let (reply, cost) = s.service(t(1), &req);
+        let mut dec = XdrDecoder::new(&reply);
+        let h = ReplyHeader::decode(&mut dec).unwrap();
+        assert_eq!(h.xid, 1);
+        assert_eq!(cost.proc, Some(NfsProc::Null));
+        assert_eq!(dec.remaining(), 0);
+    }
+
+    #[test]
+    fn getattr_root() {
+        let mut s = server();
+        let root = s.root_handle();
+        let req = call(2, NfsProc::Getattr, |c, m| {
+            proto::build::handle_args(c, m, &root)
+        });
+        let (reply, _) = s.service(t(1), &req);
+        let mut dec = reply_body(&reply);
+        let attr = results::get_attrstat(&mut dec).unwrap().unwrap();
+        assert_eq!(attr.ftype, renofs_vfs::FileType::Directory);
+    }
+
+    #[test]
+    fn create_write_read_cycle() {
+        let mut s = server();
+        let root = s.root_handle();
+        // CREATE
+        let req = call(3, NfsProc::Create, |c, m| {
+            proto::build::create_args(c, m, &root, "data.bin", &proto::Sattr::default())
+        });
+        let (reply, cost) = s.service(t(1), &req);
+        let (fh, attr) = results::get_diropres(&mut reply_body(&reply))
+            .unwrap()
+            .unwrap();
+        assert_eq!(attr.size, 0);
+        assert_eq!(cost.disk_writes.len(), 2, "dir block + inode");
+        // WRITE 8K
+        let payload: Vec<u8> = (0..8192u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut meter = CopyMeter::new();
+        let data = MbufChain::from_slice(&payload, &mut meter);
+        let req = call(4, NfsProc::Write, |c, m| {
+            proto::build::write_args(c, m, &fh, 0, data)
+        });
+        let (reply, cost) = s.service(t(2), &req);
+        let attr = results::get_attrstat(&mut reply_body(&reply))
+            .unwrap()
+            .unwrap();
+        assert_eq!(attr.size, 8192);
+        assert!(
+            (2..=3).contains(&cost.disk_writes.len()),
+            "1-3 disk writes per write RPC"
+        );
+        // READ back
+        let req = call(5, NfsProc::Read, |c, m| {
+            proto::build::read_args(c, m, &fh, 0, 8192)
+        });
+        let (reply, cost) = s.service(t(3), &req);
+        let (attr, data) = results::get_readres(&mut reply_body(&reply))
+            .unwrap()
+            .unwrap();
+        assert_eq!(attr.size, 8192);
+        assert_eq!(data, payload);
+        assert_eq!(cost.bytes_copied, 8192, "buffer cache -> mbuf copy");
+    }
+
+    #[test]
+    fn read_cache_hit_avoids_disk() {
+        let mut s = server();
+        let root = s.root_handle();
+        let ino = s.fs_mut().create(InodeId(0), "f", 0o644, t(0)).unwrap();
+        s.fs_mut().write(ino, 0, &[9u8; 8192], t(0)).unwrap();
+        let _ = root;
+        let fh = s.handle_for(ino).unwrap();
+        let read_req = |xid| {
+            call(xid, NfsProc::Read, |c, m| {
+                proto::build::read_args(c, m, &fh, 0, 8192)
+            })
+        };
+        let (_, cost1) = s.service(t(1), &read_req(10));
+        assert_eq!(cost1.disk_reads.len(), 1, "cold read hits disk");
+        let (_, cost2) = s.service(t(2), &read_req(11));
+        assert!(cost2.disk_reads.is_empty(), "warm read served from cache");
+    }
+
+    #[test]
+    fn lookup_uses_name_cache() {
+        let mut s = server();
+        let root_ino = s.fs().root();
+        for i in 0..50 {
+            s.fs_mut()
+                .create(root_ino, &format!("file{i}"), 0o644, t(0))
+                .unwrap();
+        }
+        let root = s.root_handle();
+        let lookup_req = |xid| {
+            call(xid, NfsProc::Lookup, |c, m| {
+                proto::build::dirop_args(c, m, &root, "file25")
+            })
+        };
+        let (_, cost1) = s.service(t(1), &lookup_req(20));
+        assert!(cost1.dir_scan_entries > 0, "cold lookup scans the dir");
+        let (_, cost2) = s.service(t(2), &lookup_req(21));
+        assert_eq!(cost2.dir_scan_entries, 0, "warm lookup hits name cache");
+    }
+
+    #[test]
+    fn ultrix_config_skips_name_cache() {
+        let mut s = NfsServer::new(ServerConfig::ultrix(), t(0));
+        let root_ino = s.fs().root();
+        s.fs_mut().create(root_ino, "f", 0o644, t(0)).unwrap();
+        let root = s.root_handle();
+        let lookup_req = |xid| {
+            call(xid, NfsProc::Lookup, |c, m| {
+                proto::build::dirop_args(c, m, &root, "f")
+            })
+        };
+        let (_, c1) = s.service(t(1), &lookup_req(1));
+        let (_, c2) = s.service(t(2), &lookup_req(2));
+        assert!(c1.dir_scan_entries > 0);
+        assert!(c2.dir_scan_entries > 0, "no name cache: scans every time");
+    }
+
+    #[test]
+    fn stale_handle_detected() {
+        let mut s = server();
+        let root_ino = s.fs().root();
+        let ino = s.fs_mut().create(root_ino, "doomed", 0o644, t(0)).unwrap();
+        let fh = s.handle_for(ino).unwrap();
+        s.fs_mut().remove(root_ino, "doomed", t(1)).unwrap();
+        let req = call(30, NfsProc::Getattr, |c, m| {
+            proto::build::handle_args(c, m, &fh)
+        });
+        let (reply, _) = s.service(t(2), &req);
+        let res = results::get_attrstat(&mut reply_body(&reply)).unwrap();
+        assert_eq!(res, Err(NfsStatus::Stale));
+    }
+
+    #[test]
+    fn lookup_noent() {
+        let mut s = server();
+        let root = s.root_handle();
+        let req = call(31, NfsProc::Lookup, |c, m| {
+            proto::build::dirop_args(c, m, &root, "nothing")
+        });
+        let (reply, _) = s.service(t(1), &req);
+        let res = results::get_diropres(&mut reply_body(&reply)).unwrap();
+        assert_eq!(res.unwrap_err(), NfsStatus::NoEnt);
+    }
+
+    #[test]
+    fn duplicate_request_cache_suppresses_reexecution() {
+        let mut cfg = ServerConfig::reno();
+        cfg.dup_cache = true;
+        let mut s = NfsServer::new(cfg, t(0));
+        let root = s.root_handle();
+        // Two identical CREATE requests with the same xid, as a
+        // retransmission would produce.
+        let mk = || {
+            call(77, NfsProc::Create, |c, m| {
+                proto::build::create_args(c, m, &root, "once", &proto::Sattr::default())
+            })
+        };
+        let (r1, c1) = s.service(t(1), &mk());
+        let (r2, c2) = s.service(t(2), &mk());
+        assert!(!c1.dup_hit);
+        assert!(c2.dup_hit, "retransmission served from dup cache");
+        assert_eq!(
+            r1.to_vec_unmetered(),
+            r2.to_vec_unmetered(),
+            "cached reply is byte-identical"
+        );
+        assert_eq!(s.stats().count(NfsProc::Create), 1, "executed once");
+    }
+
+    #[test]
+    fn without_dup_cache_nonidempotent_repeats_fail() {
+        let mut s = server();
+        let root = s.root_handle();
+        let root_ino = s.fs().root();
+        s.fs_mut().create(root_ino, "victim", 0o644, t(0)).unwrap();
+        let mk = || {
+            call(88, NfsProc::Remove, |c, m| {
+                proto::build::dirop_args(c, m, &root, "victim")
+            })
+        };
+        let (r1, _) = s.service(t(1), &mk());
+        assert_eq!(
+            results::get_stat(&mut reply_body(&r1)).unwrap(),
+            NfsStatus::Ok
+        );
+        // The retransmitted remove fails with NOENT — the paper's
+        // "faulty behaviour ... due to the repetition of non-idempotent
+        // RPCs".
+        let (r2, _) = s.service(t(2), &mk());
+        assert_eq!(
+            results::get_stat(&mut reply_body(&r2)).unwrap(),
+            NfsStatus::NoEnt
+        );
+    }
+
+    #[test]
+    fn readdir_via_rpc() {
+        let mut s = server();
+        let root_ino = s.fs().root();
+        for i in 0..5 {
+            s.fs_mut()
+                .create(root_ino, &format!("e{i}"), 0o644, t(0))
+                .unwrap();
+        }
+        let root = s.root_handle();
+        let req = call(40, NfsProc::Readdir, |c, m| {
+            proto::build::readdir_args(c, m, &root, 0, 8192)
+        });
+        let (reply, _) = s.service(t(1), &req);
+        let (entries, eof) = results::get_readdirres(&mut reply_body(&reply))
+            .unwrap()
+            .unwrap();
+        assert_eq!(entries.len(), 5);
+        assert!(eof);
+    }
+
+    #[test]
+    fn garbled_request_rejected() {
+        let mut s = server();
+        let mut meter = CopyMeter::new();
+        let junk = MbufChain::from_slice(&[0u8; 8], &mut meter);
+        let (reply, cost) = s.service(t(1), &junk);
+        assert!(reply.is_empty(), "unparseable header: no reply");
+        assert!(cost.proc.is_none());
+        assert_eq!(s.stats().garbage, 1);
+    }
+
+    #[test]
+    fn loan_pages_avoids_read_copy() {
+        let mut cfg = ServerConfig::reno();
+        cfg.loan_read_pages = true;
+        let mut s = NfsServer::new(cfg, t(0));
+        let root_ino = s.fs().root();
+        let ino = s.fs_mut().create(root_ino, "f", 0o644, t(0)).unwrap();
+        s.fs_mut().write(ino, 0, &[1u8; 8192], t(0)).unwrap();
+        let fh = s.handle_for(ino).unwrap();
+        let req = call(50, NfsProc::Read, |c, m| {
+            proto::build::read_args(c, m, &fh, 0, 8192)
+        });
+        let (_, cost) = s.service(t(1), &req);
+        assert_eq!(cost.bytes_copied, 0, "page loan: no cache->mbuf copy");
+    }
+
+    #[test]
+    fn symlink_and_readlink() {
+        let mut s = server();
+        let root = s.root_handle();
+        let req = call(60, NfsProc::Symlink, |c, m| {
+            proto::build::symlink_args(c, m, &root, "ln", "/target/path")
+        });
+        let (reply, _) = s.service(t(1), &req);
+        assert_eq!(
+            results::get_stat(&mut reply_body(&reply)).unwrap(),
+            NfsStatus::Ok
+        );
+        let lk = call(61, NfsProc::Lookup, |c, m| {
+            proto::build::dirop_args(c, m, &root, "ln")
+        });
+        let (reply, _) = s.service(t(2), &lk);
+        let (fh, attr) = results::get_diropres(&mut reply_body(&reply))
+            .unwrap()
+            .unwrap();
+        assert_eq!(attr.ftype, renofs_vfs::FileType::Symlink);
+        let rl = call(62, NfsProc::Readlink, |c, m| {
+            proto::build::handle_args(c, m, &fh)
+        });
+        let (reply, _) = s.service(t(3), &rl);
+        assert_eq!(
+            results::get_readlinkres(&mut reply_body(&reply))
+                .unwrap()
+                .unwrap(),
+            "/target/path"
+        );
+    }
+}

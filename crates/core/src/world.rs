@@ -1,0 +1,1142 @@
+//! The deterministic simulation world.
+//!
+//! One [`World`] owns a client machine and a server machine joined by a
+//! simulated internetwork, a client RPC transport (UDP-fixed,
+//! UDP-dynamic or TCP), and the NFS server. Workload code runs on real
+//! OS threads in natural blocking style against the [`Syscalls`] trait;
+//! determinism is preserved by strict hand-off — exactly one workload
+//! thread is runnable at any instant, and it runs only while the event
+//! loop waits for its next request.
+//!
+//! Every CPU microsecond, disk seek, wire serialization, IP fragment and
+//! retransmission flows through this loop, which is what lets the bench
+//! harnesses reproduce the paper's graphs.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use renofs_mbuf::{CopyMeter, MbufChain};
+use renofs_netsim::topology::presets::{self, Background};
+use renofs_netsim::{Datagram, Delivery, NetEvent, Network, ProtoHeader, IP_HEADER, TCP_HEADER};
+use renofs_sim::cpu::CpuCategory;
+use renofs_sim::{EventQueue, SimDuration, SimTime};
+use renofs_sunrpc::{frame_record, peek_xid_kind, MsgKind, RecordReader, NFS_PORT};
+use renofs_transport::{TcpConfig, TcpConn, UdpAction, UdpRpcClient, UdpRpcConfig, UdpStats};
+
+use crate::costs;
+use crate::host::{udp_fragments, Host, HostProfile};
+use crate::proto::NfsProc;
+use crate::server::{NfsServer, ServerConfig};
+use crate::syscalls::{Syscalls, Ticket};
+
+/// Which internetwork configuration to build (the paper's three).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Configuration 1: one Ethernet.
+    SameLan,
+    /// Configuration 2: Ethernets + 80 Mbit token ring + 2 routers.
+    TokenRing,
+    /// Configuration 3: + 56 Kbps serial link + 3 routers.
+    SlowLink,
+}
+
+/// Which RPC transport the mount uses.
+#[derive(Clone, Debug)]
+pub enum TransportKind {
+    /// Classic NFS/UDP: fixed mount-time RTO.
+    UdpFixed {
+        /// The mount `timeo`.
+        timeo: SimDuration,
+    },
+    /// The paper's tuned NFS/UDP: per-class dynamic RTO + congestion
+    /// window, no slow start.
+    UdpDynamic {
+        /// The mount `timeo` (fallback for unestimated classes).
+        timeo: SimDuration,
+    },
+    /// A custom UDP configuration (for the ablation experiments).
+    UdpCustom(UdpRpcConfig),
+    /// NFS over TCP with record marking.
+    Tcp,
+}
+
+/// World construction parameters.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// Internetwork layout.
+    pub topology: TopologyKind,
+    /// Cross-traffic and loss levels.
+    pub background: Background,
+    /// RPC transport.
+    pub transport: TransportKind,
+    /// Server software configuration.
+    pub server: ServerConfig,
+    /// Server machine.
+    pub server_host: HostProfile,
+    /// Client machine.
+    pub client_host: HostProfile,
+    /// Number of biods (asynchronous I/O daemons) on the client; 0
+    /// makes asynchronous requests run synchronously (write-through).
+    pub biods: usize,
+    /// Master random seed.
+    pub seed: u64,
+}
+
+impl WorldConfig {
+    /// The paper's baseline: Reno client and server, MicroVAXIIs, one
+    /// LAN, dynamic-RTO UDP.
+    pub fn baseline() -> Self {
+        WorldConfig {
+            topology: TopologyKind::SameLan,
+            background: Background::quiet(),
+            transport: TransportKind::UdpDynamic {
+                timeo: SimDuration::from_secs(1),
+            },
+            server: ServerConfig::reno(),
+            server_host: HostProfile::microvax_tuned(),
+            client_host: HostProfile::microvax_tuned(),
+            biods: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Requests from workload threads.
+enum Req {
+    Now,
+    Sleep(SimDuration),
+    ChargeCpu(SimDuration),
+    Rpc(NfsProc, MbufChain),
+    RpcAsync(NfsProc, MbufChain),
+    AwaitTicket(u64),
+    PollTicket(u64),
+    ForgetTicket(u64),
+    WaitAllAsync,
+    LocalDisk {
+        bytes: usize,
+        write: bool,
+        seq: bool,
+    },
+    Finished,
+}
+
+/// Responses to workload threads.
+enum Resp {
+    Time(SimTime),
+    Unit,
+    Chain(MbufChain),
+    MaybeChain(Option<MbufChain>),
+    Ticket(u64),
+}
+
+/// Who is waiting for an RPC reply.
+#[derive(Clone, Copy, Debug)]
+enum Waker {
+    Sync(usize),
+    Async(u64),
+}
+
+/// World events.
+// Payload-carrying variants dominate the size; events are short-lived
+// heap-queue entries, so boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+enum Ev {
+    Net(NetEvent),
+    Wake(usize, Resp),
+    AsyncDone(u64, MbufChain),
+    UdpTimer {
+        xid: u32,
+        gen: u64,
+    },
+    TcpTimer {
+        server_side: bool,
+        gen: u64,
+    },
+    /// A message finishes its send-side CPU and enters the network.
+    Send {
+        from_client: bool,
+        proto: ProtoHeader,
+        payload: MbufChain,
+    },
+}
+
+// The UDP client is large but there is exactly one per world.
+#[allow(clippy::large_enum_variant)]
+enum Transport {
+    Udp(UdpRpcClient),
+    Tcp(Box<TcpState>),
+}
+
+struct TcpState {
+    client: TcpConn,
+    server: TcpConn,
+    client_reader: RecordReader,
+    server_reader: RecordReader,
+    mss: usize,
+}
+
+struct ThreadState {
+    resp_tx: Sender<Resp>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The syscall endpoint handed to each workload thread.
+pub struct WorldSys {
+    id: usize,
+    req_tx: Sender<(usize, Req)>,
+    resp_rx: Receiver<Resp>,
+}
+
+impl WorldSys {
+    fn ask(&mut self, req: Req) -> Resp {
+        self.req_tx.send((self.id, req)).expect("world alive");
+        self.resp_rx.recv().expect("world alive")
+    }
+}
+
+impl Syscalls for WorldSys {
+    fn now(&mut self) -> SimTime {
+        match self.ask(Req::Now) {
+            Resp::Time(t) => t,
+            _ => unreachable!(),
+        }
+    }
+
+    fn charge_cpu(&mut self, d: SimDuration) {
+        match self.ask(Req::ChargeCpu(d)) {
+            Resp::Unit => {}
+            _ => unreachable!(),
+        }
+    }
+
+    fn sleep(&mut self, d: SimDuration) {
+        match self.ask(Req::Sleep(d)) {
+            Resp::Unit => {}
+            _ => unreachable!(),
+        }
+    }
+
+    fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> MbufChain {
+        match self.ask(Req::Rpc(proc, msg)) {
+            Resp::Chain(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    fn rpc_async(&mut self, proc: NfsProc, msg: MbufChain) -> Ticket {
+        match self.ask(Req::RpcAsync(proc, msg)) {
+            Resp::Ticket(t) => Ticket(t),
+            _ => unreachable!(),
+        }
+    }
+
+    fn await_ticket(&mut self, t: Ticket) -> MbufChain {
+        match self.ask(Req::AwaitTicket(t.0)) {
+            Resp::Chain(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    fn poll_ticket(&mut self, t: Ticket) -> Option<MbufChain> {
+        match self.ask(Req::PollTicket(t.0)) {
+            Resp::MaybeChain(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    fn forget_ticket(&mut self, t: Ticket) {
+        match self.ask(Req::ForgetTicket(t.0)) {
+            Resp::Unit => {}
+            _ => unreachable!(),
+        }
+    }
+
+    fn wait_all_async(&mut self) {
+        match self.ask(Req::WaitAllAsync) {
+            Resp::Unit => {}
+            _ => unreachable!(),
+        }
+    }
+
+    fn local_disk(&mut self, bytes: usize, write: bool, sequential: bool) {
+        match self.ask(Req::LocalDisk {
+            bytes,
+            write,
+            seq: sequential,
+        }) {
+            Resp::Unit => {}
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// The simulation world.
+pub struct World {
+    cfg: WorldConfig,
+    queue: EventQueue<Ev>,
+    net: Network,
+    client_node: renofs_netsim::NodeId,
+    server_node: renofs_netsim::NodeId,
+    client_host: Host,
+    server_host: Host,
+    server: NfsServer,
+    transport: Transport,
+    first_hop_mtu: usize,
+    // RPC bookkeeping.
+    pending: HashMap<u32, Waker>,
+    tickets_done: HashMap<u64, MbufChain>,
+    ticket_waiters: HashMap<u64, usize>,
+    forgotten: std::collections::HashSet<u64>,
+    next_ticket: u64,
+    async_outstanding: usize,
+    parked_async: VecDeque<(usize, NfsProc, MbufChain)>,
+    wait_all: Vec<usize>,
+    // Threads.
+    req_tx: Sender<(usize, Req)>,
+    req_rx: Receiver<(usize, Req)>,
+    threads: Vec<ThreadState>,
+    live_threads: usize,
+    ready: VecDeque<(usize, Resp)>,
+    started: bool,
+    scratch: CopyMeter,
+}
+
+impl World {
+    /// Builds a world; for TCP the connection is established before
+    /// returning.
+    pub fn new(cfg: WorldConfig) -> Self {
+        let (topo, client_node, server_node) = match cfg.topology {
+            TopologyKind::SameLan => presets::same_lan(&cfg.background),
+            TopologyKind::TokenRing => presets::token_ring_path(&cfg.background),
+            TopologyKind::SlowLink => presets::slow_link_path(&cfg.background),
+        };
+        let first_hop_mtu = topo.path_mtu(client_node, server_node).unwrap_or(1500);
+        let net = Network::new(topo, cfg.seed ^ 0x6e65_7473);
+        let server = NfsServer::new(cfg.server, SimTime::ZERO);
+        let transport = match &cfg.transport {
+            TransportKind::UdpFixed { timeo } => {
+                Transport::Udp(UdpRpcClient::new(UdpRpcConfig::fixed(*timeo), 1))
+            }
+            TransportKind::UdpDynamic { timeo } => {
+                Transport::Udp(UdpRpcClient::new(UdpRpcConfig::dynamic_paper(*timeo), 1))
+            }
+            TransportKind::UdpCustom(c) => Transport::Udp(UdpRpcClient::new(c.clone(), 1)),
+            TransportKind::Tcp => {
+                let mss = first_hop_mtu - IP_HEADER - TCP_HEADER;
+                let tcp_cfg = TcpConfig::for_mss(mss);
+                Transport::Tcp(Box::new(TcpState {
+                    // The client connection is a placeholder until
+                    // `tcp_connect` replaces it with the active opener
+                    // and pumps the handshake.
+                    client: TcpConn::server(tcp_cfg, 0),
+                    server: TcpConn::server(tcp_cfg, 88_000),
+                    client_reader: RecordReader::new(),
+                    server_reader: RecordReader::new(),
+                    mss,
+                }))
+            }
+        };
+        let (req_tx, req_rx) = channel();
+        let mut world = World {
+            client_host: Host::new(cfg.client_host, cfg.seed ^ 0xc11e),
+            server_host: Host::new(cfg.server_host, cfg.seed ^ 0x5e17),
+            cfg,
+            queue: EventQueue::new(),
+            net,
+            client_node,
+            server_node,
+            server,
+            transport,
+            first_hop_mtu,
+            pending: HashMap::new(),
+            tickets_done: HashMap::new(),
+            ticket_waiters: HashMap::new(),
+            forgotten: std::collections::HashSet::new(),
+            next_ticket: 1,
+            async_outstanding: 0,
+            parked_async: VecDeque::new(),
+            wait_all: Vec::new(),
+            req_tx,
+            req_rx,
+            threads: Vec::new(),
+            live_threads: 0,
+            ready: VecDeque::new(),
+            started: false,
+            scratch: CopyMeter::new(),
+        };
+        if matches!(world.cfg.transport, TransportKind::Tcp) {
+            world.tcp_connect();
+        }
+        world
+    }
+
+    fn tcp_connect(&mut self) {
+        let mss = match &self.transport {
+            Transport::Tcp(t) => t.mss,
+            _ => unreachable!(),
+        };
+        let (conn, out) = TcpConn::client(TcpConfig::for_mss(mss), 11_000, self.queue.now());
+        if let Transport::Tcp(t) = &mut self.transport {
+            t.client = conn;
+        }
+        self.apply_tcp_out(out, true, self.queue.now());
+        // Pump the event loop until established.
+        for _ in 0..10_000 {
+            let established = match &self.transport {
+                Transport::Tcp(t) => t.client.is_established() && t.server.is_established(),
+                _ => true,
+            };
+            if established {
+                return;
+            }
+            match self.queue.pop() {
+                Some((t, ev)) => self.handle_event(t, ev),
+                None => break,
+            }
+        }
+        panic!("TCP connection failed to establish");
+    }
+
+    /// The server's root file handle (as the MOUNT protocol provides).
+    pub fn root_handle(&self) -> crate::proto::FileHandle {
+        self.server.root_handle()
+    }
+
+    /// Direct access to the server (test preloading, stats).
+    pub fn server_mut(&mut self) -> &mut NfsServer {
+        &mut self.server
+    }
+
+    /// Read access to the server.
+    pub fn server(&self) -> &NfsServer {
+        &self.server
+    }
+
+    /// The server machine (CPU/disk stats).
+    pub fn server_host(&self) -> &Host {
+        &self.server_host
+    }
+
+    /// Mutable server machine access (accounting resets).
+    pub fn server_host_mut(&mut self) -> &mut Host {
+        &mut self.server_host
+    }
+
+    /// The client machine.
+    pub fn client_host(&self) -> &Host {
+        &self.client_host
+    }
+
+    /// Mutable client machine access.
+    pub fn client_host_mut(&mut self) -> &mut Host {
+        &mut self.client_host
+    }
+
+    /// Network statistics.
+    pub fn net_stats(&self) -> renofs_netsim::network::NetStats {
+        self.net.stats()
+    }
+
+    /// UDP transport statistics, if the mount uses UDP.
+    pub fn udp_stats(&self) -> Option<UdpStats> {
+        match &self.transport {
+            Transport::Udp(u) => Some(u.stats()),
+            _ => None,
+        }
+    }
+
+    /// Current RTO for a class (Graph 7 traces), if the mount uses UDP.
+    pub fn current_rto(&self, class: renofs_transport::RpcClass) -> Option<SimDuration> {
+        match &self.transport {
+            Transport::Udp(u) => Some(u.current_rto(class)),
+            _ => None,
+        }
+    }
+
+    /// TCP statistics, if the mount uses TCP.
+    pub fn tcp_stats(&self) -> Option<renofs_transport::tcp::TcpStats> {
+        match &self.transport {
+            Transport::Tcp(t) => Some(t.client.stats()),
+            _ => None,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Spawns a workload thread. It starts suspended; [`World::run`]
+    /// schedules it.
+    pub fn spawn<F>(&mut self, f: F) -> usize
+    where
+        F: FnOnce(&mut WorldSys) + Send + 'static,
+    {
+        let id = self.threads.len();
+        let (resp_tx, resp_rx) = channel();
+        let req_tx = self.req_tx.clone();
+        let handle = std::thread::spawn(move || {
+            let mut sys = WorldSys {
+                id,
+                req_tx,
+                resp_rx,
+            };
+            // Wait for the start signal so thread startup order cannot
+            // perturb determinism.
+            match sys.resp_rx.recv() {
+                Ok(Resp::Unit) => {}
+                _ => return,
+            }
+            f(&mut sys);
+            let _ = sys.req_tx.send((id, Req::Finished));
+        });
+        self.threads.push(ThreadState {
+            resp_tx,
+            handle: Some(handle),
+        });
+        self.live_threads += 1;
+        id
+    }
+
+    /// Runs the world until virtual time reaches `t` (or every thread
+    /// finishes). Used by harnesses that reset CPU accounting after a
+    /// warm-up interval. [`World::run`] must still be called afterwards.
+    pub fn run_until(&mut self, t: SimTime) {
+        if !self.started {
+            self.release_threads();
+        }
+        loop {
+            if let Some((tid, resp)) = self.ready.pop_front() {
+                self.resume(tid, resp);
+                continue;
+            }
+            if self.live_threads == 0 {
+                return;
+            }
+            match self.queue.peek_time() {
+                Some(pt) if pt <= t => {
+                    let (at, ev) = self.queue.pop().expect("peeked");
+                    self.handle_event(at, ev);
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn release_threads(&mut self) {
+        self.started = true;
+        for tid in 0..self.threads.len() {
+            self.ready.push_back((tid, Resp::Unit));
+        }
+    }
+
+    /// Runs the world until every workload thread has finished.
+    pub fn run(&mut self) {
+        if !self.started {
+            self.release_threads();
+        }
+        while self.live_threads > 0 {
+            if let Some((tid, resp)) = self.ready.pop_front() {
+                self.resume(tid, resp);
+                continue;
+            }
+            match self.queue.pop() {
+                Some((t, ev)) => self.handle_event(t, ev),
+                None => panic!("deadlock: threads blocked with no pending events"),
+            }
+        }
+        for t in &mut self.threads {
+            if let Some(h) = t.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Sends `resp` to a blocked thread and services its requests until
+    /// it blocks again (or finishes).
+    fn resume(&mut self, tid: usize, resp: Resp) {
+        if self.threads[tid].resp_tx.send(resp).is_err() {
+            return;
+        }
+        loop {
+            let (id, req) = self.req_rx.recv().expect("thread alive");
+            debug_assert_eq!(id, tid, "only one thread runnable at a time");
+            match req {
+                Req::Now => {
+                    let t = self.queue.now();
+                    let _ = self.threads[tid].resp_tx.send(Resp::Time(t));
+                }
+                Req::PollTicket(t) => {
+                    let r = self.tickets_done.remove(&t);
+                    let _ = self.threads[tid].resp_tx.send(Resp::MaybeChain(r));
+                }
+                Req::ForgetTicket(t) => {
+                    if self.tickets_done.remove(&t).is_none() {
+                        self.forgotten.insert(t);
+                    }
+                    let _ = self.threads[tid].resp_tx.send(Resp::Unit);
+                }
+                Req::Sleep(d) => {
+                    let at = self.queue.now() + d;
+                    self.queue.push(at, Ev::Wake(tid, Resp::Unit));
+                    return;
+                }
+                Req::ChargeCpu(d) => {
+                    let done = self
+                        .client_host
+                        .cpu
+                        .charge(self.queue.now(), d, CpuCategory::User);
+                    self.queue.push(done, Ev::Wake(tid, Resp::Unit));
+                    return;
+                }
+                Req::LocalDisk { bytes, write, seq } => {
+                    let done = self
+                        .client_host
+                        .disk_io(self.queue.now(), bytes, write, seq);
+                    self.queue.push(done, Ev::Wake(tid, Resp::Unit));
+                    return;
+                }
+                Req::Rpc(proc, msg) => {
+                    self.start_rpc(Waker::Sync(tid), proc, msg);
+                    return;
+                }
+                Req::RpcAsync(proc, msg) => {
+                    let slots = self.cfg.biods;
+                    if slots == 0 {
+                        // No biods: the process itself performs the RPC,
+                        // blocking until completion (write-through
+                        // behaviour of "async,0biod").
+                        let ticket = self.next_ticket;
+                        self.next_ticket += 1;
+                        self.async_outstanding += 1;
+                        self.ticket_block_thread(tid, ticket);
+                        self.start_rpc(Waker::Async(ticket), proc, msg);
+                        return;
+                    }
+                    if self.async_outstanding < slots {
+                        let ticket = self.next_ticket;
+                        self.next_ticket += 1;
+                        self.async_outstanding += 1;
+                        self.start_rpc(Waker::Async(ticket), proc, msg);
+                        let _ = self.threads[tid].resp_tx.send(Resp::Ticket(ticket));
+                    } else {
+                        self.parked_async.push_back((tid, proc, msg));
+                        return;
+                    }
+                }
+                Req::AwaitTicket(t) => {
+                    if let Some(reply) = self.tickets_done.remove(&t) {
+                        let _ = self.threads[tid].resp_tx.send(Resp::Chain(reply));
+                    } else {
+                        self.ticket_waiters.insert(t, tid);
+                        return;
+                    }
+                }
+                Req::WaitAllAsync => {
+                    if self.async_outstanding == 0 {
+                        let _ = self.threads[tid].resp_tx.send(Resp::Unit);
+                    } else {
+                        self.wait_all.push(tid);
+                        return;
+                    }
+                }
+                Req::Finished => {
+                    self.live_threads -= 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Marks a thread as blocked waiting for the given ticket while also
+    /// expecting the `Ticket` response first (0-biod synchronous case).
+    fn ticket_block_thread(&mut self, tid: usize, ticket: u64) {
+        // The thread will receive Ticket(t) when the RPC completes; it
+        // then immediately awaits the ticket, which is already done.
+        self.ticket_waiters.insert(ticket, usize::MAX - tid);
+    }
+
+    // ----- RPC initiation and completion ---------------------------------
+
+    fn start_rpc(&mut self, waker: Waker, proc: NfsProc, msg: MbufChain) {
+        let Ok((xid, MsgKind::Call)) = peek_xid_kind(&msg) else {
+            panic!("workload issued a malformed RPC message");
+        };
+        debug_assert!(
+            !self.pending.contains_key(&xid),
+            "duplicate xid {xid} in flight"
+        );
+        self.pending.insert(xid, waker);
+        let now = self.queue.now();
+        match &mut self.transport {
+            Transport::Udp(u) => {
+                let actions = u.call(now, xid, proc.rto_class(), msg);
+                self.apply_udp_actions(actions);
+            }
+            Transport::Tcp(_) => {
+                // Once-per-record socket/codec work.
+                let t = self.client_host.charge_record(now);
+                let framed = frame_record(msg, &mut self.scratch);
+                let out = match &mut self.transport {
+                    Transport::Tcp(ts) => ts.client.send(framed, t),
+                    _ => unreachable!(),
+                };
+                self.apply_tcp_out(out, true, t);
+            }
+        }
+    }
+
+    fn apply_udp_actions(&mut self, actions: Vec<UdpAction>) {
+        let now = self.queue.now();
+        for action in actions {
+            match action {
+                UdpAction::Send { payload, .. } => {
+                    let frags = udp_fragments(payload.len(), self.first_hop_mtu);
+                    let done = self.client_host.charge_tx(now, &payload, frags, false);
+                    self.queue.push(
+                        done,
+                        Ev::Send {
+                            from_client: true,
+                            proto: ProtoHeader::Udp {
+                                sport: 1023,
+                                dport: NFS_PORT,
+                            },
+                            payload,
+                        },
+                    );
+                }
+                UdpAction::ArmTimer { xid, gen, deadline } => {
+                    self.queue.push(deadline, Ev::UdpTimer { xid, gen });
+                }
+            }
+        }
+    }
+
+    fn apply_tcp_out(&mut self, out: renofs_transport::TcpOut, from_client: bool, at: SimTime) {
+        // Received data first: `out` was produced by the `from_client`
+        // side, so its received chunks belong to that side's record
+        // reader — RPC replies on the client, requests on the server.
+        for chunk in out.received {
+            self.tcp_ingest(chunk, from_client, at);
+        }
+        if let Some((deadline, gen)) = out.arm_timer {
+            self.queue.push(
+                deadline,
+                Ev::TcpTimer {
+                    server_side: !from_client,
+                    gen,
+                },
+            );
+        }
+        for seg in out.segments {
+            let host = if from_client {
+                &mut self.client_host
+            } else {
+                &mut self.server_host
+            };
+            let done = host.charge_tcp_tx(at, &seg.payload);
+            let (sport, dport) = if from_client {
+                (1023, NFS_PORT)
+            } else {
+                (NFS_PORT, 1023)
+            };
+            self.queue.push(
+                done,
+                Ev::Send {
+                    from_client,
+                    proto: ProtoHeader::Tcp {
+                        sport,
+                        dport,
+                        seq: seg.seq,
+                        ack: seg.ack,
+                        window: seg.window,
+                        flags: seg.flags,
+                    },
+                    payload: seg.payload,
+                },
+            );
+        }
+    }
+
+    /// Feeds in-order stream data into the record reader of the side
+    /// that received it.
+    fn tcp_ingest(&mut self, chunk: MbufChain, receiver_is_client: bool, at: SimTime) {
+        let mut records = Vec::new();
+        if let Transport::Tcp(t) = &mut self.transport {
+            let reader = if receiver_is_client {
+                &mut t.client_reader
+            } else {
+                &mut t.server_reader
+            };
+            reader.push(chunk);
+            while let Some(rec) = reader.next_record(&mut self.scratch) {
+                records.push(rec);
+            }
+        }
+        for rec in records {
+            // Once-per-record socket/codec work on the receiving side.
+            let t = if receiver_is_client {
+                self.client_host.charge_record(at)
+            } else {
+                self.server_host.charge_record(at)
+            };
+            if receiver_is_client {
+                self.client_rpc_reply(rec, t);
+            } else {
+                self.serve_request(rec, true, t);
+            }
+        }
+    }
+
+    fn client_rpc_reply(&mut self, reply: MbufChain, at: SimTime) {
+        let Ok((xid, MsgKind::Reply)) = peek_xid_kind(&reply) else {
+            return;
+        };
+        // For UDP the transport tracked RTTs itself; over TCP there is
+        // no RPC-level bookkeeping to update.
+        if let Transport::Udp(u) = &mut self.transport {
+            let (completed, actions) = u.on_reply(at, xid, reply);
+            self.apply_udp_actions(actions);
+            let Some(call) = completed else {
+                return;
+            };
+            self.finish_rpc(xid, call.reply, at);
+        } else {
+            self.finish_rpc(xid, reply, at);
+        }
+    }
+
+    fn finish_rpc(&mut self, xid: u32, reply: MbufChain, at: SimTime) {
+        let Some(waker) = self.pending.remove(&xid) else {
+            return;
+        };
+        match waker {
+            Waker::Sync(tid) => self.queue.push(at, Ev::Wake(tid, Resp::Chain(reply))),
+            Waker::Async(ticket) => self.queue.push(at, Ev::AsyncDone(ticket, reply)),
+        }
+    }
+
+    /// Services an RPC request at the server, charging CPU and disk, and
+    /// schedules the reply transmission.
+    fn serve_request(&mut self, request: MbufChain, tcp: bool, at: SimTime) {
+        let (reply, cost) = self.server.service(at, &request);
+        if reply.is_empty() {
+            return; // Unparseable request.
+        }
+        let host = &mut self.server_host;
+        let mut t = host.cpu.charge(
+            at,
+            costs::NFS_SERVICE_FIXED
+                + costs::CACHE_SEARCH_STEP * cost.cache_steps
+                + costs::DIR_SCAN_ENTRY * cost.dir_scan_entries,
+            CpuCategory::Nfs,
+        );
+        if cost.bytes_copied > 0 {
+            t = host.cpu.charge(
+                t,
+                costs::COPY_PER_BYTE * cost.bytes_copied,
+                CpuCategory::BufCopy,
+            );
+        }
+        for bytes in &cost.disk_reads {
+            t = host.disk_io(t, *bytes, false, false);
+        }
+        let mut seq = false;
+        for bytes in &cost.disk_writes {
+            // Data blocks stream sequentially; metadata seeks.
+            t = host.disk_io(t, *bytes, true, seq && *bytes > 512);
+            seq = true;
+        }
+        if tcp {
+            let t = self.server_host.charge_record(t);
+            let framed = frame_record(reply, &mut self.scratch);
+            let out = match &mut self.transport {
+                Transport::Tcp(ts) => ts.server.send(framed, t),
+                _ => unreachable!(),
+            };
+            self.apply_tcp_out(out, false, t);
+        } else {
+            let frags = udp_fragments(reply.len(), self.first_hop_mtu);
+            let done = self.server_host.charge_tx(t, &reply, frags, false);
+            self.queue.push(
+                done,
+                Ev::Send {
+                    from_client: false,
+                    proto: ProtoHeader::Udp {
+                        sport: NFS_PORT,
+                        dport: 1023,
+                    },
+                    payload: reply,
+                },
+            );
+        }
+    }
+
+    // ----- event handling -------------------------------------------------
+
+    fn handle_event(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Wake(tid, resp) => self.ready.push_back((tid, resp)),
+            Ev::AsyncDone(ticket, reply) => self.async_done(ticket, reply),
+            Ev::UdpTimer { xid, gen } => {
+                if let Transport::Udp(u) = &mut self.transport {
+                    let actions = u.on_timer(now, xid, gen);
+                    self.apply_udp_actions(actions);
+                }
+            }
+            Ev::TcpTimer { server_side, gen } => {
+                let out = match &mut self.transport {
+                    Transport::Tcp(t) => {
+                        if server_side {
+                            t.server.on_timer(gen, now)
+                        } else {
+                            t.client.on_timer(gen, now)
+                        }
+                    }
+                    _ => return,
+                };
+                self.apply_tcp_out(out, !server_side, now);
+            }
+            Ev::Send {
+                from_client,
+                proto,
+                payload,
+            } => {
+                let (src, dst) = if from_client {
+                    (self.client_node, self.server_node)
+                } else {
+                    (self.server_node, self.client_node)
+                };
+                let id = self.net.alloc_dgram_id();
+                let out = self.net.send(
+                    now,
+                    Datagram {
+                        id,
+                        src,
+                        dst,
+                        proto,
+                        payload,
+                    },
+                );
+                self.absorb_net(out);
+            }
+            Ev::Net(nev) => {
+                let out = self.net.handle(now, nev);
+                self.absorb_net(out);
+            }
+        }
+    }
+
+    fn absorb_net(&mut self, out: renofs_netsim::NetOutput) {
+        for (t, ev) in out.events {
+            self.queue.push(t, Ev::Net(ev));
+        }
+        for d in out.delivered {
+            self.on_delivery(d);
+        }
+    }
+
+    fn on_delivery(&mut self, d: Delivery) {
+        let now = self.queue.now();
+        let at_server = d.host == self.server_node;
+        let len = d.dgram.payload.len();
+        let frags = d.frags.max(1);
+        match d.dgram.proto {
+            ProtoHeader::Udp { .. } => {
+                if at_server {
+                    let t = self.server_host.charge_rx(now, len, frags, false);
+                    self.serve_request(d.dgram.payload, false, t);
+                } else {
+                    let t = self.client_host.charge_rx(now, len, frags, false);
+                    self.client_rpc_reply(d.dgram.payload, t);
+                }
+            }
+            ProtoHeader::Tcp {
+                seq,
+                ack,
+                window,
+                flags,
+                ..
+            } => {
+                let host = if at_server {
+                    &mut self.server_host
+                } else {
+                    &mut self.client_host
+                };
+                let t = host.charge_tcp_rx(now, len);
+                let out = match &mut self.transport {
+                    Transport::Tcp(ts) => {
+                        let conn = if at_server {
+                            &mut ts.server
+                        } else {
+                            &mut ts.client
+                        };
+                        conn.on_segment(seq, ack, window, flags, d.dgram.payload, now)
+                    }
+                    _ => return,
+                };
+                self.apply_tcp_out(out, !at_server, t);
+            }
+        }
+    }
+
+    fn async_done(&mut self, ticket: u64, reply: MbufChain) {
+        self.async_outstanding = self.async_outstanding.saturating_sub(1);
+        if self.forgotten.remove(&ticket) {
+            // Dropped interest; discard the reply.
+        } else if let Some(holder) = self.ticket_waiters.remove(&ticket) {
+            if holder > usize::MAX / 2 {
+                // 0-biod synchronous case: the thread is still waiting
+                // for its Ticket response.
+                let tid = usize::MAX - holder;
+                self.tickets_done.insert(ticket, reply);
+                self.ready.push_back((tid, Resp::Ticket(ticket)));
+            } else {
+                self.ready.push_back((holder, Resp::Chain(reply)));
+            }
+        } else {
+            self.tickets_done.insert(ticket, reply);
+        }
+        // A slot freed: admit a parked async request.
+        if let Some((tid, proc, msg)) = self.parked_async.pop_front() {
+            let t = self.next_ticket;
+            self.next_ticket += 1;
+            self.async_outstanding += 1;
+            self.start_rpc(Waker::Async(t), proc, msg);
+            self.ready.push_back((tid, Resp::Ticket(t)));
+        }
+        if self.async_outstanding == 0 {
+            for tid in self.wait_all.drain(..) {
+                self.ready.push_back((tid, Resp::Unit));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientConfig, ClientFs};
+    use crate::proto::NfsStatus;
+    use renofs_vfs::InodeId;
+    use std::sync::mpsc::channel as result_channel;
+
+    fn preload(world: &mut World, name: &str, bytes: &[u8]) {
+        let root = world.server().fs().root();
+        let ino = world
+            .server_mut()
+            .fs_mut()
+            .create(root, name, 0o644, SimTime::ZERO)
+            .unwrap();
+        world
+            .server_mut()
+            .fs_mut()
+            .write(ino, 0, bytes, SimTime::ZERO)
+            .unwrap();
+        let _ = InodeId(0);
+    }
+
+    fn full_stack_round_trip(transport: TransportKind) {
+        let mut cfg = WorldConfig::baseline();
+        cfg.transport = transport;
+        let mut world = World::new(cfg);
+        let payload: Vec<u8> = (0..20_000u32).map(|i| (i * 13 % 256) as u8).collect();
+        preload(&mut world, "preloaded.bin", &payload);
+        let root = world.root_handle();
+        let (tx, rx) = result_channel();
+        let expect = payload.clone();
+        world.spawn(move |sys| {
+            let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, "uvax1");
+            // Read the preloaded file through the full stack.
+            let fh = fs.lookup_path("/preloaded.bin").unwrap();
+            let got = fs.read(fh, 0, 30_000).unwrap();
+            assert_eq!(got, expect);
+            // Write a new file and read it back.
+            let out = fs.open("/out.bin", true, false).unwrap();
+            fs.write(out, 0, b"written through the simulated network")
+                .unwrap();
+            fs.close(out).unwrap();
+            let back = fs.read(out, 0, 100).unwrap();
+            tx.send(back).unwrap();
+        });
+        world.run();
+        let back = rx.recv().unwrap();
+        assert_eq!(back, b"written through the simulated network");
+        assert!(world.now() > SimTime::ZERO);
+        // The server actually served RPCs.
+        assert!(world.server().stats().total() > 5);
+    }
+
+    #[test]
+    fn udp_dynamic_full_stack() {
+        full_stack_round_trip(TransportKind::UdpDynamic {
+            timeo: SimDuration::from_secs(1),
+        });
+    }
+
+    #[test]
+    fn udp_fixed_full_stack() {
+        full_stack_round_trip(TransportKind::UdpFixed {
+            timeo: SimDuration::from_secs(1),
+        });
+    }
+
+    #[test]
+    fn tcp_full_stack() {
+        full_stack_round_trip(TransportKind::Tcp);
+    }
+
+    #[test]
+    fn stat_over_the_wire() {
+        let mut world = World::new(WorldConfig::baseline());
+        preload(&mut world, "f.txt", b"12345");
+        let root = world.root_handle();
+        let (tx, rx) = result_channel();
+        world.spawn(move |sys| {
+            let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, "uvax1");
+            let attr = fs.stat("/f.txt").unwrap();
+            tx.send(attr.size).unwrap();
+            assert!(matches!(
+                fs.stat("/missing"),
+                Err(crate::client::ClientError::Nfs(NfsStatus::NoEnt))
+            ));
+        });
+        world.run();
+        assert_eq!(rx.recv().unwrap(), 5);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run_once = || {
+            let mut world = World::new(WorldConfig::baseline());
+            preload(&mut world, "d.bin", &[7u8; 12_000]);
+            let root = world.root_handle();
+            world.spawn(move |sys| {
+                let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, "uvax1");
+                let fh = fs.lookup_path("/d.bin").unwrap();
+                let _ = fs.read(fh, 0, 12_000).unwrap();
+                let out = fs.open("/o.bin", true, false).unwrap();
+                fs.write(out, 0, &[1u8; 9_000]).unwrap();
+                fs.close(out).unwrap();
+            });
+            world.run();
+            world.now()
+        };
+        assert_eq!(run_once(), run_once(), "identical seeds, identical clocks");
+    }
+
+    #[test]
+    fn sleep_paces_threads() {
+        let mut world = World::new(WorldConfig::baseline());
+        let (tx, rx) = result_channel();
+        world.spawn(move |sys| {
+            let t0 = sys.now();
+            sys.sleep(SimDuration::from_millis(250));
+            let t1 = sys.now();
+            tx.send(t1.since(t0)).unwrap();
+        });
+        world.run();
+        assert_eq!(rx.recv().unwrap(), SimDuration::from_millis(250));
+    }
+}

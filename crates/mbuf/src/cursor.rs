@@ -1,0 +1,142 @@
+//! Sequential read access to a chain.
+
+use crate::chain::MbufChain;
+
+/// A read cursor over an [`MbufChain`], used by the XDR dissector.
+///
+/// Header-sized reads through the cursor are not charged to a copy meter:
+/// the real kernel's `nfsm_disect` reads fields in place, and the CPU cost
+/// of protocol decoding is priced per-RPC by the host model instead.
+///
+/// # Examples
+///
+/// ```
+/// use renofs_mbuf::{CopyMeter, Cursor, MbufChain};
+///
+/// let mut meter = CopyMeter::new();
+/// let chain = MbufChain::from_slice(b"abcdef", &mut meter);
+/// let mut cur = Cursor::new(&chain);
+/// let mut buf = [0u8; 3];
+/// cur.read_exact(&mut buf).unwrap();
+/// assert_eq!(&buf, b"abc");
+/// assert_eq!(cur.remaining(), 3);
+/// ```
+pub struct Cursor<'a> {
+    chain: &'a MbufChain,
+    pos: usize,
+}
+
+// A short read has exactly one cause (not enough bytes), so the unit
+// error carries full information; callers map it to their protocol's
+// truncation error.
+#[allow(clippy::result_unit_err)]
+impl<'a> Cursor<'a> {
+    /// Creates a cursor at the start of the chain.
+    pub fn new(chain: &'a MbufChain) -> Self {
+        Cursor { chain, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.chain.len() - self.pos
+    }
+
+    /// Whether the cursor is at the end.
+    pub fn is_at_end(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads exactly `buf.len()` bytes, advancing the cursor.
+    ///
+    /// Returns `Err(())` (leaving the cursor unchanged) if fewer bytes
+    /// remain — the dissector turns this into a garbled-RPC error.
+    pub fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), ()> {
+        if buf.len() > self.remaining() {
+            return Err(());
+        }
+        self.chain.copy_out_unmetered(self.pos, buf);
+        self.pos += buf.len();
+        Ok(())
+    }
+
+    /// Reads a big-endian `u32` (the XDR unit).
+    pub fn read_u32(&mut self) -> Result<u32, ()> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b)?;
+        Ok(u32::from_be_bytes(b))
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<(), ()> {
+        if n > self.remaining() {
+            return Err(());
+        }
+        self.pos += n;
+        Ok(())
+    }
+
+    /// Reads `n` bytes into a fresh `Vec`.
+    pub fn read_vec(&mut self, n: usize) -> Result<Vec<u8>, ()> {
+        let mut v = vec![0u8; n];
+        self.read_exact(&mut v)?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::CopyMeter;
+
+    #[test]
+    fn sequential_reads() {
+        let mut m = CopyMeter::new();
+        let chain = MbufChain::from_slice(&[0, 0, 0, 7, 0, 0, 1, 0], &mut m);
+        let mut cur = Cursor::new(&chain);
+        assert_eq!(cur.read_u32().unwrap(), 7);
+        assert_eq!(cur.read_u32().unwrap(), 256);
+        assert!(cur.is_at_end());
+        assert!(cur.read_u32().is_err());
+    }
+
+    #[test]
+    fn short_read_leaves_cursor() {
+        let mut m = CopyMeter::new();
+        let chain = MbufChain::from_slice(b"abc", &mut m);
+        let mut cur = Cursor::new(&chain);
+        let mut buf = [0u8; 5];
+        assert!(cur.read_exact(&mut buf).is_err());
+        assert_eq!(cur.position(), 0, "failed read must not advance");
+        let mut ok = [0u8; 3];
+        cur.read_exact(&mut ok).unwrap();
+        assert_eq!(&ok, b"abc");
+    }
+
+    #[test]
+    fn skip_and_read_vec() {
+        let mut m = CopyMeter::new();
+        let data: Vec<u8> = (0..100).collect();
+        let chain = MbufChain::from_slice(&data, &mut m);
+        let mut cur = Cursor::new(&chain);
+        cur.skip(40).unwrap();
+        assert_eq!(cur.read_vec(5).unwrap(), &data[40..45]);
+        assert!(cur.skip(100).is_err());
+    }
+
+    #[test]
+    fn reads_across_segment_boundaries() {
+        let mut m = CopyMeter::new();
+        let data: Vec<u8> = (0..6000u32).map(|i| (i % 256) as u8).collect();
+        let chain = MbufChain::from_slice(&data, &mut m);
+        let mut cur = Cursor::new(&chain);
+        cur.skip(2040).unwrap();
+        // This read straddles the first/second cluster boundary at 2048.
+        let v = cur.read_vec(32).unwrap();
+        assert_eq!(v, &data[2040..2072]);
+    }
+}

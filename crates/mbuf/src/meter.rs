@@ -1,0 +1,84 @@
+//! Accounting for memory-to-memory copies.
+
+/// Counts bytes moved by genuine memory-to-memory copies.
+///
+/// The paper's Section 3 found that on a loaded NFS server more than a
+/// third of all CPU cycles went to copying mbuf data, and that replacing
+/// the interface copy with page-table-entry swaps cut total CPU overhead
+/// by ~12 %. To reproduce that, every copying operation in this workspace
+/// charges a meter, and the host model converts metered bytes into CPU
+/// time at the MicroVAXII's measured copy bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use renofs_mbuf::CopyMeter;
+///
+/// let mut m = CopyMeter::new();
+/// m.charge(100);
+/// m.charge(28);
+/// assert_eq!(m.bytes(), 128);
+/// assert_eq!(m.ops(), 2);
+/// assert_eq!(m.take(), (128, 2));
+/// assert_eq!(m.bytes(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CopyMeter {
+    bytes: u64,
+    ops: u64,
+}
+
+impl CopyMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        CopyMeter::default()
+    }
+
+    /// Charges one copy of `n` bytes.
+    pub fn charge(&mut self, n: usize) {
+        self.bytes += n as u64;
+        self.ops += 1;
+    }
+
+    /// Bytes copied since the last [`CopyMeter::take`].
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Copy operations since the last [`CopyMeter::take`].
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Returns `(bytes, ops)` and resets the meter.
+    pub fn take(&mut self) -> (u64, u64) {
+        let out = (self.bytes, self.ops);
+        self.bytes = 0;
+        self.ops = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut m = CopyMeter::new();
+        assert_eq!(m.bytes(), 0);
+        m.charge(10);
+        m.charge(0);
+        m.charge(5);
+        assert_eq!(m.bytes(), 15);
+        assert_eq!(m.ops(), 3);
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut m = CopyMeter::new();
+        m.charge(7);
+        assert_eq!(m.take(), (7, 1));
+        assert_eq!(m.take(), (0, 0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for mbuf chain algebra.
+
+use proptest::prelude::*;
+use renofs_mbuf::{CopyMeter, MbufChain};
+
+fn chain_from(data: &[u8], chunk_sizes: &[usize]) -> MbufChain {
+    // Build the chain with an arbitrary append pattern so segment
+    // boundaries land in arbitrary places.
+    let mut meter = CopyMeter::new();
+    let mut c = MbufChain::new();
+    let mut rest = data;
+    let mut i = 0;
+    while !rest.is_empty() {
+        let n = chunk_sizes
+            .get(i % chunk_sizes.len().max(1))
+            .copied()
+            .unwrap_or(rest.len())
+            .clamp(1, rest.len());
+        c.append_bytes(&rest[..n], &mut meter);
+        rest = &rest[n..];
+        i += 1;
+    }
+    c
+}
+
+proptest! {
+    #[test]
+    fn append_preserves_content(
+        data in proptest::collection::vec(any::<u8>(), 0..6000),
+        chunks in proptest::collection::vec(1usize..700, 1..8),
+    ) {
+        let c = chain_from(&data, &chunks);
+        prop_assert_eq!(c.len(), data.len());
+        prop_assert_eq!(c.to_vec_unmetered(), data);
+    }
+
+    #[test]
+    fn split_then_cat_is_identity(
+        data in proptest::collection::vec(any::<u8>(), 1..5000),
+        chunks in proptest::collection::vec(1usize..700, 1..8),
+        at_frac in 0.0f64..=1.0,
+    ) {
+        let mut meter = CopyMeter::new();
+        let mut c = chain_from(&data, &chunks);
+        let at = ((data.len() as f64) * at_frac) as usize;
+        let tail = c.split_off(at, &mut meter);
+        prop_assert_eq!(c.len(), at);
+        prop_assert_eq!(tail.len(), data.len() - at);
+        c.append_chain(tail);
+        prop_assert_eq!(c.to_vec_unmetered(), data);
+    }
+
+    #[test]
+    fn share_range_matches_slice(
+        data in proptest::collection::vec(any::<u8>(), 1..5000),
+        chunks in proptest::collection::vec(1usize..700, 1..8),
+        lo_frac in 0.0f64..=1.0,
+        len_frac in 0.0f64..=1.0,
+    ) {
+        let mut meter = CopyMeter::new();
+        let c = chain_from(&data, &chunks);
+        let lo = ((data.len() as f64) * lo_frac) as usize;
+        let len = (((data.len() - lo) as f64) * len_frac) as usize;
+        let shared = c.share_range(lo, len, &mut meter);
+        prop_assert_eq!(shared.to_vec_unmetered(), &data[lo..lo + len]);
+        // Sharing must not disturb the source.
+        prop_assert_eq!(c.to_vec_unmetered(), data);
+    }
+
+    #[test]
+    fn trim_matches_slice(
+        data in proptest::collection::vec(any::<u8>(), 0..4000),
+        chunks in proptest::collection::vec(1usize..700, 1..8),
+        front in 0usize..5000,
+        back in 0usize..5000,
+    ) {
+        let mut c = chain_from(&data, &chunks);
+        c.trim_front(front);
+        let lo = front.min(data.len());
+        c.trim_back(back);
+        let hi = data.len().saturating_sub(back).max(lo);
+        prop_assert_eq!(c.to_vec_unmetered(), &data[lo..hi]);
+    }
+
+    #[test]
+    fn prepend_then_trim_front_roundtrip(
+        hdr in proptest::collection::vec(any::<u8>(), 0..400),
+        body in proptest::collection::vec(any::<u8>(), 0..3000),
+    ) {
+        let mut meter = CopyMeter::new();
+        let mut c = MbufChain::with_leading_space(64);
+        c.append_bytes(&body, &mut meter);
+        c.prepend_bytes(&hdr, &mut meter);
+        prop_assert_eq!(c.len(), hdr.len() + body.len());
+        let mut expect = hdr.clone();
+        expect.extend_from_slice(&body);
+        prop_assert_eq!(c.to_vec_unmetered(), expect);
+        c.trim_front(hdr.len());
+        prop_assert_eq!(c.to_vec_unmetered(), body);
+    }
+
+    #[test]
+    fn pullup_preserves_content(
+        data in proptest::collection::vec(any::<u8>(), 1..4000),
+        chunks in proptest::collection::vec(1usize..300, 1..8),
+        n_frac in 0.0f64..=1.0,
+    ) {
+        let mut meter = CopyMeter::new();
+        let mut c = chain_from(&data, &chunks);
+        let n = (((data.len().min(2048)) as f64) * n_frac) as usize;
+        c.pullup(n, &mut meter);
+        prop_assert_eq!(c.to_vec_unmetered(), data);
+        if n > 0 {
+            prop_assert!(c.mbufs().next().unwrap().len() >= n);
+        }
+    }
+
+    #[test]
+    fn copy_out_matches_slice(
+        data in proptest::collection::vec(any::<u8>(), 1..4000),
+        chunks in proptest::collection::vec(1usize..300, 1..8),
+        lo_frac in 0.0f64..=1.0,
+        len_frac in 0.0f64..=1.0,
+    ) {
+        let mut meter = CopyMeter::new();
+        let c = chain_from(&data, &chunks);
+        let lo = ((data.len() as f64) * lo_frac) as usize;
+        let len = (((data.len() - lo) as f64) * len_frac) as usize;
+        let mut buf = vec![0u8; len];
+        c.copy_out(lo, &mut buf, &mut meter);
+        prop_assert_eq!(buf, &data[lo..lo + len]);
+    }
+}

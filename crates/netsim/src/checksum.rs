@@ -1,0 +1,125 @@
+//! The Internet checksum (RFC 1071) over mbuf chains.
+//!
+//! After the Section 3 interface changes, the checksum routine was one of
+//! the two remaining CPU bottlenecks on the paper's server. The host model
+//! charges checksum CPU per byte; this module provides the actual
+//! computation, walking chain segments without flattening them, including
+//! the odd-byte carry between segments that the real `in_cksum` handles.
+
+use renofs_mbuf::MbufChain;
+
+/// Computes the 16-bit ones-complement Internet checksum of a chain.
+///
+/// # Examples
+///
+/// ```
+/// use renofs_mbuf::{CopyMeter, MbufChain};
+/// use renofs_netsim::internet_checksum;
+///
+/// let mut meter = CopyMeter::new();
+/// let chain = MbufChain::from_slice(&[0x00, 0x01, 0xf2, 0x03], &mut meter);
+/// assert_eq!(internet_checksum(&chain), !0xf204u16);
+/// ```
+pub fn internet_checksum(chain: &MbufChain) -> u16 {
+    let mut sum: u32 = 0;
+    // Carry an odd leading byte across segment boundaries.
+    let mut pending: Option<u8> = None;
+    for seg in chain.segments() {
+        let mut bytes = seg;
+        if let Some(hi) = pending.take() {
+            sum += u32::from(u16::from_be_bytes([hi, bytes[0]]));
+            bytes = &bytes[1..];
+        }
+        let mut iter = bytes.chunks_exact(2);
+        for pair in &mut iter {
+            sum += u32::from(u16::from_be_bytes([pair[0], pair[1]]));
+        }
+        if let [last] = iter.remainder() {
+            pending = Some(*last);
+        }
+    }
+    if let Some(hi) = pending {
+        sum += u32::from(u16::from_be_bytes([hi, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Checksum of a contiguous slice (reference implementation for tests and
+/// for callers that have flat data).
+pub fn internet_checksum_slice(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut iter = data.chunks_exact(2);
+    for pair in &mut iter {
+        sum += u32::from(u16::from_be_bytes([pair[0], pair[1]]));
+    }
+    if let [last] = iter.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renofs_mbuf::CopyMeter;
+
+    #[test]
+    fn rfc1071_example() {
+        // RFC 1071 worked example: 00 01 f2 03 f4 f5 f6 f7 sums to ddf2
+        // before complement.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum_slice(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn chain_matches_slice() {
+        let mut m = CopyMeter::new();
+        let data: Vec<u8> = (0..9001u32).map(|i| (i * 31 % 256) as u8).collect();
+        let chain = MbufChain::from_slice(&data, &mut m);
+        assert_eq!(internet_checksum(&chain), internet_checksum_slice(&data));
+    }
+
+    #[test]
+    fn odd_segment_boundaries_handled() {
+        let mut m = CopyMeter::new();
+        let data: Vec<u8> = (0..777u32).map(|i| (i % 251) as u8).collect();
+        // Build with odd-sized appends so segments end on odd bytes.
+        let mut chain = MbufChain::new();
+        let mut rest = &data[..];
+        for n in [3usize, 7, 111, 113, 1, 255].iter().cycle() {
+            if rest.is_empty() {
+                break;
+            }
+            let take = (*n).min(rest.len());
+            let mut piece = MbufChain::from_slice(&rest[..take], &mut m);
+            let _ = piece.split_off(take, &mut m);
+            chain.append_chain(piece);
+            rest = &rest[take..];
+        }
+        assert_eq!(chain.len(), data.len());
+        assert_eq!(internet_checksum(&chain), internet_checksum_slice(&data));
+    }
+
+    #[test]
+    fn empty_chain_checksum() {
+        let chain = MbufChain::new();
+        assert_eq!(internet_checksum(&chain), 0xFFFF);
+        assert_eq!(internet_checksum_slice(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut m = CopyMeter::new();
+        let good = MbufChain::from_slice(b"some rpc payload here...", &mut m);
+        let mut corrupted = b"some rpc payload here...".to_vec();
+        corrupted[5] ^= 0x40;
+        let bad = MbufChain::from_slice(&corrupted, &mut m);
+        assert_ne!(internet_checksum(&good), internet_checksum(&bad));
+    }
+}

@@ -1,0 +1,387 @@
+//! Nodes, directed links and static routing.
+
+use std::fmt;
+
+use renofs_sim::SimDuration;
+
+use crate::link::{Link, LinkParams};
+
+/// Identifies a node (host or router).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies one *direction* of a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// What a node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An end host (runs sockets, terminates datagrams).
+    Host,
+    /// A store-and-forward IP router with the given per-fragment
+    /// forwarding delay (route lookup + buffer management on 1991-era
+    /// router hardware).
+    Router {
+        /// Per-fragment forwarding processing time.
+        forward_delay: SimDuration,
+    },
+}
+
+pub(crate) struct Node {
+    pub kind: NodeKind,
+    pub name: &'static str,
+    /// `routes[d]` = outgoing link toward node `d` (None for self).
+    pub routes: Vec<Option<LinkId>>,
+}
+
+/// A static network topology: nodes plus directed links, with shortest-
+/// path routes computed at build time.
+pub struct Topology {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) links: Vec<Link>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology {
+            nodes: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, name: &'static str, kind: NodeKind) -> NodeId {
+        self.nodes.push(Node {
+            kind,
+            name,
+            routes: Vec::new(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a full-duplex link: two independent directed links with the
+    /// same parameters. Returns `(a_to_b, b_to_a)`.
+    pub fn add_duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        params: LinkParams,
+    ) -> (LinkId, LinkId) {
+        let ab = LinkId(self.links.len());
+        self.links.push(Link::new(a, b, params.clone()));
+        let ba = LinkId(self.links.len());
+        self.links.push(Link::new(b, a, params));
+        (ab, ba)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The kind of a node.
+    pub fn node_kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.0].kind
+    }
+
+    /// The node's name.
+    pub fn node_name(&self, n: NodeId) -> &'static str {
+        self.nodes[n.0].name
+    }
+
+    /// Computes shortest-path (hop count) routes between all node pairs.
+    /// Must be called after all nodes and links are added.
+    pub fn compute_routes(&mut self) {
+        let n = self.nodes.len();
+        // adj[u] = (link, v) pairs.
+        let mut adj: Vec<Vec<(LinkId, usize)>> = vec![Vec::new(); n];
+        for (i, link) in self.links.iter().enumerate() {
+            adj[link.from().0].push((LinkId(i), link.to().0));
+        }
+        for src in 0..n {
+            // BFS from src, recording the first hop toward each dest.
+            let mut first_hop: Vec<Option<LinkId>> = vec![None; n];
+            let mut visited = vec![false; n];
+            let mut queue = std::collections::VecDeque::new();
+            visited[src] = true;
+            for &(l, v) in &adj[src] {
+                if !visited[v] {
+                    visited[v] = true;
+                    first_hop[v] = Some(l);
+                    queue.push_back(v);
+                }
+            }
+            while let Some(u) = queue.pop_front() {
+                for &(_, v) in &adj[u] {
+                    if !visited[v] {
+                        visited[v] = true;
+                        first_hop[v] = first_hop[u];
+                        queue.push_back(v);
+                    }
+                }
+            }
+            self.nodes[src].routes = first_hop;
+        }
+    }
+
+    /// The outgoing link from `at` toward `dst`, if a route exists.
+    pub fn route(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.nodes[at.0].routes.get(dst.0).copied().flatten()
+    }
+
+    /// MTU of the smallest-MTU link on the path from `src` to `dst`
+    /// (useful for choosing a TCP MSS).
+    pub fn path_mtu(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        let mut mtu = usize::MAX;
+        let mut at = src;
+        let mut hops = 0;
+        while at != dst {
+            let link_id = self.route(at, dst)?;
+            let link = &self.links[link_id.0];
+            mtu = mtu.min(link.params().mtu);
+            at = link.to();
+            hops += 1;
+            if hops > self.nodes.len() {
+                return None;
+            }
+        }
+        if mtu == usize::MAX {
+            None
+        } else {
+            Some(mtu)
+        }
+    }
+
+    pub(crate) fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    pub(crate) fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0]
+    }
+
+    /// Read-only statistics for every directed link, with endpoint names.
+    pub fn link_stats(&self) -> Vec<(String, crate::link::LinkStats)> {
+        self.links
+            .iter()
+            .map(|l| {
+                let label = format!(
+                    "{}->{}",
+                    self.nodes[l.from().0].name,
+                    self.nodes[l.to().0].name
+                );
+                (label, l.stats())
+            })
+            .collect()
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Ready-made builders for the paper's three test configurations.
+pub mod presets {
+    use renofs_sim::SimDuration;
+
+    use super::{NodeId, NodeKind, Topology};
+    use crate::link::LinkParams;
+
+    /// Background utilization applied to the production networks the
+    /// paper measured across ("realistic but not controlled" loads during
+    /// off-peak hours).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Background {
+        /// Fraction of Ethernet bandwidth consumed by other hosts.
+        pub ethernet: f64,
+        /// Fraction of the token ring consumed by other traffic.
+        pub ring: f64,
+        /// Random per-fragment loss probability on LAN segments.
+        pub lan_loss: f64,
+        /// Random per-fragment loss probability on the serial link.
+        pub serial_loss: f64,
+    }
+
+    impl Background {
+        /// Quiet off-peak conditions, per the paper's appendix.
+        pub fn off_peak() -> Self {
+            Background {
+                ethernet: 0.08,
+                ring: 0.05,
+                lan_loss: 0.0005,
+                serial_loss: 0.001,
+            }
+        }
+
+        /// Daytime production-network conditions: the Ethernets and the
+        /// token ring carry substantial cross-traffic, which is what
+        /// makes round-trip times spiky enough for the fixed 1-second
+        /// RTO to misfire (the Graphs 3-4 regime).
+        pub fn production() -> Self {
+            Background {
+                ethernet: 0.40,
+                ring: 0.45,
+                lan_loss: 0.004,
+                serial_loss: 0.001,
+            }
+        }
+
+        /// A perfectly quiet network (unit tests, calibration).
+        pub fn quiet() -> Self {
+            Background {
+                ethernet: 0.0,
+                ring: 0.0,
+                lan_loss: 0.0,
+                serial_loss: 0.0,
+            }
+        }
+    }
+
+    fn ethernet(bg: &Background) -> LinkParams {
+        LinkParams {
+            bandwidth_bps: 10_000_000,
+            prop_delay: SimDuration::from_micros(50),
+            mtu: 1500,
+            frame_overhead: 26,
+            queue_capacity_bytes: 60_000,
+            loss_prob: bg.lan_loss,
+            bg_util: bg.ethernet,
+        }
+    }
+
+    fn token_ring(bg: &Background) -> LinkParams {
+        LinkParams {
+            bandwidth_bps: 80_000_000,
+            prop_delay: SimDuration::from_micros(200),
+            mtu: 4464,
+            frame_overhead: 32,
+            queue_capacity_bytes: 120_000,
+            loss_prob: bg.lan_loss,
+            bg_util: bg.ring,
+        }
+    }
+
+    fn serial_56k(bg: &Background) -> LinkParams {
+        LinkParams {
+            bandwidth_bps: 56_000,
+            prop_delay: SimDuration::from_millis(4),
+            mtu: 576,
+            frame_overhead: 8,
+            queue_capacity_bytes: 48_000,
+            loss_prob: bg.serial_loss,
+            bg_util: 0.0,
+        }
+    }
+
+    /// Configuration 1: client and server on one uncongested Ethernet.
+    ///
+    /// Returns `(topology, client, server)`.
+    pub fn same_lan(bg: &Background) -> (Topology, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let client = t.add_node("client", NodeKind::Host);
+        let server = t.add_node("server", NodeKind::Host);
+        t.add_duplex_link(client, server, ethernet(bg));
+        t.compute_routes();
+        (t, client, server)
+    }
+
+    fn router() -> NodeKind {
+        NodeKind::Router {
+            forward_delay: SimDuration::from_micros(800),
+        }
+    }
+
+    /// Configuration 2: two Ethernets joined by an 80 Mbit/s token ring
+    /// and two IP routers.
+    pub fn token_ring_path(bg: &Background) -> (Topology, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let client = t.add_node("client", NodeKind::Host);
+        let r1 = t.add_node("router1", router());
+        let r2 = t.add_node("router2", router());
+        let server = t.add_node("server", NodeKind::Host);
+        t.add_duplex_link(client, r1, ethernet(bg));
+        t.add_duplex_link(r1, r2, token_ring(bg));
+        t.add_duplex_link(r2, server, ethernet(bg));
+        t.compute_routes();
+        (t, client, server)
+    }
+
+    /// Configuration 3: the token ring path plus a 56 Kbit/s point-to-
+    /// point link and a third router.
+    pub fn slow_link_path(bg: &Background) -> (Topology, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let client = t.add_node("client", NodeKind::Host);
+        let r1 = t.add_node("router1", router());
+        let r2 = t.add_node("router2", router());
+        let r3 = t.add_node("router3", router());
+        let server = t.add_node("server", NodeKind::Host);
+        t.add_duplex_link(client, r1, ethernet(bg));
+        t.add_duplex_link(r1, r2, token_ring(bg));
+        t.add_duplex_link(r2, r3, serial_56k(bg));
+        t.add_duplex_link(r3, server, ethernet(bg));
+        t.compute_routes();
+        (t, client, server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::presets::{self, Background};
+    use super::*;
+
+    #[test]
+    fn routes_on_chain_topology() {
+        let (t, client, server) = presets::slow_link_path(&Background::quiet());
+        // The route from client toward server must exist at every hop.
+        let mut at = client;
+        let mut hops = 0;
+        while at != server {
+            let l = t.route(at, server).expect("route exists");
+            at = t.link(l).to();
+            hops += 1;
+        }
+        assert_eq!(hops, 4, "client, 3 routers, server = 4 links");
+        // And back.
+        assert!(t.route(server, client).is_some());
+    }
+
+    #[test]
+    fn path_mtu_finds_bottleneck() {
+        let bg = Background::quiet();
+        let (t, c, s) = presets::same_lan(&bg);
+        assert_eq!(t.path_mtu(c, s), Some(1500));
+        let (t, c, s) = presets::token_ring_path(&bg);
+        assert_eq!(
+            t.path_mtu(c, s),
+            Some(1500),
+            "ring MTU larger than ethernet"
+        );
+        let (t, c, s) = presets::slow_link_path(&bg);
+        assert_eq!(t.path_mtu(c, s), Some(576), "serial link is the bottleneck");
+    }
+
+    #[test]
+    fn node_metadata() {
+        let (t, c, s) = presets::token_ring_path(&Background::quiet());
+        assert_eq!(t.node_kind(c), NodeKind::Host);
+        assert_eq!(t.node_name(s), "server");
+        assert!(matches!(t.node_kind(NodeId(1)), NodeKind::Router { .. }));
+        assert_eq!(t.node_count(), 4);
+    }
+
+    #[test]
+    fn route_to_self_is_none() {
+        let (t, c, _) = presets::same_lan(&Background::quiet());
+        assert_eq!(t.route(c, c), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: fragmentation/reassembly and checksum invariants.
+
+use proptest::prelude::*;
+use renofs_mbuf::{CopyMeter, MbufChain};
+use renofs_netsim::topology::presets::{self, Background};
+use renofs_netsim::{internet_checksum, Datagram, NetEvent, Network, ProtoHeader};
+use renofs_sim::{EventQueue, SimTime};
+
+fn run_network(net: &mut Network, out: renofs_netsim::NetOutput) -> Vec<Vec<u8>> {
+    let mut q: EventQueue<NetEvent> = EventQueue::new();
+    let mut delivered = Vec::new();
+    let mut pending = out;
+    loop {
+        for (t, e) in pending.events.drain(..) {
+            q.push(t, e);
+        }
+        for d in pending.delivered.drain(..) {
+            delivered.push(d.dgram.payload.to_vec_unmetered());
+        }
+        match q.pop() {
+            Some((t, ev)) => pending = net.handle(t, ev),
+            None => break,
+        }
+    }
+    delivered
+}
+
+proptest! {
+    /// Any datagram size over any lossless topology reassembles to the
+    /// exact payload.
+    #[test]
+    fn fragmentation_reassembles_exactly(
+        len in 0usize..20_000,
+        topo_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let bg = Background::quiet();
+        let (topo, c, s) = match topo_idx {
+            0 => presets::same_lan(&bg),
+            1 => presets::token_ring_path(&bg),
+            _ => presets::slow_link_path(&bg),
+        };
+        let mut net = Network::new(topo, seed);
+        let data: Vec<u8> = (0..len).map(|i| (i * 131 % 251) as u8).collect();
+        let mut meter = CopyMeter::new();
+        let d = Datagram {
+            id: net.alloc_dgram_id(),
+            src: c,
+            dst: s,
+            proto: ProtoHeader::Udp { sport: 1023, dport: 2049 },
+            payload: MbufChain::from_slice(&data, &mut meter),
+        };
+        let out = net.send(SimTime::ZERO, d);
+        let delivered = run_network(&mut net, out);
+        prop_assert_eq!(delivered.len(), 1);
+        prop_assert_eq!(&delivered[0], &data);
+    }
+
+    /// Several interleaved datagrams reassemble independently.
+    #[test]
+    fn interleaved_datagrams_do_not_mix(
+        lens in proptest::collection::vec(1usize..12_000, 2..6),
+        seed in any::<u64>(),
+    ) {
+        let bg = Background::quiet();
+        let (topo, c, s) = presets::token_ring_path(&bg);
+        let mut net = Network::new(topo, seed);
+        let mut meter = CopyMeter::new();
+        let mut q: EventQueue<NetEvent> = EventQueue::new();
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+        for (i, len) in lens.iter().enumerate() {
+            let data: Vec<u8> = (0..*len).map(|j| ((i * 37 + j) % 251) as u8).collect();
+            expected.push(data.clone());
+            let d = Datagram {
+                id: net.alloc_dgram_id(),
+                src: c,
+                dst: s,
+                proto: ProtoHeader::Udp { sport: 1023, dport: 2049 },
+                payload: MbufChain::from_slice(&data, &mut meter),
+            };
+            // All bursts start at the same instant: fragments interleave
+            // in the queues.
+            let out = net.send(SimTime::ZERO, d);
+            for (t, e) in out.events {
+                q.push(t, e);
+            }
+        }
+        while let Some((t, ev)) = q.pop() {
+            let out = net.handle(t, ev);
+            for (t2, e) in out.events {
+                q.push(t2, e);
+            }
+            for d in out.delivered {
+                delivered.push(d.dgram.payload.to_vec_unmetered());
+            }
+        }
+        prop_assert_eq!(delivered.len(), expected.len());
+        delivered.sort();
+        expected.sort();
+        prop_assert_eq!(delivered, expected);
+    }
+
+    /// The chain checksum equals the flat-slice checksum for any split
+    /// pattern, and flipping any byte changes it.
+    #[test]
+    fn checksum_invariants(
+        data in proptest::collection::vec(any::<u8>(), 1..4000),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let mut meter = CopyMeter::new();
+        let chain = MbufChain::from_slice(&data, &mut meter);
+        let sum = internet_checksum(&chain);
+        prop_assert_eq!(sum, renofs_netsim::checksum::internet_checksum_slice(&data));
+        let mut corrupted = data.clone();
+        let i = flip.index(corrupted.len());
+        corrupted[i] ^= 0x01;
+        let chain2 = MbufChain::from_slice(&corrupted, &mut meter);
+        // Ones-complement sums can collide only via reordering of 16-bit
+        // words; a single bit flip always changes the sum.
+        prop_assert_ne!(internet_checksum(&chain2), sum);
+    }
+}

@@ -1,0 +1,223 @@
+//! A seek/rotate/transfer disk model.
+//!
+//! Calibrated to the DEC RD53 drives of the paper's MicroVAXII testbed:
+//! ~30 ms average seek, 3600 RPM spindle (8.3 ms average rotational
+//! latency), ~1.2 MB/s media transfer rate. Requests are serviced FIFO.
+//!
+//! The model distinguishes sequential from random access: a request marked
+//! sequential (e.g. the next block of a file being streamed) skips the seek
+//! and most of the rotational delay, which is what makes large sequential
+//! file I/O several times faster than scattered small-file I/O — the
+//! contrast that drives the Create-Delete benchmark results (Table 5).
+
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+
+/// Static description of a disk.
+#[derive(Clone, Copy, Debug)]
+pub struct DiskProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Minimum (track-to-track) seek time.
+    pub min_seek: SimDuration,
+    /// Maximum (full-stroke) seek time.
+    pub max_seek: SimDuration,
+    /// Time for one platter revolution.
+    pub rotation: SimDuration,
+    /// Media transfer rate in bytes per second.
+    pub bytes_per_sec: u64,
+    /// Fixed controller overhead per request.
+    pub controller_overhead: SimDuration,
+}
+
+impl DiskProfile {
+    /// The paper's RD53 disk.
+    pub const RD53: DiskProfile = DiskProfile {
+        name: "RD53",
+        min_seek: SimDuration::from_millis(6),
+        max_seek: SimDuration::from_millis(54),
+        rotation: SimDuration::from_micros(16_667),
+        bytes_per_sec: 1_200_000,
+        controller_overhead: SimDuration::from_micros(500),
+    };
+
+    /// The RZ23-class SCSI disk of a DECstation 3100 (somewhat faster).
+    pub const RZ23: DiskProfile = DiskProfile {
+        name: "RZ23",
+        min_seek: SimDuration::from_millis(4),
+        max_seek: SimDuration::from_millis(35),
+        rotation: SimDuration::from_micros(16_667),
+        bytes_per_sec: 1_500_000,
+        controller_overhead: SimDuration::from_micros(400),
+    };
+}
+
+/// What kind of access a request is, for the seek model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Continues the previous transfer (no seek, minimal rotation).
+    Sequential,
+    /// Unrelated location (full random seek + rotation).
+    Random,
+}
+
+/// Cumulative disk statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiskStats {
+    /// Completed read requests.
+    pub reads: u64,
+    /// Completed write requests.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Total time the disk was busy.
+    pub busy: SimDuration,
+}
+
+/// A FIFO-serviced disk.
+///
+/// # Examples
+///
+/// ```
+/// use renofs_sim::disk::{Access, Disk, DiskProfile};
+/// use renofs_sim::{Rng, SimTime};
+///
+/// let mut rng = Rng::new(1);
+/// let mut disk = Disk::new(DiskProfile::RD53);
+/// let done = disk.read(SimTime::ZERO, 8192, Access::Random, &mut rng);
+/// assert!(done > SimTime::from_millis(5), "a random 8K read takes several ms");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Disk {
+    profile: DiskProfile,
+    busy_until: SimTime,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Creates an idle disk.
+    pub fn new(profile: DiskProfile) -> Self {
+        Disk {
+            profile,
+            busy_until: SimTime::ZERO,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// The disk's profile.
+    pub fn profile(&self) -> &DiskProfile {
+        &self.profile
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// The time the disk next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    fn service_time(&self, bytes: usize, access: Access, rng: &mut Rng) -> SimDuration {
+        let p = &self.profile;
+        let positioning = match access {
+            Access::Sequential => {
+                // Head settles on the next sector; charge a small fraction
+                // of a rotation.
+                p.rotation / 8
+            }
+            Access::Random => {
+                let span = p.max_seek.as_nanos() - p.min_seek.as_nanos();
+                let seek = p.min_seek + SimDuration::from_nanos(rng.gen_range(0, span.max(1)));
+                let rot = SimDuration::from_nanos(rng.gen_range(0, p.rotation.as_nanos().max(1)));
+                seek + rot
+            }
+        };
+        let transfer = SimDuration::from_secs_f64(bytes as f64 / p.bytes_per_sec as f64);
+        p.controller_overhead + positioning + transfer
+    }
+
+    /// Services a read request arriving at `now`; returns completion time.
+    pub fn read(&mut self, now: SimTime, bytes: usize, access: Access, rng: &mut Rng) -> SimTime {
+        let t = self.service_time(bytes, access, rng);
+        self.stats.reads += 1;
+        self.stats.bytes_read += bytes as u64;
+        self.enqueue(now, t)
+    }
+
+    /// Services a write request arriving at `now`; returns completion time.
+    pub fn write(&mut self, now: SimTime, bytes: usize, access: Access, rng: &mut Rng) -> SimTime {
+        let t = self.service_time(bytes, access, rng);
+        self.stats.writes += 1;
+        self.stats.bytes_written += bytes as u64;
+        self.enqueue(now, t)
+    }
+
+    fn enqueue(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done = start + service;
+        self.busy_until = done;
+        self.stats.busy += service;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_io_includes_seek() {
+        let mut rng = Rng::new(2);
+        let mut disk = Disk::new(DiskProfile::RD53);
+        let done = disk.read(SimTime::ZERO, 8192, Access::Random, &mut rng);
+        // Seek(6..54ms) + rotation(0..16.7ms) + transfer(6.8ms) + 0.5ms.
+        assert!(done.as_millis() >= 13, "got {}", done.as_millis());
+        assert!(done.as_millis() <= 80, "got {}", done.as_millis());
+    }
+
+    #[test]
+    fn sequential_io_is_faster() {
+        let mut rng = Rng::new(3);
+        let mut a = Disk::new(DiskProfile::RD53);
+        let mut b = Disk::new(DiskProfile::RD53);
+        let mut seq_total = 0u64;
+        let mut rand_total = 0u64;
+        for _ in 0..50 {
+            let t0 = a.busy_until();
+            seq_total += (a.read(t0, 8192, Access::Sequential, &mut rng) - t0).as_nanos();
+            let t0 = b.busy_until();
+            rand_total += (b.read(t0, 8192, Access::Random, &mut rng) - t0).as_nanos();
+        }
+        assert!(
+            seq_total * 2 < rand_total,
+            "sequential ({seq_total}) should beat random ({rand_total}) by >2x"
+        );
+    }
+
+    #[test]
+    fn requests_queue_fifo() {
+        let mut rng = Rng::new(4);
+        let mut disk = Disk::new(DiskProfile::RD53);
+        let d1 = disk.write(SimTime::ZERO, 4096, Access::Random, &mut rng);
+        let d2 = disk.write(SimTime::ZERO, 4096, Access::Random, &mut rng);
+        assert!(d2 > d1, "second request completes after the first");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut rng = Rng::new(5);
+        let mut disk = Disk::new(DiskProfile::RD53);
+        disk.read(SimTime::ZERO, 1024, Access::Random, &mut rng);
+        disk.write(SimTime::ZERO, 2048, Access::Sequential, &mut rng);
+        let s = disk.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_read, 1024);
+        assert_eq!(s.bytes_written, 2048);
+        assert!(!s.busy.is_zero());
+    }
+}

@@ -1,0 +1,26 @@
+//! Sun RPC (RFC 1057) message layer over mbuf chains.
+//!
+//! NFS RPCs ride inside Sun RPC call/reply messages. This crate provides
+//! the header encode/decode (built directly in mbuf data areas, like the
+//! rest of the Reno stack), AUTH_UNIX credentials, and the record-marking
+//! framing that delimits RPC messages on stream transports such as TCP —
+//! the piece the paper's socket layer adds "for stream sockets such as
+//! TCP ... record marks between each RPC request/reply".
+
+pub mod msg;
+pub mod record;
+
+pub use msg::{peek_xid_kind, AcceptStat, AuthUnix, CallHeader, MsgKind, ReplyHeader, RpcError};
+pub use record::{frame_record, RecordReader};
+
+/// The ONC RPC version this implementation speaks.
+pub const RPC_VERSION: u32 = 2;
+
+/// Program number of NFS.
+pub const NFS_PROGRAM: u32 = 100003;
+
+/// NFS protocol version 2.
+pub const NFS_VERSION: u32 = 2;
+
+/// The well-known NFS server UDP/TCP port.
+pub const NFS_PORT: u16 = 2049;

@@ -1,0 +1,187 @@
+//! Record marking for RPC over stream transports (RFC 1057 §10).
+//!
+//! A TCP connection is a byte stream with no message boundaries, so each
+//! RPC message is preceded by a 4-byte record mark: the high bit flags the
+//! last fragment of a record, the low 31 bits give the fragment length.
+//! This implementation always sends whole records as single fragments (as
+//! 4.3BSD Reno did) but accepts multi-fragment records.
+
+use renofs_mbuf::{CopyMeter, MbufChain};
+
+const LAST_FRAG: u32 = 0x8000_0000;
+
+/// Prepends a record mark to a complete RPC message.
+pub fn frame_record(mut msg: MbufChain, meter: &mut CopyMeter) -> MbufChain {
+    let mark = LAST_FRAG | msg.len() as u32;
+    msg.prepend_bytes(&mark.to_be_bytes(), meter);
+    msg
+}
+
+/// Incremental record extractor for the receive side of a stream socket.
+///
+/// Push in-order stream chunks with [`RecordReader::push`]; complete RPC
+/// messages come out of [`RecordReader::next_record`].
+///
+/// # Examples
+///
+/// ```
+/// use renofs_mbuf::{CopyMeter, MbufChain};
+/// use renofs_sunrpc::{frame_record, RecordReader};
+///
+/// let mut meter = CopyMeter::new();
+/// let msg = MbufChain::from_slice(b"rpc-bytes...", &mut meter);
+/// let framed = frame_record(msg, &mut meter);
+///
+/// let mut reader = RecordReader::new();
+/// reader.push(framed);
+/// let record = reader.next_record(&mut meter).unwrap();
+/// assert_eq!(record.to_vec_unmetered(), b"rpc-bytes...");
+/// assert!(reader.next_record(&mut meter).is_none());
+/// ```
+#[derive(Default)]
+pub struct RecordReader {
+    buf: MbufChain,
+    /// Fragments of a record in progress (multi-fragment records).
+    partial: MbufChain,
+    /// Remaining bytes of the current fragment, if its mark was consumed.
+    frag_remaining: Option<(usize, bool)>,
+}
+
+impl RecordReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        RecordReader::default()
+    }
+
+    /// Appends in-order stream bytes.
+    pub fn push(&mut self, chunk: MbufChain) {
+        self.buf.append_chain(chunk);
+    }
+
+    /// Bytes buffered but not yet returned.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() + self.partial.len()
+    }
+
+    /// Extracts the next complete record, if buffered.
+    pub fn next_record(&mut self, meter: &mut CopyMeter) -> Option<MbufChain> {
+        loop {
+            let (len, last) = match self.frag_remaining {
+                Some(state) => state,
+                None => {
+                    if self.buf.len() < 4 {
+                        return None;
+                    }
+                    let mut mark = [0u8; 4];
+                    self.buf.copy_out_unmetered(0, &mut mark);
+                    let word = u32::from_be_bytes(mark);
+                    self.buf.trim_front(4);
+                    let state = ((word & !LAST_FRAG) as usize, word & LAST_FRAG != 0);
+                    self.frag_remaining = Some(state);
+                    state
+                }
+            };
+            if self.buf.len() < len {
+                return None;
+            }
+            let rest = self.buf.split_off(len, meter);
+            let frag = std::mem::replace(&mut self.buf, rest);
+            self.partial.append_chain(frag);
+            self.frag_remaining = None;
+            if last {
+                return Some(std::mem::take(&mut self.partial));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> CopyMeter {
+        CopyMeter::new()
+    }
+
+    #[test]
+    fn frame_and_extract_one() {
+        let mut m = meter();
+        let framed = frame_record(MbufChain::from_slice(b"hello", &mut m), &mut m);
+        assert_eq!(framed.len(), 9);
+        let mut r = RecordReader::new();
+        r.push(framed);
+        assert_eq!(r.next_record(&mut m).unwrap().to_vec_unmetered(), b"hello");
+        assert!(r.next_record(&mut m).is_none());
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn multiple_records_back_to_back() {
+        let mut m = meter();
+        let mut stream = MbufChain::new();
+        for msg in [&b"first"[..], b"second!", b"x"] {
+            stream.append_chain(frame_record(MbufChain::from_slice(msg, &mut m), &mut m));
+        }
+        let mut r = RecordReader::new();
+        r.push(stream);
+        assert_eq!(r.next_record(&mut m).unwrap().to_vec_unmetered(), b"first");
+        assert_eq!(
+            r.next_record(&mut m).unwrap().to_vec_unmetered(),
+            b"second!"
+        );
+        assert_eq!(r.next_record(&mut m).unwrap().to_vec_unmetered(), b"x");
+        assert!(r.next_record(&mut m).is_none());
+    }
+
+    #[test]
+    fn records_split_across_arbitrary_chunks() {
+        let mut m = meter();
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i % 256) as u8).collect();
+        let mut stream = frame_record(MbufChain::from_slice(&payload, &mut m), &mut m);
+        stream.append_chain(frame_record(MbufChain::from_slice(b"tail", &mut m), &mut m));
+        // Deliver the stream in awkward chunk sizes, as TCP would.
+        let mut r = RecordReader::new();
+        let mut got = Vec::new();
+        for size in [1usize, 2, 3, 700, 1448, 1448, 1448, 9999] {
+            if stream.is_empty() {
+                break;
+            }
+            let take = size.min(stream.len());
+            let rest = stream.split_off(take, &mut m);
+            let chunk = std::mem::replace(&mut stream, rest);
+            r.push(chunk);
+            while let Some(rec) = r.next_record(&mut m) {
+                got.push(rec.to_vec_unmetered());
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], payload);
+        assert_eq!(got[1], b"tail");
+    }
+
+    #[test]
+    fn multi_fragment_records_accepted() {
+        let mut m = meter();
+        // Record "abcdef" sent as two fragments: "abc" (more) + "def" (last).
+        let mut stream = MbufChain::new();
+        stream.append_bytes(&3u32.to_be_bytes(), &mut m); // not last
+        stream.append_bytes(b"abc", &mut m);
+        stream.append_bytes(&(0x8000_0000u32 | 3).to_be_bytes(), &mut m);
+        stream.append_bytes(b"def", &mut m);
+        let mut r = RecordReader::new();
+        r.push(stream);
+        assert_eq!(r.next_record(&mut m).unwrap().to_vec_unmetered(), b"abcdef");
+    }
+
+    #[test]
+    fn incomplete_mark_waits() {
+        let mut m = meter();
+        let mut r = RecordReader::new();
+        r.push(MbufChain::from_slice(&[0x80, 0x00], &mut m));
+        assert!(r.next_record(&mut m).is_none());
+        r.push(MbufChain::from_slice(&[0x00, 0x02, b'h'], &mut m));
+        assert!(r.next_record(&mut m).is_none(), "payload incomplete");
+        r.push(MbufChain::from_slice(b"i", &mut m));
+        assert_eq!(r.next_record(&mut m).unwrap().to_vec_unmetered(), b"hi");
+    }
+}

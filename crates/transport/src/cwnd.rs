@@ -1,0 +1,171 @@
+//! The congestion window on outstanding RPC requests.
+//!
+//! The paper grafted TCP-style congestion control onto NFS/UDP without
+//! changing the wire protocol: a window bounds how many RPC requests may
+//! be outstanding at once. Testing showed that **slow start hurt
+//! performance and had to be removed**; what remains is exactly what the
+//! paper describes — "the congestion window on the number of outstanding
+//! RPCs is simply incremented by one for each RTT upon reception of an
+//! RPC reply and divided by two upon a retransmit timeout." Slow start is
+//! retained behind a flag for the ablation experiment.
+
+/// Congestion window in whole outstanding requests.
+///
+/// # Examples
+///
+/// ```
+/// use renofs_transport::CongWindow;
+///
+/// let mut w = CongWindow::paper(16);
+/// let before = w.window();
+/// w.on_timeout();
+/// assert!(w.window() <= before / 2 + 1, "halved on timeout");
+/// ```
+#[derive(Clone, Debug)]
+pub struct CongWindow {
+    cwnd: f64,
+    cap: f64,
+    ssthresh: f64,
+    slow_start: bool,
+}
+
+impl CongWindow {
+    /// The paper's configuration: no slow start, starting mid-range.
+    pub fn paper(cap: usize) -> Self {
+        CongWindow {
+            cwnd: (cap as f64 / 2.0).max(1.0),
+            cap: cap as f64,
+            ssthresh: cap as f64,
+            slow_start: false,
+        }
+    }
+
+    /// The ablation configuration with slow start enabled (starts at 1).
+    pub fn with_slow_start(cap: usize) -> Self {
+        CongWindow {
+            cwnd: 1.0,
+            cap: cap as f64,
+            ssthresh: cap as f64,
+            slow_start: true,
+        }
+    }
+
+    /// Current window, in whole requests (at least 1).
+    pub fn window(&self) -> usize {
+        (self.cwnd.floor() as usize).max(1)
+    }
+
+    /// Whether another request may be issued with `outstanding` already
+    /// in flight.
+    pub fn allows(&self, outstanding: usize) -> bool {
+        outstanding < self.window()
+    }
+
+    /// An RPC reply arrived: open the window — additively (+1 per
+    /// window's worth of replies, i.e. +1 per RTT), or exponentially
+    /// while in slow start.
+    pub fn on_reply(&mut self) {
+        if self.slow_start && self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd.max(1.0);
+        }
+        if self.cwnd > self.cap {
+            self.cwnd = self.cap;
+        }
+    }
+
+    /// A retransmit timeout fired: halve the window.
+    pub fn on_timeout(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        if self.slow_start {
+            self.cwnd = 1.0;
+        } else {
+            self.cwnd = (self.cwnd / 2.0).max(1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_window_starts_midrange() {
+        let w = CongWindow::paper(16);
+        assert_eq!(w.window(), 8);
+        assert!(w.allows(7));
+        assert!(!w.allows(8));
+    }
+
+    #[test]
+    fn additive_increase_one_per_rtt() {
+        let mut w = CongWindow::paper(16);
+        let start = w.window();
+        // One window's worth of replies ~ one RTT ~ +1 (the increments
+        // shrink slightly as the window grows, hence start + 1 replies).
+        for _ in 0..=start {
+            w.on_reply();
+        }
+        assert_eq!(w.window(), start + 1);
+    }
+
+    #[test]
+    fn multiplicative_decrease() {
+        let mut w = CongWindow::paper(16);
+        for _ in 0..200 {
+            w.on_reply();
+        }
+        assert_eq!(w.window(), 16, "capped");
+        w.on_timeout();
+        assert_eq!(w.window(), 8);
+        w.on_timeout();
+        assert_eq!(w.window(), 4);
+    }
+
+    #[test]
+    fn window_never_below_one() {
+        let mut w = CongWindow::paper(4);
+        for _ in 0..10 {
+            w.on_timeout();
+        }
+        assert_eq!(w.window(), 1);
+        assert!(w.allows(0));
+        assert!(!w.allows(1));
+    }
+
+    #[test]
+    fn slow_start_grows_exponentially_then_linearly() {
+        let mut w = CongWindow::with_slow_start(64);
+        assert_eq!(w.window(), 1);
+        // Slow start: doubles per RTT (one increment per reply).
+        for _ in 0..10 {
+            w.on_reply();
+        }
+        assert_eq!(w.window(), 11, "exponential phase: +1 per reply");
+        w.on_timeout();
+        assert_eq!(w.window(), 1, "slow start restarts from 1");
+        // ssthresh was 11/2 = 5.5; growth past it is additive.
+        for _ in 0..200 {
+            w.on_reply();
+        }
+        assert!(w.window() > 5);
+    }
+
+    #[test]
+    fn paper_variant_recovers_faster_than_slow_start() {
+        let mut paper = CongWindow::paper(16);
+        let mut ss = CongWindow::with_slow_start(16);
+        for _ in 0..200 {
+            paper.on_reply();
+            ss.on_reply();
+        }
+        paper.on_timeout();
+        ss.on_timeout();
+        // After a single post-timeout reply, the paper variant has the
+        // larger window — the reason slow start was removed.
+        paper.on_reply();
+        ss.on_reply();
+        assert!(paper.window() > ss.window());
+    }
+}

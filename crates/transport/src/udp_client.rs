@@ -1,0 +1,499 @@
+//! The client side of NFS RPC over UDP.
+//!
+//! For datagram sockets, the Reno client provides round-trip timeout
+//! estimation and retransmission. This module implements both transports
+//! the paper compares:
+//!
+//! - **fixed RTO**: the mount-time constant, exponentially backed off —
+//!   the classic transport whose erratic behaviour shows in Graphs 3–5;
+//! - **dynamic RTO + congestion window**: per-class `A+4D`/`A+2D`
+//!   estimation and a window on outstanding requests (slow start
+//!   removed), which improved the config-2 read rate by ~30 % and more
+//!   than tripled the 56 Kbps read rate.
+//!
+//! Retransmissions reuse the original XID (so a server duplicate-request
+//! cache can suppress re-execution) and Karn's rule excludes
+//! retransmitted calls from RTT sampling.
+
+use std::collections::HashMap;
+
+use renofs_mbuf::MbufChain;
+use renofs_sim::{SimDuration, SimTime};
+
+use crate::cwnd::CongWindow;
+use crate::rto::{DynRto, RpcClass, RtoPolicy};
+
+/// Client transport configuration.
+#[derive(Clone, Debug)]
+pub struct UdpRpcConfig {
+    /// Timeout policy.
+    pub policy: RtoPolicy,
+    /// Mount-time base RTO (the `timeo` option).
+    pub base_rto: SimDuration,
+    /// Whether a congestion window bounds outstanding requests.
+    pub use_cwnd: bool,
+    /// Window cap in requests.
+    pub cwnd_cap: usize,
+    /// Enable slow start (the paper removed it; kept for the ablation).
+    pub slow_start: bool,
+}
+
+impl UdpRpcConfig {
+    /// Classic NFS/UDP: fixed 1-second RTO, no window.
+    pub fn fixed(base_rto: SimDuration) -> Self {
+        UdpRpcConfig {
+            policy: RtoPolicy::Fixed,
+            base_rto,
+            use_cwnd: false,
+            cwnd_cap: 64,
+            slow_start: false,
+        }
+    }
+
+    /// The paper's tuned NFS/UDP: dynamic per-class RTO, congestion
+    /// window, no slow start.
+    pub fn dynamic_paper(base_rto: SimDuration) -> Self {
+        UdpRpcConfig {
+            policy: RtoPolicy::dynamic_paper(),
+            base_rto,
+            use_cwnd: true,
+            cwnd_cap: 16,
+            slow_start: false,
+        }
+    }
+}
+
+/// Actions the caller must perform after a transport step.
+#[derive(Debug)]
+pub enum UdpAction {
+    /// Transmit this RPC message as a UDP datagram.
+    Send {
+        /// XID, for tracing.
+        xid: u32,
+        /// The message (record-unframed; UDP carries whole RPCs).
+        payload: MbufChain,
+    },
+    /// Arm a retransmit timer and feed it back via
+    /// [`UdpRpcClient::on_timer`] when it fires.
+    ArmTimer {
+        /// The request's XID.
+        xid: u32,
+        /// Timer generation (stale generations are ignored).
+        gen: u64,
+        /// Absolute deadline.
+        deadline: SimTime,
+    },
+}
+
+/// A finished call.
+#[derive(Debug)]
+pub struct CompletedCall {
+    /// The XID.
+    pub xid: u32,
+    /// RPC class.
+    pub class: RpcClass,
+    /// Reply payload (RPC header + results).
+    pub reply: MbufChain,
+    /// User-visible latency: first transmission to reply.
+    pub rtt: SimDuration,
+    /// Whether any retransmission happened.
+    pub retransmitted: bool,
+}
+
+/// Cumulative transport statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UdpStats {
+    /// Calls issued.
+    pub calls: u64,
+    /// Calls completed.
+    pub completed: u64,
+    /// Datagrams retransmitted.
+    pub retransmits: u64,
+    /// Replies that matched no pending call (duplicates/late).
+    pub stray_replies: u64,
+    /// Calls that were ever deferred by the congestion window.
+    pub window_deferrals: u64,
+}
+
+struct Pending {
+    class: RpcClass,
+    msg: MbufChain,
+    first_sent: SimTime,
+    sends: u32,
+    timer_gen: u64,
+    retransmitted: bool,
+    /// RTO snapshotted at transmission time, used when the policy does
+    /// not recalculate on every tick.
+    rto_at_send: SimDuration,
+}
+
+/// The per-mount UDP RPC client transport.
+pub struct UdpRpcClient {
+    cfg: UdpRpcConfig,
+    rto: DynRto,
+    cwnd: Option<CongWindow>,
+    next_xid: u32,
+    pending: HashMap<u32, Pending>,
+    /// Calls admitted but deferred by the congestion window.
+    queue: Vec<(u32, RpcClass, MbufChain)>,
+    stats: UdpStats,
+}
+
+impl UdpRpcClient {
+    /// Creates a transport; `xid_seed` keeps streams from colliding when
+    /// several mounts share a simulation.
+    pub fn new(cfg: UdpRpcConfig, xid_seed: u32) -> Self {
+        let rto = DynRto::new(cfg.policy, cfg.base_rto);
+        let cwnd = if cfg.use_cwnd {
+            Some(if cfg.slow_start {
+                CongWindow::with_slow_start(cfg.cwnd_cap)
+            } else {
+                CongWindow::paper(cfg.cwnd_cap)
+            })
+        } else {
+            None
+        };
+        UdpRpcClient {
+            cfg,
+            rto,
+            cwnd,
+            next_xid: xid_seed,
+            pending: HashMap::new(),
+            queue: Vec::new(),
+            stats: UdpStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &UdpRpcConfig {
+        &self.cfg
+    }
+
+    /// Allocates the next XID (callers build the RPC header with it).
+    pub fn alloc_xid(&mut self) -> u32 {
+        let xid = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        xid
+    }
+
+    /// Requests currently in flight.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Requests waiting on the congestion window.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> UdpStats {
+        self.stats
+    }
+
+    /// Current RTO that would be applied to a class (for Graph 7 traces).
+    pub fn current_rto(&self, class: RpcClass) -> SimDuration {
+        self.rto.rto(class)
+    }
+
+    /// Current congestion window, if one is configured.
+    pub fn window(&self) -> Option<usize> {
+        self.cwnd.as_ref().map(|w| w.window())
+    }
+
+    /// Issues a call whose message (RPC header + args, XID already
+    /// embedded) is `msg`. Returns the actions to perform.
+    pub fn call(
+        &mut self,
+        now: SimTime,
+        xid: u32,
+        class: RpcClass,
+        msg: MbufChain,
+    ) -> Vec<UdpAction> {
+        self.stats.calls += 1;
+        let mut actions = Vec::new();
+        if let Some(w) = &self.cwnd {
+            if !w.allows(self.pending.len()) {
+                self.stats.window_deferrals += 1;
+                self.queue.push((xid, class, msg));
+                return actions;
+            }
+        }
+        self.transmit(now, xid, class, msg, &mut actions);
+        actions
+    }
+
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        xid: u32,
+        class: RpcClass,
+        msg: MbufChain,
+        actions: &mut Vec<UdpAction>,
+    ) {
+        let rto = self.rto.rto(class);
+        let pending = Pending {
+            class,
+            msg: msg.clone(),
+            first_sent: now,
+            sends: 1,
+            timer_gen: 1,
+            retransmitted: false,
+            rto_at_send: rto,
+        };
+        actions.push(UdpAction::Send { xid, payload: msg });
+        actions.push(UdpAction::ArmTimer {
+            xid,
+            gen: 1,
+            deadline: now + rto,
+        });
+        self.pending.insert(xid, pending);
+    }
+
+    /// Processes an incoming reply whose XID has been peeked by the
+    /// socket layer. Returns the completion (if it matches) plus any
+    /// queued calls the window now admits.
+    pub fn on_reply(
+        &mut self,
+        now: SimTime,
+        xid: u32,
+        reply: MbufChain,
+    ) -> (Option<CompletedCall>, Vec<UdpAction>) {
+        let mut actions = Vec::new();
+        let Some(p) = self.pending.remove(&xid) else {
+            self.stats.stray_replies += 1;
+            return (None, actions);
+        };
+        self.stats.completed += 1;
+        let rtt = now.since(p.first_sent);
+        // Karn's rule: skip samples for retransmitted calls.
+        if !p.retransmitted {
+            self.rto.on_sample(p.class, rtt);
+        }
+        if let Some(w) = &mut self.cwnd {
+            w.on_reply();
+        }
+        self.drain_queue(now, &mut actions);
+        (
+            Some(CompletedCall {
+                xid,
+                class: p.class,
+                reply,
+                rtt,
+                retransmitted: p.retransmitted,
+            }),
+            actions,
+        )
+    }
+
+    fn drain_queue(&mut self, now: SimTime, actions: &mut Vec<UdpAction>) {
+        while !self.queue.is_empty() {
+            if let Some(w) = &self.cwnd {
+                if !w.allows(self.pending.len()) {
+                    break;
+                }
+            }
+            let (xid, class, msg) = self.queue.remove(0);
+            self.transmit(now, xid, class, msg, actions);
+        }
+    }
+
+    /// Handles a retransmit timer. Stale (xid, gen) pairs are no-ops.
+    pub fn on_timer(&mut self, now: SimTime, xid: u32, gen: u64) -> Vec<UdpAction> {
+        let mut actions = Vec::new();
+        let Some(p) = self.pending.get_mut(&xid) else {
+            return actions;
+        };
+        if p.timer_gen != gen {
+            return actions;
+        }
+        // Timeout: retransmit with exponential backoff; the class-level
+        // backoff persists for subsequent requests until a clean sample.
+        self.stats.retransmits += 1;
+        let class = p.class;
+        p.retransmitted = true;
+        p.sends += 1;
+        p.timer_gen += 1;
+        let base = if self.rto.recalc_each_tick() {
+            self.rto.rto(p.class)
+        } else {
+            p.rto_at_send
+        };
+        let backoff = base * (1u64 << (p.sends - 1).min(6));
+        let backoff = backoff.min(SimDuration::from_secs(60));
+        actions.push(UdpAction::Send {
+            xid,
+            payload: p.msg.clone(),
+        });
+        actions.push(UdpAction::ArmTimer {
+            xid,
+            gen: p.timer_gen,
+            deadline: now + backoff,
+        });
+        if let Some(w) = &mut self.cwnd {
+            w.on_timeout();
+        }
+        self.rto.on_timeout(class);
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renofs_mbuf::CopyMeter;
+
+    fn msg(tag: u8) -> MbufChain {
+        let mut m = CopyMeter::new();
+        MbufChain::from_slice(&[tag; 64], &mut m)
+    }
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    fn first_send_xid(actions: &[UdpAction]) -> Option<u32> {
+        actions.iter().find_map(|a| match a {
+            UdpAction::Send { xid, .. } => Some(*xid),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn call_sends_and_arms_timer() {
+        let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(1)), 100);
+        let xid = c.alloc_xid();
+        let actions = c.call(ms(0), xid, RpcClass::Lookup, msg(1));
+        assert_eq!(actions.len(), 2);
+        assert_eq!(first_send_xid(&actions), Some(100));
+        match &actions[1] {
+            UdpAction::ArmTimer { deadline, .. } => {
+                assert_eq!(*deadline, SimTime::from_secs(1));
+            }
+            other => panic!("expected timer, got {other:?}"),
+        }
+        assert_eq!(c.outstanding(), 1);
+    }
+
+    #[test]
+    fn reply_completes_and_samples_rtt() {
+        let mut c = UdpRpcClient::new(UdpRpcConfig::dynamic_paper(SimDuration::from_secs(1)), 0);
+        for i in 0..30u64 {
+            let xid = c.alloc_xid();
+            c.call(ms(i * 100), xid, RpcClass::Lookup, msg(0));
+            let (done, _) = c.on_reply(ms(i * 100 + 12), xid, msg(9));
+            let done = done.unwrap();
+            assert_eq!(done.rtt, SimDuration::from_millis(12));
+            assert!(!done.retransmitted);
+        }
+        // RTO should now reflect the 12ms RTT, not the 1s base (but it is
+        // clamped at the 200ms floor).
+        assert!(c.current_rto(RpcClass::Lookup) <= SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn timer_retransmits_with_backoff() {
+        let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(1)), 0);
+        let xid = c.alloc_xid();
+        let a1 = c.call(ms(0), xid, RpcClass::Read, msg(0));
+        let gen1 = match &a1[1] {
+            UdpAction::ArmTimer { gen, .. } => *gen,
+            _ => panic!(),
+        };
+        let a2 = c.on_timer(SimTime::from_secs(1), xid, gen1);
+        assert_eq!(a2.len(), 2, "resend + rearm");
+        match &a2[1] {
+            UdpAction::ArmTimer { gen, deadline, .. } => {
+                assert_eq!(*gen, 2);
+                // Second attempt: 2x backoff => deadline at 1s + 2s.
+                assert_eq!(*deadline, SimTime::from_secs(3));
+            }
+            _ => panic!(),
+        }
+        assert_eq!(c.stats().retransmits, 1);
+        // Stale generation is ignored.
+        assert!(c.on_timer(SimTime::from_secs(2), xid, gen1).is_empty());
+    }
+
+    #[test]
+    fn retransmitted_call_skips_rtt_sample() {
+        let mut c = UdpRpcClient::new(UdpRpcConfig::dynamic_paper(SimDuration::from_secs(1)), 0);
+        let xid = c.alloc_xid();
+        c.call(ms(0), xid, RpcClass::Read, msg(0));
+        c.on_timer(SimTime::from_secs(1), xid, 1);
+        let (done, _) = c.on_reply(SimTime::from_secs(2), xid, msg(1));
+        assert!(done.unwrap().retransmitted);
+        // No sample taken (Karn): the estimator is still empty, so the
+        // RTO is the base value scaled by the persistent timeout backoff.
+        assert_eq!(c.current_rto(RpcClass::Read), SimDuration::from_secs(2));
+        // A clean call clears the backoff and finally feeds a sample.
+        let xid2 = c.alloc_xid();
+        c.call(SimTime::from_secs(3), xid2, RpcClass::Read, msg(0));
+        let (done, _) = c.on_reply(
+            SimTime::from_secs(3) + SimDuration::from_millis(40),
+            xid2,
+            msg(1),
+        );
+        assert!(!done.unwrap().retransmitted);
+        assert!(c.current_rto(RpcClass::Read) < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn congestion_window_defers_excess_calls() {
+        let mut c = UdpRpcClient::new(UdpRpcConfig::dynamic_paper(SimDuration::from_secs(1)), 0);
+        let window = c.window().unwrap();
+        let mut xids = Vec::new();
+        for _ in 0..window + 5 {
+            let xid = c.alloc_xid();
+            xids.push(xid);
+            c.call(ms(0), xid, RpcClass::Lookup, msg(0));
+        }
+        assert_eq!(c.outstanding(), window);
+        assert_eq!(c.queued(), 5);
+        assert!(c.stats().window_deferrals >= 5);
+        // A reply admits a queued call.
+        let (_, actions) = c.on_reply(ms(10), xids[0], msg(1));
+        assert!(first_send_xid(&actions).is_some(), "queued call released");
+    }
+
+    #[test]
+    fn window_halves_on_timeout() {
+        let mut c = UdpRpcClient::new(UdpRpcConfig::dynamic_paper(SimDuration::from_secs(1)), 0);
+        let before = c.window().unwrap();
+        let xid = c.alloc_xid();
+        c.call(ms(0), xid, RpcClass::Read, msg(0));
+        c.on_timer(SimTime::from_secs(1), xid, 1);
+        assert!(c.window().unwrap() <= before / 2 + 1);
+    }
+
+    #[test]
+    fn stray_reply_counted_not_crashing() {
+        let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(1)), 0);
+        let (done, actions) = c.on_reply(ms(5), 999, msg(0));
+        assert!(done.is_none());
+        assert!(actions.is_empty());
+        assert_eq!(c.stats().stray_replies, 1);
+    }
+
+    #[test]
+    fn duplicate_reply_is_stray() {
+        let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(1)), 0);
+        let xid = c.alloc_xid();
+        c.call(ms(0), xid, RpcClass::Getattr, msg(0));
+        let (d1, _) = c.on_reply(ms(3), xid, msg(1));
+        assert!(d1.is_some());
+        let (d2, _) = c.on_reply(ms(4), xid, msg(1));
+        assert!(d2.is_none(), "second reply to same xid is stray");
+    }
+
+    #[test]
+    fn fixed_policy_never_shrinks_rto() {
+        let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(1)), 0);
+        for i in 0..20u64 {
+            let xid = c.alloc_xid();
+            c.call(ms(i * 10), xid, RpcClass::Lookup, msg(0));
+            c.on_reply(ms(i * 10 + 1), xid, msg(1));
+        }
+        assert_eq!(c.current_rto(RpcClass::Lookup), SimDuration::from_secs(1));
+    }
+}

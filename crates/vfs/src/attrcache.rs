@@ -1,0 +1,155 @@
+//! The client attribute cache.
+//!
+//! File attributes are cached in the vnode and time out **five seconds**
+//! after being updated from the server — the consistency level the paper
+//! observed experimentally on SunOS clients as well. Cached-data
+//! consistency hangs off the `mtime` field: whenever a fresh `getattr`
+//! (or the attributes piggybacked on any reply) shows a changed mtime,
+//! the client flushes that file's cached blocks.
+
+use std::collections::HashMap;
+
+use renofs_sim::{SimDuration, SimTime};
+
+use crate::types::{Vattr, VnodeId};
+
+/// Cumulative statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AttrCacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that missed or had expired.
+    pub misses: u64,
+}
+
+/// Attribute cache with per-entry timeout.
+///
+/// # Examples
+///
+/// ```
+/// use renofs_sim::{SimDuration, SimTime};
+/// use renofs_vfs::{AttrCache, Vattr, VnodeId};
+///
+/// let mut ac = AttrCache::new(SimDuration::from_secs(5));
+/// let t0 = SimTime::from_secs(100);
+/// ac.put(VnodeId(1), Vattr::empty_file(1, t0), t0);
+/// assert!(ac.get(VnodeId(1), t0 + SimDuration::from_secs(4)).is_some());
+/// assert!(ac.get(VnodeId(1), t0 + SimDuration::from_secs(6)).is_none());
+/// ```
+pub struct AttrCache {
+    timeout: SimDuration,
+    map: HashMap<VnodeId, (Vattr, SimTime)>,
+    stats: AttrCacheStats,
+}
+
+impl AttrCache {
+    /// Creates a cache with the given entry lifetime (the paper's client
+    /// uses 5 seconds).
+    pub fn new(timeout: SimDuration) -> Self {
+        AttrCache {
+            timeout,
+            map: HashMap::new(),
+            stats: AttrCacheStats::default(),
+        }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> AttrCacheStats {
+        self.stats
+    }
+
+    /// Returns unexpired attributes.
+    pub fn get(&mut self, v: VnodeId, now: SimTime) -> Option<Vattr> {
+        match self.map.get(&v) {
+            Some((attr, stored)) if now.since(*stored) < self.timeout => {
+                self.stats.hits += 1;
+                Some(*attr)
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at cached attributes even if expired (used for the mtime
+    /// comparison when fresh attributes arrive).
+    pub fn peek(&self, v: VnodeId) -> Option<&Vattr> {
+        self.map.get(&v).map(|(a, _)| a)
+    }
+
+    /// Stores attributes freshly obtained from the server.
+    pub fn put(&mut self, v: VnodeId, attr: Vattr, now: SimTime) {
+        self.map.insert(v, (attr, now));
+    }
+
+    /// Drops one entry.
+    pub fn invalidate(&mut self, v: VnodeId) {
+        self.map.remove(&v);
+    }
+
+    /// Drops everything.
+    pub fn purge_all(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(fileid: u32, t: SimTime) -> Vattr {
+        Vattr::empty_file(fileid, t)
+    }
+
+    #[test]
+    fn entries_expire_after_timeout() {
+        let mut ac = AttrCache::new(SimDuration::from_secs(5));
+        let t0 = SimTime::from_secs(10);
+        ac.put(VnodeId(1), attr(1, t0), t0);
+        assert!(ac.get(VnodeId(1), t0).is_some());
+        assert!(ac
+            .get(VnodeId(1), t0 + SimDuration::from_millis(4999))
+            .is_some());
+        assert!(ac.get(VnodeId(1), t0 + SimDuration::from_secs(5)).is_none());
+        let s = ac.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn put_refreshes_expiry() {
+        let mut ac = AttrCache::new(SimDuration::from_secs(5));
+        let t0 = SimTime::from_secs(10);
+        ac.put(VnodeId(1), attr(1, t0), t0);
+        let t1 = t0 + SimDuration::from_secs(4);
+        ac.put(VnodeId(1), attr(1, t1), t1);
+        assert!(ac.get(VnodeId(1), t0 + SimDuration::from_secs(8)).is_some());
+    }
+
+    #[test]
+    fn peek_sees_expired_entries() {
+        let mut ac = AttrCache::new(SimDuration::from_secs(5));
+        let t0 = SimTime::from_secs(10);
+        ac.put(VnodeId(1), attr(7, t0), t0);
+        assert!(ac
+            .get(VnodeId(1), t0 + SimDuration::from_secs(100))
+            .is_none());
+        assert_eq!(ac.peek(VnodeId(1)).unwrap().fileid, 7);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut ac = AttrCache::new(SimDuration::from_secs(5));
+        let t0 = SimTime::from_secs(10);
+        ac.put(VnodeId(1), attr(1, t0), t0);
+        ac.invalidate(VnodeId(1));
+        assert!(ac.get(VnodeId(1), t0).is_none());
+        assert!(ac.peek(VnodeId(1)).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared VFS types.
+
+use renofs_sim::SimTime;
+
+/// The NFS v2 logical block size: reads and writes move blocks of up to
+/// 8192 bytes, and the caches are organized around this unit.
+pub const BLOCK_SIZE: usize = 8192;
+
+/// A client- or server-side vnode identity token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VnodeId(pub u64);
+
+/// File types (NFS v2 `ftype`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+impl FileType {
+    /// The NFS v2 wire value.
+    pub fn to_wire(self) -> u32 {
+        match self {
+            FileType::Regular => 1,
+            FileType::Directory => 2,
+            FileType::Symlink => 5,
+        }
+    }
+
+    /// Parses the NFS v2 wire value.
+    pub fn from_wire(v: u32) -> Option<Self> {
+        match v {
+            1 => Some(FileType::Regular),
+            2 => Some(FileType::Directory),
+            5 => Some(FileType::Symlink),
+            _ => None,
+        }
+    }
+}
+
+/// File attributes (the NFS v2 `fattr` structure, with simulation time).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Vattr {
+    /// File type.
+    pub ftype: FileType,
+    /// Permission bits.
+    pub mode: u32,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Owner.
+    pub uid: u32,
+    /// Group.
+    pub gid: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Preferred I/O size.
+    pub blocksize: u32,
+    /// Allocated 512-byte blocks.
+    pub blocks: u32,
+    /// Filesystem id.
+    pub fsid: u32,
+    /// File id (inode number).
+    pub fileid: u32,
+    /// Last access time.
+    pub atime: SimTime,
+    /// Last modification time — the field NFS cache consistency hangs on.
+    pub mtime: SimTime,
+    /// Last attribute change time.
+    pub ctime: SimTime,
+}
+
+impl Vattr {
+    /// A zeroed regular-file attribute set, for building defaults.
+    pub fn empty_file(fileid: u32, now: SimTime) -> Self {
+        Vattr {
+            ftype: FileType::Regular,
+            mode: 0o644,
+            nlink: 1,
+            uid: 0,
+            gid: 0,
+            size: 0,
+            blocksize: BLOCK_SIZE as u32,
+            blocks: 0,
+            fsid: 1,
+            fileid,
+            atime: now,
+            mtime: now,
+            ctime: now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_type_wire_round_trip() {
+        for t in [FileType::Regular, FileType::Directory, FileType::Symlink] {
+            assert_eq!(FileType::from_wire(t.to_wire()), Some(t));
+        }
+        assert_eq!(FileType::from_wire(99), None);
+    }
+
+    #[test]
+    fn empty_file_attr_defaults() {
+        let a = Vattr::empty_file(42, SimTime::from_secs(1));
+        assert_eq!(a.fileid, 42);
+        assert_eq!(a.size, 0);
+        assert_eq!(a.ftype, FileType::Regular);
+        assert_eq!(a.mtime, SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: `MemFs` against a simple reference model.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use renofs_sim::SimTime;
+use renofs_vfs::{FsError, MemFs};
+
+/// Operations the model covers.
+#[derive(Clone, Debug)]
+enum Op {
+    Create(u8),
+    Remove(u8),
+    Write(u8, u16, Vec<u8>),
+    Read(u8, u16, u16),
+    Truncate(u8, u16),
+    Rename(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Create),
+        any::<u8>().prop_map(Op::Remove),
+        (any::<u8>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..600))
+            .prop_map(|(n, off, data)| Op::Write(n, off % 4096, data)),
+        (any::<u8>(), any::<u16>(), any::<u16>()).prop_map(|(n, off, len)| Op::Read(
+            n,
+            off % 8192,
+            len % 2048
+        )),
+        (any::<u8>(), any::<u16>()).prop_map(|(n, sz)| Op::Truncate(n, sz % 4096)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+    ]
+}
+
+fn name(n: u8) -> String {
+    format!("file{:02}", n % 12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any sequence of create/remove/write/read/truncate/rename agrees
+    /// byte-for-byte with a HashMap<String, Vec<u8>> reference model.
+    #[test]
+    fn memfs_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let t = SimTime::from_secs(1);
+        let mut fs = MemFs::new(t);
+        let root = fs.root();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Create(n) => {
+                    let nm = name(n);
+                    let r = fs.create(root, &nm, 0o644, t);
+                    prop_assert!(r.is_ok());
+                    // NFS CREATE truncates an existing regular file.
+                    model.insert(nm, Vec::new());
+                }
+                Op::Remove(n) => {
+                    let nm = name(n);
+                    let r = fs.remove(root, &nm, t);
+                    match model.remove(&nm) {
+                        Some(_) => prop_assert!(r.is_ok()),
+                        None => prop_assert_eq!(r, Err(FsError::NoEnt)),
+                    }
+                }
+                Op::Write(n, off, data) => {
+                    let nm = name(n);
+                    match fs.lookup(root, &nm) {
+                        Ok(id) => {
+                            fs.write(id, off as u32, &data, t).unwrap();
+                            let m = model.get_mut(&nm).expect("model in sync");
+                            let end = off as usize + data.len();
+                            if m.len() < end {
+                                m.resize(end, 0);
+                            }
+                            m[off as usize..end].copy_from_slice(&data);
+                        }
+                        Err(e) => {
+                            prop_assert_eq!(e, FsError::NoEnt);
+                            prop_assert!(!model.contains_key(&nm));
+                        }
+                    }
+                }
+                Op::Read(n, off, len) => {
+                    let nm = name(n);
+                    if let Ok(id) = fs.lookup(root, &nm) {
+                        let got = fs.read(id, off as u32, len as u32, t).unwrap();
+                        let m = &model[&nm];
+                        let lo = (off as usize).min(m.len());
+                        let hi = (off as usize + len as usize).min(m.len());
+                        prop_assert_eq!(&got, &m[lo..hi]);
+                    }
+                }
+                Op::Truncate(n, sz) => {
+                    let nm = name(n);
+                    if let Ok(id) = fs.lookup(root, &nm) {
+                        fs.setattr(id, Some(sz as u32), None, None, None, t).unwrap();
+                        model.get_mut(&nm).expect("model in sync").resize(sz as usize, 0);
+                    }
+                }
+                Op::Rename(a, b) => {
+                    let (from, to) = (name(a), name(b));
+                    if from == to {
+                        continue;
+                    }
+                    let r = fs.rename(root, &from, root, &to, t);
+                    match model.remove(&from) {
+                        Some(data) => {
+                            prop_assert!(r.is_ok());
+                            model.insert(to, data);
+                        }
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+            }
+        }
+        // Final state agreement: every model file readable with exact
+        // contents, every model-absent name NoEnt.
+        for (nm, data) in &model {
+            let id = fs.lookup(root, nm).unwrap();
+            let got = fs.read(id, 0, data.len() as u32 + 10, t).unwrap();
+            prop_assert_eq!(&got, data);
+            prop_assert_eq!(fs.getattr(id).unwrap().size as usize, data.len());
+        }
+        for n in 0..12u8 {
+            let nm = name(n);
+            if !model.contains_key(&nm) {
+                prop_assert_eq!(fs.lookup(root, &nm), Err(FsError::NoEnt));
+            }
+        }
+    }
+}

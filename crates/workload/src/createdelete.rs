@@ -1,0 +1,161 @@
+//! The Create-Delete benchmark (`[Ousterhout90]`).
+//!
+//! Each iteration: create a file, write N bytes, close it; reopen, read
+//! it back, close; delete. The paper ran it for N ∈ {0, 10 KB, 100 KB}
+//! against the local disk and five NFS configurations (Table 5), showing
+//! that with close/open consistency the write policy barely matters —
+//! but *not pushing on close* (the noconsist bound) makes the 100 KB
+//! case seven times faster.
+
+use renofs::client::{CResult, ClientFs};
+use renofs::syscalls::Syscalls;
+use renofs_sim::SimDuration;
+#[cfg(test)]
+use renofs_sim::SimTime;
+
+/// Results of one configuration × size cell.
+#[derive(Clone, Copy, Debug)]
+pub struct CreateDeleteReport {
+    /// Bytes written per iteration.
+    pub bytes: usize,
+    /// Iterations run.
+    pub iters: usize,
+    /// Mean per-iteration time.
+    pub per_iter: SimDuration,
+}
+
+/// Runs the benchmark against an NFS mount.
+pub fn create_delete_nfs<S: Syscalls>(
+    fs: &mut ClientFs<S>,
+    bytes: usize,
+    iters: usize,
+) -> CResult<CreateDeleteReport> {
+    let data: Vec<u8> = (0..bytes).map(|i| (i % 253) as u8).collect();
+    let t0 = fs.sys().now();
+    for i in 0..iters {
+        let path = format!("/cd_test_{i:03}");
+        let fh = fs.open(&path, true, false)?;
+        if !data.is_empty() {
+            fs.write(fh, 0, &data)?;
+        }
+        fs.close(fh)?;
+        let fh = fs.open(&path, false, false)?;
+        if !data.is_empty() {
+            let got = fs.read(fh, 0, bytes as u32)?;
+            debug_assert_eq!(got.len(), bytes);
+        }
+        fs.close(fh)?;
+        fs.remove(&path)?;
+    }
+    let total = fs.sys().now().since(t0);
+    Ok(CreateDeleteReport {
+        bytes,
+        iters,
+        per_iter: total / iters.max(1) as u64,
+    })
+}
+
+/// Runs the benchmark against the local filesystem model: create and
+/// delete update metadata on disk synchronously (2 seeks each); data
+/// writes go through the local buffer cache and reach disk in block
+/// units; the read-back is served from the cache.
+pub fn create_delete_local<S: Syscalls>(
+    sys: &mut S,
+    bytes: usize,
+    iters: usize,
+) -> CreateDeleteReport {
+    let block = 8192usize;
+    let t0 = sys.now();
+    for _ in 0..iters {
+        // create: directory block + inode, both synchronous seeks.
+        sys.charge_cpu(SimDuration::from_micros(800));
+        sys.local_disk(512, true, false);
+        sys.local_disk(512, true, false);
+        // write: data lands in the cache; the local FFS pushes full
+        // blocks asynchronously but iteration time includes them (the
+        // bench fsyncs via close in Ousterhout's harness).
+        let mut left = bytes;
+        let mut first = true;
+        while left > 0 {
+            let n = left.min(block);
+            sys.charge_cpu(SimDuration::from_micros(500) + SimDuration::from_nanos(500) * n as u64);
+            sys.local_disk(n, true, !first);
+            first = false;
+            left -= n;
+        }
+        // read-back: cache hit, CPU only.
+        let mut left = bytes;
+        while left > 0 {
+            let n = left.min(block);
+            sys.charge_cpu(SimDuration::from_micros(400) + SimDuration::from_nanos(500) * n as u64);
+            left -= n;
+        }
+        // delete: directory block + inode free.
+        sys.charge_cpu(SimDuration::from_micros(700));
+        sys.local_disk(512, true, false);
+        sys.local_disk(512, true, false);
+    }
+    let total = sys.now().since(t0);
+    CreateDeleteReport {
+        bytes,
+        iters,
+        per_iter: total / iters.max(1) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use renofs::client::ClientConfig;
+    use renofs::server::{NfsServer, ServerConfig};
+    use renofs::syscalls::Loopback;
+
+    fn client(cfg: ClientConfig) -> ClientFs<Loopback> {
+        let server = NfsServer::new(ServerConfig::reno(), SimTime::ZERO);
+        let root = server.root_handle();
+        ClientFs::mount(Loopback::new(server), cfg, root, "uvax1")
+    }
+
+    #[test]
+    fn iterations_leave_no_files() {
+        let mut fs = client(ClientConfig::reno());
+        let r = create_delete_nfs(&mut fs, 10_240, 5).unwrap();
+        assert_eq!(r.iters, 5);
+        assert!(!r.per_iter.is_zero());
+        assert!(matches!(
+            fs.stat("/cd_test_000"),
+            Err(renofs::client::ClientError::Nfs(renofs::NfsStatus::NoEnt))
+        ));
+    }
+
+    #[test]
+    fn bigger_files_take_longer() {
+        let mut fs = client(ClientConfig::reno());
+        let r0 = create_delete_nfs(&mut fs, 0, 5).unwrap();
+        let r100 = create_delete_nfs(&mut fs, 102_400, 5).unwrap();
+        assert!(r100.per_iter > r0.per_iter * 2);
+    }
+
+    #[test]
+    fn noconsist_much_faster_at_100k() {
+        let mut consist = client(ClientConfig::reno());
+        let mut nocon = client(ClientConfig::reno_noconsist());
+        let rc = create_delete_nfs(&mut consist, 102_400, 5).unwrap();
+        let rn = create_delete_nfs(&mut nocon, 102_400, 5).unwrap();
+        assert!(
+            rn.per_iter.as_nanos() * 2 < rc.per_iter.as_nanos(),
+            "noconsist {:?} should be far below consistent {:?}",
+            rn.per_iter,
+            rc.per_iter
+        );
+    }
+
+    #[test]
+    fn local_baseline_scales_with_size() {
+        let server = NfsServer::new(ServerConfig::reno(), SimTime::ZERO);
+        let mut lb = Loopback::new(server);
+        let r0 = create_delete_local(&mut lb, 0, 10);
+        let r100 = create_delete_local(&mut lb, 102_400, 10);
+        assert!(r100.per_iter > r0.per_iter);
+    }
+}

@@ -1,0 +1,20 @@
+//! The paper's three benchmarks, reimplemented.
+//!
+//! - [`nhfsstone`]: an Nhfsstone-like NFS RPC load generator — target op
+//!   rate, configurable mix, with both appendix caveats implemented
+//!   (long file names that defeat 31-character name caches, and subtree
+//!   preloading so reads are not of empty files).
+//! - [`andrew`]: the Modified Andrew Benchmark — a synthetic source tree
+//!   run through the five phases (make directories, copy, stat all,
+//!   read all, compile).
+//! - [`createdelete`]: the Ousterhout Create-Delete benchmark at
+//!   0 / 10 K / 100 K bytes, against NFS mounts and a local-disk
+//!   baseline.
+
+pub mod andrew;
+pub mod createdelete;
+pub mod nhfsstone;
+
+pub use andrew::{preload_andrew_source, AndrewReport, AndrewSpec};
+pub use createdelete::{create_delete_local, create_delete_nfs, CreateDeleteReport};
+pub use nhfsstone::{LoadMix, NhfsstoneConfig, NhfsstoneReport, OpSample};

@@ -1,0 +1,366 @@
+//! External Data Representation (XDR, RFC 1014) directly over mbuf chains.
+//!
+//! The Sun reference port of NFS ran a ported user-mode RPC/XDR library
+//! inside the kernel; the 4.3BSD Reno implementation instead encodes and
+//! decodes RPC messages *in place* in mbuf data areas with the
+//! `nfsm_build` / `nfsm_disect` macros, avoiding an intermediate buffer
+//! that would have to be copied into an mbuf list. [`XdrEncoder`] and
+//! [`XdrDecoder`] are the Rust equivalents: the encoder appends XDR units
+//! straight onto an [`MbufChain`], the decoder reads them through a
+//! [`Cursor`] without flattening the chain.
+//!
+//! All XDR items occupy a multiple of 4 bytes; integers are big-endian.
+
+use std::fmt;
+
+use renofs_mbuf::{CopyMeter, Cursor, MbufChain};
+
+/// Decoding failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XdrError {
+    /// The message ended before the item was complete (a garbled RPC).
+    Truncated,
+    /// A length field exceeded the caller's stated maximum.
+    TooLong {
+        /// The length found on the wire.
+        got: u32,
+        /// The caller's maximum.
+        max: u32,
+    },
+    /// A discriminant or boolean had an out-of-range value.
+    Invalid,
+    /// A string was not valid UTF-8 (the simulation generates only ASCII
+    /// names, so this indicates corruption).
+    BadString,
+}
+
+impl fmt::Display for XdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XdrError::Truncated => write!(f, "XDR item truncated"),
+            XdrError::TooLong { got, max } => {
+                write!(f, "XDR length {got} exceeds maximum {max}")
+            }
+            XdrError::Invalid => write!(f, "invalid XDR discriminant"),
+            XdrError::BadString => write!(f, "XDR string is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for XdrError {}
+
+/// Result alias for decoding.
+pub type Result<T> = std::result::Result<T, XdrError>;
+
+fn pad_len(n: usize) -> usize {
+    (4 - (n % 4)) % 4
+}
+
+/// Appends XDR items onto an mbuf chain (the `nfsm_build` role).
+///
+/// # Examples
+///
+/// ```
+/// use renofs_mbuf::{CopyMeter, MbufChain};
+/// use renofs_xdr::{XdrDecoder, XdrEncoder};
+///
+/// let mut meter = CopyMeter::new();
+/// let mut chain = MbufChain::new();
+/// let mut enc = XdrEncoder::new(&mut chain, &mut meter);
+/// enc.put_u32(7);
+/// enc.put_string("file.txt");
+/// let mut dec = XdrDecoder::new(&chain);
+/// assert_eq!(dec.get_u32().unwrap(), 7);
+/// assert_eq!(dec.get_string(255).unwrap(), "file.txt");
+/// ```
+pub struct XdrEncoder<'a> {
+    chain: &'a mut MbufChain,
+    meter: &'a mut CopyMeter,
+}
+
+impl<'a> XdrEncoder<'a> {
+    /// Wraps a chain for appending.
+    pub fn new(chain: &'a mut MbufChain, meter: &'a mut CopyMeter) -> Self {
+        XdrEncoder { chain, meter }
+    }
+
+    /// Encodes an unsigned 32-bit integer.
+    pub fn put_u32(&mut self, v: u32) {
+        self.chain.append_bytes(&v.to_be_bytes(), self.meter);
+    }
+
+    /// Encodes a signed 32-bit integer.
+    pub fn put_i32(&mut self, v: i32) {
+        self.put_u32(v as u32);
+    }
+
+    /// Encodes an unsigned 64-bit integer (XDR hyper).
+    pub fn put_u64(&mut self, v: u64) {
+        self.chain.append_bytes(&v.to_be_bytes(), self.meter);
+    }
+
+    /// Encodes a boolean as 0/1.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u32(v as u32);
+    }
+
+    /// Encodes fixed-length opaque data, padding to 4 bytes.
+    pub fn put_opaque_fixed(&mut self, data: &[u8]) {
+        self.chain.append_bytes(data, self.meter);
+        let pad = pad_len(data.len());
+        if pad > 0 {
+            self.chain.append_bytes(&[0u8; 3][..pad], self.meter);
+        }
+    }
+
+    /// Encodes variable-length opaque data (length prefix + padding).
+    pub fn put_opaque_var(&mut self, data: &[u8]) {
+        self.put_u32(data.len() as u32);
+        self.put_opaque_fixed(data);
+    }
+
+    /// Encodes a counted string.
+    pub fn put_string(&mut self, s: &str) {
+        self.put_opaque_var(s.as_bytes());
+    }
+
+    /// Appends a whole chain as the opaque *body* of a variable-length
+    /// item without copying cluster data — this is how an NFS read reply
+    /// carries file data: length word, then the loaned/cat'ed data chain,
+    /// then padding.
+    pub fn put_opaque_chain(&mut self, data: MbufChain) {
+        let len = data.len();
+        self.put_u32(len as u32);
+        self.chain.append_chain(data);
+        let pad = pad_len(len);
+        if pad > 0 {
+            self.chain.append_bytes(&[0u8; 3][..pad], self.meter);
+        }
+    }
+}
+
+/// Reads XDR items from an mbuf chain (the `nfsm_disect` role).
+pub struct XdrDecoder<'a> {
+    cursor: Cursor<'a>,
+}
+
+impl<'a> XdrDecoder<'a> {
+    /// Wraps a chain for reading from its start.
+    pub fn new(chain: &'a MbufChain) -> Self {
+        XdrDecoder {
+            cursor: Cursor::new(chain),
+        }
+    }
+
+    /// Wraps an existing cursor (e.g. positioned past the RPC header).
+    pub fn from_cursor(cursor: Cursor<'a>) -> Self {
+        XdrDecoder { cursor }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.cursor.remaining()
+    }
+
+    /// Current byte position.
+    pub fn position(&self) -> usize {
+        self.cursor.position()
+    }
+
+    /// Consumes the decoder, returning the underlying cursor.
+    pub fn into_cursor(self) -> Cursor<'a> {
+        self.cursor
+    }
+
+    /// Decodes an unsigned 32-bit integer.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        self.cursor.read_u32().map_err(|_| XdrError::Truncated)
+    }
+
+    /// Decodes a signed 32-bit integer.
+    pub fn get_i32(&mut self) -> Result<i32> {
+        Ok(self.get_u32()? as i32)
+    }
+
+    /// Decodes an unsigned 64-bit integer.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.cursor
+            .read_exact(&mut b)
+            .map_err(|_| XdrError::Truncated)?;
+        Ok(u64::from_be_bytes(b))
+    }
+
+    /// Decodes a boolean; values other than 0/1 are invalid.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u32()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(XdrError::Invalid),
+        }
+    }
+
+    /// Decodes `n` bytes of fixed opaque data, consuming padding.
+    pub fn get_opaque_fixed(&mut self, n: usize) -> Result<Vec<u8>> {
+        let data = self.cursor.read_vec(n).map_err(|_| XdrError::Truncated)?;
+        self.cursor
+            .skip(pad_len(n))
+            .map_err(|_| XdrError::Truncated)?;
+        Ok(data)
+    }
+
+    /// Decodes variable opaque data, rejecting lengths above `max`.
+    pub fn get_opaque_var(&mut self, max: u32) -> Result<Vec<u8>> {
+        let len = self.get_u32()?;
+        if len > max {
+            return Err(XdrError::TooLong { got: len, max });
+        }
+        self.get_opaque_fixed(len as usize)
+    }
+
+    /// Decodes a counted string, rejecting lengths above `max`.
+    pub fn get_string(&mut self, max: u32) -> Result<String> {
+        let bytes = self.get_opaque_var(max)?;
+        String::from_utf8(bytes).map_err(|_| XdrError::BadString)
+    }
+
+    /// Skips one variable opaque item, returning its length.
+    pub fn skip_opaque_var(&mut self, max: u32) -> Result<usize> {
+        let len = self.get_u32()?;
+        if len > max {
+            return Err(XdrError::TooLong { got: len, max });
+        }
+        let total = len as usize + pad_len(len as usize);
+        self.cursor.skip(total).map_err(|_| XdrError::Truncated)?;
+        Ok(len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(f: impl FnOnce(&mut XdrEncoder<'_>)) -> MbufChain {
+        let mut meter = CopyMeter::new();
+        let mut chain = MbufChain::new();
+        let mut enc = XdrEncoder::new(&mut chain, &mut meter);
+        f(&mut enc);
+        chain
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let chain = encode(|e| {
+            e.put_u32(0);
+            e.put_u32(u32::MAX);
+            e.put_u32(0xDEAD_BEEF);
+        });
+        assert_eq!(chain.len(), 12, "three XDR units");
+        let mut d = XdrDecoder::new(&chain);
+        assert_eq!(d.get_u32().unwrap(), 0);
+        assert_eq!(d.get_u32().unwrap(), u32::MAX);
+        assert_eq!(d.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.get_u32(), Err(XdrError::Truncated));
+    }
+
+    #[test]
+    fn i32_and_u64_round_trip() {
+        let chain = encode(|e| {
+            e.put_i32(-1);
+            e.put_i32(i32::MIN);
+            e.put_u64(0x0123_4567_89AB_CDEF);
+        });
+        let mut d = XdrDecoder::new(&chain);
+        assert_eq!(d.get_i32().unwrap(), -1);
+        assert_eq!(d.get_i32().unwrap(), i32::MIN);
+        assert_eq!(d.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn bool_round_trip_and_validation() {
+        let chain = encode(|e| {
+            e.put_bool(true);
+            e.put_bool(false);
+            e.put_u32(2);
+        });
+        let mut d = XdrDecoder::new(&chain);
+        assert!(d.get_bool().unwrap());
+        assert!(!d.get_bool().unwrap());
+        assert_eq!(d.get_bool(), Err(XdrError::Invalid));
+    }
+
+    #[test]
+    fn opaque_padding_alignment() {
+        for n in 0..9usize {
+            let data: Vec<u8> = (0..n as u8).collect();
+            let chain = encode(|e| {
+                e.put_opaque_var(&data);
+                e.put_u32(0xCAFE);
+            });
+            assert_eq!(chain.len() % 4, 0, "XDR stream stays aligned (n={n})");
+            let mut d = XdrDecoder::new(&chain);
+            assert_eq!(d.get_opaque_var(64).unwrap(), data);
+            assert_eq!(d.get_u32().unwrap(), 0xCAFE, "marker after pad (n={n})");
+        }
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let chain = encode(|e| e.put_string("hello.c"));
+        let mut d = XdrDecoder::new(&chain);
+        assert_eq!(d.get_string(255).unwrap(), "hello.c");
+    }
+
+    #[test]
+    fn length_limit_enforced() {
+        let chain = encode(|e| e.put_opaque_var(&[0u8; 100]));
+        let mut d = XdrDecoder::new(&chain);
+        assert_eq!(
+            d.get_opaque_var(64),
+            Err(XdrError::TooLong { got: 100, max: 64 })
+        );
+    }
+
+    #[test]
+    fn truncated_opaque_detected() {
+        let chain = encode(|e| e.put_u32(1000));
+        let mut d = XdrDecoder::new(&chain);
+        assert_eq!(d.get_opaque_var(2000), Err(XdrError::Truncated));
+    }
+
+    #[test]
+    fn skip_opaque_var_advances_correctly() {
+        let chain = encode(|e| {
+            e.put_opaque_var(b"abcde");
+            e.put_u32(42);
+        });
+        let mut d = XdrDecoder::new(&chain);
+        assert_eq!(d.skip_opaque_var(255).unwrap(), 5);
+        assert_eq!(d.get_u32().unwrap(), 42);
+    }
+
+    #[test]
+    fn opaque_chain_shares_data() {
+        let mut meter = CopyMeter::new();
+        let payload = vec![0xABu8; 8192];
+        let data_chain = MbufChain::from_slice(&payload, &mut meter);
+        meter.take();
+        let mut chain = MbufChain::new();
+        let mut enc = XdrEncoder::new(&mut chain, &mut meter);
+        enc.put_u32(99);
+        enc.put_opaque_chain(data_chain);
+        // Only the two u32s were copied; the 8K rode along by reference.
+        assert!(meter.bytes() < 16, "metered {} bytes", meter.bytes());
+        let mut d = XdrDecoder::new(&chain);
+        assert_eq!(d.get_u32().unwrap(), 99);
+        assert_eq!(d.get_opaque_var(16384).unwrap(), payload);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(XdrError::Truncated.to_string(), "XDR item truncated");
+        assert!(XdrError::TooLong { got: 9, max: 4 }
+            .to_string()
+            .contains("exceeds"));
+    }
+}

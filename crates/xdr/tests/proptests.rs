@@ -1,0 +1,77 @@
+//! Property tests: XDR encode ∘ decode is the identity.
+
+use proptest::prelude::*;
+use renofs_mbuf::{CopyMeter, MbufChain};
+use renofs_xdr::{XdrDecoder, XdrEncoder};
+
+/// A recorded XDR item so a random sequence can be replayed on decode.
+#[derive(Clone, Debug)]
+enum Item {
+    U32(u32),
+    I32(i32),
+    U64(u64),
+    Bool(bool),
+    OpaqueVar(Vec<u8>),
+    Str(String),
+}
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        any::<u32>().prop_map(Item::U32),
+        any::<i32>().prop_map(Item::I32),
+        any::<u64>().prop_map(Item::U64),
+        any::<bool>().prop_map(Item::Bool),
+        proptest::collection::vec(any::<u8>(), 0..512).prop_map(Item::OpaqueVar),
+        "[a-zA-Z0-9_.]{0,64}".prop_map(Item::Str),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_identity(items in proptest::collection::vec(item_strategy(), 0..40)) {
+        let mut meter = CopyMeter::new();
+        let mut chain = MbufChain::new();
+        {
+            let mut enc = XdrEncoder::new(&mut chain, &mut meter);
+            for item in &items {
+                match item {
+                    Item::U32(v) => enc.put_u32(*v),
+                    Item::I32(v) => enc.put_i32(*v),
+                    Item::U64(v) => enc.put_u64(*v),
+                    Item::Bool(v) => enc.put_bool(*v),
+                    Item::OpaqueVar(v) => enc.put_opaque_var(v),
+                    Item::Str(s) => enc.put_string(s),
+                }
+            }
+        }
+        prop_assert_eq!(chain.len() % 4, 0, "stream always 4-aligned");
+        let mut dec = XdrDecoder::new(&chain);
+        for item in &items {
+            match item {
+                Item::U32(v) => prop_assert_eq!(dec.get_u32().unwrap(), *v),
+                Item::I32(v) => prop_assert_eq!(dec.get_i32().unwrap(), *v),
+                Item::U64(v) => prop_assert_eq!(dec.get_u64().unwrap(), *v),
+                Item::Bool(v) => prop_assert_eq!(dec.get_bool().unwrap(), *v),
+                Item::OpaqueVar(v) => prop_assert_eq!(&dec.get_opaque_var(1024).unwrap(), v),
+                Item::Str(s) => prop_assert_eq!(&dec.get_string(255).unwrap(), s),
+            }
+        }
+        prop_assert_eq!(dec.remaining(), 0, "no trailing bytes");
+    }
+
+    #[test]
+    fn truncation_always_detected(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut meter = CopyMeter::new();
+        let mut chain = MbufChain::new();
+        XdrEncoder::new(&mut chain, &mut meter).put_opaque_var(&data);
+        let full = chain.len();
+        let cut = (full as f64 * cut_frac) as usize;
+        chain.trim_back(full - cut);
+        let mut dec = XdrDecoder::new(&chain);
+        // Either the length word itself or the payload is incomplete.
+        prop_assert!(dec.get_opaque_var(512).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Section 5 in action: what the mtime-based consistency machinery
+//! costs, and what the experimental `noconsist` mount flag buys.
+//!
+//! Runs the same write-then-read workload under three mount
+//! configurations and prints the RPC bill for each — the mechanism
+//! behind the paper's Table 3 differences.
+//!
+//! ```sh
+//! cargo run --example cache_consistency
+//! ```
+
+use renofs_repro::renofs::client::{ClientConfig, ClientFs};
+use renofs_repro::renofs::{NfsProc, RpcCounts, Syscalls, World, WorldConfig};
+
+fn workload(cfg: ClientConfig) -> (RpcCounts, f64) {
+    let mut world = World::new(WorldConfig::baseline());
+    let root = world.root_handle();
+    let (tx, rx) = std::sync::mpsc::channel();
+    world.spawn(move |sys| {
+        let mut fs = ClientFs::mount(sys, cfg, root, "client");
+        let t0 = fs.sys().now();
+        // Edit-compile-ish loop: write a file, read it back, repeat.
+        for round in 0..5u32 {
+            let fh = fs.open("/work.c", true, false).expect("open");
+            let body = vec![b'a' + (round % 26) as u8; 24 * 1024];
+            fs.write(fh, 0, &body).expect("write");
+            fs.close(fh).expect("close");
+            // "Compile": read the file back.
+            let fh = fs.open("/work.c", false, false).expect("reopen");
+            let back = fs.read(fh, 0, 24 * 1024).expect("read");
+            assert_eq!(back.len(), 24 * 1024);
+            assert!(back.iter().all(|&b| b == b'a' + (round % 26) as u8));
+            fs.close(fh).expect("close");
+        }
+        fs.sync().expect("flush stragglers");
+        let elapsed = fs.sys().now().since(t0).as_secs_f64();
+        let _ = tx.send((fs.counts(), elapsed));
+    });
+    world.run();
+    rx.recv().expect("done")
+}
+
+fn main() {
+    println!("Five write-24K-then-read-back rounds over simulated NFS.\n");
+    println!(
+        "{:<16} {:>7} {:>7} {:>8} {:>8} {:>9} {:>9}",
+        "mount", "reads", "writes", "lookups", "getattrs", "total", "time (s)"
+    );
+    for (label, cfg) in [
+        ("Reno", ClientConfig::reno()),
+        ("Reno-noconsist", ClientConfig::reno_noconsist()),
+        ("Ultrix-model", ClientConfig::ultrix()),
+    ] {
+        let (c, secs) = workload(cfg);
+        println!(
+            "{:<16} {:>7} {:>7} {:>8} {:>8} {:>9} {:>9.1}",
+            label,
+            c.count(NfsProc::Read),
+            c.count(NfsProc::Write),
+            c.count(NfsProc::Lookup),
+            c.count(NfsProc::Getattr),
+            c.total(),
+            secs,
+        );
+    }
+    println!();
+    println!("Reno pushes dirty blocks before reading and flushes its cache when the");
+    println!("mtime moves (it cannot tell its own writes from another client's), so it");
+    println!("re-reads data it just wrote. noconsist trusts the cache: far fewer RPCs —");
+    println!("the paper's optimistic bound on what a cache-consistency protocol buys.");
+}

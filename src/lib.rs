@@ -1,0 +1,15 @@
+//! Umbrella crate for the RenoFS reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency. See the README for the
+//! architecture overview and `DESIGN.md` for the full system inventory.
+
+pub use renofs;
+pub use renofs_mbuf as mbuf;
+pub use renofs_netsim as netsim;
+pub use renofs_sim as sim;
+pub use renofs_sunrpc as sunrpc;
+pub use renofs_transport as transport;
+pub use renofs_vfs as vfs;
+pub use renofs_workload as workload;
+pub use renofs_xdr as xdr;

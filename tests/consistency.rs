@@ -1,0 +1,153 @@
+//! Close/open consistency and multi-client sharing semantics over the
+//! full simulated stack.
+
+use renofs_repro::renofs::client::{ClientConfig, ClientFs};
+use renofs_repro::renofs::{Syscalls, World, WorldConfig};
+use renofs_repro::sim::SimDuration;
+
+/// Two clients on the same mount point: writer closes, reader opens —
+/// the paper's close/open consistency guarantee.
+#[test]
+fn close_open_consistency_between_clients() {
+    let mut world = World::new(WorldConfig::baseline());
+    let root = world.root_handle();
+    // Writer, then reader, strictly ordered through a channel pair.
+    let (wtx, wrx) = std::sync::mpsc::channel::<()>();
+    let (rtx, rrx) = std::sync::mpsc::channel();
+    world.spawn(move |sys| {
+        let mut fs = ClientFs::mount(&mut *sys, ClientConfig::reno(), root, "writer");
+        fs.set_xid_base(0x1000_0000);
+        let fh = fs.open("/shared.txt", true, false).unwrap();
+        fs.write(fh, 0, b"committed at close").unwrap();
+        fs.close(fh).unwrap();
+        // Signal the reader only after close returned.
+        let _ = wtx.send(());
+    });
+    world.spawn(move |sys| {
+        // Wait (in virtual time) until the writer closed.
+        while wrx.try_recv().is_err() {
+            sys.sleep(SimDuration::from_millis(50));
+        }
+        let mut fs = ClientFs::mount(&mut *sys, ClientConfig::reno(), root, "reader");
+        fs.set_xid_base(0x2000_0000);
+        let fh = fs.open("/shared.txt", false, false).unwrap();
+        let data = fs.read(fh, 0, 100).unwrap();
+        let _ = rtx.send(data);
+    });
+    world.run();
+    assert_eq!(
+        rrx.recv().unwrap(),
+        b"committed at close",
+        "a client opening after another's close sees the writes"
+    );
+}
+
+/// Without push-on-close, a second client may see stale data — the
+/// sharing hazard the noconsist flag accepts.
+#[test]
+fn nopush_breaks_close_open_consistency() {
+    let mut world = World::new(WorldConfig::baseline());
+    let root = world.root_handle();
+    let (wtx, wrx) = std::sync::mpsc::channel::<()>();
+    let (rtx, rrx) = std::sync::mpsc::channel();
+    world.spawn(move |sys| {
+        let mut fs = ClientFs::mount(&mut *sys, ClientConfig::reno_noconsist(), root, "writer");
+        fs.set_xid_base(0x1000_0000);
+        let fh = fs.open("/lazy.txt", true, false).unwrap();
+        fs.write(fh, 0, b"still only in my cache").unwrap();
+        fs.close(fh).unwrap(); // noconsist: nothing pushed
+        let _ = wtx.send(());
+        // Push eventually (the 30-second sync).
+        fs.sys().sleep(SimDuration::from_secs(2));
+        fs.sync().unwrap();
+    });
+    world.spawn(move |sys| {
+        while wrx.try_recv().is_err() {
+            sys.sleep(SimDuration::from_millis(50));
+        }
+        let mut fs = ClientFs::mount(&mut *sys, ClientConfig::reno(), root, "reader");
+        fs.set_xid_base(0x2000_0000);
+        let fh = fs.open("/lazy.txt", false, false).unwrap();
+        let data = fs.read(fh, 0, 100).unwrap();
+        let _ = rtx.send(data);
+    });
+    world.run();
+    let seen = rrx.recv().unwrap();
+    assert!(
+        seen.is_empty(),
+        "reader right after close sees an empty file: the write was not pushed, got {seen:?}"
+    );
+}
+
+/// A reader polling a file eventually observes another client's write
+/// (attribute timeout + mtime check), without any callback machinery.
+#[test]
+fn mtime_polling_sees_remote_writes() {
+    let mut world = World::new(WorldConfig::baseline());
+    let root = world.root_handle();
+    let (tx, rx) = std::sync::mpsc::channel();
+    world.spawn(move |sys| {
+        let mut fs = ClientFs::mount(&mut *sys, ClientConfig::reno(), root, "writer");
+        fs.set_xid_base(0x1000_0000);
+        let fh = fs.open("/feed.log", true, false).unwrap();
+        fs.write(fh, 0, b"v1").unwrap();
+        fs.close(fh).unwrap();
+        fs.sys().sleep(SimDuration::from_secs(20));
+        let fh = fs.open("/feed.log", false, false).unwrap();
+        fs.write(fh, 0, b"v2").unwrap();
+        fs.close(fh).unwrap();
+    });
+    world.spawn(move |sys| {
+        sys.sleep(SimDuration::from_secs(5));
+        let mut fs = ClientFs::mount(&mut *sys, ClientConfig::reno(), root, "reader");
+        fs.set_xid_base(0x2000_0000);
+        let fh = fs.open("/feed.log", false, false).unwrap();
+        let first = fs.read(fh, 0, 10).unwrap();
+        // Poll until the content changes; the 5s attribute timeout
+        // bounds the staleness.
+        let mut last = first.clone();
+        for _ in 0..20 {
+            fs.sys().sleep(SimDuration::from_secs(3));
+            last = fs.read(fh, 0, 10).unwrap();
+            if last != first {
+                break;
+            }
+        }
+        let _ = tx.send((first, last));
+    });
+    world.run();
+    let (first, last) = rx.recv().unwrap();
+    assert_eq!(first, b"v1");
+    assert_eq!(last, b"v2", "mtime check invalidated the cached block");
+}
+
+/// The stateless server: a crash/reboot in the middle of a workload is
+/// invisible to the client beyond latency — file handles stay valid.
+#[test]
+fn server_reboot_is_transparent() {
+    let mut world = World::new(WorldConfig::baseline());
+    let root = world.root_handle();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let (half_tx, half_rx) = std::sync::mpsc::channel::<()>();
+    world.spawn(move |sys| {
+        let mut fs = ClientFs::mount(&mut *sys, ClientConfig::reno(), root, "client");
+        let fh = fs.open("/persist.bin", true, false).unwrap();
+        fs.write(fh, 0, &vec![7u8; 20_000]).unwrap();
+        fs.close(fh).unwrap();
+        let _ = half_tx.send(());
+        // Give the reboot a moment, then keep using the same handle.
+        fs.sys().sleep(SimDuration::from_secs(1));
+        let data = fs.read(fh, 0, 20_000).unwrap();
+        let _ = tx.send(data.len());
+    });
+    // Run until the first half is done, reboot the server, continue.
+    loop {
+        world.run_until(world.now() + SimDuration::from_millis(200));
+        if half_rx.try_recv().is_ok() {
+            break;
+        }
+    }
+    world.server_mut().reboot();
+    world.run();
+    assert_eq!(rx.recv().unwrap(), 20_000, "handles survive the reboot");
+}
