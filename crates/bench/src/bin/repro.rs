@@ -1,7 +1,7 @@
 //! The experiment runner: one subcommand per paper table/figure.
 //!
 //! ```text
-//! repro <experiment> [--quick]
+//! repro <experiment> [--quick | --scale quick|paper] [--jobs N]
 //!
 //! experiments:
 //!   graph1..graph5   RTT vs load per transport and topology
@@ -17,95 +17,160 @@
 //!   ablation-readdirplus
 //!   all              everything above
 //! ```
+//!
+//! `--jobs N` sets the worker-thread count for the parallel job runner
+//! (default: all hardware threads). Results are byte-identical on
+//! stdout for any `--jobs` value; per-experiment wall-clock timing goes
+//! to stderr so it never perturbs the comparable output.
+
+use std::time::Instant;
 
 use renofs_bench::experiments::{ablations, cd, cpu, mab, servercmp, trace, transport};
 use renofs_bench::Scale;
 use renofs_workload::andrew::AndrewSpec;
 
-fn main() {
+fn usage() -> ! {
+    eprintln!("usage: repro <experiment|all> [--quick | --scale quick|paper] [--jobs N]");
+    eprintln!("run `repro all --quick` for the fast version of everything");
+    std::process::exit(2);
+}
+
+struct Options {
+    what: String,
+    quick: bool,
+    jobs: usize,
+}
+
+fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
-    let scale = if quick {
+    let mut what = None;
+    let mut quick = false;
+    let mut jobs = renofs_bench::runner::default_jobs();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--scale" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("quick") => quick = true,
+                    Some("paper") => quick = false,
+                    _ => usage(),
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => usage(),
+                };
+            }
+            "--help" | "-h" => usage(),
+            _ if a.starts_with("--") => usage(),
+            _ => {
+                if what.replace(a.clone()).is_some() {
+                    usage();
+                }
+            }
+        }
+        i += 1;
+    }
+    Options {
+        what: what.unwrap_or_else(|| "all".to_string()),
+        quick,
+        jobs,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut scale = if opts.quick {
         Scale::quick()
     } else {
         Scale::paper()
     };
-    let spec = if quick {
+    scale.jobs = opts.jobs;
+    let spec = if opts.quick {
         AndrewSpec::small()
     } else {
         AndrewSpec::standard()
     };
-    let run = |name: &str| what == name || what == "all";
+    let jobs = opts.jobs;
 
-    if run("graph1") {
-        println!("{}\n", transport::graph1(&scale));
+    // The dispatch table: every experiment renders to a string so the
+    // timing line can bracket exactly the compute, not the printing.
+    type Runner<'a> = Box<dyn Fn() -> String + 'a>;
+    let experiments: Vec<(&str, Runner)> = vec![
+        ("graph1", Box::new(|| transport::graph1(&scale).to_string())),
+        ("graph2", Box::new(|| transport::graph2(&scale).to_string())),
+        ("graph3", Box::new(|| transport::graph3(&scale).to_string())),
+        ("graph4", Box::new(|| transport::graph4(&scale).to_string())),
+        ("graph5", Box::new(|| transport::graph5(&scale).to_string())),
+        ("table1", Box::new(|| transport::table1(&scale).to_string())),
+        ("graph6", Box::new(|| cpu::graph6(&scale).to_string())),
+        ("graph7", Box::new(|| trace::graph7(&scale).to_string())),
+        ("graph8", Box::new(|| servercmp::graph8(&scale).to_string())),
+        ("graph9", Box::new(|| servercmp::graph9(&scale).to_string())),
+        ("table2", Box::new(|| mab::table2(&spec, jobs).to_string())),
+        ("table3", Box::new(|| mab::table3(&spec, jobs).to_string())),
+        ("table4", Box::new(|| mab::table4(&spec, jobs).to_string())),
+        ("table5", Box::new(|| cd::table5(&scale).to_string())),
+        ("section3", Box::new(|| cpu::section3(&scale).to_string())),
+        (
+            "ablation-rto",
+            Box::new(|| ablations::ablation_rto(&scale).to_string()),
+        ),
+        (
+            "ablation-slowstart",
+            Box::new(|| ablations::ablation_slowstart(&scale).to_string()),
+        ),
+        (
+            "ablation-namelen",
+            Box::new(|| ablations::ablation_namelen(&scale).to_string()),
+        ),
+        (
+            "ablation-preload",
+            Box::new(|| ablations::ablation_preload(&scale).to_string()),
+        ),
+        (
+            "ablation-rsize",
+            Box::new(|| ablations::ablation_rsize(&scale).to_string()),
+        ),
+        (
+            "ablation-readahead",
+            Box::new(|| ablations::ablation_readahead(&scale).to_string()),
+        ),
+        (
+            "ablation-readdirplus",
+            Box::new(|| ablations::ablation_readdirplus(&scale).to_string()),
+        ),
+    ];
+
+    if opts.what != "all" && !experiments.iter().any(|(n, _)| *n == opts.what) {
+        eprintln!("unknown experiment: {}", opts.what);
+        usage();
     }
-    if run("graph2") {
-        println!("{}\n", transport::graph2(&scale));
+
+    let total = Instant::now();
+    let mut ran = 0;
+    for (name, exp) in &experiments {
+        if opts.what != "all" && *name != opts.what {
+            continue;
+        }
+        let t0 = Instant::now();
+        let output = exp();
+        eprintln!(
+            "[repro] {name}: {:.2}s (jobs={jobs})",
+            t0.elapsed().as_secs_f64()
+        );
+        println!("{output}\n");
+        ran += 1;
     }
-    if run("graph3") {
-        println!("{}\n", transport::graph3(&scale));
-    }
-    if run("graph4") {
-        println!("{}\n", transport::graph4(&scale));
-    }
-    if run("graph5") {
-        println!("{}\n", transport::graph5(&scale));
-    }
-    if run("table1") {
-        println!("{}\n", transport::table1(&scale));
-    }
-    if run("graph6") {
-        println!("{}\n", cpu::graph6(&scale));
-    }
-    if run("graph7") {
-        println!("{}\n", trace::graph7(&scale));
-    }
-    if run("graph8") {
-        println!("{}\n", servercmp::graph8(&scale));
-    }
-    if run("graph9") {
-        println!("{}\n", servercmp::graph9(&scale));
-    }
-    if run("table2") {
-        println!("{}\n", mab::table2(&spec));
-    }
-    if run("table3") {
-        println!("{}\n", mab::table3(&spec));
-    }
-    if run("table4") {
-        println!("{}\n", mab::table4(&spec));
-    }
-    if run("table5") {
-        println!("{}\n", cd::table5(&scale));
-    }
-    if run("section3") {
-        println!("{}\n", cpu::section3(&scale));
-    }
-    if run("ablation-rto") {
-        println!("{}\n", ablations::ablation_rto(&scale));
-    }
-    if run("ablation-slowstart") {
-        println!("{}\n", ablations::ablation_slowstart(&scale));
-    }
-    if run("ablation-namelen") {
-        println!("{}\n", ablations::ablation_namelen(&scale));
-    }
-    if run("ablation-preload") {
-        println!("{}\n", ablations::ablation_preload(&scale));
-    }
-    if run("ablation-rsize") {
-        println!("{}\n", ablations::ablation_rsize(&scale));
-    }
-    if run("ablation-readahead") {
-        println!("{}\n", ablations::ablation_readahead(&scale));
-    }
-    if run("ablation-readdirplus") {
-        println!("{}\n", ablations::ablation_readdirplus(&scale));
+    if ran > 1 {
+        eprintln!(
+            "[repro] total: {:.2}s (jobs={jobs})",
+            total.elapsed().as_secs_f64()
+        );
     }
 }

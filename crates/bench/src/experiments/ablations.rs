@@ -12,6 +12,7 @@ use renofs_workload::nhfsstone::{self, LoadMix, NhfsstoneConfig};
 
 use super::world_for;
 use crate::fmt::table;
+use crate::runner::run_jobs;
 use crate::Scale;
 
 /// Generic ablation output: labeled rows of named measurements.
@@ -92,13 +93,13 @@ fn udp_run(
 /// send time. The paper's fixes came from read retry rates 2–4x too
 /// high with A+2D.
 pub fn ablation_rto(scale: &Scale) -> Ablation {
-    let mut rows = Vec::new();
-    for (label, big_mult, recalc) in [
+    let configs = [
         ("A+2D, at send", 2.0, false),
         ("A+2D, each tick", 2.0, true),
         ("A+4D, at send", 4.0, false),
         ("A+4D, each tick (paper)", 4.0, true),
-    ] {
+    ];
+    let rows = run_jobs(&configs, scale.jobs, |&(label, big_mult, recalc)| {
         let udp = UdpRpcConfig {
             policy: RtoPolicy::Dynamic {
                 big_mult,
@@ -119,8 +120,8 @@ pub fn ablation_rto(scale: &Scale) -> Ablation {
             0xAB10,
         );
         let retry_rate = retrans as f64 / calls.max(1) as f64;
-        rows.push((label.to_string(), vec![rtt, rate, retry_rate * 100.0]));
-    }
+        (label.to_string(), vec![rtt, rate, retry_rate * 100.0])
+    });
     Ablation {
         title: "Ablation: RTO multiplier and recalculation (token-ring path, 50/50 mix)".into(),
         columns: vec!["rtt ms".into(), "achieved/s".into(), "retry %".into()],
@@ -131,8 +132,8 @@ pub fn ablation_rto(scale: &Scale) -> Ablation {
 /// The slow-start ablation: the paper removed slow start from the UDP
 /// congestion window because it hurt performance.
 pub fn ablation_slowstart(scale: &Scale) -> Ablation {
-    let mut rows = Vec::new();
-    for (label, slow_start) in [("no slow start (paper)", false), ("with slow start", true)] {
+    let configs = [("no slow start (paper)", false), ("with slow start", true)];
+    let rows = run_jobs(&configs, scale.jobs, |&(label, slow_start)| {
         let udp = UdpRpcConfig {
             slow_start,
             ..UdpRpcConfig::dynamic_paper(SimDuration::from_secs(1))
@@ -145,8 +146,8 @@ pub fn ablation_slowstart(scale: &Scale) -> Ablation {
             scale,
             0xAB20,
         );
-        rows.push((label.to_string(), vec![rtt, rate, retrans as f64]));
-    }
+        (label.to_string(), vec![rtt, rate, retrans as f64])
+    });
     Ablation {
         title: "Ablation: slow start on the UDP congestion window (56Kbps path)".into(),
         columns: vec!["rtt ms".into(), "achieved/s".into(), "retransmits".into()],
@@ -157,8 +158,8 @@ pub fn ablation_slowstart(scale: &Scale) -> Ablation {
 /// Appendix caveat 1: long Nhfsstone names defeat a 31-character name
 /// cache, biasing against servers that have one.
 pub fn ablation_namelen(scale: &Scale) -> Ablation {
-    let mut rows = Vec::new();
-    for (label, long) in [("short names (<=31)", false), ("long names (>31)", true)] {
+    let configs = [("short names (<=31)", false), ("long names (>31)", true)];
+    let rows = run_jobs(&configs, scale.jobs, |&(label, long)| {
         let mut world = world_for(
             TopologyKind::SameLan,
             TransportKind::UdpDynamic {
@@ -174,8 +175,8 @@ pub fn ablation_namelen(scale: &Scale) -> Ablation {
         cfg.long_names = long;
         let report = nhfsstone::run(&mut world, &cfg);
         let cpu_ms = world.server_host().cpu.busy_time().as_millis_f64() / report.ops.max(1) as f64;
-        rows.push((label.to_string(), vec![report.rtt_ms.mean(), cpu_ms]));
-    }
+        (label.to_string(), vec![report.rtt_ms.mean(), cpu_ms])
+    });
     Ablation {
         title: "Ablation: Nhfsstone name length vs the server name cache".into(),
         columns: vec!["lookup rtt ms".into(), "server CPU ms/rpc".into()],
@@ -186,8 +187,8 @@ pub fn ablation_namelen(scale: &Scale) -> Ablation {
 /// Appendix caveat 2: reads of empty (unpreloaded) files bias the
 /// benchmark toward unrealistically fast reads.
 pub fn ablation_preload(scale: &Scale) -> Ablation {
-    let mut rows = Vec::new();
-    for (label, preload) in [("empty files", 0u32), ("preloaded 16K", 16 * 1024)] {
+    let configs = [("empty files", 0u32), ("preloaded 16K", 16 * 1024)];
+    let rows = run_jobs(&configs, scale.jobs, |&(label, preload)| {
         let mut world = world_for(
             TopologyKind::SameLan,
             TransportKind::UdpDynamic {
@@ -202,8 +203,8 @@ pub fn ablation_preload(scale: &Scale) -> Ablation {
         cfg.nfiles = scale.nfiles;
         cfg.preload_bytes = preload;
         let report = nhfsstone::run(&mut world, &cfg);
-        rows.push((label.to_string(), vec![report.read_ms.mean()]));
-    }
+        (label.to_string(), vec![report.read_ms.mean()])
+    });
     Ablation {
         title: "Ablation: subtree preloading (reads of empty vs full files)".into(),
         columns: vec!["read rtt ms".into()],
@@ -214,8 +215,8 @@ pub fn ablation_preload(scale: &Scale) -> Ablation {
 /// The read-size knob: smaller transfers as the "last ditch" remedy for
 /// fragment loss on poor links.
 pub fn ablation_rsize(scale: &Scale) -> Ablation {
-    let mut rows = Vec::new();
-    for rsize in [1024u32, 2048, 4096, 8192] {
+    let sizes = [1024u32, 2048, 4096, 8192];
+    let rows = run_jobs(&sizes, scale.jobs, |&rsize| {
         let mut world = world_for(
             TopologyKind::SlowLink,
             TransportKind::UdpDynamic {
@@ -234,11 +235,11 @@ pub fn ablation_rsize(scale: &Scale) -> Ablation {
         let loss = net.reasm_failures as f64 / net.datagrams_sent.max(1) as f64;
         let bytes_per_sec =
             report.read_ms.count() as f64 * rsize as f64 / cfg.duration.as_secs_f64();
-        rows.push((
+        (
             format!("rsize={rsize}"),
             vec![report.read_ms.mean(), bytes_per_sec / 1024.0, loss * 100.0],
-        ));
-    }
+        )
+    });
     Ablation {
         title: "Ablation: read transfer size on the 56Kbps path".into(),
         columns: vec![
@@ -252,9 +253,9 @@ pub fn ablation_rsize(scale: &Scale) -> Ablation {
 
 /// The future-work read-ahead knob: deeper read-ahead on sequential
 /// reads (decoupling I/O, per the paper's Future Directions).
-pub fn ablation_readahead(_scale: &Scale) -> Ablation {
-    let mut rows = Vec::new();
-    for depth in [0usize, 1, 2, 4] {
+pub fn ablation_readahead(scale: &Scale) -> Ablation {
+    let depths = [0usize, 1, 2, 4];
+    let rows = run_jobs(&depths, scale.jobs, |&depth| {
         let mut wcfg = WorldConfig::baseline();
         wcfg.topology = TopologyKind::TokenRing;
         wcfg.background = Background::quiet();
@@ -300,11 +301,11 @@ pub fn ablation_readahead(_scale: &Scale) -> Ablation {
         });
         world.run();
         let elapsed = rx.recv().unwrap();
-        rows.push((
+        (
             format!("read-ahead {depth}"),
             vec![elapsed.as_millis_f64() / 1000.0],
-        ));
-    }
+        )
+    });
     Ablation {
         title: "Ablation: read-ahead depth streaming 400K over the token-ring path".into(),
         columns: vec!["elapsed s".into()],
@@ -314,9 +315,9 @@ pub fn ablation_readahead(_scale: &Scale) -> Ablation {
 
 /// The Future Directions "readdir_and_lookup_files" RPC: an ls -l style
 /// scan of a directory tree with and without the extension.
-pub fn ablation_readdirplus(_scale: &Scale) -> Ablation {
-    let mut rows = Vec::new();
-    for (label, enabled) in [("plain READDIR + LOOKUPs", false), ("READDIRLOOKUP", true)] {
+pub fn ablation_readdirplus(scale: &Scale) -> Ablation {
+    let configs = [("plain READDIR + LOOKUPs", false), ("READDIRLOOKUP", true)];
+    let rows = run_jobs(&configs, scale.jobs, |&(label, enabled)| {
         let mut wcfg = WorldConfig::baseline();
         wcfg.server.readdir_lookup = enabled;
         wcfg.seed = 0xAB70 + enabled as u64;
@@ -332,7 +333,12 @@ pub fn ablation_readdirplus(_scale: &Scale) -> Ablation {
             world
                 .server_mut()
                 .fs_mut()
-                .create(dir, &format!("entry{i:03}"), 0o644, renofs_sim::SimTime::ZERO)
+                .create(
+                    dir,
+                    &format!("entry{i:03}"),
+                    0o644,
+                    renofs_sim::SimTime::ZERO,
+                )
                 .unwrap();
         }
         let root = world.root_handle();
@@ -354,15 +360,15 @@ pub fn ablation_readdirplus(_scale: &Scale) -> Ablation {
         });
         world.run();
         let (elapsed, counts) = rx.recv().unwrap();
-        rows.push((
+        (
             label.to_string(),
             vec![
                 elapsed.as_millis_f64(),
                 counts.total() as f64,
                 counts.count(renofs::NfsProc::Lookup) as f64,
             ],
-        ));
-    }
+        )
+    });
     Ablation {
         title: "Ablation: the readdir_and_lookup_files extension (ls -l of 80 files)".into(),
         columns: vec!["elapsed ms".into(), "total RPCs".into(), "lookups".into()],

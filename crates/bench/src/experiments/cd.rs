@@ -8,6 +8,7 @@ use renofs_sim::SimDuration;
 use renofs_workload::createdelete::{create_delete_local, create_delete_nfs};
 
 use crate::fmt::table;
+use crate::runner::run_jobs;
 use crate::Scale;
 
 /// The benchmark's file sizes.
@@ -81,53 +82,52 @@ impl fmt::Display for Table5 {
     }
 }
 
-fn nfs_row(label: &str, cfg: ClientConfig, biods: usize, iters: usize) -> Table5Row {
-    let mut ms = [0.0f64; 3];
-    for (i, &bytes) in SIZES.iter().enumerate() {
-        let mut wcfg = WorldConfig::baseline();
-        wcfg.transport = TransportKind::UdpDynamic {
-            timeo: SimDuration::from_secs(1),
-        };
-        wcfg.biods = biods;
-        wcfg.seed = 500 + i as u64;
-        let mut world = World::new(wcfg);
-        let root = world.root_handle();
-        let (tx, rx) = std::sync::mpsc::channel();
-        world.spawn(move |sys| {
-            let mut fs = ClientFs::mount(sys, cfg, root, "client");
-            let r = create_delete_nfs(&mut fs, bytes, iters).expect("bench runs");
-            let _ = tx.send(r);
-        });
-        world.run();
-        ms[i] = rx.recv().unwrap().per_iter.as_millis_f64();
-    }
-    Table5Row {
-        label: label.to_string(),
-        ms,
+/// How one Table 5 row runs its Create-Delete iterations.
+enum RowKind {
+    /// The local-disk baseline.
+    Local,
+    /// NFS with a client config and biod count.
+    Nfs { cfg: ClientConfig, biods: usize },
+}
+
+/// One (row, size) cell: a single independent simulation.
+fn run_cell(kind: &RowKind, size_idx: usize, bytes: usize, iters: usize) -> f64 {
+    match kind {
+        RowKind::Local => {
+            let mut wcfg = WorldConfig::baseline();
+            wcfg.seed = 550 + size_idx as u64;
+            let mut world = World::new(wcfg);
+            let (tx, rx) = std::sync::mpsc::channel();
+            world.spawn(move |sys| {
+                let r = create_delete_local(sys, bytes, iters);
+                let _ = tx.send(r);
+            });
+            world.run();
+            rx.recv().unwrap().per_iter.as_millis_f64()
+        }
+        RowKind::Nfs { cfg, biods } => {
+            let cfg = *cfg;
+            let mut wcfg = WorldConfig::baseline();
+            wcfg.transport = TransportKind::UdpDynamic {
+                timeo: SimDuration::from_secs(1),
+            };
+            wcfg.biods = *biods;
+            wcfg.seed = 500 + size_idx as u64;
+            let mut world = World::new(wcfg);
+            let root = world.root_handle();
+            let (tx, rx) = std::sync::mpsc::channel();
+            world.spawn(move |sys| {
+                let mut fs = ClientFs::mount(sys, cfg, root, "client");
+                let r = create_delete_nfs(&mut fs, bytes, iters).expect("bench runs");
+                let _ = tx.send(r);
+            });
+            world.run();
+            rx.recv().unwrap().per_iter.as_millis_f64()
+        }
     }
 }
 
-fn local_row(iters: usize) -> Table5Row {
-    let mut ms = [0.0f64; 3];
-    for (i, &bytes) in SIZES.iter().enumerate() {
-        let mut wcfg = WorldConfig::baseline();
-        wcfg.seed = 550 + i as u64;
-        let mut world = World::new(wcfg);
-        let (tx, rx) = std::sync::mpsc::channel();
-        world.spawn(move |sys| {
-            let r = create_delete_local(sys, bytes, iters);
-            let _ = tx.send(r);
-        });
-        world.run();
-        ms[i] = rx.recv().unwrap().per_iter.as_millis_f64();
-    }
-    Table5Row {
-        label: "Local".to_string(),
-        ms,
-    }
-}
-
-/// Runs Table 5.
+/// Runs Table 5: every (row, file size) cell is one job.
 pub fn table5(scale: &Scale) -> Table5 {
     let iters = scale.cd_iters;
     let wt = ClientConfig {
@@ -142,14 +142,61 @@ pub fn table5(scale: &Scale) -> Table5 {
         write_policy: WritePolicy::Delayed,
         ..ClientConfig::reno()
     };
-    let rows = vec![
-        local_row(iters),
-        nfs_row("write thru", wt, 0, iters),
-        nfs_row("async,4biod", asyncp, 4, iters),
-        nfs_row("async,16biod", asyncp, 16, iters),
-        nfs_row("delay wrt.", delay, 4, iters),
-        nfs_row("no consist", ClientConfig::reno_noconsist(), 4, iters),
+    let specs: Vec<(&str, RowKind)> = vec![
+        ("Local", RowKind::Local),
+        ("write thru", RowKind::Nfs { cfg: wt, biods: 0 }),
+        (
+            "async,4biod",
+            RowKind::Nfs {
+                cfg: asyncp,
+                biods: 4,
+            },
+        ),
+        (
+            "async,16biod",
+            RowKind::Nfs {
+                cfg: asyncp,
+                biods: 16,
+            },
+        ),
+        (
+            "delay wrt.",
+            RowKind::Nfs {
+                cfg: delay,
+                biods: 4,
+            },
+        ),
+        (
+            "no consist",
+            RowKind::Nfs {
+                cfg: ClientConfig::reno_noconsist(),
+                biods: 4,
+            },
+        ),
     ];
+    let mut jobs = Vec::new();
+    for row in 0..specs.len() {
+        for (si, &bytes) in SIZES.iter().enumerate() {
+            jobs.push((row, si, bytes));
+        }
+    }
+    let cells = run_jobs(&jobs, scale.jobs, |&(row, si, bytes)| {
+        run_cell(&specs[row].1, si, bytes, iters)
+    });
+    let rows = specs
+        .iter()
+        .enumerate()
+        .map(|(row, (label, _))| {
+            let mut ms = [0.0f64; 3];
+            for (si, slot) in ms.iter_mut().enumerate() {
+                *slot = cells[row * SIZES.len() + si];
+            }
+            Table5Row {
+                label: label.to_string(),
+                ms,
+            }
+        })
+        .collect();
     Table5 { rows }
 }
 

@@ -11,6 +11,7 @@ use renofs_sim::SimDuration;
 use renofs_workload::nhfsstone::{self, LoadMix, NhfsstoneConfig};
 
 use crate::fmt::table;
+use crate::runner::run_jobs;
 use crate::Scale;
 
 /// One Graph 6 point: server CPU under a read mix.
@@ -109,9 +110,9 @@ fn measure_cpu(world: &mut World, cfg: &NhfsstoneConfig) -> CpuPoint {
 }
 
 /// Runs Graph 6: the read mix at increasing rates over UDP and TCP.
+/// Each (transport, rate) point runs as one independent job.
 pub fn graph6(scale: &Scale) -> Graph6 {
-    let mut lines = Vec::new();
-    for (label, transport) in [
+    let transports = [
         (
             "UDP",
             TransportKind::UdpDynamic {
@@ -119,21 +120,29 @@ pub fn graph6(scale: &Scale) -> Graph6 {
             },
         ),
         ("TCP", TransportKind::Tcp),
-    ] {
-        let mut points = Vec::new();
+    ];
+    let mut jobs = Vec::new();
+    for (_, transport) in &transports {
         for &rate in &scale.lan_rates {
-            let mut cfg = WorldConfig::baseline();
-            cfg.transport = transport.clone();
-            cfg.seed = 600 + rate as u64;
-            let mut world = World::new(cfg);
-            let mut ncfg = NhfsstoneConfig::paper(rate, LoadMix::read_heavy());
-            ncfg.duration = scale.duration;
-            ncfg.warmup = scale.warmup;
-            ncfg.nfiles = scale.nfiles;
-            points.push(measure_cpu(&mut world, &ncfg));
+            jobs.push((transport.clone(), rate));
         }
-        lines.push((label.to_string(), points));
     }
+    let points = run_jobs(&jobs, scale.jobs, |(transport, rate)| {
+        let mut cfg = WorldConfig::baseline();
+        cfg.transport = transport.clone();
+        cfg.seed = 600 + *rate as u64;
+        let mut world = World::new(cfg);
+        let mut ncfg = NhfsstoneConfig::paper(*rate, LoadMix::read_heavy());
+        ncfg.duration = scale.duration;
+        ncfg.warmup = scale.warmup;
+        ncfg.nfiles = scale.nfiles;
+        measure_cpu(&mut world, &ncfg)
+    });
+    let lines = transports
+        .iter()
+        .zip(points.chunks_exact(scale.lan_rates.len()))
+        .map(|((label, _), chunk)| (label.to_string(), chunk.to_vec()))
+        .collect();
     Graph6 { lines }
 }
 
@@ -199,12 +208,11 @@ pub fn section3(scale: &Scale) -> Section3 {
             false,
         ),
     ];
-    let mut rows = Vec::new();
-    for (label, copy_mode, tx_interrupts) in configs {
+    let rows = run_jobs(&configs, scale.jobs, |(label, copy_mode, tx_interrupts)| {
         let nic = NicConfig {
             profile: NicProfile::DEQNA,
-            copy_mode,
-            tx_interrupts,
+            copy_mode: *copy_mode,
+            tx_interrupts: *tx_interrupts,
         };
         let mut cfg = WorldConfig::baseline();
         cfg.topology = TopologyKind::SameLan;
@@ -229,8 +237,8 @@ pub fn section3(scale: &Scale) -> Section3 {
         } else {
             0.0
         };
-        rows.push((label.to_string(), point.cpu_ms_per_rpc, share));
-    }
+        (label.to_string(), point.cpu_ms_per_rpc, share)
+    });
     Section3 { rows }
 }
 

@@ -8,6 +8,7 @@ use renofs_sim::SimDuration;
 use renofs_workload::andrew::{preload_andrew_source, run_andrew, AndrewReport, AndrewSpec};
 
 use crate::fmt::table;
+use crate::runner::run_jobs;
 
 /// Runs the MAB once for a (client preset, server preset, client
 /// machine) cell.
@@ -85,16 +86,15 @@ impl fmt::Display for Table2 {
     }
 }
 
-/// Runs Table 2.
-pub fn table2(spec: &AndrewSpec) -> Table2 {
-    let rows = [
+/// Runs Table 2, one job per client preset.
+pub fn table2(spec: &AndrewSpec, jobs: usize) -> Table2 {
+    let presets = [
         ClientPreset::Reno,
         ClientPreset::RenoTcp,
         ClientPreset::RenoNopush,
         ClientPreset::Ultrix,
-    ]
-    .into_iter()
-    .map(|preset| {
+    ];
+    let rows = run_jobs(&presets, jobs, |&preset| {
         let host = if preset == ClientPreset::Ultrix {
             HostProfile::microvax_stock()
         } else {
@@ -106,8 +106,7 @@ pub fn table2(spec: &AndrewSpec) -> Table2 {
             r.phases_1_to_4().as_secs_f64(),
             r.phase_5().as_secs_f64(),
         )
-    })
-    .collect();
+    });
     Table2 { rows }
 }
 
@@ -171,15 +170,14 @@ impl fmt::Display for Table3 {
     }
 }
 
-/// Runs Table 3.
-pub fn table3(spec: &AndrewSpec) -> Table3 {
-    let rows = [
+/// Runs Table 3, one job per client preset.
+pub fn table3(spec: &AndrewSpec, jobs: usize) -> Table3 {
+    let presets = [
         ClientPreset::Reno,
         ClientPreset::RenoNoconsist,
         ClientPreset::Ultrix,
-    ]
-    .into_iter()
-    .map(|preset| {
+    ];
+    let rows = run_jobs(&presets, jobs, |&preset| {
         let r = run_mab(
             preset,
             ServerPreset::Reno,
@@ -188,8 +186,7 @@ pub fn table3(spec: &AndrewSpec) -> Table3 {
             300,
         );
         (preset.label().to_string(), r)
-    })
-    .collect();
+    });
     Table3 { rows }
 }
 
@@ -227,19 +224,17 @@ impl fmt::Display for Table4 {
     }
 }
 
-/// Runs Table 4.
-pub fn table4(spec: &AndrewSpec) -> Table4 {
-    let rows = [ServerPreset::Reno, ServerPreset::Ultrix]
-        .into_iter()
-        .map(|server| {
-            let r = run_mab(ClientPreset::Reno, server, HostProfile::ds3100(), spec, 400);
-            (
-                server.label().to_string(),
-                r.phases_1_to_4().as_secs_f64(),
-                r.phase_5().as_secs_f64(),
-            )
-        })
-        .collect();
+/// Runs Table 4, one job per server preset.
+pub fn table4(spec: &AndrewSpec, jobs: usize) -> Table4 {
+    let servers = [ServerPreset::Reno, ServerPreset::Ultrix];
+    let rows = run_jobs(&servers, jobs, |&server| {
+        let r = run_mab(ClientPreset::Reno, server, HostProfile::ds3100(), spec, 400);
+        (
+            server.label().to_string(),
+            r.phases_1_to_4().as_secs_f64(),
+            r.phase_5().as_secs_f64(),
+        )
+    });
     Table4 { rows }
 }
 
@@ -250,7 +245,7 @@ mod tests {
     #[test]
     fn table3_orderings_over_the_wire() {
         let spec = AndrewSpec::small();
-        let t = table3(&spec);
+        let t = table3(&spec, 2);
         let reno_lookups = t.count("Reno", NfsProc::Lookup);
         let ultrix_lookups = t.count("Ultrix2.2", NfsProc::Lookup);
         assert!(
@@ -274,7 +269,7 @@ mod tests {
     #[test]
     fn table4_reno_server_faster() {
         let spec = AndrewSpec::small();
-        let t = table4(&spec);
+        let t = table4(&spec, 2);
         let reno = t.rows.iter().find(|(l, _, _)| l == "Reno").unwrap();
         let ultrix = t.rows.iter().find(|(l, _, _)| l == "Ultrix2.2").unwrap();
         assert!(
@@ -288,7 +283,7 @@ mod tests {
     #[test]
     fn table2_runs_all_rows() {
         let spec = AndrewSpec::small();
-        let t = table2(&spec);
+        let t = table2(&spec, 2);
         assert_eq!(t.rows.len(), 4);
         for (label, p14, p5) in &t.rows {
             assert!(*p14 > 0.0 && *p5 > 0.0, "{label}: {p14} {p5}");

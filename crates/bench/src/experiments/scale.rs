@@ -20,6 +20,9 @@ pub struct Scale {
     pub nfiles: usize,
     /// Iterations of the Create-Delete benchmark.
     pub cd_iters: usize,
+    /// Worker threads for the parallel job runner. Results are
+    /// byte-identical whatever the value; see `runner`.
+    pub jobs: usize,
 }
 
 impl Scale {
@@ -33,6 +36,7 @@ impl Scale {
             runs: 2,
             nfiles: 100,
             cd_iters: 20,
+            jobs: crate::runner::default_jobs(),
         }
     }
 
@@ -46,6 +50,7 @@ impl Scale {
             runs: 1,
             nfiles: 40,
             cd_iters: 5,
+            jobs: crate::runner::default_jobs(),
         }
     }
 }

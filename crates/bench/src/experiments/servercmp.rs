@@ -14,6 +14,7 @@ use renofs_sim::SimDuration;
 use renofs_workload::nhfsstone::{self, LoadMix, NhfsstoneConfig};
 
 use crate::fmt::table;
+use crate::runner::run_jobs;
 use crate::Scale;
 
 /// One server-comparison sweep.
@@ -66,39 +67,42 @@ impl fmt::Display for ServerGraph {
 }
 
 fn run_sweep(title: &str, mix: LoadMix, scale: &Scale, seed: u64) -> ServerGraph {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for preset in [
         ServerPreset::Reno,
         ServerPreset::RenoNoNameCache,
         ServerPreset::Ultrix,
     ] {
         for &rate in &scale.lan_rates {
-            let mut cfg = WorldConfig::baseline();
-            cfg.topology = TopologyKind::SameLan;
-            cfg.background = Background::quiet();
-            cfg.transport = TransportKind::UdpDynamic {
-                timeo: SimDuration::from_secs(1),
-            };
-            cfg.server = preset.server_config();
-            cfg.server_host = preset.host_profile();
-            cfg.seed = seed + rate as u64;
-            let mut world = World::new(cfg);
-            let mut ncfg = NhfsstoneConfig::paper(rate, mix);
-            ncfg.duration = scale.duration;
-            ncfg.warmup = scale.warmup;
-            ncfg.nfiles = scale.nfiles;
-            // Short names so the server name cache is exercised (the
-            // appendix notes Nhfsstone's long names would defeat it).
-            ncfg.long_names = false;
-            let report = nhfsstone::run(&mut world, &ncfg);
-            rows.push((
-                preset.label().to_string(),
-                rate,
-                report.achieved_rate,
-                report.rtt_ms.mean(),
-            ));
+            jobs.push((preset, rate));
         }
     }
+    let rows = run_jobs(&jobs, scale.jobs, |&(preset, rate)| {
+        let mut cfg = WorldConfig::baseline();
+        cfg.topology = TopologyKind::SameLan;
+        cfg.background = Background::quiet();
+        cfg.transport = TransportKind::UdpDynamic {
+            timeo: SimDuration::from_secs(1),
+        };
+        cfg.server = preset.server_config();
+        cfg.server_host = preset.host_profile();
+        cfg.seed = seed + rate as u64;
+        let mut world = World::new(cfg);
+        let mut ncfg = NhfsstoneConfig::paper(rate, mix);
+        ncfg.duration = scale.duration;
+        ncfg.warmup = scale.warmup;
+        ncfg.nfiles = scale.nfiles;
+        // Short names so the server name cache is exercised (the
+        // appendix notes Nhfsstone's long names would defeat it).
+        ncfg.long_names = false;
+        let report = nhfsstone::run(&mut world, &ncfg);
+        (
+            preset.label().to_string(),
+            rate,
+            report.achieved_rate,
+            report.rtt_ms.mean(),
+        )
+    });
     ServerGraph {
         title: title.to_string(),
         rows,

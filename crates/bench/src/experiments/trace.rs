@@ -11,6 +11,7 @@ use renofs_workload::nhfsstone::{self, LoadMix, NhfsstoneConfig};
 
 use super::world_for;
 use crate::fmt::table;
+use crate::runner::run_jobs;
 use crate::Scale;
 
 /// One trace sample.
@@ -77,36 +78,41 @@ impl fmt::Display for Graph7 {
 /// (the same arithmetic the kernel estimator performs, minus samples
 /// Karn's rule would exclude — retransmitted reads are rare here).
 pub fn graph7(scale: &Scale) -> Graph7 {
-    let mut world = world_for(
-        TopologyKind::TokenRing,
-        renofs::TransportKind::UdpDynamic {
-            timeo: SimDuration::from_secs(1),
-        },
-        Background::off_peak(),
-        707,
-    );
-    let mut cfg = NhfsstoneConfig::paper(12.0, LoadMix::lookup_read());
-    cfg.duration = scale.duration;
-    cfg.warmup = scale.warmup;
-    cfg.nfiles = scale.nfiles;
-    let report = nhfsstone::run(&mut world, &cfg);
-    let mut est = SrttEstimator::new();
-    let base = SimDuration::from_secs(1);
-    let mut points = Vec::new();
-    for s in report
-        .samples
-        .iter()
-        .filter(|s| s.proc == renofs::NfsProc::Read)
-    {
-        let rto = est.rto(4.0).unwrap_or(base);
-        points.push(TracePoint {
-            at: s.at,
-            rtt: s.rtt,
-            rto,
-        });
-        est.on_sample(s.rtt);
-    }
-    Graph7 { points }
+    // A single trace, but still routed through the runner so every
+    // experiment shares one execution path.
+    let mut graphs = run_jobs(&[()], scale.jobs, |_| {
+        let mut world = world_for(
+            TopologyKind::TokenRing,
+            renofs::TransportKind::UdpDynamic {
+                timeo: SimDuration::from_secs(1),
+            },
+            Background::off_peak(),
+            707,
+        );
+        let mut cfg = NhfsstoneConfig::paper(12.0, LoadMix::lookup_read());
+        cfg.duration = scale.duration;
+        cfg.warmup = scale.warmup;
+        cfg.nfiles = scale.nfiles;
+        let report = nhfsstone::run(&mut world, &cfg);
+        let mut est = SrttEstimator::new();
+        let base = SimDuration::from_secs(1);
+        let mut points = Vec::new();
+        for s in report
+            .samples
+            .iter()
+            .filter(|s| s.proc == renofs::NfsProc::Read)
+        {
+            let rto = est.rto(4.0).unwrap_or(base);
+            points.push(TracePoint {
+                at: s.at,
+                rtt: s.rtt,
+                rto,
+            });
+            est.on_sample(s.rtt);
+        }
+        Graph7 { points }
+    });
+    graphs.pop().expect("one job, one graph")
 }
 
 #[cfg(test)]

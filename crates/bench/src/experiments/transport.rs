@@ -3,12 +3,13 @@
 
 use std::fmt;
 
-use renofs::TopologyKind;
+use renofs::{TopologyKind, TransportKind};
 use renofs_netsim::topology::presets::Background;
 use renofs_workload::nhfsstone::{self, LoadMix, NhfsstoneConfig};
 
 use super::{paper_transports, world_for};
 use crate::fmt::table;
+use crate::runner::{point_seed, run_jobs, workload_seed};
 use crate::Scale;
 
 /// One measured point.
@@ -80,7 +81,90 @@ impl fmt::Display for Graph {
     }
 }
 
+/// One measured point expressed as pure data: the job list the parallel
+/// runner fans out.
+struct PointJob {
+    transport: TransportKind,
+    run: usize,
+    rate_idx: usize,
+    rate: f64,
+}
+
+/// Runs one `PointJob` to completion inside the worker thread. The
+/// `World` is constructed here so it never crosses a thread boundary.
+fn measure_point(
+    job: &PointJob,
+    topology: TopologyKind,
+    mix: LoadMix,
+    background: Background,
+    scale: &Scale,
+    seed: u64,
+) -> GraphPoint {
+    let mut world = world_for(
+        topology,
+        job.transport.clone(),
+        background,
+        point_seed(seed, job.run, job.rate_idx),
+    );
+    let mut cfg = NhfsstoneConfig::paper(job.rate, mix);
+    cfg.duration = scale.duration;
+    cfg.warmup = scale.warmup;
+    cfg.nfiles = scale.nfiles;
+    cfg.seed = workload_seed(seed, job.run);
+    let report = nhfsstone::run(&mut world, &cfg);
+    let retrans = world
+        .udp_stats()
+        .map(|s| s.retransmits)
+        .or_else(|| world.tcp_stats().map(|s| s.retransmits))
+        .unwrap_or(0);
+    let reads = report.read_ms.count();
+    GraphPoint {
+        offered: job.rate,
+        achieved: report.achieved_rate,
+        rtt_ms: report.rtt_ms.mean(),
+        rtt_sd_ms: report.rtt_ms.stddev(),
+        retransmits: retrans,
+        read_rate: reads as f64 / cfg.duration.as_secs_f64(),
+    }
+}
+
+/// Pointwise mean ± stddev across runs, matching the paper's averaged
+/// graphs: `rtt_ms` is the across-run mean, `rtt_sd_ms` pools the
+/// within-run variance with the across-run spread (law of total
+/// variance), and counters are averaged.
+fn aggregate_runs(label: &str, per_run: &[Vec<GraphPoint>]) -> GraphLine {
+    let runs = per_run.len();
+    let npoints = per_run[0].len();
+    let mut points = Vec::with_capacity(npoints);
+    for pi in 0..npoints {
+        let samples: Vec<&GraphPoint> = per_run.iter().map(|r| &r[pi]).collect();
+        let mean = |f: &dyn Fn(&GraphPoint) -> f64| {
+            samples.iter().map(|p| f(p)).sum::<f64>() / runs as f64
+        };
+        let rtt_mean = mean(&|p| p.rtt_ms);
+        let within_var = mean(&|p| p.rtt_sd_ms * p.rtt_sd_ms);
+        let across_var = mean(&|p| (p.rtt_ms - rtt_mean) * (p.rtt_ms - rtt_mean));
+        points.push(GraphPoint {
+            offered: samples[0].offered,
+            achieved: mean(&|p| p.achieved),
+            rtt_ms: rtt_mean,
+            rtt_sd_ms: (within_var + across_var).sqrt(),
+            retransmits: (samples.iter().map(|p| p.retransmits).sum::<u64>() as f64 / runs as f64)
+                .round() as u64,
+            read_rate: mean(&|p| p.read_rate),
+        });
+    }
+    GraphLine {
+        label: format!("{label} (mean of {runs} runs)"),
+        points,
+    }
+}
+
 /// Runs one (topology, mix) sweep over all three transports.
+///
+/// Every `(transport, run, rate)` point is an independent simulation;
+/// the sweep is flattened into a job list and fanned out over
+/// `scale.jobs` workers. Output is byte-identical for any worker count.
 pub fn rtt_vs_load(
     title: &str,
     topology: TopologyKind,
@@ -96,44 +180,37 @@ pub fn rtt_vs_load(
         TopologyKind::TokenRing => Background::production(),
         TopologyKind::SlowLink => Background::off_peak(),
     };
-    let mut lines = Vec::new();
-    for (label, transport) in paper_transports() {
+    let transports = paper_transports();
+    let mut jobs = Vec::new();
+    for (_, transport) in &transports {
         for run in 0..scale.runs {
-            let mut points = Vec::new();
             for (ri, &rate) in rates.iter().enumerate() {
-                let mut world = world_for(
-                    topology,
-                    transport.clone(),
-                    background,
-                    seed ^ (run as u64) << 8 ^ (ri as u64) << 16,
-                );
-                let mut cfg = NhfsstoneConfig::paper(rate, mix);
-                cfg.duration = scale.duration;
-                cfg.warmup = scale.warmup;
-                cfg.nfiles = scale.nfiles;
-                cfg.seed = seed ^ 0xBEEF ^ (run as u64);
-                let report = nhfsstone::run(&mut world, &cfg);
-                let retrans = world
-                    .udp_stats()
-                    .map(|s| s.retransmits)
-                    .or_else(|| world.tcp_stats().map(|s| s.retransmits))
-                    .unwrap_or(0);
-                let reads = report.read_ms.count();
-                points.push(GraphPoint {
-                    offered: rate,
-                    achieved: report.achieved_rate,
-                    rtt_ms: report.rtt_ms.mean(),
-                    rtt_sd_ms: report.rtt_ms.stddev(),
-                    retransmits: retrans,
-                    read_rate: reads as f64 / cfg.duration.as_secs_f64(),
+                jobs.push(PointJob {
+                    transport: transport.clone(),
+                    run,
+                    rate_idx: ri,
+                    rate,
                 });
             }
-            let label = if scale.runs > 1 {
-                format!("{label} (run {})", run + 1)
-            } else {
-                label.to_string()
-            };
-            lines.push(GraphLine { label, points });
+        }
+    }
+    let points = run_jobs(&jobs, scale.jobs, |job| {
+        measure_point(job, topology, mix, background, scale, seed)
+    });
+    // Results arrive in job order: transport-major, then run, then rate.
+    let mut lines = Vec::new();
+    let mut chunks = points.chunks_exact(rates.len());
+    for (label, _) in &transports {
+        let per_run: Vec<Vec<GraphPoint>> = (0..scale.runs)
+            .map(|_| chunks.next().expect("a chunk per run").to_vec())
+            .collect();
+        if scale.runs > 1 {
+            lines.push(aggregate_runs(label, &per_run));
+        } else {
+            lines.push(GraphLine {
+                label: label.to_string(),
+                points: per_run.into_iter().next().unwrap(),
+            });
         }
     }
     Graph {
@@ -226,8 +303,16 @@ impl fmt::Display for Table1 {
 /// trickle on the 56 Kbps path, where congestion control shows its
 /// three-fold advantage.
 pub fn table1(scale: &Scale) -> Table1 {
-    let mut rows = Vec::new();
+    struct Cell {
+        conf_label: &'static str,
+        topo: TopologyKind,
+        mix: LoadMix,
+        rate: f64,
+        label: &'static str,
+        transport: TransportKind,
+    }
     let lan_rate = *scale.lan_rates.last().unwrap_or(&30.0);
+    let mut jobs = Vec::new();
     for (conf_label, topo, mix, rate) in [
         (
             "same LAN",
@@ -254,26 +339,36 @@ pub fn table1(scale: &Scale) -> Table1 {
         ),
     ] {
         for (label, transport) in paper_transports() {
-            let bg = if topo == TopologyKind::TokenRing {
-                Background::production()
-            } else {
-                Background::off_peak()
-            };
-            let mut world = world_for(topo, transport, bg, 0x7AB1E1);
-            let mut cfg = NhfsstoneConfig::paper(rate, mix);
-            cfg.duration = scale.duration;
-            cfg.warmup = scale.warmup;
-            cfg.nfiles = scale.nfiles;
-            if topo == TopologyKind::SlowLink {
-                // A read probe offered above the link's ~0.6 reads/s
-                // capacity: congestion control decides who collapses.
-                cfg.procs = 4;
-            }
-            let report = nhfsstone::run(&mut world, &cfg);
-            let read_rate = report.read_ms.count() as f64 / cfg.duration.as_secs_f64();
-            rows.push((conf_label.to_string(), label.to_string(), read_rate));
+            jobs.push(Cell {
+                conf_label,
+                topo,
+                mix,
+                rate,
+                label,
+                transport,
+            });
         }
     }
+    let rows = run_jobs(&jobs, scale.jobs, |job| {
+        let bg = if job.topo == TopologyKind::TokenRing {
+            Background::production()
+        } else {
+            Background::off_peak()
+        };
+        let mut world = world_for(job.topo, job.transport.clone(), bg, 0x7AB1E1);
+        let mut cfg = NhfsstoneConfig::paper(job.rate, job.mix);
+        cfg.duration = scale.duration;
+        cfg.warmup = scale.warmup;
+        cfg.nfiles = scale.nfiles;
+        if job.topo == TopologyKind::SlowLink {
+            // A read probe offered above the link's ~0.6 reads/s
+            // capacity: congestion control decides who collapses.
+            cfg.procs = 4;
+        }
+        let report = nhfsstone::run(&mut world, &cfg);
+        let read_rate = report.read_ms.count() as f64 / cfg.duration.as_secs_f64();
+        (job.conf_label.to_string(), job.label.to_string(), read_rate)
+    });
     Table1 { rows }
 }
 

@@ -9,5 +9,6 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod runner;
 
 pub use experiments::scale::Scale;

@@ -1,0 +1,58 @@
+//! The runner's determinism contract: rendered experiment output must
+//! be byte-identical whatever the worker count, because per-job seeds
+//! derive from sweep position and results are reassembled in job order.
+
+use renofs_bench::experiments::{cd, transport};
+use renofs_bench::Scale;
+
+fn quick_subset() -> Scale {
+    let mut scale = Scale::quick();
+    scale.lan_rates = vec![10.0, 30.0];
+    scale.slow_rates = vec![3.0];
+    scale
+}
+
+#[test]
+fn graph1_is_byte_identical_across_worker_counts() {
+    let mut scale = quick_subset();
+    scale.jobs = 1;
+    let serial = transport::graph1(&scale).to_string();
+    for jobs in [2, 4, 8] {
+        scale.jobs = jobs;
+        let parallel = transport::graph1(&scale).to_string();
+        assert_eq!(
+            serial, parallel,
+            "graph1 output diverged between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn multi_run_aggregation_is_byte_identical_across_worker_counts() {
+    // runs > 1 exercises the mean ± stddev aggregation path on top of
+    // the job-order reassembly.
+    let mut scale = quick_subset();
+    scale.runs = 2;
+    scale.jobs = 1;
+    let serial = transport::graph1(&scale).to_string();
+    scale.jobs = 4;
+    let parallel = transport::graph1(&scale).to_string();
+    assert_eq!(serial, parallel);
+    assert!(
+        serial.contains("(mean of 2 runs)"),
+        "aggregated labels expected, got:\n{serial}"
+    );
+}
+
+#[test]
+fn table5_is_byte_identical_across_worker_counts() {
+    // Table 5 fans out heterogeneous jobs (local rows and NFS rows with
+    // different configs); order-preserving reassembly must still hold.
+    let mut scale = Scale::quick();
+    scale.cd_iters = 3;
+    scale.jobs = 1;
+    let serial = cd::table5(&scale).to_string();
+    scale.jobs = 4;
+    let parallel = cd::table5(&scale).to_string();
+    assert_eq!(serial, parallel);
+}

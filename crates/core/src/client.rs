@@ -1108,7 +1108,8 @@ impl<S: Syscalls> ClientFs<S> {
                 for e in entries {
                     self.receive_attrs(e.fh, &e.attr, false);
                     self.vnode(e.fh);
-                    self.namecache.enter(token, &e.entry.name, e.fh.vnode_token());
+                    self.namecache
+                        .enter(token, &e.entry.name, e.fh.vnode_token());
                     all.push(e.entry);
                 }
                 if eof || empty {

@@ -10,28 +10,48 @@ fn check(cfg: ClientConfig, name: &str) {
     let fh = c.open("/m.bin", true, false).unwrap();
     let mut model = vec![0u8; 0];
     let w = |model: &mut Vec<u8>, off: usize, data: &[u8]| {
-        if model.len() < off + data.len() { model.resize(off + data.len(), 0); }
+        if model.len() < off + data.len() {
+            model.resize(off + data.len(), 0);
+        }
         model[off..off + data.len()].copy_from_slice(data);
     };
-    c.write(fh, 16384, &[5u8; 46]).unwrap(); w(&mut model, 16384, &[5u8; 46]);
+    c.write(fh, 16384, &[5u8; 46]).unwrap();
+    w(&mut model, 16384, &[5u8; 46]);
     let got = c.read(fh, 90, 2290).unwrap();
     assert_eq!(got, &model[90..2380], "{name}: mid read");
-    c.write(fh, 9781, &[6u8; 1445]).unwrap(); w(&mut model, 9781, &[6u8; 1445]);
+    c.write(fh, 9781, &[6u8; 1445]).unwrap();
+    w(&mut model, 9781, &[6u8; 1445]);
     c.sync().unwrap();
     c.close(fh).unwrap();
     c.sync().unwrap();
     let got = c.read(fh, 0, model.len() as u32 + 64).unwrap();
     assert_eq!(got.len(), model.len(), "{name}: final length");
-    let diffs: Vec<usize> = got.iter().zip(&model).enumerate().filter(|(_, (a, b))| a != b).map(|(i, _)| i).collect();
-    assert!(diffs.is_empty(), "{name}: {} diffs, first at {:?}, got {:?} want {:?}",
-        diffs.len(), &diffs[..diffs.len().min(4)], &got[diffs[0]..diffs[0]+4], &model[diffs[0]..diffs[0]+4]);
+    let diffs: Vec<usize> = got
+        .iter()
+        .zip(&model)
+        .enumerate()
+        .filter(|(_, (a, b))| a != b)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        diffs.is_empty(),
+        "{name}: {} diffs, first at {:?}, got {:?} want {:?}",
+        diffs.len(),
+        &diffs[..diffs.len().min(4)],
+        &got[diffs[0]..diffs[0] + 4],
+        &model[diffs[0]..diffs[0] + 4]
+    );
 }
 
 #[test]
-fn noconsist_sequence() { check(ClientConfig::reno_noconsist(), "noconsist"); }
+fn noconsist_sequence() {
+    check(ClientConfig::reno_noconsist(), "noconsist");
+}
 
 #[test]
-fn ultrix_sequence() { check(ClientConfig::ultrix(), "ultrix"); }
+fn ultrix_sequence() {
+    check(ClientConfig::ultrix(), "ultrix");
+}
 
 #[test]
 fn reno_sparse() {
@@ -44,4 +64,3 @@ fn reno_sparse() {
     let got = c.read(fh, 21955, 1577).unwrap();
     assert_eq!(got, vec![0u8; 1577], "reno hole read");
 }
-

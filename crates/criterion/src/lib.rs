@@ -1,0 +1,213 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the real criterion
+//! cannot be fetched. This shim implements the API surface
+//! `benches/micro.rs` uses — groups, `bench_function`, `iter`,
+//! `iter_batched`, throughput annotation — with plain wall-clock timing
+//! and a fixed-format report on stdout. No statistics, no HTML reports,
+//! no command-line filtering.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim treats all
+/// variants identically.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over enough iterations for a stable mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then timed batches.
+        black_box(routine());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while iters < self.samples || start.elapsed() < Duration::from_millis(200) {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.samples * 64 {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` against fresh `setup` output each iteration,
+    /// excluding setup cost from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while iters < self.samples || elapsed < Duration::from_millis(200) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+            if iters >= self.samples * 64 {
+                break;
+            }
+        }
+        self.elapsed = elapsed;
+        self.iters = iters;
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rate lines in the report.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters > 0 {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        } else {
+            0.0
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                let mbps = n as f64 / mean_ns * 1e9 / (1024.0 * 1024.0);
+                format!("  {mbps:10.1} MiB/s")
+            }
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let eps = n as f64 / mean_ns * 1e9;
+                format!("  {eps:10.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id:<28} {:>12.0} ns/iter  ({} iters){rate}",
+            self.name, mean_ns, b.iters
+        );
+    }
+
+    /// Ends the group (report lines are emitted eagerly; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness handle.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum iteration count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(64));
+        let mut ran = 0u64;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(ran >= 5);
+    }
+}

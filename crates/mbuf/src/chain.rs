@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::meter::CopyMeter;
+use crate::pool::ClusterBuf;
 
 /// Inline data capacity of a small mbuf (4.3BSD's `MLEN` less headers).
 pub const MLEN: usize = 112;
@@ -16,7 +17,8 @@ enum Storage {
     /// Unique inline storage.
     Small(Box<[u8; MLEN]>),
     /// Reference-counted cluster; immutable once the `Arc` is shared.
-    Cluster(Arc<Vec<u8>>),
+    /// The buffer comes from (and returns to) the cluster free list.
+    Cluster(Arc<ClusterBuf>),
 }
 
 impl Clone for Storage {
@@ -54,7 +56,7 @@ impl Mbuf {
 
     fn cluster() -> Self {
         Mbuf {
-            storage: Storage::Cluster(Arc::new(Vec::with_capacity(MCLBYTES))),
+            storage: Storage::Cluster(Arc::new(ClusterBuf::alloc())),
             off: 0,
             len: 0,
         }
@@ -264,19 +266,23 @@ impl MbufChain {
         self.segs.iter()
     }
 
-    /// Appends `src` by copying, charging the meter.
+    /// Appends `src` by copying, charging the meter for the copied
+    /// bytes and for any clusters taken from the free list.
     pub fn append_bytes(&mut self, src: &[u8], meter: &mut CopyMeter) {
         if src.is_empty() {
             return;
         }
         meter.charge(src.len());
-        self.append_bytes_unmetered(src);
+        let allocs = self.append_bytes_unmetered(src);
+        meter.charge_cluster_allocs(allocs);
     }
 
     /// Appends `src` by copying without charging the meter. Reserved for
     /// contexts where the copy is priced separately (e.g. test fixtures).
-    pub fn append_bytes_unmetered(&mut self, mut src: &[u8]) {
+    /// Returns the number of clusters allocated along the way.
+    pub fn append_bytes_unmetered(&mut self, mut src: &[u8]) -> usize {
         self.len += src.len();
+        let mut allocs = 0;
         while !src.is_empty() {
             let space = match self.segs.back_mut() {
                 Some(m) => m.trailing_space(),
@@ -285,6 +291,7 @@ impl MbufChain {
             if space == 0 {
                 if src.len() > MLEN {
                     self.segs.push_back(Mbuf::cluster());
+                    allocs += 1;
                 } else {
                     self.segs.push_back(Mbuf::small());
                 }
@@ -294,6 +301,7 @@ impl MbufChain {
             self.segs.back_mut().unwrap().append(&src[..n]);
             src = &src[n..];
         }
+        allocs
     }
 
     /// Prepends `src` (a protocol header), charging the meter. Uses the
@@ -523,7 +531,8 @@ impl MbufChain {
         meter.charge(n);
         self.trim_front(n);
         let mut lead = MbufChain::new();
-        lead.append_bytes_unmetered(&head);
+        let allocs = lead.append_bytes_unmetered(&head);
+        meter.charge_cluster_allocs(allocs);
         lead.len = n;
         for m in lead.segs.into_iter().rev() {
             self.segs.push_front(m);

@@ -19,6 +19,7 @@
 mod chain;
 mod cursor;
 mod meter;
+pub mod pool;
 
 pub use chain::{Mbuf, MbufChain, MCLBYTES, MLEN};
 pub use cursor::Cursor;

@@ -26,6 +26,7 @@
 pub struct CopyMeter {
     bytes: u64,
     ops: u64,
+    cluster_allocs: u64,
 }
 
 impl CopyMeter {
@@ -38,6 +39,17 @@ impl CopyMeter {
     pub fn charge(&mut self, n: usize) {
         self.bytes += n as u64;
         self.ops += 1;
+    }
+
+    /// Charges `n` cluster-buffer allocations (free-list misses count
+    /// the same as hits: the charge is for taking a cluster at all).
+    pub fn charge_cluster_allocs(&mut self, n: usize) {
+        self.cluster_allocs += n as u64;
+    }
+
+    /// Cluster allocations since the last [`CopyMeter::take`].
+    pub fn cluster_allocs(&self) -> u64 {
+        self.cluster_allocs
     }
 
     /// Bytes copied since the last [`CopyMeter::take`].
@@ -55,6 +67,7 @@ impl CopyMeter {
         let out = (self.bytes, self.ops);
         self.bytes = 0;
         self.ops = 0;
+        self.cluster_allocs = 0;
         out
     }
 }
@@ -78,7 +91,10 @@ mod tests {
     fn take_resets() {
         let mut m = CopyMeter::new();
         m.charge(7);
+        m.charge_cluster_allocs(3);
+        assert_eq!(m.cluster_allocs(), 3);
         assert_eq!(m.take(), (7, 1));
         assert_eq!(m.take(), (0, 0));
+        assert_eq!(m.cluster_allocs(), 0);
     }
 }

@@ -1,0 +1,181 @@
+//! A free list of cluster buffers.
+//!
+//! 4.3BSD keeps mbuf clusters on a kernel free list (`mclfree`) so the
+//! hot allocate/free path never touches the page allocator. The
+//! simulator's original `Mbuf::cluster()` instead allocated a fresh
+//! 2 KB `Vec` per cluster, which dominated the allocator profile of
+//! long sweeps. This module reproduces the free list: dropped cluster
+//! buffers return here and are handed back out, cleared, on the next
+//! allocation.
+//!
+//! The list is thread-local, matching how the experiment runner
+//! parallelizes (whole simulations per worker thread), so there is no
+//! locking on the allocation path.
+
+use std::cell::RefCell;
+
+use crate::chain::MCLBYTES;
+
+/// Free-list capacity before returned buffers are dropped for real.
+const DEFAULT_CAPACITY: usize = 128;
+
+struct Pool {
+    free: Vec<Vec<u8>>,
+    capacity: usize,
+    fresh: u64,
+    reused: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = const {
+        RefCell::new(Pool {
+            free: Vec::new(),
+            capacity: DEFAULT_CAPACITY,
+            fresh: 0,
+            reused: 0,
+        })
+    };
+}
+
+/// A snapshot of this thread's pool counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Cluster buffers allocated fresh from the heap.
+    pub fresh: u64,
+    /// Cluster buffers recycled from the free list.
+    pub reused: u64,
+    /// Buffers currently parked on the free list.
+    pub free: usize,
+}
+
+/// Returns this thread's pool counters.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| {
+        let p = p.borrow();
+        PoolStats {
+            fresh: p.fresh,
+            reused: p.reused,
+            free: p.free.len(),
+        }
+    })
+}
+
+/// Sets the free-list capacity for this thread. `0` disables pooling:
+/// every allocation is fresh and every drop is final — useful for
+/// comparing pooled and unpooled behavior.
+pub fn set_capacity(capacity: usize) {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.capacity = capacity;
+        p.free.truncate(capacity);
+    });
+}
+
+/// Empties the free list and zeroes the counters for this thread.
+pub fn reset() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.free.clear();
+        p.fresh = 0;
+        p.reused = 0;
+    });
+}
+
+fn take() -> Vec<u8> {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        match p.free.pop() {
+            Some(v) => {
+                debug_assert!(v.is_empty() && v.capacity() >= MCLBYTES);
+                p.reused += 1;
+                v
+            }
+            None => {
+                p.fresh += 1;
+                Vec::with_capacity(MCLBYTES)
+            }
+        }
+    })
+}
+
+fn give(mut v: Vec<u8>) {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.free.len() < p.capacity && v.capacity() >= MCLBYTES {
+            v.clear();
+            p.free.push(v);
+        }
+    });
+}
+
+/// Owned cluster storage whose backing buffer returns to the free list
+/// on drop.
+///
+/// Dereferences to the inner `Vec<u8>`, so cluster code indexes and
+/// extends it exactly as it did the bare `Vec`.
+pub(crate) struct ClusterBuf(Option<Vec<u8>>);
+
+impl ClusterBuf {
+    /// Allocates from the free list, or fresh if it is empty. The
+    /// returned buffer is always empty (no stale length or bytes).
+    pub(crate) fn alloc() -> Self {
+        ClusterBuf(Some(take()))
+    }
+}
+
+impl std::ops::Deref for ClusterBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        self.0.as_ref().expect("buffer present until drop")
+    }
+}
+
+impl std::ops::DerefMut for ClusterBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        self.0.as_mut().expect("buffer present until drop")
+    }
+}
+
+impl Drop for ClusterBuf {
+    fn drop(&mut self) {
+        if let Some(v) = self.0.take() {
+            give(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_recycle_through_the_free_list() {
+        reset();
+        let before = stats();
+        {
+            let mut a = ClusterBuf::alloc();
+            a.extend_from_slice(&[7u8; 100]);
+        }
+        let one = ClusterBuf::alloc();
+        assert!(one.is_empty(), "recycled buffer must come back empty");
+        assert!(one.capacity() >= MCLBYTES);
+        let after = stats();
+        assert_eq!(after.reused, before.reused + 1);
+    }
+
+    #[test]
+    fn capacity_zero_disables_pooling() {
+        reset();
+        set_capacity(0);
+        {
+            let mut a = ClusterBuf::alloc();
+            a.push(1);
+        }
+        let s = stats();
+        assert_eq!(s.free, 0, "nothing parked when disabled");
+        drop(ClusterBuf::alloc());
+        assert_eq!(stats().reused, 0);
+        set_capacity(DEFAULT_CAPACITY);
+        reset();
+    }
+}

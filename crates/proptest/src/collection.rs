@@ -1,0 +1,49 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy for `Vec`s whose length is drawn from `len_range` and whose
+/// elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    len_range: Range<usize>,
+}
+
+/// `vec(strategy, lo..hi)`: vectors of `lo <= len < hi` elements.
+pub fn vec<S: Strategy>(element: S, len_range: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        len_range.start < len_range.end,
+        "empty length range for collection::vec"
+    );
+    VecStrategy { element, len_range }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len_range.end - self.len_range.start) as u64;
+        let len = self.len_range.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_cover_range() {
+        let strat = vec(any::<u8>(), 0..4);
+        let mut seen = [false; 4];
+        for case in 0..200 {
+            let v = strat.generate(&mut TestRng::for_case("lens", case));
+            assert!(v.len() < 4);
+            seen[v.len()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all lengths 0..4 reachable");
+    }
+}

@@ -1,0 +1,225 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so the real `proptest` cannot be fetched. This shim
+//! implements exactly the API surface the workspace's property tests
+//! use — `proptest!`, `prop_assert*!`, `prop_oneof!`, `any`, `Just`,
+//! range/tuple/collection strategies, a tiny `[class]{lo,hi}` string
+//! strategy and `sample::Index` — on top of a deterministic splitmix64
+//! generator.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports its case index and seed;
+//!   rerunning is deterministic, so the case is reproducible, just not
+//!   minimized.
+//! - **No `proptest-regressions` replay.** The checked-in regression
+//!   files are ignored.
+//! - The default case count is 64 (override per block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` or globally
+//!   with the `PROPTEST_CASES` environment variable).
+
+pub mod collection;
+pub mod prop;
+pub mod rng;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the workspace's tests import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs each `#[test] fn name(bindings in strategies) { body }` item as a
+/// property test: `cases` deterministic random cases per test.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            for case in 0..cases {
+                let mut __rng =
+                    $crate::rng::TestRng::for_case(concat!(module_path!(), "::", stringify!($name)), case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                // The closure exists so `prop_assert*!` can early-return
+                // a failure without panicking mid-case.
+                #[allow(clippy::redundant_closure_call)]
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!(
+                        "property test {} failed at case {case}/{cases}: {e}\n\
+                         (cases are deterministic; rerun reproduces this failure)",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current property-test case instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` flavour of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), left, right
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` flavour of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tag {
+        A(u8),
+        B,
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in 0.0f64..=1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u8..=255, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn oneof_and_map(t in prop_oneof![
+            3 => any::<u8>().prop_map(Tag::A),
+            1 => Just(Tag::B),
+        ]) {
+            match t {
+                Tag::A(_) | Tag::B => {}
+            }
+        }
+
+        #[test]
+        fn string_class_pattern(s in "[a-c]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn sample_index_in_bounds(i in any::<prop::sample::Index>()) {
+            let idx = i.index(7);
+            prop_assert!(idx < 7);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(crate::strategy::any::<u32>(), 0..50);
+        let a: Vec<Vec<u32>> = (0..10)
+            .map(|c| strat.generate(&mut crate::rng::TestRng::for_case("det", c)))
+            .collect();
+        let b: Vec<Vec<u32>> = (0..10)
+            .map(|c| strat.generate(&mut crate::rng::TestRng::for_case("det", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "property test")]
+    fn failures_panic_with_case_info() {
+        // No #[test] attribute on the inner item: it is invoked by hand.
+        proptest! {
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,30 @@
+//! The `prop::` namespace (`prop::sample::Index` etc.).
+
+/// Sampling helpers.
+pub mod sample {
+    use crate::rng::TestRng;
+    use crate::strategy::Arbitrary;
+
+    /// An index into a collection whose size is unknown at generation
+    /// time; resolve it with [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this sample onto `[0, len)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}

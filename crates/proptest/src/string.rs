@@ -1,0 +1,106 @@
+//! String generation from the tiny regex subset the workspace uses:
+//! a single character class with an optional `{lo,hi}` repetition,
+//! e.g. `"[a-zA-Z0-9_.]{0,64}"`.
+
+use crate::rng::TestRng;
+
+/// Generates a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics if the pattern falls outside the supported
+/// `[class]{lo,hi}` subset.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let (class, rest) = parse_class(pattern);
+    let (lo, hi) = parse_repetition(rest);
+    assert!(
+        !class.is_empty(),
+        "string pattern {pattern:?}: empty character class"
+    );
+    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+    (0..len)
+        .map(|_| class[rng.below(class.len() as u64) as usize])
+        .collect()
+}
+
+/// Parses a leading `[...]` class, returning its characters and the
+/// remainder of the pattern.
+fn parse_class(pattern: &str) -> (Vec<char>, &str) {
+    let rest = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| panic!("unsupported string pattern {pattern:?}: expected `[class]`"));
+    let close = rest
+        .find(']')
+        .unwrap_or_else(|| panic!("unsupported string pattern {pattern:?}: unterminated class"));
+    let body: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (a, b) = (body[i], body[i + 2]);
+            assert!(a <= b, "descending range {a}-{b} in pattern {pattern:?}");
+            for c in a..=b {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(body[i]);
+            i += 1;
+        }
+    }
+    (chars, &rest[close + 1..])
+}
+
+/// Parses the trailing repetition: empty (exactly one), `{n}` or `{lo,hi}`.
+fn parse_repetition(rest: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition {rest:?}: expected `{{lo,hi}}`"));
+    match body.split_once(',') {
+        Some((lo, hi)) => {
+            let lo: usize = lo.trim().parse().expect("repetition lower bound");
+            let hi: usize = hi.trim().parse().expect("repetition upper bound");
+            assert!(lo <= hi, "descending repetition {body:?}");
+            (lo, hi)
+        }
+        None => {
+            let n: usize = body.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = TestRng::for_case("class", 0);
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-zA-Z0-9_.]{0,64}", &mut rng);
+            assert!(s.len() <= 64);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.'));
+        }
+    }
+
+    #[test]
+    fn bare_class_is_one_char() {
+        let mut rng = TestRng::for_case("bare", 0);
+        let s = generate_from_pattern("[xyz]", &mut rng);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported string pattern")]
+    fn unsupported_pattern_panics() {
+        let mut rng = TestRng::for_case("bad", 0);
+        let _ = generate_from_pattern("hello.*", &mut rng);
+    }
+}

@@ -21,7 +21,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         any::<u8>().prop_map(Op::Create),
         any::<u8>().prop_map(Op::Remove),
-        (any::<u8>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..600))
+        (
+            any::<u8>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..600)
+        )
             .prop_map(|(n, off, data)| Op::Write(n, off % 4096, data)),
         (any::<u8>(), any::<u16>(), any::<u16>()).prop_map(|(n, off, len)| Op::Read(
             n,

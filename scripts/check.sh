@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full local gate: format, lints as errors, and the test suite.
+# Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "All checks passed."
