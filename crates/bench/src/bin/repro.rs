@@ -11,6 +11,7 @@
 //!   graph8 graph9    server comparison (Reno vs Ultrix)
 //!   table2..table4   Modified Andrew Benchmark
 //!   table5           Create-Delete benchmark
+//!   faults           recovery under injected faults (soft/hard mounts)
 //!   section3         interface-tuning ablation
 //!   ablation-rto ablation-slowstart ablation-namelen
 //!   ablation-preload ablation-rsize ablation-readahead
@@ -25,7 +26,7 @@
 
 use std::time::Instant;
 
-use renofs_bench::experiments::{ablations, cd, cpu, mab, servercmp, trace, transport};
+use renofs_bench::experiments::{ablations, cd, cpu, faults, mab, servercmp, trace, transport};
 use renofs_bench::Scale;
 use renofs_workload::andrew::AndrewSpec;
 
@@ -116,6 +117,7 @@ fn main() {
         ("table3", Box::new(|| mab::table3(&spec, jobs).to_string())),
         ("table4", Box::new(|| mab::table4(&spec, jobs).to_string())),
         ("table5", Box::new(|| cd::table5(&scale).to_string())),
+        ("faults", Box::new(|| faults::faults(&scale).to_string())),
         ("section3", Box::new(|| cpu::section3(&scale).to_string())),
         (
             "ablation-rto",

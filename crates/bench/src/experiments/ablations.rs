@@ -110,6 +110,8 @@ pub fn ablation_rto(scale: &Scale) -> Ablation {
             use_cwnd: true,
             cwnd_cap: 16,
             slow_start: false,
+            soft: false,
+            retrans: 4,
         };
         let (rtt, rate, retrans, calls) = udp_run(
             TopologyKind::TokenRing,

@@ -2,7 +2,7 @@
 //! be byte-identical whatever the worker count, because per-job seeds
 //! derive from sweep position and results are reassembled in job order.
 
-use renofs_bench::experiments::{cd, transport};
+use renofs_bench::experiments::{cd, faults, transport};
 use renofs_bench::Scale;
 
 fn quick_subset() -> Scale {
@@ -42,6 +42,24 @@ fn multi_run_aggregation_is_byte_identical_across_worker_counts() {
         serial.contains("(mean of 2 runs)"),
         "aggregated labels expected, got:\n{serial}"
     );
+}
+
+#[test]
+fn faults_is_byte_identical_across_worker_counts() {
+    // The fault matrix threads scheduled failures (and their RNG draws)
+    // through the link layer; fault state must stay a pure function of
+    // virtual time for this to hold.
+    let mut scale = Scale::quick();
+    scale.jobs = 1;
+    let serial = faults::faults(&scale).to_string();
+    for jobs in [2, 4, 8] {
+        scale.jobs = jobs;
+        let parallel = faults::faults(&scale).to_string();
+        assert_eq!(
+            serial, parallel,
+            "faults output diverged between jobs=1 and jobs={jobs}"
+        );
+    }
 }
 
 #[test]

@@ -136,11 +136,23 @@ pub enum ClientError {
     Nfs(NfsStatus),
     /// The reply was malformed or the RPC was rejected.
     Protocol,
+    /// A soft mount's `retrans` budget ran out with no reply — the
+    /// `ETIMEDOUT` a BSD soft mount hands the application. Hard mounts
+    /// never return this; their RPCs block until the server answers.
+    TimedOut,
 }
 
 impl From<NfsStatus> for ClientError {
     fn from(s: NfsStatus) -> Self {
         ClientError::Nfs(s)
+    }
+}
+
+impl From<crate::syscalls::RpcError> for ClientError {
+    fn from(e: crate::syscalls::RpcError) -> Self {
+        match e {
+            crate::syscalls::RpcError::TimedOut => ClientError::TimedOut,
+        }
     }
 }
 
@@ -301,7 +313,7 @@ impl<S: Syscalls> ClientFs<S> {
         let msg = self.build_msg(proc, build);
         self.counts.inc(proc);
         self.sys.charge_cpu(costs::CLIENT_RPC_FIXED);
-        let reply = self.sys.rpc(proc, msg);
+        let reply = self.sys.rpc(proc, msg)?;
         Ok(reply)
     }
 
@@ -658,7 +670,7 @@ impl<S: Syscalls> ClientFs<S> {
     fn fill_block(&mut self, fh: FileHandle, blk: u64) -> CResult<()> {
         let token = fh.vnode_token();
         let reply = match self.pending_reads.remove(&(token, blk)) {
-            Some(t) => self.sys.await_ticket(t),
+            Some(t) => self.sys.await_ticket(t)?,
             None => {
                 let rsize = self.cfg.rsize as u32;
                 self.call(NfsProc::Read, |c, m| {
@@ -906,15 +918,29 @@ impl<S: Syscalls> ClientFs<S> {
     fn drain_writes(&mut self, fh: FileHandle) -> CResult<()> {
         let token = fh.vnode_token();
         let tickets = self.pending_writes.remove(&token).unwrap_or_default();
+        // Await every ticket even if one timed out (a soft mount), so no
+        // completion is leaked; the first error is reported after.
+        let mut first_err: Option<ClientError> = None;
         for t in tickets {
-            let reply = self.sys.await_ticket(t);
-            if let Ok(mut dec) = Self::open_reply(&reply) {
-                if let Ok(Ok(attr)) = results::get_attrstat(&mut dec) {
-                    self.receive_attrs(fh, &attr, true);
+            match self.sys.await_ticket(t) {
+                Ok(reply) => {
+                    if let Ok(mut dec) = Self::open_reply(&reply) {
+                        if let Ok(Ok(attr)) = results::get_attrstat(&mut dec) {
+                            self.receive_attrs(fh, &attr, true);
+                        }
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e.into());
+                    }
                 }
             }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn flush_writebacks(&mut self, writebacks: Vec<(VnodeId, u64, Buf)>) -> CResult<()> {

@@ -29,10 +29,13 @@ pub mod server;
 pub mod syscalls;
 pub mod world;
 
-pub use client::{ClientConfig, ClientFs, RpcCounts, WritePolicy};
+pub use client::{ClientConfig, ClientError, ClientFs, RpcCounts, WritePolicy};
 pub use host::{Host, HostProfile};
 pub use presets::{ClientPreset, ServerPreset};
 pub use proto::{FileHandle, NfsProc, NfsStatus};
 pub use server::{NfsServer, ServerConfig};
 pub use syscalls::Syscalls;
-pub use world::{TopologyKind, TransportKind, World, WorldConfig, WorldSys};
+pub use world::{
+    ClientEvent, ClientEventKind, MountOptions, TopologyKind, TransportKind, World, WorldConfig,
+    WorldSys,
+};

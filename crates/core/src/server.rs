@@ -14,6 +14,8 @@
 //! returns the reply *plus* a [`ServiceCost`] that the host model turns
 //! into CPU and disk time.
 
+use std::collections::VecDeque;
+
 use renofs_mbuf::{CopyMeter, MbufChain};
 use renofs_sim::SimTime;
 use renofs_sunrpc::{AcceptStat, CallHeader, ReplyHeader, NFS_PROGRAM, NFS_VERSION};
@@ -120,31 +122,44 @@ impl ServerStats {
     }
 }
 
+/// The duplicate-request cache, per the tuned server in the paper.
+///
+/// Keyed by `(xid, proc)` rather than xid alone: BSD clients pick xids
+/// from a counter that can collide across procedures after wraparound or
+/// reboot, and a Remove retransmission must never be answered with a
+/// cached Create reply. Lookups are O(1) via an index map; eviction is
+/// FIFO over a ring of keys, and re-inserting a live key refreshes the
+/// stored reply without growing the ring.
 struct DupCache {
-    entries: Vec<(u32, MbufChain)>,
+    index: std::collections::HashMap<(u32, u32), MbufChain>,
+    ring: VecDeque<(u32, u32)>,
     cap: usize,
 }
 
 impl DupCache {
     fn new(cap: usize) -> Self {
         DupCache {
-            entries: Vec::new(),
+            index: std::collections::HashMap::new(),
+            ring: VecDeque::new(),
             cap,
         }
     }
 
-    fn get(&self, xid: u32) -> Option<MbufChain> {
-        self.entries
-            .iter()
-            .find(|(x, _)| *x == xid)
-            .map(|(_, r)| r.clone())
+    fn get(&self, xid: u32, proc: NfsProc) -> Option<MbufChain> {
+        self.index.get(&(xid, proc.to_wire())).cloned()
     }
 
-    fn put(&mut self, xid: u32, reply: MbufChain) {
-        if self.entries.len() >= self.cap {
-            self.entries.remove(0);
+    fn put(&mut self, xid: u32, proc: NfsProc, reply: MbufChain) {
+        let key = (xid, proc.to_wire());
+        if self.index.insert(key, reply).is_some() {
+            return; // live key refreshed; ring position unchanged
         }
-        self.entries.push((xid, reply));
+        self.ring.push_back(key);
+        if self.ring.len() > self.cap {
+            if let Some(old) = self.ring.pop_front() {
+                self.index.remove(&old);
+            }
+        }
     }
 }
 
@@ -274,7 +289,7 @@ impl NfsServer {
         // against retransmitted requests.
         if !proc.is_idempotent() {
             if let Some(dc) = &self.dupcache {
-                if let Some(reply) = dc.get(xid) {
+                if let Some(reply) = dc.get(xid, proc) {
                     self.stats.dup_hits += 1;
                     cost.dup_hit = true;
                     return (reply, cost);
@@ -304,7 +319,7 @@ impl NfsServer {
         self.dispatch(now, proc, args, &mut reply, &mut cost);
         if !proc.is_idempotent() {
             if let Some(dc) = &mut self.dupcache {
-                dc.put(xid, reply.clone());
+                dc.put(xid, proc, reply.clone());
             }
         }
         (reply, cost)
@@ -920,6 +935,92 @@ mod tests {
             "cached reply is byte-identical"
         );
         assert_eq!(s.stats().count(NfsProc::Create), 1, "executed once");
+    }
+
+    #[test]
+    fn dup_cache_keys_on_proc_as_well_as_xid() {
+        let mut cfg = ServerConfig::reno();
+        cfg.dup_cache = true;
+        let mut s = NfsServer::new(cfg, t(0));
+        let root = s.root_handle();
+        // CREATE with xid 50, then REMOVE reusing the same xid (a
+        // wrapped or rebooted client). The remove must execute, not be
+        // answered with the cached create reply.
+        let creq = call(50, NfsProc::Create, |c, m| {
+            proto::build::create_args(c, m, &root, "clash", &proto::Sattr::default())
+        });
+        let (_, c1) = s.service(t(1), &creq);
+        assert!(!c1.dup_hit);
+        let rreq = call(50, NfsProc::Remove, |c, m| {
+            proto::build::dirop_args(c, m, &root, "clash")
+        });
+        let (r2, c2) = s.service(t(2), &rreq);
+        assert!(!c2.dup_hit, "same xid, different proc: not a duplicate");
+        assert_eq!(
+            results::get_stat(&mut reply_body(&r2)).unwrap(),
+            NfsStatus::Ok,
+            "the remove really ran"
+        );
+        assert_eq!(s.stats().count(NfsProc::Remove), 1);
+    }
+
+    #[test]
+    fn dup_cache_replays_remove_and_rename_without_reexecution() {
+        let mut cfg = ServerConfig::reno();
+        cfg.dup_cache = true;
+        let mut s = NfsServer::new(cfg, t(0));
+        let root = s.root_handle();
+        let root_ino = s.fs().root();
+        s.fs_mut().create(root_ino, "rm-me", 0o644, t(0)).unwrap();
+        s.fs_mut().create(root_ino, "mv-me", 0o644, t(0)).unwrap();
+
+        let rm = || {
+            call(60, NfsProc::Remove, |c, m| {
+                proto::build::dirop_args(c, m, &root, "rm-me")
+            })
+        };
+        let (r1, _) = s.service(t(1), &rm());
+        let (r2, c2) = s.service(t(2), &rm());
+        assert!(c2.dup_hit);
+        assert_eq!(r1.to_vec_unmetered(), r2.to_vec_unmetered());
+        assert_eq!(s.stats().count(NfsProc::Remove), 1, "executed once");
+        assert_eq!(
+            results::get_stat(&mut reply_body(&r2)).unwrap(),
+            NfsStatus::Ok,
+            "the replayed reply is the success, not NOENT"
+        );
+
+        let mv = || {
+            call(61, NfsProc::Rename, |c, m| {
+                proto::build::rename_args(c, m, &root, "mv-me", &root, "mv-done")
+            })
+        };
+        let (m1, _) = s.service(t(3), &mv());
+        let (m2, c4) = s.service(t(4), &mv());
+        assert!(c4.dup_hit);
+        assert_eq!(m1.to_vec_unmetered(), m2.to_vec_unmetered());
+        assert_eq!(s.stats().count(NfsProc::Rename), 1, "executed once");
+        assert_eq!(
+            results::get_stat(&mut reply_body(&m2)).unwrap(),
+            NfsStatus::Ok
+        );
+    }
+
+    #[test]
+    fn dup_cache_refresh_does_not_grow_ring_and_fifo_evicts() {
+        let mut dc = DupCache::new(2);
+        let reply = MbufChain::new();
+        dc.put(1, NfsProc::Create, reply.clone());
+        dc.put(1, NfsProc::Create, reply.clone()); // refresh, not re-insert
+        dc.put(2, NfsProc::Create, reply.clone());
+        assert!(dc.get(1, NfsProc::Create).is_some());
+        assert!(dc.get(2, NfsProc::Create).is_some());
+        // A third distinct key evicts the oldest (xid 1), proving the
+        // refresh above did not occupy a second ring slot.
+        dc.put(3, NfsProc::Create, reply);
+        assert!(dc.get(1, NfsProc::Create).is_none(), "oldest evicted");
+        assert!(dc.get(2, NfsProc::Create).is_some());
+        assert!(dc.get(3, NfsProc::Create).is_some());
     }
 
     #[test]

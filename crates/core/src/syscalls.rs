@@ -18,6 +18,20 @@ use crate::server::NfsServer;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Ticket(pub u64);
 
+/// Why an RPC failed at the transport layer.
+///
+/// On a hard mount the transport retries forever, so syscalls never see
+/// this; a soft mount surfaces `TimedOut` once the `retrans` budget is
+/// exhausted (the `ETIMEDOUT` a BSD soft mount returns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RpcError {
+    /// The soft mount's retransmission budget ran out with no reply.
+    TimedOut,
+}
+
+/// Result of a (possibly soft-mounted) RPC.
+pub type RpcResult = Result<MbufChain, RpcError>;
+
 /// Primitives the simulated machine provides to the client.
 pub trait Syscalls {
     /// Current virtual time.
@@ -33,18 +47,20 @@ pub trait Syscalls {
 
     /// Issues an RPC and blocks until the reply arrives (retransmission
     /// handled by the transport underneath). The message already carries
-    /// its RPC header; `proc` classifies it for RTO estimation.
-    fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> MbufChain;
+    /// its RPC header; `proc` classifies it for RTO estimation. On a
+    /// soft mount the call can fail with [`RpcError::TimedOut`].
+    fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> RpcResult;
 
     /// Starts an RPC on a biod slot, blocking only if every slot is
     /// busy. The reply is retrievable via the ticket.
     fn rpc_async(&mut self, proc: NfsProc, msg: MbufChain) -> Ticket;
 
-    /// Blocks until the ticketed RPC completes and returns its reply.
-    fn await_ticket(&mut self, t: Ticket) -> MbufChain;
+    /// Blocks until the ticketed RPC completes and returns its reply
+    /// (or the soft-mount timeout it died with).
+    fn await_ticket(&mut self, t: Ticket) -> RpcResult;
 
     /// Returns the reply if the ticketed RPC already completed.
-    fn poll_ticket(&mut self, t: Ticket) -> Option<MbufChain>;
+    fn poll_ticket(&mut self, t: Ticket) -> Option<RpcResult>;
 
     /// Discards interest in a ticket (reply dropped on completion).
     fn forget_ticket(&mut self, t: Ticket);
@@ -66,16 +82,16 @@ impl<T: Syscalls + ?Sized> Syscalls for &mut T {
     fn sleep(&mut self, d: SimDuration) {
         (**self).sleep(d)
     }
-    fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> MbufChain {
+    fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> RpcResult {
         (**self).rpc(proc, msg)
     }
     fn rpc_async(&mut self, proc: NfsProc, msg: MbufChain) -> Ticket {
         (**self).rpc_async(proc, msg)
     }
-    fn await_ticket(&mut self, t: Ticket) -> MbufChain {
+    fn await_ticket(&mut self, t: Ticket) -> RpcResult {
         (**self).await_ticket(t)
     }
-    fn poll_ticket(&mut self, t: Ticket) -> Option<MbufChain> {
+    fn poll_ticket(&mut self, t: Ticket) -> Option<RpcResult> {
         (**self).poll_ticket(t)
     }
     fn forget_ticket(&mut self, t: Ticket) {
@@ -97,7 +113,7 @@ pub struct Loopback {
     pub server: NfsServer,
     now: SimTime,
     rpc_delay: SimDuration,
-    tickets: std::collections::HashMap<u64, MbufChain>,
+    tickets: std::collections::HashMap<u64, RpcResult>,
     next_ticket: u64,
     /// RPCs issued, by procedure wire number (independent check against
     /// the client's own counters).
@@ -141,11 +157,11 @@ impl Syscalls for Loopback {
         self.now += d;
     }
 
-    fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> MbufChain {
+    fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> RpcResult {
         self.rpc_log.push(proc);
         self.now += self.rpc_delay;
         let (reply, _cost) = self.server.service(self.now, &msg);
-        reply
+        Ok(reply)
     }
 
     fn rpc_async(&mut self, proc: NfsProc, msg: MbufChain) -> Ticket {
@@ -156,11 +172,11 @@ impl Syscalls for Loopback {
         Ticket(id)
     }
 
-    fn await_ticket(&mut self, t: Ticket) -> MbufChain {
+    fn await_ticket(&mut self, t: Ticket) -> RpcResult {
         self.tickets.remove(&t.0).expect("ticket exists")
     }
 
-    fn poll_ticket(&mut self, t: Ticket) -> Option<MbufChain> {
+    fn poll_ticket(&mut self, t: Ticket) -> Option<RpcResult> {
         self.tickets.remove(&t.0)
     }
 
@@ -199,7 +215,7 @@ mod tests {
             auth: AuthUnix::root("t"),
         }
         .encode(&mut msg, &mut meter);
-        let reply = lb.rpc(NfsProc::Null, msg);
+        let reply = lb.rpc(NfsProc::Null, msg).unwrap();
         assert!(!reply.is_empty());
         assert!(lb.now() > t0, "rpc advances time");
         assert_eq!(lb.count(NfsProc::Null), 1);
@@ -223,7 +239,7 @@ mod tests {
         }
         .encode(&mut msg, &mut meter);
         let t = lb.rpc_async(NfsProc::Null, msg);
-        let reply = lb.await_ticket(t);
+        let reply = lb.await_ticket(t).unwrap();
         assert!(!reply.is_empty());
         assert!(lb.poll_ticket(t).is_none(), "consumed");
     }

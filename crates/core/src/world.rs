@@ -18,7 +18,9 @@ use std::thread::JoinHandle;
 
 use renofs_mbuf::{CopyMeter, MbufChain};
 use renofs_netsim::topology::presets::{self, Background};
-use renofs_netsim::{Datagram, Delivery, NetEvent, Network, ProtoHeader, IP_HEADER, TCP_HEADER};
+use renofs_netsim::{
+    Datagram, Delivery, FaultPlan, NetEvent, Network, ProtoHeader, IP_HEADER, TCP_HEADER,
+};
 use renofs_sim::cpu::CpuCategory;
 use renofs_sim::{EventQueue, SimDuration, SimTime};
 use renofs_sunrpc::{frame_record, peek_xid_kind, MsgKind, RecordReader, NFS_PORT};
@@ -28,7 +30,7 @@ use crate::costs;
 use crate::host::{udp_fragments, Host, HostProfile};
 use crate::proto::NfsProc;
 use crate::server::{NfsServer, ServerConfig};
-use crate::syscalls::{Syscalls, Ticket};
+use crate::syscalls::{RpcError, RpcResult, Syscalls, Ticket};
 
 /// Which internetwork configuration to build (the paper's three).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +63,73 @@ pub enum TransportKind {
     Tcp,
 }
 
+/// Mount semantics: whether RPCs block forever or time out.
+///
+/// The BSD `mount_nfs` flags this models: a **hard** mount (the default)
+/// retries forever, printing `server not responding` after `retrans`
+/// attempts and `server ok` when the server answers again; a **soft**
+/// mount abandons a call after `retrans` transmissions and fails the
+/// syscall with `ETIMEDOUT` ([`RpcError::TimedOut`] here). Soft semantics
+/// apply to the UDP transports; a TCP mount is inherently hard in this
+/// simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MountOptions {
+    /// Soft mount: give up after `retrans` transmissions.
+    pub soft: bool,
+    /// Transmission budget (soft) / console-report threshold (hard).
+    pub retrans: u32,
+}
+
+impl MountOptions {
+    /// Hard mount, BSD default `retrans`.
+    pub fn hard() -> Self {
+        MountOptions {
+            soft: false,
+            retrans: 4,
+        }
+    }
+
+    /// Soft mount with the given transmission budget.
+    pub fn soft(retrans: u32) -> Self {
+        MountOptions {
+            soft: true,
+            retrans: retrans.max(1),
+        }
+    }
+}
+
+impl Default for MountOptions {
+    fn default() -> Self {
+        MountOptions::hard()
+    }
+}
+
+/// What a client console event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientEventKind {
+    /// `nfs: server not responding` — a hard mount crossed its `retrans`
+    /// threshold and is still retrying.
+    NotResponding,
+    /// `nfs: server ok` — a reply arrived after `NotResponding`.
+    ServerOk,
+    /// A soft-mount call exhausted its budget and failed with
+    /// `ETIMEDOUT`.
+    SoftTimeout,
+    /// The fault plan crashed the server.
+    ServerCrashed,
+    /// The server rebooted (volatile state lost, disk intact).
+    ServerRebooted,
+}
+
+/// A timestamped console event, in emission order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: ClientEventKind,
+}
+
 /// World construction parameters.
 #[derive(Clone, Debug)]
 pub struct WorldConfig {
@@ -81,6 +150,11 @@ pub struct WorldConfig {
     pub biods: usize,
     /// Master random seed.
     pub seed: u64,
+    /// Scheduled fault timeline. The empty default injects nothing and
+    /// leaves runs byte-identical to a fault-free world.
+    pub faults: FaultPlan,
+    /// Hard/soft mount semantics for the UDP transports.
+    pub mount: MountOptions,
 }
 
 impl WorldConfig {
@@ -98,6 +172,8 @@ impl WorldConfig {
             client_host: HostProfile::microvax_tuned(),
             biods: 4,
             seed: 42,
+            faults: FaultPlan::new(),
+            mount: MountOptions::hard(),
         }
     }
 }
@@ -125,8 +201,8 @@ enum Req {
 enum Resp {
     Time(SimTime),
     Unit,
-    Chain(MbufChain),
-    MaybeChain(Option<MbufChain>),
+    Chain(RpcResult),
+    MaybeChain(Option<RpcResult>),
     Ticket(u64),
 }
 
@@ -144,7 +220,7 @@ enum Waker {
 enum Ev {
     Net(NetEvent),
     Wake(usize, Resp),
-    AsyncDone(u64, MbufChain),
+    AsyncDone(u64, RpcResult),
     UdpTimer {
         xid: u32,
         gen: u64,
@@ -159,6 +235,12 @@ enum Ev {
         proto: ProtoHeader,
         payload: MbufChain,
     },
+    /// Fault plan: the server dies, losing volatile state.
+    ServerCrash {
+        downtime: SimDuration,
+    },
+    /// Fault plan: the server finishes rebooting.
+    ServerReboot,
 }
 
 // The UDP client is large but there is exactly one per world.
@@ -217,7 +299,7 @@ impl Syscalls for WorldSys {
         }
     }
 
-    fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> MbufChain {
+    fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> RpcResult {
         match self.ask(Req::Rpc(proc, msg)) {
             Resp::Chain(c) => c,
             _ => unreachable!(),
@@ -231,14 +313,14 @@ impl Syscalls for WorldSys {
         }
     }
 
-    fn await_ticket(&mut self, t: Ticket) -> MbufChain {
+    fn await_ticket(&mut self, t: Ticket) -> RpcResult {
         match self.ask(Req::AwaitTicket(t.0)) {
             Resp::Chain(c) => c,
             _ => unreachable!(),
         }
     }
 
-    fn poll_ticket(&mut self, t: Ticket) -> Option<MbufChain> {
+    fn poll_ticket(&mut self, t: Ticket) -> Option<RpcResult> {
         match self.ask(Req::PollTicket(t.0)) {
             Resp::MaybeChain(c) => c,
             _ => unreachable!(),
@@ -283,9 +365,11 @@ pub struct World {
     server: NfsServer,
     transport: Transport,
     first_hop_mtu: usize,
+    server_up: bool,
+    client_events: Vec<ClientEvent>,
     // RPC bookkeeping.
     pending: HashMap<u32, Waker>,
-    tickets_done: HashMap<u64, MbufChain>,
+    tickets_done: HashMap<u64, RpcResult>,
     ticket_waiters: HashMap<u64, usize>,
     forgotten: std::collections::HashSet<u64>,
     next_ticket: u64,
@@ -306,22 +390,31 @@ impl World {
     /// Builds a world; for TCP the connection is established before
     /// returning.
     pub fn new(cfg: WorldConfig) -> Self {
-        let (topo, client_node, server_node) = match cfg.topology {
+        let (mut topo, client_node, server_node) = match cfg.topology {
             TopologyKind::SameLan => presets::same_lan(&cfg.background),
             TopologyKind::TokenRing => presets::token_ring_path(&cfg.background),
             TopologyKind::SlowLink => presets::slow_link_path(&cfg.background),
         };
+        topo.apply_faults(&cfg.faults, client_node, server_node);
         let first_hop_mtu = topo.path_mtu(client_node, server_node).unwrap_or(1500);
         let net = Network::new(topo, cfg.seed ^ 0x6e65_7473);
         let server = NfsServer::new(cfg.server, SimTime::ZERO);
+        // Soft/hard mount flags configure the UDP transport's retry
+        // budget; TCP mounts are hard by construction.
+        let mounted = |mut c: UdpRpcConfig| {
+            c.soft = cfg.mount.soft;
+            c.retrans = cfg.mount.retrans.max(1);
+            c
+        };
         let transport = match &cfg.transport {
             TransportKind::UdpFixed { timeo } => {
-                Transport::Udp(UdpRpcClient::new(UdpRpcConfig::fixed(*timeo), 1))
+                Transport::Udp(UdpRpcClient::new(mounted(UdpRpcConfig::fixed(*timeo)), 1))
             }
-            TransportKind::UdpDynamic { timeo } => {
-                Transport::Udp(UdpRpcClient::new(UdpRpcConfig::dynamic_paper(*timeo), 1))
-            }
-            TransportKind::UdpCustom(c) => Transport::Udp(UdpRpcClient::new(c.clone(), 1)),
+            TransportKind::UdpDynamic { timeo } => Transport::Udp(UdpRpcClient::new(
+                mounted(UdpRpcConfig::dynamic_paper(*timeo)),
+                1,
+            )),
+            TransportKind::UdpCustom(c) => Transport::Udp(UdpRpcClient::new(mounted(c.clone()), 1)),
             TransportKind::Tcp => {
                 let mss = first_hop_mtu - IP_HEADER - TCP_HEADER;
                 let tcp_cfg = TcpConfig::for_mss(mss);
@@ -349,6 +442,8 @@ impl World {
             server,
             transport,
             first_hop_mtu,
+            server_up: true,
+            client_events: Vec::new(),
             pending: HashMap::new(),
             tickets_done: HashMap::new(),
             ticket_waiters: HashMap::new(),
@@ -365,6 +460,9 @@ impl World {
             started: false,
             scratch: CopyMeter::new(),
         };
+        for (at, downtime) in world.cfg.faults.server_crashes() {
+            world.queue.push(at, Ev::ServerCrash { downtime });
+        }
         if matches!(world.cfg.transport, TransportKind::Tcp) {
             world.tcp_connect();
         }
@@ -465,6 +563,17 @@ impl World {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
+    }
+
+    /// The timestamped console-event log (`server not responding`,
+    /// `server ok`, soft timeouts, crashes, reboots), in emission order.
+    pub fn client_events(&self) -> &[ClientEvent] {
+        &self.client_events
+    }
+
+    /// Whether the server is currently up (fault plans can crash it).
+    pub fn server_is_up(&self) -> bool {
+        self.server_up
     }
 
     /// Spawns a workload thread. It starts suspended; [`World::run`]
@@ -709,6 +818,25 @@ impl World {
                 UdpAction::ArmTimer { xid, gen, deadline } => {
                     self.queue.push(deadline, Ev::UdpTimer { xid, gen });
                 }
+                UdpAction::GiveUp { xid } => {
+                    self.client_events.push(ClientEvent {
+                        at: now,
+                        kind: ClientEventKind::SoftTimeout,
+                    });
+                    self.finish_rpc(xid, Err(RpcError::TimedOut), now);
+                }
+                UdpAction::NotResponding { .. } => {
+                    self.client_events.push(ClientEvent {
+                        at: now,
+                        kind: ClientEventKind::NotResponding,
+                    });
+                }
+                UdpAction::ServerOk { .. } => {
+                    self.client_events.push(ClientEvent {
+                        at: now,
+                        kind: ClientEventKind::ServerOk,
+                    });
+                }
             }
         }
     }
@@ -801,19 +929,19 @@ impl World {
             let Some(call) = completed else {
                 return;
             };
-            self.finish_rpc(xid, call.reply, at);
+            self.finish_rpc(xid, Ok(call.reply), at);
         } else {
-            self.finish_rpc(xid, reply, at);
+            self.finish_rpc(xid, Ok(reply), at);
         }
     }
 
-    fn finish_rpc(&mut self, xid: u32, reply: MbufChain, at: SimTime) {
+    fn finish_rpc(&mut self, xid: u32, result: RpcResult, at: SimTime) {
         let Some(waker) = self.pending.remove(&xid) else {
             return;
         };
         match waker {
-            Waker::Sync(tid) => self.queue.push(at, Ev::Wake(tid, Resp::Chain(reply))),
-            Waker::Async(ticket) => self.queue.push(at, Ev::AsyncDone(ticket, reply)),
+            Waker::Sync(tid) => self.queue.push(at, Ev::Wake(tid, Resp::Chain(result))),
+            Waker::Async(ticket) => self.queue.push(at, Ev::AsyncDone(ticket, result)),
         }
     }
 
@@ -925,6 +1053,24 @@ impl World {
                 let out = self.net.handle(now, nev);
                 self.absorb_net(out);
             }
+            Ev::ServerCrash { downtime } => {
+                self.server_up = false;
+                self.client_events.push(ClientEvent {
+                    at: now,
+                    kind: ClientEventKind::ServerCrashed,
+                });
+                self.queue.push(now + downtime, Ev::ServerReboot);
+            }
+            Ev::ServerReboot => {
+                // Volatile state (name cache, buffer cache, dup cache)
+                // is lost; the on-disk file system survives.
+                self.server.reboot();
+                self.server_up = true;
+                self.client_events.push(ClientEvent {
+                    at: now,
+                    kind: ClientEventKind::ServerRebooted,
+                });
+            }
         }
     }
 
@@ -940,6 +1086,11 @@ impl World {
     fn on_delivery(&mut self, d: Delivery) {
         let now = self.queue.now();
         let at_server = d.host == self.server_node;
+        // A crashed host receives nothing: requests (and TCP segments)
+        // addressed to it die on arrival and the client must retransmit.
+        if at_server && !self.server_up {
+            return;
+        }
         let len = d.dgram.payload.len();
         let frags = d.frags.max(1);
         match d.dgram.proto {
@@ -981,7 +1132,7 @@ impl World {
         }
     }
 
-    fn async_done(&mut self, ticket: u64, reply: MbufChain) {
+    fn async_done(&mut self, ticket: u64, result: RpcResult) {
         self.async_outstanding = self.async_outstanding.saturating_sub(1);
         if self.forgotten.remove(&ticket) {
             // Dropped interest; discard the reply.
@@ -990,13 +1141,13 @@ impl World {
                 // 0-biod synchronous case: the thread is still waiting
                 // for its Ticket response.
                 let tid = usize::MAX - holder;
-                self.tickets_done.insert(ticket, reply);
+                self.tickets_done.insert(ticket, result);
                 self.ready.push_back((tid, Resp::Ticket(ticket)));
             } else {
-                self.ready.push_back((holder, Resp::Chain(reply)));
+                self.ready.push_back((holder, Resp::Chain(result)));
             }
         } else {
-            self.tickets_done.insert(ticket, reply);
+            self.tickets_done.insert(ticket, result);
         }
         // A slot freed: admit a parked async request.
         if let Some((tid, proc, msg)) = self.parked_async.pop_front() {
@@ -1138,5 +1289,116 @@ mod tests {
         });
         world.run();
         assert_eq!(rx.recv().unwrap(), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn soft_mount_times_out_during_partition() {
+        let mut cfg = WorldConfig::baseline();
+        cfg.faults = FaultPlan::new().partition(SimTime::from_secs(2), SimDuration::from_secs(30));
+        cfg.mount = MountOptions::soft(2);
+        let mut world = World::new(cfg);
+        preload(&mut world, "f.txt", b"hello");
+        preload(&mut world, "g.txt", b"worldly");
+        preload(&mut world, "h.txt", b"byebye");
+        let root = world.root_handle();
+        let (tx, rx) = result_channel();
+        world.spawn(move |sys| {
+            let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, "uvax1");
+            // Before the partition: works.
+            let before = fs.stat("/f.txt").map(|a| a.size);
+            // Step into the partition and stat a file the client has
+            // never seen (no cache to hide behind): the soft mount must
+            // give up within its retrans budget instead of hanging.
+            fs.sys().sleep(SimDuration::from_secs(3));
+            let t0 = fs.sys().now();
+            let during = fs.stat("/g.txt").map(|a| a.size);
+            let waited = fs.sys().now().since(t0);
+            // After the heal: works again.
+            fs.sys().sleep(SimDuration::from_secs(40));
+            let after = fs.stat("/h.txt").map(|a| a.size);
+            tx.send((before, during, waited, after)).unwrap();
+        });
+        world.run();
+        let (before, during, waited, after) = rx.recv().unwrap();
+        assert_eq!(before, Ok(5));
+        assert_eq!(during, Err(crate::client::ClientError::TimedOut));
+        assert!(
+            waited < SimDuration::from_secs(30),
+            "soft mount gave up within the retry budget, not at the heal"
+        );
+        assert_eq!(after, Ok(6));
+        assert!(world
+            .client_events()
+            .iter()
+            .any(|e| e.kind == ClientEventKind::SoftTimeout));
+    }
+
+    #[test]
+    fn hard_mount_blocks_through_partition_and_logs_console_pair() {
+        let mut cfg = WorldConfig::baseline();
+        cfg.faults = FaultPlan::new().partition(SimTime::from_secs(2), SimDuration::from_secs(10));
+        // Hard mount with a low console threshold, like `-o retrans=2`.
+        cfg.mount = MountOptions {
+            soft: false,
+            retrans: 2,
+        };
+        let mut world = World::new(cfg);
+        preload(&mut world, "g.txt", b"worldly");
+        let root = world.root_handle();
+        let (tx, rx) = result_channel();
+        world.spawn(move |sys| {
+            let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, "uvax1");
+            fs.sys().sleep(SimDuration::from_secs(3));
+            // Issued mid-partition against an uncached file: a hard mount
+            // never errors; the call blocks until the network heals and
+            // the retry gets through.
+            let size = fs.stat("/g.txt").unwrap().size;
+            let done = fs.sys().now();
+            tx.send((size, done)).unwrap();
+        });
+        world.run();
+        let (size, done) = rx.recv().unwrap();
+        assert_eq!(size, 7);
+        assert!(
+            done >= SimTime::from_secs(12),
+            "completed only after the heal at t=12s, got {done:?}"
+        );
+        let events = world.client_events();
+        let nr = events
+            .iter()
+            .position(|e| e.kind == ClientEventKind::NotResponding)
+            .expect("hard mount logged `server not responding`");
+        let ok = events
+            .iter()
+            .position(|e| e.kind == ClientEventKind::ServerOk)
+            .expect("hard mount logged `server ok`");
+        assert!(nr < ok, "not-responding precedes server-ok");
+    }
+
+    #[test]
+    fn server_crash_reboot_recovers_hard_mount() {
+        let mut cfg = WorldConfig::baseline();
+        cfg.faults =
+            FaultPlan::new().server_crash(SimTime::from_secs(2), SimDuration::from_secs(5));
+        let mut world = World::new(cfg);
+        preload(&mut world, "g.txt", b"worldly");
+        let root = world.root_handle();
+        let (tx, rx) = result_channel();
+        world.spawn(move |sys| {
+            let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, "uvax1");
+            fs.sys().sleep(SimDuration::from_millis(2500));
+            // The server is down and its caches will be cold after
+            // reboot; the hard mount just retries until it answers.
+            let size = fs.stat("/g.txt").unwrap().size;
+            tx.send((size, fs.sys().now())).unwrap();
+        });
+        world.run();
+        let (size, done) = rx.recv().unwrap();
+        assert_eq!(size, 7);
+        assert!(done >= SimTime::from_secs(7), "answered only after reboot");
+        assert!(world.server_is_up());
+        let kinds: Vec<_> = world.client_events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&ClientEventKind::ServerCrashed));
+        assert!(kinds.contains(&ClientEventKind::ServerRebooted));
     }
 }

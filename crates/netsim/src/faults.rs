@@ -1,0 +1,385 @@
+//! Deterministic fault-injection timelines.
+//!
+//! The paper's transport defenses — retransmission with backoff,
+//! congestion windows, the server's duplicate-request cache — exist
+//! because real deployments see *correlated* failures: routers reboot,
+//! serial links flap, bursts of loss wipe out every fragment of an RPC,
+//! and retransmitted requests arrive twice. A [`FaultPlan`] is a list of
+//! time-scheduled fault events compiled onto the links of a topology (and,
+//! for server crashes, interpreted by the `World`), so those scenarios can
+//! be replayed byte-for-byte identically at any `--jobs` level: all fault
+//! state is a pure function of virtual time, and the only randomness used
+//! is the link RNG that already drives background loss.
+//!
+//! Link-level events apply to **every link on the client–server path, in
+//! both directions** — the path is the unit the paper reasons about
+//! (client, routers, serial hop, server), and downing both directions is
+//! exactly a network partition. [`FaultPlan::partition`] is the named
+//! helper for that case.
+
+use renofs_sim::{SimDuration, SimTime};
+
+/// One scheduled fault.
+#[derive(Clone, Debug)]
+pub struct FaultEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The kinds of faults a plan can schedule.
+#[derive(Clone, Debug)]
+pub enum FaultKind {
+    /// Path links go down (frames offered while down are dropped).
+    LinkDown,
+    /// Path links come back up.
+    LinkUp,
+    /// Gilbert–Elliott-style bad state: per-frame loss probability is
+    /// elevated by `prob` for `duration`.
+    LossBurst {
+        /// Additional loss probability while the burst is active.
+        prob: f64,
+        /// How long the bad state lasts.
+        duration: SimDuration,
+    },
+    /// One-way delay increases by `extra` for `duration` (route change,
+    /// congested peering point).
+    DelaySpike {
+        /// Added one-way delay.
+        extra: SimDuration,
+        /// Window length.
+        duration: SimDuration,
+    },
+    /// Frames are duplicated with probability `prob` for `duration`
+    /// (retransmitting bridges, flapping spanning trees).
+    Duplicate {
+        /// Per-frame duplication probability.
+        prob: f64,
+        /// Window length.
+        duration: SimDuration,
+    },
+    /// Frames are delayed by a random extra amount up to `max_extra`
+    /// with probability `prob`, letting later frames overtake them
+    /// (bounded reordering).
+    Reorder {
+        /// Per-frame reorder probability.
+        prob: f64,
+        /// Maximum extra delay a reordered frame can pick up.
+        max_extra: SimDuration,
+        /// Window length.
+        duration: SimDuration,
+    },
+    /// The NFS server crashes, losing all volatile state, and reboots
+    /// after `downtime`. Interpreted by the `World`, not the network.
+    ServerCrash {
+        /// Time from crash to the server accepting requests again.
+        downtime: SimDuration,
+    },
+}
+
+/// A deterministic, time-ordered schedule of fault events.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The scheduled events (order of insertion is irrelevant; windows
+    /// are compiled by time).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan: injects nothing and leaves every run byte-identical
+    /// to a fault-free simulation.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Path links go down at `at` and come back after `duration` (a flap).
+    pub fn flap(self, at: SimTime, duration: SimDuration) -> Self {
+        self.push(at, FaultKind::LinkDown)
+            .push(at + duration, FaultKind::LinkUp)
+    }
+
+    /// Downs both directions of the client–server path for `duration`:
+    /// a full network partition. (Identical to [`FaultPlan::flap`]; the
+    /// name records intent.)
+    pub fn partition(self, at: SimTime, duration: SimDuration) -> Self {
+        self.flap(at, duration)
+    }
+
+    /// Elevated loss window.
+    pub fn loss_burst(self, at: SimTime, prob: f64, duration: SimDuration) -> Self {
+        self.push(at, FaultKind::LossBurst { prob, duration })
+    }
+
+    /// Added one-way delay window.
+    pub fn delay_spike(self, at: SimTime, extra: SimDuration, duration: SimDuration) -> Self {
+        self.push(at, FaultKind::DelaySpike { extra, duration })
+    }
+
+    /// Frame-duplication window.
+    pub fn duplicate(self, at: SimTime, prob: f64, duration: SimDuration) -> Self {
+        self.push(at, FaultKind::Duplicate { prob, duration })
+    }
+
+    /// Bounded-reordering window.
+    pub fn reorder(
+        self,
+        at: SimTime,
+        prob: f64,
+        max_extra: SimDuration,
+        duration: SimDuration,
+    ) -> Self {
+        self.push(
+            at,
+            FaultKind::Reorder {
+                prob,
+                max_extra,
+                duration,
+            },
+        )
+    }
+
+    /// Server crash at `at`, rebooting after `downtime`.
+    pub fn server_crash(self, at: SimTime, downtime: SimDuration) -> Self {
+        self.push(at, FaultKind::ServerCrash { downtime })
+    }
+
+    /// The scheduled server crashes as `(at, downtime)` pairs, in time
+    /// order. These are for the `World`; the network ignores them.
+    pub fn server_crashes(&self) -> Vec<(SimTime, SimDuration)> {
+        let mut crashes: Vec<(SimTime, SimDuration)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::ServerCrash { downtime } => Some((e.at, downtime)),
+                _ => None,
+            })
+            .collect();
+        crashes.sort_by_key(|&(at, _)| at);
+        crashes
+    }
+
+    /// Compiles the link-level events into queryable time windows.
+    pub fn compile(&self) -> FaultWindows {
+        let mut w = FaultWindows::default();
+        let mut sorted: Vec<&FaultEvent> = self.events.iter().collect();
+        sorted.sort_by_key(|e| e.at);
+        let mut down_since: Option<u64> = None;
+        for ev in sorted {
+            let at = ev.at.as_nanos();
+            match ev.kind {
+                FaultKind::LinkDown => {
+                    if down_since.is_none() {
+                        down_since = Some(at);
+                    }
+                }
+                FaultKind::LinkUp => {
+                    if let Some(start) = down_since.take() {
+                        w.down.push((start, at));
+                    }
+                }
+                FaultKind::LossBurst { prob, duration } => {
+                    w.loss.push((at, at + duration.as_nanos(), prob));
+                }
+                FaultKind::DelaySpike { extra, duration } => {
+                    w.delay
+                        .push((at, at + duration.as_nanos(), extra.as_nanos()));
+                }
+                FaultKind::Duplicate { prob, duration } => {
+                    w.dup.push((at, at + duration.as_nanos(), prob));
+                }
+                FaultKind::Reorder {
+                    prob,
+                    max_extra,
+                    duration,
+                } => {
+                    w.reorder
+                        .push((at, at + duration.as_nanos(), prob, max_extra.as_nanos()));
+                }
+                FaultKind::ServerCrash { .. } => {}
+            }
+        }
+        if let Some(start) = down_since {
+            // A Down with no matching Up: down for the rest of time.
+            w.down.push((start, u64::MAX));
+        }
+        w
+    }
+}
+
+/// Link-level fault state compiled from a [`FaultPlan`]: half-open
+/// `[start, end)` windows in nanoseconds, queried by virtual time. Pure
+/// and immutable, so fault state never depends on event-processing order.
+#[derive(Clone, Debug, Default)]
+pub struct FaultWindows {
+    down: Vec<(u64, u64)>,
+    loss: Vec<(u64, u64, f64)>,
+    delay: Vec<(u64, u64, u64)>,
+    dup: Vec<(u64, u64, f64)>,
+    reorder: Vec<(u64, u64, f64, u64)>,
+}
+
+impl FaultWindows {
+    /// True if no window of any kind is scheduled (the fast path: a link
+    /// with empty windows behaves exactly as before this module existed).
+    pub fn is_empty(&self) -> bool {
+        self.down.is_empty()
+            && self.loss.is_empty()
+            && self.delay.is_empty()
+            && self.dup.is_empty()
+            && self.reorder.is_empty()
+    }
+
+    /// Is the link down at `now`?
+    pub fn is_down(&self, now: SimTime) -> bool {
+        let t = now.as_nanos();
+        self.down.iter().any(|&(s, e)| s <= t && t < e)
+    }
+
+    /// Additional loss probability active at `now` (sums overlapping
+    /// bursts, capped at 1.0 by the caller's clamp).
+    pub fn extra_loss(&self, now: SimTime) -> f64 {
+        let t = now.as_nanos();
+        self.loss
+            .iter()
+            .filter(|&&(s, e, _)| s <= t && t < e)
+            .map(|&(_, _, p)| p)
+            .sum()
+    }
+
+    /// Additional one-way delay active at `now`.
+    pub fn extra_delay(&self, now: SimTime) -> SimDuration {
+        let t = now.as_nanos();
+        let ns: u64 = self
+            .delay
+            .iter()
+            .filter(|&&(s, e, _)| s <= t && t < e)
+            .map(|&(_, _, d)| d)
+            .sum();
+        SimDuration::from_nanos(ns)
+    }
+
+    /// Duplication probability active at `now`, if any window covers it.
+    pub fn dup_prob(&self, now: SimTime) -> Option<f64> {
+        let t = now.as_nanos();
+        self.dup
+            .iter()
+            .find(|&&(s, e, _)| s <= t && t < e)
+            .map(|&(_, _, p)| p)
+    }
+
+    /// Reorder probability and delay bound active at `now`, if any.
+    pub fn reorder_at(&self, now: SimTime) -> Option<(f64, SimDuration)> {
+        let t = now.as_nanos();
+        self.reorder
+            .iter()
+            .find(|&&(s, e, _, _)| s <= t && t < e)
+            .map(|&(_, _, p, m)| (p, SimDuration::from_nanos(m)))
+    }
+
+    /// Total scheduled downtime across all finite down windows.
+    pub fn total_downtime(&self) -> SimDuration {
+        let ns: u64 = self
+            .down
+            .iter()
+            .filter(|&&(_, e)| e != u64::MAX)
+            .map(|&(s, e)| e - s)
+            .sum();
+        SimDuration::from_nanos(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_compiles_to_empty_windows() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        let w = plan.compile();
+        assert!(w.is_empty());
+        assert!(!w.is_down(SimTime::from_secs(5)));
+        assert_eq!(w.extra_loss(SimTime::from_secs(5)), 0.0);
+        assert_eq!(w.total_downtime(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn flap_window_is_half_open() {
+        let plan = FaultPlan::new().flap(SimTime::from_secs(10), SimDuration::from_secs(5));
+        let w = plan.compile();
+        assert!(!w.is_down(SimTime::from_millis(9_999)));
+        assert!(w.is_down(SimTime::from_secs(10)));
+        assert!(w.is_down(SimTime::from_millis(14_999)));
+        assert!(!w.is_down(SimTime::from_secs(15)));
+        assert_eq!(w.total_downtime(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn unmatched_down_lasts_forever() {
+        let mut plan = FaultPlan::new();
+        plan.events.push(FaultEvent {
+            at: SimTime::from_secs(3),
+            kind: FaultKind::LinkDown,
+        });
+        let w = plan.compile();
+        assert!(w.is_down(SimTime::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn overlapping_bursts_sum() {
+        let plan = FaultPlan::new()
+            .loss_burst(SimTime::from_secs(1), 0.2, SimDuration::from_secs(10))
+            .loss_burst(SimTime::from_secs(5), 0.3, SimDuration::from_secs(10));
+        let w = plan.compile();
+        assert_eq!(w.extra_loss(SimTime::from_secs(2)), 0.2);
+        let both = w.extra_loss(SimTime::from_secs(6));
+        assert!((both - 0.5).abs() < 1e-12);
+        assert_eq!(w.extra_loss(SimTime::from_secs(20)), 0.0);
+    }
+
+    #[test]
+    fn crash_events_are_sorted_and_ignored_by_windows() {
+        let plan = FaultPlan::new()
+            .server_crash(SimTime::from_secs(40), SimDuration::from_secs(10))
+            .server_crash(SimTime::from_secs(20), SimDuration::from_secs(5));
+        let crashes = plan.server_crashes();
+        assert_eq!(
+            crashes,
+            vec![
+                (SimTime::from_secs(20), SimDuration::from_secs(5)),
+                (SimTime::from_secs(40), SimDuration::from_secs(10)),
+            ]
+        );
+        assert!(plan.compile().is_empty());
+    }
+
+    #[test]
+    fn dup_and_reorder_windows() {
+        let plan = FaultPlan::new()
+            .duplicate(SimTime::from_secs(1), 0.5, SimDuration::from_secs(2))
+            .reorder(
+                SimTime::from_secs(4),
+                0.25,
+                SimDuration::from_millis(30),
+                SimDuration::from_secs(2),
+            );
+        let w = plan.compile();
+        assert_eq!(w.dup_prob(SimTime::from_secs(2)), Some(0.5));
+        assert_eq!(w.dup_prob(SimTime::from_secs(5)), None);
+        let (p, m) = w.reorder_at(SimTime::from_secs(5)).unwrap();
+        assert!((p - 0.25).abs() < 1e-12);
+        assert_eq!(m, SimDuration::from_millis(30));
+        assert_eq!(w.reorder_at(SimTime::from_secs(1)), None);
+    }
+}

@@ -19,6 +19,7 @@
 //! destination.
 
 pub mod checksum;
+pub mod faults;
 pub mod link;
 pub mod network;
 pub mod nic;
@@ -26,6 +27,7 @@ pub mod packet;
 pub mod topology;
 
 pub use checksum::internet_checksum;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultWindows};
 pub use link::{LinkParams, LinkStats, TxResult};
 pub use network::{Delivery, NetEvent, NetOutput, Network};
 pub use nic::{NicConfig, NicProfile, TxCopyMode};

@@ -2,6 +2,7 @@
 
 use renofs_sim::{Rng, SimDuration, SimTime};
 
+use crate::faults::FaultWindows;
 use crate::topology::NodeId;
 
 /// Static parameters of one link direction.
@@ -45,6 +46,14 @@ pub struct LinkStats {
     pub queue_drops: u64,
     /// Frames dropped by random loss.
     pub random_drops: u64,
+    /// Frames dropped because the link was down (injected flap).
+    pub flap_drops: u64,
+    /// Frames duplicated by an injected duplication window.
+    pub dup_frames: u64,
+    /// Frames given extra delay by an injected reorder window.
+    pub reordered_frames: u64,
+    /// Total scheduled downtime from the fault plan's finite windows.
+    pub downtime: SimDuration,
 }
 
 /// Outcome of offering a frame to a link.
@@ -52,7 +61,10 @@ pub struct LinkStats {
 pub enum TxResult {
     /// Frame will arrive at the far end at this time.
     Arrives(SimTime),
-    /// Frame was dropped (queue overflow or random loss).
+    /// Frame was duplicated by an injected fault: two copies arrive,
+    /// at these times.
+    Duplicated(SimTime, SimTime),
+    /// Frame was dropped (queue overflow, random loss, or a down link).
     Dropped,
 }
 
@@ -63,6 +75,7 @@ pub(crate) struct Link {
     params: LinkParams,
     busy_until: SimTime,
     stats: LinkStats,
+    faults: FaultWindows,
 }
 
 impl Link {
@@ -73,7 +86,13 @@ impl Link {
             params,
             busy_until: SimTime::ZERO,
             stats: LinkStats::default(),
+            faults: FaultWindows::default(),
         }
+    }
+
+    /// Installs compiled fault windows on this link direction.
+    pub(crate) fn set_faults(&mut self, faults: FaultWindows) {
+        self.faults = faults;
     }
 
     pub(crate) fn from(&self) -> NodeId {
@@ -89,7 +108,9 @@ impl Link {
     }
 
     pub(crate) fn stats(&self) -> LinkStats {
-        self.stats
+        let mut s = self.stats;
+        s.downtime = self.faults.total_downtime();
+        s
     }
 
     /// Test-only access to mutate parameters after topology construction
@@ -100,7 +121,16 @@ impl Link {
     }
 
     /// Offers a frame of `ip_bytes` to the link at `now`.
+    ///
+    /// With no fault windows active the code path (and in particular the
+    /// RNG draw sequence) is identical to a fault-free link, so an empty
+    /// [`FaultWindows`] leaves every run byte-reproducible against
+    /// pre-fault-injection builds.
     pub(crate) fn transmit(&mut self, now: SimTime, ip_bytes: usize, rng: &mut Rng) -> TxResult {
+        if !self.faults.is_empty() && self.faults.is_down(now) {
+            self.stats.flap_drops += 1;
+            return TxResult::Dropped;
+        }
         // Backlog currently waiting (bytes implied by the busy horizon).
         let backlog = self.busy_until.since(now);
         let backlog_bytes =
@@ -109,7 +139,8 @@ impl Link {
             self.stats.queue_drops += 1;
             return TxResult::Dropped;
         }
-        if rng.chance(self.params.loss_prob) {
+        let loss = (self.params.loss_prob + self.faults.extra_loss(now)).min(1.0);
+        if rng.chance(loss) {
             // The frame still occupies the wire; it is lost, not unsent.
             self.occupy(now, ip_bytes, rng);
             self.stats.random_drops += 1;
@@ -118,7 +149,23 @@ impl Link {
         let done = self.occupy(now, ip_bytes, rng);
         self.stats.frames += 1;
         self.stats.bytes += ip_bytes as u64;
-        TxResult::Arrives(done + self.params.prop_delay)
+        let mut arrival = done + self.params.prop_delay + self.faults.extra_delay(now);
+        if let Some((prob, max_extra)) = self.faults.reorder_at(now) {
+            if rng.chance(prob) {
+                let span = max_extra.as_nanos().max(1);
+                arrival += SimDuration::from_nanos(rng.gen_range(0, span) + 1);
+                self.stats.reordered_frames += 1;
+            }
+        }
+        if let Some(prob) = self.faults.dup_prob(now) {
+            if rng.chance(prob) {
+                self.stats.dup_frames += 1;
+                // The duplicate trails the original by one serialization
+                // time, as if a bridge replayed it back to back.
+                return TxResult::Duplicated(arrival, arrival + self.params.tx_time(ip_bytes));
+            }
+        }
+        TxResult::Arrives(arrival)
     }
 
     /// Serializes the frame (plus any sampled background traffic ahead of

@@ -66,6 +66,12 @@ pub struct NetStats {
     pub frags_dropped: u64,
     /// Reassembly timeouts (datagram lost to a missing fragment).
     pub reasm_failures: u64,
+    /// Fragments duplicated by injected fault windows.
+    pub dup_frames: u64,
+    /// Fragments delayed by injected reorder windows.
+    pub reordered_frames: u64,
+    /// Fragments dropped because a link was down (injected flap).
+    pub flap_drops: u64,
 }
 
 struct ReasmState {
@@ -104,9 +110,17 @@ impl Network {
         &self.topo
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics. Injected-fault counters are summed from the
+    /// per-link counters so experiments can assert a plan actually fired.
     pub fn stats(&self) -> NetStats {
-        self.stats
+        let mut s = self.stats;
+        for link in &self.topo.links {
+            let ls = link.stats();
+            s.dup_frames += ls.dup_frames;
+            s.reordered_frames += ls.reordered_frames;
+            s.flap_drops += ls.flap_drops;
+        }
+        s
     }
 
     /// Allocates a fresh datagram id (the IP identification field).
@@ -201,6 +215,22 @@ impl Network {
             TxResult::Arrives(at) => {
                 out.events.push((
                     at,
+                    NetEvent::FragArrive {
+                        link: link_id,
+                        frag,
+                    },
+                ));
+            }
+            TxResult::Duplicated(first, second) => {
+                out.events.push((
+                    first,
+                    NetEvent::FragArrive {
+                        link: link_id,
+                        frag: frag.clone(),
+                    },
+                ));
+                out.events.push((
+                    second,
                     NetEvent::FragArrive {
                         link: link_id,
                         frag,

@@ -106,7 +106,7 @@ impl Datagram {
 /// The first fragment (offset 0) carries the transport header; the
 /// payload chain is a cluster-sharing window onto the original datagram's
 /// payload, so fragmentation copies no data.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Fragment {
     /// Id of the datagram this fragment belongs to.
     pub dgram_id: u64,

@@ -160,6 +160,44 @@ impl Topology {
         }
     }
 
+    /// Every directed link on the routed path from `src` to `dst`.
+    pub fn path_links(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let mut links = Vec::new();
+        let mut at = src;
+        let mut hops = 0;
+        while at != dst {
+            let Some(link_id) = self.route(at, dst) else {
+                break;
+            };
+            links.push(link_id);
+            at = self.links[link_id.0].to();
+            hops += 1;
+            if hops > self.nodes.len() {
+                break;
+            }
+        }
+        links
+    }
+
+    /// Compiles a fault plan and installs its link-level windows on every
+    /// link of the `a`–`b` path, in both directions. Server-crash events
+    /// are ignored here (the `World` interprets them). An empty plan
+    /// installs nothing and leaves link behavior bit-identical.
+    pub fn apply_faults(&mut self, plan: &crate::faults::FaultPlan, a: NodeId, b: NodeId) {
+        if plan.is_empty() {
+            return;
+        }
+        let windows = plan.compile();
+        if windows.is_empty() {
+            return;
+        }
+        let mut ids = self.path_links(a, b);
+        ids.extend(self.path_links(b, a));
+        for id in ids {
+            self.links[id.0].set_faults(windows.clone());
+        }
+    }
+
     pub(crate) fn link(&self, id: LinkId) -> &Link {
         &self.links[id.0]
     }

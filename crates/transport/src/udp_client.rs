@@ -36,6 +36,12 @@ pub struct UdpRpcConfig {
     pub cwnd_cap: usize,
     /// Enable slow start (the paper removed it; kept for the ablation).
     pub slow_start: bool,
+    /// Soft mount: give up after `retrans` transmissions and report the
+    /// call as timed out. Hard mounts (the default) retry forever.
+    pub soft: bool,
+    /// Transmission budget for a soft mount, and the threshold after
+    /// which a hard mount reports `server not responding`.
+    pub retrans: u32,
 }
 
 impl UdpRpcConfig {
@@ -47,6 +53,8 @@ impl UdpRpcConfig {
             use_cwnd: false,
             cwnd_cap: 64,
             slow_start: false,
+            soft: false,
+            retrans: 4,
         }
     }
 
@@ -59,7 +67,17 @@ impl UdpRpcConfig {
             use_cwnd: true,
             cwnd_cap: 16,
             slow_start: false,
+            soft: false,
+            retrans: 4,
         }
+    }
+
+    /// Converts the mount to soft semantics with the given transmission
+    /// budget (the `soft,retrans=` mount options).
+    pub fn soft(mut self, retrans: u32) -> Self {
+        self.soft = true;
+        self.retrans = retrans.max(1);
+        self
     }
 }
 
@@ -82,6 +100,24 @@ pub enum UdpAction {
         gen: u64,
         /// Absolute deadline.
         deadline: SimTime,
+    },
+    /// A soft mount exhausted its `retrans` budget: the call is dead and
+    /// its waiter must be failed with a timeout error.
+    GiveUp {
+        /// The abandoned request's XID.
+        xid: u32,
+    },
+    /// A hard mount crossed its `retrans` threshold: print the console
+    /// line `nfs: server not responding` (the transport keeps retrying).
+    NotResponding {
+        /// The request that crossed the threshold.
+        xid: u32,
+    },
+    /// A reply arrived after `NotResponding` was reported: print
+    /// `nfs: server ok`.
+    ServerOk {
+        /// The reply that ended the outage.
+        xid: u32,
     },
 }
 
@@ -113,6 +149,10 @@ pub struct UdpStats {
     pub stray_replies: u64,
     /// Calls that were ever deferred by the congestion window.
     pub window_deferrals: u64,
+    /// Soft-mount calls abandoned after exhausting `retrans`.
+    pub soft_timeouts: u64,
+    /// Largest backoff interval ever armed (must respect the 60 s cap).
+    pub max_backoff: SimDuration,
 }
 
 struct Pending {
@@ -137,6 +177,9 @@ pub struct UdpRpcClient {
     /// Calls admitted but deferred by the congestion window.
     queue: Vec<(u32, RpcClass, MbufChain)>,
     stats: UdpStats,
+    /// Whether `NotResponding` has been reported and not yet cleared by
+    /// a reply (one console line per outage, as in the BSD client).
+    down_reported: bool,
 }
 
 impl UdpRpcClient {
@@ -161,6 +204,7 @@ impl UdpRpcClient {
             pending: HashMap::new(),
             queue: Vec::new(),
             stats: UdpStats::default(),
+            down_reported: false,
         }
     }
 
@@ -273,6 +317,10 @@ impl UdpRpcClient {
         if let Some(w) = &mut self.cwnd {
             w.on_reply();
         }
+        if self.down_reported {
+            self.down_reported = false;
+            actions.push(UdpAction::ServerOk { xid });
+        }
         self.drain_queue(now, &mut actions);
         (
             Some(CompletedCall {
@@ -307,6 +355,20 @@ impl UdpRpcClient {
         if p.timer_gen != gen {
             return actions;
         }
+        // A soft mount stops here once `retrans` transmissions have all
+        // timed out; the syscall comes back with `ETIMEDOUT`.
+        if self.cfg.soft && p.sends >= self.cfg.retrans {
+            let class = p.class;
+            self.pending.remove(&xid);
+            self.stats.soft_timeouts += 1;
+            if let Some(w) = &mut self.cwnd {
+                w.on_timeout();
+            }
+            self.rto.on_timeout(class);
+            actions.push(UdpAction::GiveUp { xid });
+            self.drain_queue(now, &mut actions);
+            return actions;
+        }
         // Timeout: retransmit with exponential backoff; the class-level
         // backoff persists for subsequent requests until a clean sample.
         self.stats.retransmits += 1;
@@ -321,6 +383,9 @@ impl UdpRpcClient {
         };
         let backoff = base * (1u64 << (p.sends - 1).min(6));
         let backoff = backoff.min(SimDuration::from_secs(60));
+        if backoff > self.stats.max_backoff {
+            self.stats.max_backoff = backoff;
+        }
         actions.push(UdpAction::Send {
             xid,
             payload: p.msg.clone(),
@@ -330,6 +395,13 @@ impl UdpRpcClient {
             gen: p.timer_gen,
             deadline: now + backoff,
         });
+        // A hard mount that has retransmitted past the `retrans`
+        // threshold reports the outage to the console, once, and keeps
+        // trying forever.
+        if !self.cfg.soft && !self.down_reported && p.sends > self.cfg.retrans {
+            self.down_reported = true;
+            actions.push(UdpAction::NotResponding { xid });
+        }
         if let Some(w) = &mut self.cwnd {
             w.on_timeout();
         }
@@ -484,6 +556,83 @@ mod tests {
         assert!(d1.is_some());
         let (d2, _) = c.on_reply(ms(4), xid, msg(1));
         assert!(d2.is_none(), "second reply to same xid is stray");
+    }
+
+    fn timer_args(actions: &[UdpAction]) -> Option<(u64, SimTime)> {
+        actions.iter().find_map(|a| match a {
+            UdpAction::ArmTimer { gen, deadline, .. } => Some((*gen, *deadline)),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn soft_mount_gives_up_after_retrans_budget() {
+        let cfg = UdpRpcConfig::fixed(SimDuration::from_secs(1)).soft(3);
+        let mut c = UdpRpcClient::new(cfg, 0);
+        let xid = c.alloc_xid();
+        let mut actions = c.call(ms(0), xid, RpcClass::Lookup, msg(0));
+        let mut gave_up = false;
+        for _ in 0..10 {
+            let Some((gen, deadline)) = timer_args(&actions) else {
+                break;
+            };
+            actions = c.on_timer(deadline, xid, gen);
+            if actions
+                .iter()
+                .any(|a| matches!(a, UdpAction::GiveUp { xid: x } if *x == xid))
+            {
+                gave_up = true;
+                break;
+            }
+        }
+        assert!(gave_up, "soft mount must abandon the call");
+        // 3 transmissions then the fourth timer gives up: 2 retransmits.
+        assert_eq!(c.stats().retransmits, 2);
+        assert_eq!(c.stats().soft_timeouts, 1);
+        assert_eq!(c.outstanding(), 0);
+        // A late reply for the abandoned xid is stray, not a completion.
+        let (done, _) = c.on_reply(SimTime::from_secs(30), xid, msg(1));
+        assert!(done.is_none());
+    }
+
+    #[test]
+    fn hard_mount_reports_not_responding_then_ok() {
+        let mut cfg = UdpRpcConfig::fixed(SimDuration::from_secs(1));
+        cfg.retrans = 2;
+        let mut c = UdpRpcClient::new(cfg, 0);
+        let xid = c.alloc_xid();
+        let mut actions = c.call(ms(0), xid, RpcClass::Read, msg(0));
+        let mut reported = 0;
+        for _ in 0..6 {
+            let (gen, deadline) = timer_args(&actions).expect("hard mount always rearms");
+            actions = c.on_timer(deadline, xid, gen);
+            reported += actions
+                .iter()
+                .filter(|a| matches!(a, UdpAction::NotResponding { .. }))
+                .count();
+        }
+        assert_eq!(reported, 1, "one console line per outage");
+        assert!(c.outstanding() == 1, "hard mount never gives up");
+        let (done, reply_actions) = c.on_reply(SimTime::from_secs(500), xid, msg(1));
+        assert!(done.is_some());
+        assert!(
+            reply_actions
+                .iter()
+                .any(|a| matches!(a, UdpAction::ServerOk { .. })),
+            "recovery prints server ok"
+        );
+    }
+
+    #[test]
+    fn backoff_respects_sixty_second_cap() {
+        let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(5)), 0);
+        let xid = c.alloc_xid();
+        let mut actions = c.call(ms(0), xid, RpcClass::Read, msg(0));
+        for _ in 0..12 {
+            let (gen, deadline) = timer_args(&actions).unwrap();
+            actions = c.on_timer(deadline, xid, gen);
+        }
+        assert_eq!(c.stats().max_backoff, SimDuration::from_secs(60));
     }
 
     #[test]

@@ -272,7 +272,7 @@ pub fn generator_proc<S: Syscalls>(
                 }),
             )
         };
-        let _reply = sys.rpc(proc, msg);
+        let _ = sys.rpc(proc, msg);
         let done = sys.now();
         if done >= measure_from && done < end {
             samples.push(OpSample {

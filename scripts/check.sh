@@ -14,4 +14,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> repro faults --scale quick (smoke)"
+cargo run -q --release -p renofs-bench --bin repro -- faults --scale quick >/dev/null
+
 echo "All checks passed."
