@@ -1,7 +1,7 @@
 //! The experiment runner: one subcommand per paper table/figure.
 //!
 //! ```text
-//! repro <experiment> [--quick | --scale quick|paper] [--jobs N]
+//! repro <experiment> [--quick | --scale quick|paper] [--jobs N] [--profile]
 //!
 //! experiments:
 //!   graph1..graph5   RTT vs load per transport and topology
@@ -17,21 +17,43 @@
 //!   ablation-preload ablation-rsize ablation-readahead
 //!   ablation-readdirplus
 //!   all              everything above
+//!   bench            the simulator benchmarking itself (see below)
 //! ```
 //!
 //! `--jobs N` sets the worker-thread count for the parallel job runner
 //! (default: all hardware threads). Results are byte-identical on
 //! stdout for any `--jobs` value; per-experiment wall-clock timing goes
 //! to stderr so it never perturbs the comparable output.
+//!
+//! `--profile` prints the self-profiler's subsystem table (events,
+//! wall-clock, allocations) to stderr after the run. It needs the
+//! `profile` cargo feature to report real numbers:
+//! `cargo run --release --features profile -- graph1 --quick --profile`.
+//!
+//! `repro bench` runs the queue-replay microbench (timer wheel vs the
+//! `BinaryHeap` it replaced, on an identical recorded schedule) plus a
+//! timed pass over every experiment, and writes `BENCH_pr3.json`.
+//! `repro bench --check FILE` re-runs just the microbench and exits
+//! nonzero if throughput regressed >30% against the committed numbers.
 
 use std::time::Instant;
 
-use renofs_bench::experiments::{ablations, cd, cpu, faults, mab, servercmp, trace, transport};
+use renofs_bench::bench;
 use renofs_bench::Scale;
 use renofs_workload::andrew::AndrewSpec;
 
+// With the `profile` feature, count every heap allocation so the
+// profiler can attribute them to subsystems; without it, this item
+// doesn't exist and the default system allocator is used directly.
+#[cfg(feature = "profile")]
+#[global_allocator]
+static ALLOC: renofs_sim::profile::CountingAlloc = renofs_sim::profile::CountingAlloc;
+
 fn usage() -> ! {
-    eprintln!("usage: repro <experiment|all> [--quick | --scale quick|paper] [--jobs N]");
+    eprintln!(
+        "usage: repro <experiment|all|bench> [--quick | --scale quick|paper] [--jobs N] \
+         [--profile] [--out FILE] [--check FILE]"
+    );
     eprintln!("run `repro all --quick` for the fast version of everything");
     std::process::exit(2);
 }
@@ -40,6 +62,9 @@ struct Options {
     what: String,
     quick: bool,
     jobs: usize,
+    profile: bool,
+    out: String,
+    check: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -47,6 +72,9 @@ fn parse_args() -> Options {
     let mut what = None;
     let mut quick = false;
     let mut jobs = renofs_bench::runner::default_jobs();
+    let mut profile = false;
+    let mut out = "BENCH_pr3.json".to_string();
+    let mut check = None;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -67,6 +95,21 @@ fn parse_args() -> Options {
                     _ => usage(),
                 };
             }
+            "--profile" => profile = true,
+            "--out" => {
+                i += 1;
+                out = match args.get(i) {
+                    Some(f) => f.clone(),
+                    None => usage(),
+                };
+            }
+            "--check" => {
+                i += 1;
+                check = match args.get(i) {
+                    Some(f) => Some(f.clone()),
+                    None => usage(),
+                };
+            }
             "--help" | "-h" => usage(),
             _ if a.starts_with("--") => usage(),
             _ => {
@@ -81,6 +124,40 @@ fn parse_args() -> Options {
         what: what.unwrap_or_else(|| "all".to_string()),
         quick,
         jobs,
+        profile,
+        out,
+        check,
+    }
+}
+
+fn run_bench_mode(opts: &Options, scale: &Scale, spec: &AndrewSpec) {
+    let checking = opts.check.is_some();
+    let report = bench::run_bench(scale, spec, opts.jobs, !checking);
+    match &opts.check {
+        Some(path) => {
+            let committed = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("[bench] cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match bench::check_against(&committed, &report) {
+                Ok(msg) => eprintln!("[bench] {msg}"),
+                Err(msg) => {
+                    eprintln!("[bench] FAIL: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
+                eprintln!("[bench] cannot write {}: {e}", opts.out);
+                std::process::exit(1);
+            }
+            print!("{}", report.summary());
+            eprintln!("[bench] wrote {}", opts.out);
+        }
     }
 }
 
@@ -99,55 +176,21 @@ fn main() {
     };
     let jobs = opts.jobs;
 
+    if opts.profile {
+        renofs_sim::profile::set_enabled(true);
+    }
+
+    if opts.what == "bench" {
+        run_bench_mode(&opts, &scale, &spec);
+        if opts.profile {
+            eprint!("{}", renofs_sim::profile::report());
+        }
+        return;
+    }
+
     // The dispatch table: every experiment renders to a string so the
     // timing line can bracket exactly the compute, not the printing.
-    type Runner<'a> = Box<dyn Fn() -> String + 'a>;
-    let experiments: Vec<(&str, Runner)> = vec![
-        ("graph1", Box::new(|| transport::graph1(&scale).to_string())),
-        ("graph2", Box::new(|| transport::graph2(&scale).to_string())),
-        ("graph3", Box::new(|| transport::graph3(&scale).to_string())),
-        ("graph4", Box::new(|| transport::graph4(&scale).to_string())),
-        ("graph5", Box::new(|| transport::graph5(&scale).to_string())),
-        ("table1", Box::new(|| transport::table1(&scale).to_string())),
-        ("graph6", Box::new(|| cpu::graph6(&scale).to_string())),
-        ("graph7", Box::new(|| trace::graph7(&scale).to_string())),
-        ("graph8", Box::new(|| servercmp::graph8(&scale).to_string())),
-        ("graph9", Box::new(|| servercmp::graph9(&scale).to_string())),
-        ("table2", Box::new(|| mab::table2(&spec, jobs).to_string())),
-        ("table3", Box::new(|| mab::table3(&spec, jobs).to_string())),
-        ("table4", Box::new(|| mab::table4(&spec, jobs).to_string())),
-        ("table5", Box::new(|| cd::table5(&scale).to_string())),
-        ("faults", Box::new(|| faults::faults(&scale).to_string())),
-        ("section3", Box::new(|| cpu::section3(&scale).to_string())),
-        (
-            "ablation-rto",
-            Box::new(|| ablations::ablation_rto(&scale).to_string()),
-        ),
-        (
-            "ablation-slowstart",
-            Box::new(|| ablations::ablation_slowstart(&scale).to_string()),
-        ),
-        (
-            "ablation-namelen",
-            Box::new(|| ablations::ablation_namelen(&scale).to_string()),
-        ),
-        (
-            "ablation-preload",
-            Box::new(|| ablations::ablation_preload(&scale).to_string()),
-        ),
-        (
-            "ablation-rsize",
-            Box::new(|| ablations::ablation_rsize(&scale).to_string()),
-        ),
-        (
-            "ablation-readahead",
-            Box::new(|| ablations::ablation_readahead(&scale).to_string()),
-        ),
-        (
-            "ablation-readdirplus",
-            Box::new(|| ablations::ablation_readdirplus(&scale).to_string()),
-        ),
-    ];
+    let experiments = bench::experiment_list(&scale, &spec, jobs);
 
     if opts.what != "all" && !experiments.iter().any(|(n, _)| *n == opts.what) {
         eprintln!("unknown experiment: {}", opts.what);
@@ -174,5 +217,8 @@ fn main() {
             "[repro] total: {:.2}s (jobs={jobs})",
             total.elapsed().as_secs_f64()
         );
+    }
+    if opts.profile {
+        eprint!("{}", renofs_sim::profile::report());
     }
 }

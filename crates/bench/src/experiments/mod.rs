@@ -10,7 +10,7 @@ pub mod servercmp;
 pub mod trace;
 pub mod transport;
 
-use renofs::{TopologyKind, TransportKind, World, WorldConfig};
+use renofs::{TopologyKind, TransportKind, World, WorldConfig, WorldScratch};
 use renofs_netsim::topology::presets::Background;
 use renofs_sim::SimDuration;
 
@@ -40,10 +40,31 @@ pub fn world_for(
     background: Background,
     seed: u64,
 ) -> World {
+    world_for_scratch(
+        topology,
+        transport,
+        background,
+        seed,
+        &WorldScratch::default(),
+    )
+}
+
+/// Like [`world_for`], but pre-sizes the world's internal buffers from
+/// capacity hints observed on earlier cells of the same sweep
+/// ([`WorldScratch::observe`]), so per-worker steady state allocates
+/// nothing as the sweep progresses. Hints never change results — only
+/// initial `Vec` capacities.
+pub fn world_for_scratch(
+    topology: TopologyKind,
+    transport: TransportKind,
+    background: Background,
+    seed: u64,
+    scratch: &WorldScratch,
+) -> World {
     let mut cfg = WorldConfig::baseline();
     cfg.topology = topology;
     cfg.background = background;
     cfg.transport = transport;
     cfg.seed = seed;
-    World::new(cfg)
+    World::with_scratch(cfg, scratch)
 }

@@ -3,13 +3,13 @@
 
 use std::fmt;
 
-use renofs::{TopologyKind, TransportKind};
+use renofs::{TopologyKind, TransportKind, WorldScratch};
 use renofs_netsim::topology::presets::Background;
 use renofs_workload::nhfsstone::{self, LoadMix, NhfsstoneConfig};
 
-use super::{paper_transports, world_for};
+use super::{paper_transports, world_for_scratch};
 use crate::fmt::table;
-use crate::runner::{point_seed, run_jobs, workload_seed};
+use crate::runner::{point_seed, run_jobs_with, workload_seed};
 use crate::Scale;
 
 /// One measured point.
@@ -91,8 +91,11 @@ struct PointJob {
 }
 
 /// Runs one `PointJob` to completion inside the worker thread. The
-/// `World` is constructed here so it never crosses a thread boundary.
+/// `World` is constructed here so it never crosses a thread boundary;
+/// `scratch` carries observed buffer capacities from the worker's
+/// earlier points so later worlds start pre-sized.
 fn measure_point(
+    scratch: &mut WorldScratch,
     job: &PointJob,
     topology: TopologyKind,
     mix: LoadMix,
@@ -100,11 +103,12 @@ fn measure_point(
     scale: &Scale,
     seed: u64,
 ) -> GraphPoint {
-    let mut world = world_for(
+    let mut world = world_for_scratch(
         topology,
         job.transport.clone(),
         background,
         point_seed(seed, job.run, job.rate_idx),
+        scratch,
     );
     let mut cfg = NhfsstoneConfig::paper(job.rate, mix);
     cfg.duration = scale.duration;
@@ -112,6 +116,7 @@ fn measure_point(
     cfg.nfiles = scale.nfiles;
     cfg.seed = workload_seed(seed, job.run);
     let report = nhfsstone::run(&mut world, &cfg);
+    scratch.observe(&world);
     let retrans = world
         .udp_stats()
         .map(|s| s.retransmits)
@@ -194,8 +199,8 @@ pub fn rtt_vs_load(
             }
         }
     }
-    let points = run_jobs(&jobs, scale.jobs, |job| {
-        measure_point(job, topology, mix, background, scale, seed)
+    let points = run_jobs_with(&jobs, scale.jobs, |scratch, job| {
+        measure_point(scratch, job, topology, mix, background, scale, seed)
     });
     // Results arrive in job order: transport-major, then run, then rate.
     let mut lines = Vec::new();
@@ -349,13 +354,13 @@ pub fn table1(scale: &Scale) -> Table1 {
             });
         }
     }
-    let rows = run_jobs(&jobs, scale.jobs, |job| {
+    let rows = run_jobs_with(&jobs, scale.jobs, |scratch: &mut WorldScratch, job| {
         let bg = if job.topo == TopologyKind::TokenRing {
             Background::production()
         } else {
             Background::off_peak()
         };
-        let mut world = world_for(job.topo, job.transport.clone(), bg, 0x7AB1E1);
+        let mut world = world_for_scratch(job.topo, job.transport.clone(), bg, 0x7AB1E1, scratch);
         let mut cfg = NhfsstoneConfig::paper(job.rate, job.mix);
         cfg.duration = scale.duration;
         cfg.warmup = scale.warmup;
@@ -366,6 +371,7 @@ pub fn table1(scale: &Scale) -> Table1 {
             cfg.procs = 4;
         }
         let report = nhfsstone::run(&mut world, &cfg);
+        scratch.observe(&world);
         let read_rate = report.read_ms.count() as f64 / cfg.duration.as_secs_f64();
         (job.conf_label.to_string(), job.label.to_string(), read_rate)
     });

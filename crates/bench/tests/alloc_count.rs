@@ -1,0 +1,81 @@
+//! Steady-state allocation discipline, measured with the counting
+//! allocator: once buffer pools and scratch vectors are warm, running
+//! more simulated traffic must allocate (almost) nothing per RPC.
+//!
+//! Method: run the same LAN read-RPC workload twice at different
+//! durations on one thread, so the second world inherits warm
+//! thread-local mbuf pools. The *marginal* allocations of the extra
+//! simulated seconds — (allocs of long run) − (allocs of short run) —
+//! divide over the extra RPCs; world setup and pool fills cancel out.
+//!
+//! Needs `--features profile` (the counting allocator lives behind the
+//! same feature as the profiler): `cargo test -p renofs-bench
+//! --features profile --test alloc_count`.
+#![cfg(feature = "profile")]
+
+use renofs::{TopologyKind, TransportKind};
+use renofs_bench::experiments::world_for;
+use renofs_netsim::topology::presets::Background;
+use renofs_sim::{profile, SimDuration};
+use renofs_workload::nhfsstone::{self, LoadMix, NhfsstoneConfig};
+
+#[global_allocator]
+static ALLOC: profile::CountingAlloc = profile::CountingAlloc;
+
+/// Runs a pure-read LAN workload for `secs` simulated seconds and
+/// returns (heap allocations during the run, RPCs completed).
+fn run_reads(secs: u64) -> (u64, u64) {
+    let mut world = world_for(
+        TopologyKind::SameLan,
+        TransportKind::UdpDynamic {
+            timeo: SimDuration::from_secs(1),
+        },
+        Background::off_peak(),
+        0xA11C,
+    );
+    let mix = LoadMix {
+        lookup: 0,
+        read: 100,
+        getattr: 0,
+        write: 0,
+    };
+    let mut cfg = NhfsstoneConfig::paper(20.0, mix);
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg.warmup = SimDuration::from_secs(2);
+    cfg.nfiles = 20;
+    cfg.seed = 7;
+    let a0 = profile::allocs();
+    let report = nhfsstone::run(&mut world, &cfg);
+    let allocs = profile::allocs() - a0;
+    let rpcs = report.read_ms.count() as u64;
+    assert!(rpcs > 50, "workload must complete reads, got {rpcs}");
+    (allocs, rpcs)
+}
+
+#[test]
+fn steady_state_lan_read_rpcs_allocate_next_to_nothing() {
+    // First run warms the thread-local cluster/small-mbuf pools and
+    // takes the one-time lazy-init allocations.
+    let (_, _) = run_reads(10);
+    let (a_short, r_short) = run_reads(20);
+    let (a_long, r_long) = run_reads(60);
+    let extra_rpcs = r_long - r_short;
+    assert!(
+        extra_rpcs > 200,
+        "need a meaningful RPC delta: {extra_rpcs}"
+    );
+    let marginal = a_long.saturating_sub(a_short) as f64 / extra_rpcs as f64;
+    // An 8 KB read RPC moves ~6 fragments through two NICs, the link
+    // layer, reassembly, and the RPC layer. With the pools, scratch
+    // buffers, and inline segment lists in place the whole path should
+    // recycle memory; allow a little slack for histogram growth and
+    // hash-map resizes, which amortize to well under one allocation
+    // per RPC.
+    assert!(
+        marginal < 1.0,
+        "steady-state LAN read RPCs allocate too much: {marginal:.2} allocs/RPC \
+         ({} allocs over {} extra RPCs)",
+        a_long.saturating_sub(a_short),
+        extra_rpcs
+    );
+}

@@ -1,0 +1,45 @@
+//! Golden-snapshot guard for the hot-path work: the rendered output of
+//! `repro graph1 --scale quick` is pinned to a committed fixture, so any
+//! change to the event queue, the mbuf layer, or the network simulator
+//! that shifts results — even by one rounding digit — fails CI instead
+//! of silently drifting the reproduction.
+//!
+//! The fixture is regenerated (deliberately, when an output change is
+//! intended and understood) with:
+//!
+//! ```text
+//! cargo run --release -p renofs-bench --bin repro -- graph1 --scale quick \
+//!   > crates/bench/tests/golden/graph1_quick.txt
+//! ```
+
+use renofs_bench::experiments::transport;
+use renofs_bench::Scale;
+
+const GOLDEN: &str = include_str!("golden/graph1_quick.txt");
+
+#[test]
+fn graph1_quick_matches_the_committed_golden_snapshot() {
+    let mut scale = Scale::quick();
+    scale.jobs = 1;
+    let out = transport::graph1(&scale).to_string();
+    assert_eq!(
+        out.trim_end(),
+        GOLDEN.trim_end(),
+        "graph1 --scale quick no longer matches the committed fixture; \
+         if the change is intended, regenerate tests/golden/graph1_quick.txt"
+    );
+}
+
+#[test]
+fn graph1_quick_matches_the_golden_snapshot_at_every_worker_count() {
+    for jobs in [2, 4, 8] {
+        let mut scale = Scale::quick();
+        scale.jobs = jobs;
+        let out = transport::graph1(&scale).to_string();
+        assert_eq!(
+            out.trim_end(),
+            GOLDEN.trim_end(),
+            "graph1 --scale quick diverged from the fixture at jobs={jobs}"
+        );
+    }
+}

@@ -76,6 +76,8 @@ impl Host {
     /// `frags` link-level fragments, including checksum and per-fragment
     /// interface costs. Returns the completion time.
     pub fn charge_tx(&mut self, now: SimTime, msg: &MbufChain, frags: usize, tcp: bool) -> SimTime {
+        let _sp = renofs_sim::profile::span(renofs_sim::profile::Subsystem::Nic);
+        renofs_sim::profile::count(renofs_sim::profile::Subsystem::Nic, frags.max(1) as u64);
         let len = msg.len();
         let proto = if tcp {
             costs::TCP_PROTO_FIXED
@@ -106,6 +108,8 @@ impl Host {
     /// Charges the CPU work of receiving a message that arrived as
     /// `frags` fragments. Returns the completion time.
     pub fn charge_rx(&mut self, now: SimTime, len: usize, frags: usize, tcp: bool) -> SimTime {
+        let _sp = renofs_sim::profile::span(renofs_sim::profile::Subsystem::Nic);
+        renofs_sim::profile::count(renofs_sim::profile::Subsystem::Nic, frags.max(1) as u64);
         let mut t = now;
         let per_frag = len / frags.max(1);
         for _ in 0..frags.max(1) {
@@ -135,6 +139,8 @@ impl Host {
     /// socket/RPC-codec work is charged once per record via
     /// [`Host::charge_record`], not per segment.
     pub fn charge_tcp_tx(&mut self, now: SimTime, payload: &MbufChain) -> SimTime {
+        let _sp = renofs_sim::profile::span(renofs_sim::profile::Subsystem::Nic);
+        renofs_sim::profile::count(renofs_sim::profile::Subsystem::Nic, 1);
         let len = payload.len();
         let proto = if len == 0 {
             costs::TCP_ACK_FIXED
@@ -153,6 +159,8 @@ impl Host {
 
     /// Charges the CPU work of receiving one TCP segment.
     pub fn charge_tcp_rx(&mut self, now: SimTime, len: usize) -> SimTime {
+        let _sp = renofs_sim::profile::span(renofs_sim::profile::Subsystem::Nic);
+        renofs_sim::profile::count(renofs_sim::profile::Subsystem::Nic, 1);
         let mut t = self
             .cpu
             .charge(now, self.nic.rx_cost(len), CpuCategory::NetIf);

@@ -37,5 +37,5 @@ pub use server::{NfsServer, ServerConfig};
 pub use syscalls::Syscalls;
 pub use world::{
     ClientEvent, ClientEventKind, MountOptions, TopologyKind, TransportKind, World, WorldConfig,
-    WorldSys,
+    WorldScratch, WorldSys,
 };

@@ -272,7 +272,8 @@ impl FileHandle {
 
     /// Decodes the 32-byte opaque handle.
     pub fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
-        let bytes = dec.get_opaque_fixed(NFS_FHSIZE)?;
+        let mut bytes = [0u8; NFS_FHSIZE];
+        dec.get_opaque_fixed_into(&mut bytes)?;
         let word =
             |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
         Ok(FileHandle {
@@ -1051,7 +1052,7 @@ mod tests {
             NfsArgs::Write(h, off, data) => {
                 assert_eq!(h, fh(3));
                 assert_eq!(off, 16384);
-                assert_eq!(data.to_vec_unmetered(), payload);
+                assert_eq!(data.to_vec_for_test(), payload);
             }
             other => panic!("wrong args: {other:?}"),
         }

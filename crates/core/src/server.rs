@@ -172,6 +172,9 @@ pub struct NfsServer {
     dupcache: Option<DupCache>,
     meter: CopyMeter,
     stats: ServerStats,
+    /// Recycled buffer for READ data on its way from the filesystem
+    /// into an mbuf chain, so steady-state reads don't allocate.
+    read_scratch: Vec<u8>,
 }
 
 impl NfsServer {
@@ -189,6 +192,7 @@ impl NfsServer {
             dupcache: cfg.dup_cache.then(|| DupCache::new(128)),
             meter: CopyMeter::new(),
             stats: ServerStats::default(),
+            read_scratch: Vec::new(),
         }
     }
 
@@ -550,11 +554,15 @@ impl NfsServer {
                 self.bufcache.insert(v, blk as u64, Buf::new_valid(data));
             }
         }
-        let data = self
-            .fs
-            .read(ino, offset, count, now)
-            .map_err(NfsStatus::from)?;
-        let attr = self.fs.getattr(ino).map_err(NfsStatus::from)?;
+        let mut data = std::mem::take(&mut self.read_scratch);
+        let read = self.fs.read_into(ino, offset, count, now, &mut data);
+        let attr = match read.and_then(|_| self.fs.getattr(ino)) {
+            Ok(attr) => attr,
+            Err(e) => {
+                self.read_scratch = data;
+                return Err(NfsStatus::from(e));
+            }
+        };
         // Buffer cache -> mbuf: the paper's remaining third bottleneck,
         // unless the page-loaning extension is on.
         let chain = if self.cfg.loan_read_pages {
@@ -564,6 +572,7 @@ impl NfsServer {
             cost.bytes_copied += data.len() as u64;
             MbufChain::from_slice(&data, &mut self.meter)
         };
+        self.read_scratch = data;
         Ok((attr, chain))
     }
 
@@ -576,8 +585,9 @@ impl NfsServer {
         cost: &mut ServiceCost,
     ) -> Result<renofs_vfs::Vattr, NfsStatus> {
         let ino = self.resolve(fh)?;
-        let bytes = data.to_vec_unmetered();
-        // mbuf -> buffer cache copy.
+        // mbuf -> buffer cache copy: charged both to the server's meter and
+        // to the service cost (which prices it into simulated CPU time).
+        let bytes = data.to_vec(&mut self.meter);
         cost.bytes_copied += bytes.len() as u64;
         let attr = self
             .fs
@@ -930,8 +940,8 @@ mod tests {
         assert!(!c1.dup_hit);
         assert!(c2.dup_hit, "retransmission served from dup cache");
         assert_eq!(
-            r1.to_vec_unmetered(),
-            r2.to_vec_unmetered(),
+            r1.to_vec_for_test(),
+            r2.to_vec_for_test(),
             "cached reply is byte-identical"
         );
         assert_eq!(s.stats().count(NfsProc::Create), 1, "executed once");
@@ -982,7 +992,7 @@ mod tests {
         let (r1, _) = s.service(t(1), &rm());
         let (r2, c2) = s.service(t(2), &rm());
         assert!(c2.dup_hit);
-        assert_eq!(r1.to_vec_unmetered(), r2.to_vec_unmetered());
+        assert_eq!(r1.to_vec_for_test(), r2.to_vec_for_test());
         assert_eq!(s.stats().count(NfsProc::Remove), 1, "executed once");
         assert_eq!(
             results::get_stat(&mut reply_body(&r2)).unwrap(),
@@ -998,7 +1008,7 @@ mod tests {
         let (m1, _) = s.service(t(3), &mv());
         let (m2, c4) = s.service(t(4), &mv());
         assert!(c4.dup_hit);
-        assert_eq!(m1.to_vec_unmetered(), m2.to_vec_unmetered());
+        assert_eq!(m1.to_vec_for_test(), m2.to_vec_for_test());
         assert_eq!(s.stats().count(NfsProc::Rename), 1, "executed once");
         assert_eq!(
             results::get_stat(&mut reply_body(&m2)).unwrap(),

@@ -19,10 +19,10 @@ use std::thread::JoinHandle;
 use renofs_mbuf::{CopyMeter, MbufChain};
 use renofs_netsim::topology::presets::{self, Background};
 use renofs_netsim::{
-    Datagram, Delivery, FaultPlan, NetEvent, Network, ProtoHeader, IP_HEADER, TCP_HEADER,
+    Datagram, Delivery, FaultPlan, NetEvent, NetOutput, Network, ProtoHeader, IP_HEADER, TCP_HEADER,
 };
 use renofs_sim::cpu::CpuCategory;
-use renofs_sim::{EventQueue, SimDuration, SimTime};
+use renofs_sim::{profile, EventQueue, SimDuration, SimTime};
 use renofs_sunrpc::{frame_record, peek_xid_kind, MsgKind, RecordReader, NFS_PORT};
 use renofs_transport::{TcpConfig, TcpConn, UdpAction, UdpRpcClient, UdpRpcConfig, UdpStats};
 
@@ -384,12 +384,42 @@ pub struct World {
     ready: VecDeque<(usize, Resp)>,
     started: bool,
     scratch: CopyMeter,
+    /// Reusable network-step output: drained after every absorb, so the
+    /// per-hop path allocates nothing once the vectors reach working size.
+    net_out: NetOutput,
+    /// Reusable UDP-transport action buffer, drained after every
+    /// transport step for the same reason.
+    udp_actions: Vec<UdpAction>,
+}
+
+/// Capacity hints carried across the `World`s of a parameter sweep, so
+/// repeated cells start with buffers already sized to the workload
+/// instead of re-growing them from empty every time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorldScratch {
+    /// Peak event-queue depth observed.
+    pub queue_cap: usize,
+    /// Peak network-output event burst observed.
+    pub net_events_cap: usize,
+}
+
+impl WorldScratch {
+    /// Folds a finished world's high-water marks into the hints.
+    pub fn observe(&mut self, world: &World) {
+        self.queue_cap = self.queue_cap.max(world.queue.peak_depth());
+        self.net_events_cap = self.net_events_cap.max(world.net_out.events.capacity());
+    }
 }
 
 impl World {
     /// Builds a world; for TCP the connection is established before
     /// returning.
     pub fn new(cfg: WorldConfig) -> Self {
+        Self::with_scratch(cfg, &WorldScratch::default())
+    }
+
+    /// [`World::new`] with buffer capacity hints from earlier runs.
+    pub fn with_scratch(cfg: WorldConfig, scratch: &WorldScratch) -> Self {
         let (mut topo, client_node, server_node) = match cfg.topology {
             TopologyKind::SameLan => presets::same_lan(&cfg.background),
             TopologyKind::TokenRing => presets::token_ring_path(&cfg.background),
@@ -435,7 +465,7 @@ impl World {
             client_host: Host::new(cfg.client_host, cfg.seed ^ 0xc11e),
             server_host: Host::new(cfg.server_host, cfg.seed ^ 0x5e17),
             cfg,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(scratch.queue_cap),
             net,
             client_node,
             server_node,
@@ -459,6 +489,11 @@ impl World {
             ready: VecDeque::new(),
             started: false,
             scratch: CopyMeter::new(),
+            net_out: NetOutput {
+                events: Vec::with_capacity(scratch.net_events_cap),
+                delivered: Vec::new(),
+            },
+            udp_actions: Vec::new(),
         };
         for (at, downtime) in world.cfg.faults.server_crashes() {
             world.queue.push(at, Ev::ServerCrash { downtime });
@@ -504,6 +539,21 @@ impl World {
     /// Direct access to the server (test preloading, stats).
     pub fn server_mut(&mut self) -> &mut NfsServer {
         &mut self.server
+    }
+
+    /// Lifetime queue counters: `(events popped, peak pending depth)`.
+    pub fn queue_stats(&self) -> (u64, usize) {
+        (self.queue.pops(), self.queue.peak_depth())
+    }
+
+    /// Starts recording event-queue operations (for replay benchmarks).
+    pub fn start_queue_trace(&mut self) {
+        self.queue.start_trace();
+    }
+
+    /// Stops recording and returns the queue operation stream.
+    pub fn take_queue_trace(&mut self) -> Vec<renofs_sim::queue::QueueOp> {
+        self.queue.take_trace()
     }
 
     /// Read access to the server.
@@ -665,6 +715,7 @@ impl World {
     /// Sends `resp` to a blocked thread and services its requests until
     /// it blocks again (or finishes).
     fn resume(&mut self, tid: usize, resp: Resp) {
+        let _sp = profile::span(profile::Subsystem::Client);
         if self.threads[tid].resp_tx.send(resp).is_err() {
             return;
         }
@@ -780,8 +831,10 @@ impl World {
         let now = self.queue.now();
         match &mut self.transport {
             Transport::Udp(u) => {
-                let actions = u.call(now, xid, proc.rto_class(), msg);
-                self.apply_udp_actions(actions);
+                let mut actions = std::mem::take(&mut self.udp_actions);
+                u.call(now, xid, proc.rto_class(), msg, &mut actions);
+                self.apply_udp_actions(&mut actions);
+                self.udp_actions = actions;
             }
             Transport::Tcp(_) => {
                 // Once-per-record socket/codec work.
@@ -796,9 +849,9 @@ impl World {
         }
     }
 
-    fn apply_udp_actions(&mut self, actions: Vec<UdpAction>) {
+    fn apply_udp_actions(&mut self, actions: &mut Vec<UdpAction>) {
         let now = self.queue.now();
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 UdpAction::Send { payload, .. } => {
                     let frags = udp_fragments(payload.len(), self.first_hop_mtu);
@@ -918,14 +971,18 @@ impl World {
     }
 
     fn client_rpc_reply(&mut self, reply: MbufChain, at: SimTime) {
+        let _sp = profile::span(profile::Subsystem::Client);
+        profile::count(profile::Subsystem::Client, 1);
         let Ok((xid, MsgKind::Reply)) = peek_xid_kind(&reply) else {
             return;
         };
         // For UDP the transport tracked RTTs itself; over TCP there is
         // no RPC-level bookkeeping to update.
         if let Transport::Udp(u) = &mut self.transport {
-            let (completed, actions) = u.on_reply(at, xid, reply);
-            self.apply_udp_actions(actions);
+            let mut actions = std::mem::take(&mut self.udp_actions);
+            let completed = u.on_reply(at, xid, reply, &mut actions);
+            self.apply_udp_actions(&mut actions);
+            self.udp_actions = actions;
             let Some(call) = completed else {
                 return;
             };
@@ -948,6 +1005,8 @@ impl World {
     /// Services an RPC request at the server, charging CPU and disk, and
     /// schedules the reply transmission.
     fn serve_request(&mut self, request: MbufChain, tcp: bool, at: SimTime) {
+        let _sp = profile::span(profile::Subsystem::Server);
+        profile::count(profile::Subsystem::Server, 1);
         let (reply, cost) = self.server.service(at, &request);
         if reply.is_empty() {
             return; // Unparseable request.
@@ -1009,8 +1068,10 @@ impl World {
             Ev::AsyncDone(ticket, reply) => self.async_done(ticket, reply),
             Ev::UdpTimer { xid, gen } => {
                 if let Transport::Udp(u) = &mut self.transport {
-                    let actions = u.on_timer(now, xid, gen);
-                    self.apply_udp_actions(actions);
+                    let mut actions = std::mem::take(&mut self.udp_actions);
+                    u.on_timer(now, xid, gen, &mut actions);
+                    self.apply_udp_actions(&mut actions);
+                    self.udp_actions = actions;
                 }
             }
             Ev::TcpTimer { server_side, gen } => {
@@ -1031,13 +1092,15 @@ impl World {
                 proto,
                 payload,
             } => {
+                let _sp = profile::span(profile::Subsystem::Links);
                 let (src, dst) = if from_client {
                     (self.client_node, self.server_node)
                 } else {
                     (self.server_node, self.client_node)
                 };
                 let id = self.net.alloc_dgram_id();
-                let out = self.net.send(
+                let mut out = std::mem::take(&mut self.net_out);
+                self.net.send_into(
                     now,
                     Datagram {
                         id,
@@ -1046,12 +1109,17 @@ impl World {
                         proto,
                         payload,
                     },
+                    &mut out,
                 );
-                self.absorb_net(out);
+                self.absorb_net(&mut out);
+                self.net_out = out;
             }
             Ev::Net(nev) => {
-                let out = self.net.handle(now, nev);
-                self.absorb_net(out);
+                let _sp = profile::span(profile::Subsystem::Links);
+                let mut out = std::mem::take(&mut self.net_out);
+                self.net.handle_into(now, nev, &mut out);
+                self.absorb_net(&mut out);
+                self.net_out = out;
             }
             Ev::ServerCrash { downtime } => {
                 self.server_up = false;
@@ -1074,11 +1142,12 @@ impl World {
         }
     }
 
-    fn absorb_net(&mut self, out: renofs_netsim::NetOutput) {
-        for (t, ev) in out.events {
+    fn absorb_net(&mut self, out: &mut NetOutput) {
+        profile::count(profile::Subsystem::Links, out.events.len() as u64);
+        for (t, ev) in out.events.drain(..) {
             self.queue.push(t, Ev::Net(ev));
         }
-        for d in out.delivered {
+        for d in out.delivered.drain(..) {
             self.on_delivery(d);
         }
     }

@@ -1,11 +1,10 @@
 //! Mbufs and mbuf chains.
 
-use std::collections::VecDeque;
 use std::fmt;
-use std::sync::Arc;
 
+use crate::inline_deque::InlineDeque;
 use crate::meter::CopyMeter;
-use crate::pool::ClusterBuf;
+use crate::pool::{ClusterRef, SmallBuf};
 
 /// Inline data capacity of a small mbuf (4.3BSD's `MLEN` less headers).
 pub const MLEN: usize = 112;
@@ -13,19 +12,26 @@ pub const MLEN: usize = 112;
 /// Capacity of an mbuf cluster (4.3BSD's `MCLBYTES`).
 pub const MCLBYTES: usize = 2048;
 
+/// Segments kept inline in the chain before the list spills to the heap.
+/// Six covers the common RPC shapes: a header mbuf plus the four clusters
+/// of an 8 KB read/write, with one spare.
+const SEG_INLINE: usize = 6;
+
+type SegList = InlineDeque<Mbuf, SEG_INLINE>;
+
 enum Storage {
-    /// Unique inline storage.
-    Small(Box<[u8; MLEN]>),
-    /// Reference-counted cluster; immutable once the `Arc` is shared.
-    /// The buffer comes from (and returns to) the cluster free list.
-    Cluster(Arc<ClusterBuf>),
+    /// Unique inline storage, recycled through the small-mbuf free list.
+    Small(SmallBuf),
+    /// Reference-counted cluster; immutable once the handle is shared.
+    /// The whole `Arc` comes from (and returns to) the cluster free list.
+    Cluster(ClusterRef),
 }
 
 impl Clone for Storage {
     fn clone(&self) -> Self {
         match self {
             Storage::Small(b) => Storage::Small(b.clone()),
-            Storage::Cluster(rc) => Storage::Cluster(Arc::clone(rc)),
+            Storage::Cluster(rc) => Storage::Cluster(rc.clone()),
         }
     }
 }
@@ -41,7 +47,7 @@ pub struct Mbuf {
 impl Mbuf {
     fn small() -> Self {
         Mbuf {
-            storage: Storage::Small(Box::new([0u8; MLEN])),
+            storage: Storage::Small(SmallBuf::alloc()),
             off: 0,
             len: 0,
         }
@@ -56,7 +62,7 @@ impl Mbuf {
 
     fn cluster() -> Self {
         Mbuf {
-            storage: Storage::Cluster(Arc::new(ClusterBuf::alloc())),
+            storage: Storage::Cluster(ClusterRef::alloc()),
             off: 0,
             len: 0,
         }
@@ -85,7 +91,7 @@ impl Mbuf {
     pub fn is_shared_cluster(&self) -> bool {
         match &self.storage {
             Storage::Small(_) => false,
-            Storage::Cluster(rc) => Arc::strong_count(rc) > 1,
+            Storage::Cluster(rc) => rc.is_shared(),
         }
     }
 
@@ -105,7 +111,7 @@ impl Mbuf {
             Storage::Cluster(rc) => {
                 // Appendable only while the cluster is unshared and the
                 // window ends at the cluster's fill point.
-                if Arc::get_mut(rc).is_some() {
+                if rc.get_mut().is_some() {
                     let fill = rc.len();
                     if self.off + self.len == fill {
                         MCLBYTES - fill
@@ -127,7 +133,7 @@ impl Mbuf {
                 b[end..end + src.len()].copy_from_slice(src);
             }
             Storage::Cluster(rc) => {
-                let v = Arc::get_mut(rc).expect("append to shared cluster");
+                let v = rc.get_mut().expect("append to shared cluster");
                 debug_assert_eq!(self.off + self.len, v.len());
                 v.extend_from_slice(src);
             }
@@ -159,6 +165,21 @@ impl Mbuf {
             len,
         }
     }
+
+    /// Widens this window to absorb `next` when both are views of the
+    /// same cluster and `next` starts exactly where this one ends — the
+    /// shape fragmentation leaves behind once a datagram is reassembled.
+    fn try_merge(&mut self, next: &Mbuf) -> bool {
+        match (&self.storage, &next.storage) {
+            (Storage::Cluster(a), Storage::Cluster(b))
+                if ClusterRef::same_storage(a, b) && self.off + self.len == next.off =>
+            {
+                self.len += next.len;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Debug for Mbuf {
@@ -166,7 +187,7 @@ impl fmt::Debug for Mbuf {
         let kind = match &self.storage {
             Storage::Small(_) => "small",
             Storage::Cluster(rc) => {
-                if Arc::strong_count(rc) > 1 {
+                if rc.is_shared() {
                     "cluster(shared)"
                 } else {
                     "cluster"
@@ -189,11 +210,11 @@ impl fmt::Debug for Mbuf {
 /// chain.append_bytes(b"hello ", &mut meter);
 /// chain.append_bytes(b"world", &mut meter);
 /// assert_eq!(chain.len(), 11);
-/// assert_eq!(chain.to_vec_unmetered(), b"hello world");
+/// assert_eq!(chain.to_vec_for_test(), b"hello world");
 /// assert_eq!(meter.bytes(), 11);
 /// ```
 pub struct MbufChain {
-    segs: VecDeque<Mbuf>,
+    segs: SegList,
     len: usize,
 }
 
@@ -219,7 +240,7 @@ impl MbufChain {
     /// Creates an empty chain.
     pub fn new() -> Self {
         MbufChain {
-            segs: VecDeque::new(),
+            segs: SegList::new(),
             len: 0,
         }
     }
@@ -334,10 +355,20 @@ impl MbufChain {
     }
 
     /// Concatenates `other` onto the end of this chain without copying
-    /// (`m_cat` without the compaction heuristics).
+    /// (`m_cat`). Adjacent windows of one shared cluster coalesce back
+    /// into a single mbuf, so a reassembled 8 KB datagram lands at its
+    /// original four clusters instead of one window per fragment slice —
+    /// keeping the segment list inline (no heap spill) and short.
     pub fn append_chain(&mut self, other: MbufChain) {
         self.len += other.len;
-        self.segs.extend(other.segs);
+        for m in other.segs.into_iter() {
+            if let Some(back) = self.segs.back_mut() {
+                if back.try_merge(&m) {
+                    continue;
+                }
+            }
+            self.segs.push_back(m);
+        }
     }
 
     /// Produces a chain covering `[off, off + len)` of this one, sharing
@@ -391,7 +422,7 @@ impl MbufChain {
             return tail;
         }
         let mut remaining = at;
-        let mut head_segs: VecDeque<Mbuf> = VecDeque::new();
+        let mut head_segs = SegList::new();
         while let Some(mut m) = self.segs.pop_front() {
             if remaining >= m.len() {
                 remaining -= m.len();
@@ -500,11 +531,17 @@ impl MbufChain {
     /// Flattens the chain to a `Vec`, charging the meter.
     pub fn to_vec(&self, meter: &mut CopyMeter) -> Vec<u8> {
         meter.charge(self.len);
-        self.to_vec_unmetered()
+        self.to_vec_for_test()
     }
 
-    /// Flattens the chain to a `Vec` without metering (tests, assertions).
-    pub fn to_vec_unmetered(&self) -> Vec<u8> {
+    /// Flattens the chain to a `Vec` without metering.
+    ///
+    /// The name is deliberate: simulated-datapath code must account for
+    /// every memory-to-memory copy, so it should call [`MbufChain::to_vec`]
+    /// (or [`MbufChain::copy_out`]) with the owning subsystem's meter.
+    /// This variant exists for test assertions, doc examples, and
+    /// experiment-harness result inspection only.
+    pub fn to_vec_for_test(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.len);
         for seg in self.segments() {
             out.extend_from_slice(seg);
@@ -564,7 +601,7 @@ mod tests {
         let big = vec![7u8; 5000];
         c.append_bytes(&big, &mut m);
         assert_eq!(c.len(), 5003);
-        let flat = c.to_vec_unmetered();
+        let flat = c.to_vec_for_test();
         assert_eq!(&flat[..3], b"abc");
         assert!(flat[3..].iter().all(|&b| b == 7));
         assert_eq!(m.bytes(), 5003);
@@ -591,7 +628,7 @@ mod tests {
         let before = c.seg_count();
         c.prepend_bytes(b"HDR:", &mut m);
         assert_eq!(c.seg_count(), before, "no new mbuf needed");
-        assert_eq!(c.to_vec_unmetered(), b"HDR:payload");
+        assert_eq!(c.to_vec_for_test(), b"HDR:payload");
     }
 
     #[test]
@@ -600,7 +637,7 @@ mod tests {
         let mut c = MbufChain::new();
         c.append_bytes(&[9u8; MLEN], &mut m);
         c.prepend_bytes(b"hdr", &mut m);
-        let flat = c.to_vec_unmetered();
+        let flat = c.to_vec_for_test();
         assert_eq!(&flat[..3], b"hdr");
         assert_eq!(c.len(), MLEN + 3);
     }
@@ -611,7 +648,7 @@ mod tests {
         let mut c = MbufChain::from_slice(b"body", &mut m);
         let hdr: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
         c.prepend_bytes(&hdr, &mut m);
-        let flat = c.to_vec_unmetered();
+        let flat = c.to_vec_for_test();
         assert_eq!(&flat[..300], &hdr[..]);
         assert_eq!(&flat[300..], b"body");
     }
@@ -624,7 +661,7 @@ mod tests {
         let before = m.bytes();
         a.append_chain(b);
         assert_eq!(m.bytes(), before, "m_cat copies nothing");
-        assert_eq!(a.to_vec_unmetered(), b"onetwo");
+        assert_eq!(a.to_vec_for_test(), b"onetwo");
     }
 
     #[test]
@@ -634,7 +671,7 @@ mod tests {
         let c = MbufChain::from_slice(&data, &mut m);
         m.take();
         let shared = c.share_range(100, 4000, &mut m);
-        assert_eq!(shared.to_vec_unmetered(), &data[100..4100]);
+        assert_eq!(shared.to_vec_for_test(), &data[100..4100]);
         assert_eq!(m.bytes(), 0, "cluster shares copy nothing");
         assert!(shared.mbufs().any(|b| b.is_shared_cluster()));
     }
@@ -645,7 +682,7 @@ mod tests {
         let c = MbufChain::from_slice(b"tiny message", &mut m);
         m.take();
         let shared = c.share_range(5, 7, &mut m);
-        assert_eq!(shared.to_vec_unmetered(), b"message");
+        assert_eq!(shared.to_vec_for_test(), b"message");
         assert_eq!(m.bytes(), 7, "small mbuf bytes are copied");
     }
 
@@ -653,7 +690,7 @@ mod tests {
     fn share_whole_and_empty() {
         let mut m = meter();
         let c = MbufChain::from_slice(b"abcdef", &mut m);
-        assert_eq!(c.share_range(0, 6, &mut m).to_vec_unmetered(), b"abcdef");
+        assert_eq!(c.share_range(0, 6, &mut m).to_vec_for_test(), b"abcdef");
         assert_eq!(c.share_range(3, 0, &mut m).len(), 0);
     }
 
@@ -673,8 +710,8 @@ mod tests {
         let tail = c.split_off(1234, &mut m);
         assert_eq!(c.len(), 1234);
         assert_eq!(tail.len(), 5000 - 1234);
-        assert_eq!(c.to_vec_unmetered(), &data[..1234]);
-        assert_eq!(tail.to_vec_unmetered(), &data[1234..]);
+        assert_eq!(c.to_vec_for_test(), &data[..1234]);
+        assert_eq!(tail.to_vec_for_test(), &data[1234..]);
     }
 
     #[test]
@@ -686,7 +723,7 @@ mod tests {
         assert_eq!(c.len(), 6);
         let tail = c.split_off(0, &mut m);
         assert!(c.is_empty());
-        assert_eq!(tail.to_vec_unmetered(), b"abcdef");
+        assert_eq!(tail.to_vec_for_test(), b"abcdef");
     }
 
     #[test]
@@ -709,7 +746,7 @@ mod tests {
         c.trim_front(100);
         c.trim_back(200);
         assert_eq!(c.len(), 2700);
-        assert_eq!(c.to_vec_unmetered(), &data[100..2800]);
+        assert_eq!(c.to_vec_for_test(), &data[100..2800]);
         c.trim_front(10_000);
         assert!(c.is_empty());
         assert_eq!(c.seg_count(), 0);
@@ -735,9 +772,9 @@ mod tests {
         let tail = rest.split_off(1500, &mut m);
         c.append_chain(rest);
         c.append_chain(tail);
-        let flat_before = c.to_vec_unmetered();
+        let flat_before = c.to_vec_for_test();
         c.pullup(200, &mut m);
-        assert_eq!(c.to_vec_unmetered(), flat_before, "contents preserved");
+        assert_eq!(c.to_vec_for_test(), flat_before, "contents preserved");
         assert!(c.mbufs().next().unwrap().len() >= 200);
     }
 

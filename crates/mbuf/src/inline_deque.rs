@@ -1,0 +1,426 @@
+//! A small-capacity inline deque.
+//!
+//! `MbufChain` originally kept its segments in a `VecDeque`, which costs
+//! one heap allocation per chain — and NFS RPC processing creates and
+//! destroys chains constantly (request build, header prepend, fragment
+//! share, reassembly stitch). Real 4.3BSD pays nothing comparable: an
+//! mbuf chain is an intrusive linked list through the mbufs themselves.
+//!
+//! [`InlineDeque`] stores up to `N` elements in a fixed ring inside the
+//! struct, so typical chains (header mbuf plus a handful of clusters —
+//! an 8 KB NFS read is 4 clusters) never touch the allocator for their
+//! spine. Chains longer than `N` spill *all* elements into a boxed
+//! `VecDeque` and stay spilled; correctness never depends on which mode
+//! a deque is in.
+
+use std::collections::VecDeque;
+
+/// A double-ended queue holding up to `N` elements inline.
+pub struct InlineDeque<T, const N: usize> {
+    /// Ring storage; the slot for logical index `i` is `(head + i) % N`.
+    buf: [Option<T>; N],
+    head: usize,
+    len: usize,
+    /// Once the inline ring overflows, every element lives here instead.
+    /// Boxed on purpose: the spill is the rare case, and one pointer
+    /// keeps the inline variant — which travels inside every queued
+    /// event — as small as possible.
+    #[allow(clippy::box_collection)]
+    spill: Option<Box<VecDeque<T>>>,
+}
+
+impl<T, const N: usize> InlineDeque<T, N> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        InlineDeque {
+            buf: std::array::from_fn(|_| None),
+            head: 0,
+            len: 0,
+            spill: None,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.spill {
+            Some(s) => s.len(),
+            None => self.len,
+        }
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the elements have spilled to the heap (diagnostics).
+    pub fn is_spilled(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    #[inline]
+    fn slot(&self, i: usize) -> usize {
+        debug_assert!(i < self.len);
+        (self.head + i) % N
+    }
+
+    /// Moves every inline element into a heap deque.
+    fn spill_all(&mut self) {
+        debug_assert!(self.spill.is_none());
+        let mut v = VecDeque::with_capacity(N * 2);
+        for i in 0..self.len {
+            let s = (self.head + i) % N;
+            v.push_back(self.buf[s].take().expect("occupied slot"));
+        }
+        self.head = 0;
+        self.len = 0;
+        self.spill = Some(Box::new(v));
+    }
+
+    /// Appends an element at the back.
+    pub fn push_back(&mut self, t: T) {
+        if self.spill.is_none() && self.len == N {
+            self.spill_all();
+        }
+        match &mut self.spill {
+            Some(s) => s.push_back(t),
+            None => {
+                let s = (self.head + self.len) % N;
+                debug_assert!(self.buf[s].is_none());
+                self.buf[s] = Some(t);
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Inserts an element at the front.
+    pub fn push_front(&mut self, t: T) {
+        if self.spill.is_none() && self.len == N {
+            self.spill_all();
+        }
+        match &mut self.spill {
+            Some(s) => s.push_front(t),
+            None => {
+                self.head = (self.head + N - 1) % N;
+                debug_assert!(self.buf[self.head].is_none());
+                self.buf[self.head] = Some(t);
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Removes and returns the front element.
+    pub fn pop_front(&mut self) -> Option<T> {
+        match &mut self.spill {
+            Some(s) => s.pop_front(),
+            None => {
+                if self.len == 0 {
+                    return None;
+                }
+                let t = self.buf[self.head].take();
+                debug_assert!(t.is_some());
+                self.head = (self.head + 1) % N;
+                self.len -= 1;
+                t
+            }
+        }
+    }
+
+    /// Removes and returns the back element.
+    pub fn pop_back(&mut self) -> Option<T> {
+        match &mut self.spill {
+            Some(s) => s.pop_back(),
+            None => {
+                if self.len == 0 {
+                    return None;
+                }
+                let s = (self.head + self.len - 1) % N;
+                let t = self.buf[s].take();
+                debug_assert!(t.is_some());
+                self.len -= 1;
+                t
+            }
+        }
+    }
+
+    /// The front element.
+    pub fn front(&self) -> Option<&T> {
+        self.get(0)
+    }
+
+    /// The front element, mutably.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.get_mut(0)
+    }
+
+    /// The back element.
+    pub fn back(&self) -> Option<&T> {
+        match self.len() {
+            0 => None,
+            n => self.get(n - 1),
+        }
+    }
+
+    /// The back element, mutably.
+    pub fn back_mut(&mut self) -> Option<&mut T> {
+        match self.len() {
+            0 => None,
+            n => self.get_mut(n - 1),
+        }
+    }
+
+    /// The element at logical index `i`.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        match &self.spill {
+            Some(s) => s.get(i),
+            None => {
+                if i < self.len {
+                    self.buf[(self.head + i) % N].as_ref()
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The element at logical index `i`, mutably.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        match &mut self.spill {
+            Some(s) => s.get_mut(i),
+            None => {
+                if i < self.len {
+                    self.buf[(self.head + i) % N].as_mut()
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Iterates front to back.
+    pub fn iter(&self) -> Iter<'_, T, N> {
+        Iter { dq: self, i: 0 }
+    }
+
+    /// Keeps only the elements `f` accepts, preserving order.
+    pub fn retain<F: FnMut(&T) -> bool>(&mut self, mut f: F) {
+        match &mut self.spill {
+            Some(s) => s.retain(|t| f(t)),
+            None => {
+                let mut kept = 0;
+                for i in 0..self.len {
+                    let t = self.buf[self.slot(i)].take().expect("occupied slot");
+                    if f(&t) {
+                        self.buf[(self.head + kept) % N] = Some(t);
+                        kept += 1;
+                    }
+                }
+                self.len = kept;
+            }
+        }
+    }
+
+    /// Removes every element (dropping them) without releasing spill
+    /// storage, so a pooled deque keeps its heap capacity.
+    pub fn clear(&mut self) {
+        match &mut self.spill {
+            Some(s) => s.clear(),
+            None => {
+                for i in 0..self.len {
+                    let s = (self.head + i) % N;
+                    self.buf[s] = None;
+                }
+                self.len = 0;
+                self.head = 0;
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> Default for InlineDeque<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for InlineDeque<T, N> {
+    fn clone(&self) -> Self {
+        let mut out = InlineDeque::new();
+        for t in self.iter() {
+            out.push_back(t.clone());
+        }
+        out
+    }
+}
+
+impl<T, const N: usize> Extend<T> for InlineDeque<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, it: I) {
+        for t in it {
+            self.push_back(t);
+        }
+    }
+}
+
+/// Borrowing front-to-back iterator.
+pub struct Iter<'a, T, const N: usize> {
+    dq: &'a InlineDeque<T, N>,
+    i: usize,
+}
+
+impl<'a, T, const N: usize> Iterator for Iter<'a, T, N> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        let t = self.dq.get(self.i)?;
+        self.i += 1;
+        Some(t)
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineDeque<T, N> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T, N>;
+    fn into_iter(self) -> Iter<'a, T, N> {
+        self.iter()
+    }
+}
+
+/// Owning front-to-back iterator; double-ended because chain surgery
+/// walks segment lists from the back.
+pub struct IntoIter<T, const N: usize> {
+    dq: InlineDeque<T, N>,
+}
+
+impl<T, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.dq.pop_front()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.dq.len();
+        (n, Some(n))
+    }
+}
+
+impl<T, const N: usize> DoubleEndedIterator for IntoIter<T, N> {
+    fn next_back(&mut self) -> Option<T> {
+        self.dq.pop_back()
+    }
+}
+
+impl<T, const N: usize> ExactSizeIterator for IntoIter<T, N> {}
+
+impl<T, const N: usize> IntoIterator for InlineDeque<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> IntoIter<T, N> {
+        IntoIter { dq: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn basic_fifo_within_inline_capacity() {
+        let mut d: InlineDeque<u32, 4> = InlineDeque::new();
+        d.push_back(1);
+        d.push_back(2);
+        d.push_front(0);
+        assert!(!d.is_spilled());
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.front(), Some(&0));
+        assert_eq!(d.back(), Some(&2));
+        assert_eq!(d.pop_front(), Some(0));
+        assert_eq!(d.pop_back(), Some(2));
+        assert_eq!(d.pop_front(), Some(1));
+        assert_eq!(d.pop_front(), None);
+    }
+
+    #[test]
+    fn spills_and_keeps_order() {
+        let mut d: InlineDeque<u32, 4> = InlineDeque::new();
+        for i in 0..10 {
+            d.push_back(i);
+        }
+        assert!(d.is_spilled());
+        let got: Vec<u32> = d.into_iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_vecdeque_reference_on_random_ops() {
+        let mut rng = 0x1234_5678_u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut d: InlineDeque<u64, 3> = InlineDeque::new();
+        let mut v: VecDeque<u64> = VecDeque::new();
+        for step in 0..2000 {
+            match next() % 7 {
+                0 | 1 => {
+                    d.push_back(step);
+                    v.push_back(step);
+                }
+                2 => {
+                    d.push_front(step);
+                    v.push_front(step);
+                }
+                3 => assert_eq!(d.pop_front(), v.pop_front()),
+                4 => assert_eq!(d.pop_back(), v.pop_back()),
+                5 => {
+                    let keep = next() % 2 == 0;
+                    d.retain(|x| (*x % 2 == 0) == keep);
+                    v.retain(|x| (*x % 2 == 0) == keep);
+                }
+                _ => {
+                    assert_eq!(d.front(), v.front());
+                    assert_eq!(d.back(), v.back());
+                    assert_eq!(d.len(), v.len());
+                }
+            }
+            let a: Vec<u64> = d.iter().copied().collect();
+            let b: Vec<u64> = v.iter().copied().collect();
+            assert_eq!(a, b, "diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn reverse_iteration() {
+        let mut d: InlineDeque<u32, 4> = InlineDeque::new();
+        for i in 0..6 {
+            d.push_back(i);
+        }
+        let rev: Vec<u32> = d.into_iter().rev().collect();
+        assert_eq!(rev, vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn clear_resets_without_unspilling_allocation() {
+        let mut d: InlineDeque<u32, 2> = InlineDeque::new();
+        for i in 0..5 {
+            d.push_back(i);
+        }
+        assert!(d.is_spilled());
+        d.clear();
+        assert!(d.is_empty());
+        d.push_back(9);
+        assert_eq!(d.pop_front(), Some(9));
+    }
+
+    #[test]
+    fn wraparound_ring_indices() {
+        let mut d: InlineDeque<u32, 3> = InlineDeque::new();
+        d.push_back(1);
+        d.push_back(2);
+        assert_eq!(d.pop_front(), Some(1));
+        d.push_back(3);
+        d.push_back(4); // wraps the ring
+        assert!(!d.is_spilled());
+        assert_eq!(d.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+}

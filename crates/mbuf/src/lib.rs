@@ -18,9 +18,11 @@
 
 mod chain;
 mod cursor;
+pub mod inline_deque;
 mod meter;
 pub mod pool;
 
 pub use chain::{Mbuf, MbufChain, MCLBYTES, MLEN};
 pub use cursor::Cursor;
+pub use inline_deque::InlineDeque;
 pub use meter::CopyMeter;

@@ -29,7 +29,7 @@ fn run_ops(data: &[u8], chunks: &[usize], at_frac: f64, share_frac: f64) -> Vec<
     let mut c = chain_from(data, chunks);
     let at = ((data.len() as f64) * at_frac) as usize;
     let tail = c.split_off(at, &mut meter);
-    let tail_flat = tail.to_vec_unmetered();
+    let tail_flat = tail.to_vec_for_test();
     c.append_chain(tail);
     let lo = ((data.len() as f64) * share_frac) as usize;
     let shared = c.share_range(lo, data.len() - lo, &mut meter);
@@ -37,7 +37,7 @@ fn run_ops(data: &[u8], chunks: &[usize], at_frac: f64, share_frac: f64) -> Vec<
     if n > 0 {
         c.pullup(n, &mut meter);
     }
-    vec![c.to_vec_unmetered(), tail_flat, shared.to_vec_unmetered()]
+    vec![c.to_vec_for_test(), tail_flat, shared.to_vec_for_test()]
 }
 
 /// Drops a pile of chains full of junk so the free list (when enabled)
@@ -93,6 +93,6 @@ proptest! {
             "cluster-sized appends must hit the primed free list"
         );
         prop_assert_eq!(c.len(), len);
-        prop_assert_eq!(c.to_vec_unmetered(), data);
+        prop_assert_eq!(c.to_vec_for_test(), data);
     }
 }

@@ -31,7 +31,7 @@ proptest! {
     ) {
         let c = chain_from(&data, &chunks);
         prop_assert_eq!(c.len(), data.len());
-        prop_assert_eq!(c.to_vec_unmetered(), data);
+        prop_assert_eq!(c.to_vec_for_test(), data);
     }
 
     #[test]
@@ -47,7 +47,7 @@ proptest! {
         prop_assert_eq!(c.len(), at);
         prop_assert_eq!(tail.len(), data.len() - at);
         c.append_chain(tail);
-        prop_assert_eq!(c.to_vec_unmetered(), data);
+        prop_assert_eq!(c.to_vec_for_test(), data);
     }
 
     #[test]
@@ -62,9 +62,9 @@ proptest! {
         let lo = ((data.len() as f64) * lo_frac) as usize;
         let len = (((data.len() - lo) as f64) * len_frac) as usize;
         let shared = c.share_range(lo, len, &mut meter);
-        prop_assert_eq!(shared.to_vec_unmetered(), &data[lo..lo + len]);
+        prop_assert_eq!(shared.to_vec_for_test(), &data[lo..lo + len]);
         // Sharing must not disturb the source.
-        prop_assert_eq!(c.to_vec_unmetered(), data);
+        prop_assert_eq!(c.to_vec_for_test(), data);
     }
 
     #[test]
@@ -79,7 +79,7 @@ proptest! {
         let lo = front.min(data.len());
         c.trim_back(back);
         let hi = data.len().saturating_sub(back).max(lo);
-        prop_assert_eq!(c.to_vec_unmetered(), &data[lo..hi]);
+        prop_assert_eq!(c.to_vec_for_test(), &data[lo..hi]);
     }
 
     #[test]
@@ -94,9 +94,9 @@ proptest! {
         prop_assert_eq!(c.len(), hdr.len() + body.len());
         let mut expect = hdr.clone();
         expect.extend_from_slice(&body);
-        prop_assert_eq!(c.to_vec_unmetered(), expect);
+        prop_assert_eq!(c.to_vec_for_test(), expect);
         c.trim_front(hdr.len());
-        prop_assert_eq!(c.to_vec_unmetered(), body);
+        prop_assert_eq!(c.to_vec_for_test(), body);
     }
 
     #[test]
@@ -109,7 +109,7 @@ proptest! {
         let mut c = chain_from(&data, &chunks);
         let n = (((data.len().min(2048)) as f64) * n_frac) as usize;
         c.pullup(n, &mut meter);
-        prop_assert_eq!(c.to_vec_unmetered(), data);
+        prop_assert_eq!(c.to_vec_for_test(), data);
         if n > 0 {
             prop_assert!(c.mbufs().next().unwrap().len() >= n);
         }

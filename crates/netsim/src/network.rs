@@ -10,6 +10,10 @@ use crate::packet::{Datagram, Fragment, IP_HEADER};
 use crate::topology::{LinkId, NodeId, NodeKind, Topology};
 
 /// Events the network schedules for itself via the caller's event queue.
+// The fragment variant is fat because `MbufChain` keeps its segment
+// list inline; boxing it here would put an allocation back on the
+// per-hop datapath that the inline representation exists to remove.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum NetEvent {
     /// A fragment finishes traversing `link` and arrives at its far end.
@@ -45,12 +49,30 @@ pub struct Delivery {
 }
 
 /// Output of a network step: follow-on events plus completed deliveries.
+///
+/// The driver loop owns one of these and passes it to
+/// [`Network::send_into`] / [`Network::handle_into`] each step, draining
+/// it between steps, so the per-hop path performs no allocation once the
+/// vectors have grown to their working size.
 #[derive(Debug, Default)]
 pub struct NetOutput {
     /// Events to schedule.
     pub events: Vec<(SimTime, NetEvent)>,
     /// Datagrams that completed reassembly.
     pub delivered: Vec<Delivery>,
+}
+
+impl NetOutput {
+    /// Empties both lists, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.delivered.clear();
+    }
+
+    /// Whether there is nothing to process.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.delivered.is_empty()
+    }
 }
 
 /// Cumulative network statistics.
@@ -66,6 +88,9 @@ pub struct NetStats {
     pub frags_dropped: u64,
     /// Reassembly timeouts (datagram lost to a missing fragment).
     pub reasm_failures: u64,
+    /// Fragments built by fragmentation and router re-fragmentation;
+    /// `frags_built - datagrams_sent` is the fragmentation amplification.
+    pub frags_built: u64,
     /// Fragments duplicated by injected fault windows.
     pub dup_frames: u64,
     /// Fragments delayed by injected reorder windows.
@@ -89,6 +114,12 @@ pub struct Network {
     reasm_timeout: SimDuration,
     scratch_meter: CopyMeter,
     stats: NetStats,
+    /// Scratch for fragment lists; drained after every use, so
+    /// fragmentation reuses one grown buffer instead of allocating a
+    /// `Vec<Fragment>` per datagram.
+    frag_scratch: Vec<Fragment>,
+    /// Cleared part-lists recycled between reassembly states.
+    parts_pool: Vec<Vec<(usize, MbufChain)>>,
 }
 
 impl Network {
@@ -102,6 +133,8 @@ impl Network {
             reasm_timeout: SimDuration::from_secs(20),
             scratch_meter: CopyMeter::new(),
             stats: NetStats::default(),
+            frag_scratch: Vec::new(),
+            parts_pool: Vec::new(),
         }
     }
 
@@ -139,32 +172,45 @@ impl Network {
 
     /// Offers a datagram to the network from `dgram.src`. Fragments it to
     /// the first-hop MTU and queues the fragments back to back.
+    ///
+    /// Allocation-free convenience wrapper callers with their own
+    /// `NetOutput` scratch should skip in favor of [`Network::send_into`].
     pub fn send(&mut self, now: SimTime, dgram: Datagram) -> NetOutput {
         let mut out = NetOutput::default();
-        self.stats.datagrams_sent += 1;
-        let Some(first_link) = self.topo.route(dgram.src, dgram.dst) else {
-            return out;
-        };
-        let mtu = self.topo.link(first_link).params().mtu;
-        let frags = self.fragment(dgram, mtu);
-        for frag in frags {
-            self.stats.frags_sent += 1;
-            self.offer_to_link(now, first_link, frag, &mut out);
-        }
+        self.send_into(now, dgram, &mut out);
         out
     }
 
-    /// Splits a datagram into MTU-sized fragments. Fragment payload
-    /// chains share the original's clusters, so this copies (almost)
-    /// nothing — exactly like the BSD `ip_output` fragmentation path.
-    fn fragment(&mut self, dgram: Datagram, mtu: usize) -> Vec<Fragment> {
+    /// [`Network::send`] appending into a caller-owned `NetOutput`.
+    pub fn send_into(&mut self, now: SimTime, dgram: Datagram, out: &mut NetOutput) {
+        self.stats.datagrams_sent += 1;
+        let Some(first_link) = self.topo.route(dgram.src, dgram.dst) else {
+            return;
+        };
+        let mtu = self.topo.link(first_link).params().mtu;
+        let mut frags = std::mem::take(&mut self.frag_scratch);
+        debug_assert!(frags.is_empty());
+        self.fragment_into(dgram, mtu, &mut frags);
+        for frag in frags.drain(..) {
+            self.stats.frags_sent += 1;
+            self.offer_to_link(now, first_link, frag, out);
+        }
+        self.frag_scratch = frags;
+    }
+
+    /// Splits a datagram into MTU-sized fragments appended to `frags`.
+    /// Fragment payload chains share the original's clusters, so this
+    /// copies (almost) nothing — exactly like the BSD `ip_output`
+    /// fragmentation path.
+    fn fragment_into(&mut self, dgram: Datagram, mtu: usize, frags: &mut Vec<Fragment>) {
         let total_len = dgram.payload.len();
         let hdr_len = dgram.proto.header_len();
         // First fragment carries the transport header.
         let first_cap = round8(mtu - IP_HEADER - hdr_len);
         let rest_cap = round8(mtu - IP_HEADER);
         if hdr_len + total_len + IP_HEADER <= mtu {
-            return vec![Fragment {
+            self.stats.frags_built += 1;
+            frags.push(Fragment {
                 dgram_id: dgram.id,
                 src: dgram.src,
                 dst: dgram.dst,
@@ -173,9 +219,9 @@ impl Network {
                 total_len,
                 more: false,
                 payload: dgram.payload,
-            }];
+            });
+            return;
         }
-        let mut frags = Vec::new();
         let mut off = 0;
         while off < total_len || (off == 0 && total_len == 0) {
             let cap = if off == 0 { first_cap } else { rest_cap };
@@ -184,6 +230,7 @@ impl Network {
                 .payload
                 .share_range(off, take, &mut self.scratch_meter);
             let more = off + take < total_len;
+            self.stats.frags_built += 1;
             frags.push(Fragment {
                 dgram_id: dgram.id,
                 src: dgram.src,
@@ -199,7 +246,6 @@ impl Network {
                 break;
             }
         }
-        frags
     }
 
     fn offer_to_link(
@@ -244,24 +290,33 @@ impl Network {
     }
 
     /// Processes a network event.
+    ///
+    /// Allocation-free convenience wrapper callers with their own
+    /// `NetOutput` scratch should skip in favor of [`Network::handle_into`].
     pub fn handle(&mut self, now: SimTime, ev: NetEvent) -> NetOutput {
         let mut out = NetOutput::default();
+        self.handle_into(now, ev, &mut out);
+        out
+    }
+
+    /// [`Network::handle`] appending into a caller-owned `NetOutput`.
+    pub fn handle_into(&mut self, now: SimTime, ev: NetEvent, out: &mut NetOutput) {
         match ev {
             NetEvent::FragArrive { link, frag } => {
                 let node = self.topo.link(link).to();
-                self.frag_at_node(now, node, frag, &mut out);
+                self.frag_at_node(now, node, frag, out);
             }
             NetEvent::ReasmExpire {
                 host,
                 src,
                 dgram_id,
             } => {
-                if self.reasm.remove(&(host, src, dgram_id)).is_some() {
+                if let Some(state) = self.reasm.remove(&(host, src, dgram_id)) {
                     self.stats.reasm_failures += 1;
+                    self.recycle_parts(state.parts);
                 }
             }
         }
-        out
     }
 
     fn frag_at_node(&mut self, now: SimTime, node: NodeId, frag: Fragment, out: &mut NetOutput) {
@@ -274,10 +329,14 @@ impl Network {
                 // Re-fragment if the next hop's MTU is smaller.
                 let mtu = self.topo.link(next).params().mtu;
                 if frag.ip_len() > mtu {
-                    for sub in self.refragment(frag, mtu) {
+                    let mut subs = std::mem::take(&mut self.frag_scratch);
+                    debug_assert!(subs.is_empty());
+                    self.refragment_into(frag, mtu, &mut subs);
+                    for sub in subs.drain(..) {
                         self.stats.frags_sent += 1;
                         self.offer_to_link(now + forward_delay, next, sub, out);
                     }
+                    self.frag_scratch = subs;
                 } else {
                     self.offer_to_link(now + forward_delay, next, frag, out);
                 }
@@ -292,14 +351,14 @@ impl Network {
         }
     }
 
-    /// Splits an already-fragmented piece further for a smaller MTU.
-    fn refragment(&mut self, frag: Fragment, mtu: usize) -> Vec<Fragment> {
+    /// Splits an already-fragmented piece further for a smaller MTU,
+    /// appending the pieces to `frags`.
+    fn refragment_into(&mut self, frag: Fragment, mtu: usize, frags: &mut Vec<Fragment>) {
         let hdr_len = if frag.offset == 0 {
             frag.proto.header_len()
         } else {
             0
         };
-        let mut frags = Vec::new();
         let len = frag.payload.len();
         let mut rel = 0;
         while rel < len {
@@ -312,6 +371,7 @@ impl Network {
             let payload = frag.payload.share_range(rel, take, &mut self.scratch_meter);
             let abs_off = frag.offset + rel;
             let more = frag.more || abs_off + take < frag.offset + len;
+            self.stats.frags_built += 1;
             frags.push(Fragment {
                 dgram_id: frag.dgram_id,
                 src: frag.src,
@@ -324,7 +384,6 @@ impl Network {
             });
             rel += take;
         }
-        frags
     }
 
     fn reassemble(&mut self, now: SimTime, host: NodeId, frag: Fragment, out: &mut NetOutput) {
@@ -346,7 +405,7 @@ impl Network {
         let key = (host, frag.src, frag.dgram_id);
         let fresh = !self.reasm.contains_key(&key);
         let state = self.reasm.entry(key).or_insert_with(|| ReasmState {
-            parts: Vec::new(),
+            parts: self.parts_pool.pop().unwrap_or_default(),
             total_len: frag.total_len,
             received: 0,
         });
@@ -375,9 +434,10 @@ impl Network {
         state.parts.sort_by_key(|&(off, _)| off);
         let frags = state.parts.len();
         let mut payload = MbufChain::new();
-        for (_, part) in state.parts {
+        for (_, part) in state.parts.drain(..) {
             payload.append_chain(part);
         }
+        self.recycle_parts(state.parts);
         self.stats.datagrams_delivered += 1;
         out.delivered.push(Delivery {
             host,
@@ -390,6 +450,16 @@ impl Network {
             },
             frags,
         });
+    }
+}
+
+impl Network {
+    /// Parks a drained part-list for reuse by a future reassembly.
+    fn recycle_parts(&mut self, mut parts: Vec<(usize, MbufChain)>) {
+        parts.clear();
+        if self.parts_pool.len() < 64 {
+            self.parts_pool.push(parts);
+        }
     }
 }
 
@@ -463,7 +533,7 @@ mod tests {
         // 8312 bytes at ~1472/frag = 6 fragments — the paper's "6 IP
         // fragments for an Ethernet".
         assert_eq!(net.stats().frags_sent, 6);
-        let got = delivered[0].1.dgram.payload.to_vec_unmetered();
+        let got = delivered[0].1.dgram.payload.to_vec_for_test();
         let want: Vec<u8> = (0..8312).map(|i| (i % 256) as u8).collect();
         assert_eq!(got, want, "reassembly restores the exact bytes");
     }

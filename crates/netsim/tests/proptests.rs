@@ -15,7 +15,7 @@ fn run_network(net: &mut Network, out: renofs_netsim::NetOutput) -> Vec<Vec<u8>>
             q.push(t, e);
         }
         for d in pending.delivered.drain(..) {
-            delivered.push(d.dgram.payload.to_vec_unmetered());
+            delivered.push(d.dgram.payload.to_vec_for_test());
         }
         match q.pop() {
             Some((t, ev)) => pending = net.handle(t, ev),
@@ -92,7 +92,7 @@ proptest! {
                 q.push(t2, e);
             }
             for d in out.delivered {
-                delivered.push(d.dgram.payload.to_vec_unmetered());
+                delivered.push(d.dgram.payload.to_vec_for_test());
             }
         }
         prop_assert_eq!(delivered.len(), expected.len());

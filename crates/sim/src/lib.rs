@@ -15,9 +15,12 @@
 //! - [`Disk`]: a seek/rotate/transfer disk model calibrated to the RD53.
 //! - [`stats`]: running statistics, histograms and time series used by the
 //!   benchmark harnesses.
+//! - [`profile`]: a feature-gated self-profiler (events, allocations,
+//!   wall-clock per subsystem) behind the `profile` cargo feature.
 
 pub mod cpu;
 pub mod disk;
+pub mod profile;
 pub mod queue;
 pub mod rng;
 pub mod stats;

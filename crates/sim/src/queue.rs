@@ -1,13 +1,63 @@
 //! The pending-event set.
 //!
-//! A binary heap keyed by `(time, sequence)`. The sequence number makes the
+//! The queue is keyed by `(time, sequence)`. The sequence number makes the
 //! ordering of simultaneous events stable (FIFO in scheduling order), which
 //! is what makes whole-simulation runs bit-for-bit reproducible.
+//!
+//! # Implementation
+//!
+//! [`EventQueue`] is a hierarchical timer wheel, the classic kernel-callout
+//! structure (Varghese & Lauck). Three tiers:
+//!
+//! - `near`: a small binary heap holding every pending event whose wheel
+//!   slot is at or before the `cursor`. The head of `near` is always the
+//!   globally earliest event, so `pop` is a plain heap pop.
+//! - `wheel`: `SLOTS` unsorted buckets covering the next
+//!   `SLOTS << GRAN_BITS` nanoseconds (~268 ms at the default 65.5 µs
+//!   granularity). Pushing into the window is O(1): append to the bucket
+//!   and set a bit in an occupancy bitmap. Bucket storage is *shared*
+//!   across slots: a drained bucket's `Vec` moves to a spare-storage
+//!   pool and the next push into any empty slot grabs it back. If each
+//!   of the 4096 slots instead owned its storage for good, capacity
+//!   learning would be per-slot and the queue would keep paying
+//!   first-collision reallocations for hundreds of simulated seconds as
+//!   events land in slots that have never held two at once; pooled
+//!   storage converges to (peak occupied slots) × (peak bucket depth)
+//!   within seconds and then never allocates again.
+//! - `far`: an overflow heap for events beyond the wheel horizon (RPC
+//!   retransmit timers, reassembly expiries, think-time sleeps).
+//!
+//! When `near` drains, the refill step advances the cursor straight to the
+//! next occupied slot — found with a word-at-a-time bitmap scan — and dumps
+//! that bucket (plus any `far` events that have drifted into the same slot)
+//! into `near`. Because a bucket rarely holds more than a handful of
+//! events, the heap in `near` stays tiny and the per-event cost is close to
+//! constant, where a single `BinaryHeap` pays an O(log n) sift against the
+//! whole pending set on every push and pop.
+//!
+//! The ordering contract is identical to the heap it replaced (kept below
+//! as [`baseline::HeapQueue`] and enforced by a property test): events pop
+//! in `(time, seq)` order and pushes in the past clamp to `now`.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
+
+/// log2 of the wheel granularity in nanoseconds: 2^16 ns = 65.536 µs.
+const GRAN_BITS: u32 = 16;
+/// Number of wheel slots; the window spans SLOTS << GRAN_BITS ns (~268 ms).
+const SLOTS: usize = 4096;
+/// Words in the occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+// The summary bitmap (`occ2`) is a single u64 with one bit per word, so
+// the two-level scan in `next_occupied_slot` requires exactly 64 words.
+const _: () = assert!(WORDS == 64);
+
+#[inline]
+fn slot_of(t: SimTime) -> u64 {
+    t.as_nanos() >> GRAN_BITS
+}
 
 struct Entry<E> {
     time: SimTime,
@@ -39,6 +89,15 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// One recorded queue operation, for offline replay benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueOp {
+    /// A push at the given (pre-clamp) schedule time.
+    Push(SimTime),
+    /// A pop.
+    Pop,
+}
+
 /// A time-ordered queue of simulation events.
 ///
 /// # Examples
@@ -54,9 +113,27 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    seq: u64,
     now: SimTime,
+    seq: u64,
+    len: usize,
+    pops: u64,
+    peak: usize,
+    /// Absolute slot index; every slot at or before it has been drained
+    /// into `near`, and every occupied wheel slot lies strictly after it.
+    cursor: u64,
+    near: BinaryHeap<Entry<E>>,
+    wheel: Box<[Vec<Entry<E>>]>,
+    /// Storage recycled from drained buckets, handed to the next push
+    /// that finds its slot empty-handed.
+    spares: Vec<Vec<Entry<E>>>,
+    occ: [u64; WORDS],
+    /// Second bitmap level: bit `w` is set iff `occ[w] != 0`, so the
+    /// scan for the next occupied slot is two `trailing_zeros` calls
+    /// instead of a walk over all 64 words.
+    occ2: u64,
+    wheel_len: usize,
+    far: BinaryHeap<Entry<E>>,
+    trace: Option<Vec<QueueOp>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -68,10 +145,27 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at t = 0.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with room for `cap` near-term events before
+    /// the working heaps reallocate.
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
             now: SimTime::ZERO,
+            seq: 0,
+            len: 0,
+            pops: 0,
+            peak: 0,
+            cursor: 0,
+            near: BinaryHeap::with_capacity(cap),
+            wheel: (0..SLOTS).map(|_| Vec::new()).collect(),
+            spares: Vec::new(),
+            occ: [0; WORDS],
+            occ2: 0,
+            wheel_len: 0,
+            far: BinaryHeap::with_capacity(cap / 4),
+            trace: None,
         }
     }
 
@@ -85,33 +179,282 @@ impl<E> EventQueue<E> {
     /// Events scheduled in the past are clamped to the current time, so a
     /// zero-delay "immediate" event is always safe to post.
     pub fn push(&mut self, at: SimTime, event: E) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(QueueOp::Push(at));
+        }
         let time = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let entry = Entry { time, seq, event };
+        self.len += 1;
+        if self.len > self.peak {
+            self.peak = self.len;
+        }
+        let slot = slot_of(time);
+        if slot <= self.cursor {
+            self.near.push(entry);
+        } else if slot - self.cursor < SLOTS as u64 {
+            let idx = slot as usize & (SLOTS - 1);
+            let bucket = &mut self.wheel[idx];
+            if bucket.capacity() == 0 {
+                if let Some(spare) = self.spares.pop() {
+                    *bucket = spare;
+                }
+            }
+            bucket.push(entry);
+            self.occ[idx >> 6] |= 1 << (idx & 63);
+            self.occ2 |= 1 << (idx >> 6);
+            self.wheel_len += 1;
+        } else {
+            self.far.push(entry);
+        }
     }
 
     /// Removes and returns the earliest event, advancing the clock to it.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
+        if self.near.is_empty() {
+            self.refill();
+        }
+        let entry = self.near.pop()?;
         debug_assert!(entry.time >= self.now, "time ran backwards");
         self.now = entry.time;
+        self.len -= 1;
+        self.pops += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(QueueOp::Pop);
+        }
+        crate::profile::count_event();
         Some((entry.time, entry.event))
     }
 
     /// The time of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    ///
+    /// Takes `&mut self` because finding the head may advance the wheel
+    /// cursor; the observable state (pending set, `now`) is unchanged.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.near.is_empty() {
+            self.refill();
+        }
+        self.near.peek().map(|e| e.time)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Total events popped over the queue's lifetime.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// High-water mark of pending events.
+    pub fn peak_depth(&self) -> usize {
+        self.peak
+    }
+
+    /// Starts recording `(push, pop)` operations for later replay.
+    pub fn start_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the operation stream.
+    pub fn take_trace(&mut self) -> Vec<QueueOp> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Moves the earliest occupied slot — from the wheel or the overflow
+    /// heap, whichever comes first — into `near`.
+    fn refill(&mut self) {
+        let wheel_next = if self.wheel_len == 0 {
+            None
+        } else {
+            self.next_occupied_slot()
+        };
+        let far_next = self.far.peek().map(|e| slot_of(e.time));
+        let target = match (wheel_next, far_next) {
+            (None, None) => return,
+            (Some(w), None) => w,
+            (None, Some(f)) => f,
+            (Some(w), Some(f)) => w.min(f),
+        };
+        self.cursor = target;
+        if wheel_next == Some(target) {
+            let idx = target as usize & (SLOTS - 1);
+            self.occ[idx >> 6] &= !(1 << (idx & 63));
+            if self.occ[idx >> 6] == 0 {
+                self.occ2 &= !(1 << (idx >> 6));
+            }
+            let mut bucket = std::mem::take(&mut self.wheel[idx]);
+            self.wheel_len -= bucket.len();
+            // Fast path for the overwhelmingly common one-event bucket:
+            // a plain heap push, skipping the drain iterator machinery.
+            if bucket.len() == 1 {
+                self.near.push(bucket.pop().expect("len checked"));
+            } else {
+                self.near.extend(bucket.drain(..));
+            }
+            self.spares.push(bucket);
+        }
+        // Overflow events do not migrate as the cursor advances, so ones
+        // that have drifted inside the window can share the target slot.
+        while self.far.peek().is_some_and(|e| slot_of(e.time) <= target) {
+            let e = self.far.pop().expect("peeked entry present");
+            self.near.push(e);
+        }
+    }
+
+    /// Absolute index of the first occupied wheel slot after the cursor.
+    ///
+    /// Two-level scan: the first candidate word is checked directly with
+    /// the bits below `start` masked off; after that the summary bitmap
+    /// `occ2` is rotated so its `trailing_zeros` names the next nonempty
+    /// word in wrap-around scan order. The first set bit in scan order
+    /// is the nearest slot because the window `(cursor, cursor + SLOTS)`
+    /// never aliases two absolute slots to the same index.
+    fn next_occupied_slot(&self) -> Option<u64> {
+        let start = (self.cursor as usize + 1) & (SLOTS - 1);
+        let wi = start >> 6;
+        // Bits at or after `start` in its own word.
+        let word = self.occ[wi] & (!0u64 << (start & 63));
+        let idx = if word != 0 {
+            (wi << 6) | word.trailing_zeros() as usize
+        } else {
+            // Rotate so bit 0 is word wi+1; scan order then covers every
+            // word once, ending with wi itself (distance 63), whose
+            // remaining bits are necessarily below `start`.
+            let rot = self.occ2.rotate_right(wi as u32 + 1);
+            if rot == 0 {
+                return None;
+            }
+            let w2 = (wi + 1 + rot.trailing_zeros() as usize) & (WORDS - 1);
+            let mut word = self.occ[w2];
+            if w2 == wi {
+                word &= !(!0u64 << (start & 63));
+                if word == 0 {
+                    return None;
+                }
+            }
+            (w2 << 6) | word.trailing_zeros() as usize
+        };
+        let cidx = self.cursor as usize & (SLOTS - 1);
+        let mut dist = (idx.wrapping_sub(cidx)) & (SLOTS - 1);
+        if dist == 0 {
+            dist = SLOTS;
+        }
+        Some(self.cursor + dist as u64)
+    }
+}
+
+/// The original `BinaryHeap` event queue, kept as the reference model for
+/// the timer wheel's equivalence property test and as the baseline side of
+/// `repro bench`.
+pub mod baseline {
+    use super::{Entry, QueueOp, SimTime};
+    use std::collections::BinaryHeap;
+
+    /// A time-ordered queue of simulation events backed by one binary heap.
+    pub struct HeapQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        seq: u64,
+        now: SimTime,
+    }
+
+    impl<E> Default for HeapQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> HeapQueue<E> {
+        /// Creates an empty queue at t = 0.
+        pub fn new() -> Self {
+            HeapQueue {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                now: SimTime::ZERO,
+            }
+        }
+
+        /// The time of the most recently popped event.
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        /// Schedules `event` at time `at`, clamping past times to `now`.
+        pub fn push(&mut self, at: SimTime, event: E) {
+            let time = at.max(self.now);
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Entry { time, seq, event });
+        }
+
+        /// Removes and returns the earliest event, advancing the clock.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            let entry = self.heap.pop()?;
+            debug_assert!(entry.time >= self.now, "time ran backwards");
+            self.now = entry.time;
+            Some((entry.time, entry.event))
+        }
+
+        /// The time of the earliest pending event, if any.
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|e| e.time)
+        }
+
+        /// Number of pending events.
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.heap.is_empty()
+        }
+
+        /// Replays a recorded operation stream, returning how many events
+        /// were popped. Shared by the bench so both queue implementations
+        /// execute the identical schedule.
+        pub fn replay(ops: &[QueueOp]) -> u64 {
+            let mut q: HeapQueue<()> = HeapQueue::new();
+            let mut popped = 0;
+            for op in ops {
+                match *op {
+                    QueueOp::Push(at) => q.push(at, ()),
+                    QueueOp::Pop => {
+                        if q.pop().is_some() {
+                            popped += 1;
+                        }
+                    }
+                }
+            }
+            popped
+        }
+    }
+}
+
+impl EventQueue<()> {
+    /// Replays a recorded operation stream on the timer wheel, returning
+    /// how many events were popped.
+    pub fn replay(ops: &[QueueOp]) -> u64 {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let mut popped = 0;
+        for op in ops {
+            match *op {
+                QueueOp::Push(at) => q.push(at, ()),
+                QueueOp::Pop => {
+                    if q.pop().is_some() {
+                        popped += 1;
+                    }
+                }
+            }
+        }
+        popped
     }
 }
 
@@ -177,5 +520,114 @@ mod tests {
         q.push(SimTime::from_secs(2), ());
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn far_future_events_pop_in_order() {
+        // Events well beyond the wheel horizon (~268 ms) land in the
+        // overflow heap and must still interleave correctly.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(30), "far");
+        q.push(SimTime::from_millis(1), "near");
+        q.push(SimTime::from_secs(2), "mid");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_event_beats_wheel_event() {
+        // An event parked in `far` can become earlier than everything on
+        // the wheel once the cursor advances; the refill must notice.
+        let mut q = EventQueue::new();
+        // Goes to `far`: > 268 ms past cursor 0.
+        q.push(SimTime::from_millis(300), "overflow");
+        // Pop something late to advance the cursor near the overflow.
+        q.push(SimTime::from_millis(299), "advance");
+        assert_eq!(q.pop().unwrap().1, "advance");
+        // Now schedule a wheel event *after* the overflow event.
+        q.push(SimTime::from_millis(310), "wheel");
+        assert_eq!(q.pop().unwrap().1, "overflow");
+        assert_eq!(q.pop().unwrap().1, "wheel");
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_horizons() {
+        // March time forward across several full wheel revolutions.
+        let mut q = EventQueue::new();
+        let step = SimDuration::from_millis(40);
+        let mut expect = SimTime::ZERO;
+        q.push(expect + step, 0u32);
+        for i in 0..200 {
+            let (t, e) = q.pop().unwrap();
+            expect += step;
+            assert_eq!(t, expect);
+            assert_eq!(e, i);
+            if i + 1 < 200 {
+                q.push(t + step, i + 1);
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_across_tiers_stay_fifo() {
+        // Two events at the same instant, one pushed while its slot was
+        // ahead of the cursor (wheel) and one after the cursor caught up
+        // (near), must still pop in push order.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(100);
+        q.push(t, "first");
+        q.push(SimTime::from_millis(50), "warp");
+        assert_eq!(q.pop().unwrap().1, "warp");
+        q.push(t, "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn counters_and_trace() {
+        let mut q = EventQueue::new();
+        q.start_trace();
+        q.push(SimTime::from_millis(1), ());
+        q.push(SimTime::from_millis(2), ());
+        q.pop();
+        assert_eq!(q.peak_depth(), 2);
+        assert_eq!(q.pops(), 1);
+        let ops = q.take_trace();
+        assert_eq!(
+            ops,
+            vec![
+                QueueOp::Push(SimTime::from_millis(1)),
+                QueueOp::Push(SimTime::from_millis(2)),
+                QueueOp::Pop,
+            ]
+        );
+        // Replay reproduces the pop count on both implementations.
+        assert_eq!(EventQueue::replay(&ops), 1);
+        assert_eq!(baseline::HeapQueue::<()>::replay(&ops), 1);
+    }
+
+    #[test]
+    fn baseline_heap_matches_on_a_burst() {
+        let mut wheel = EventQueue::new();
+        let mut heap = baseline::HeapQueue::new();
+        let mut rng = crate::rng::Rng::new(42);
+        for i in 0..5000u64 {
+            let at = SimTime::from_nanos(rng.gen_range(0, 2_000_000_000));
+            wheel.push(at, i);
+            heap.push(at, i);
+            if rng.gen_range(0, 3) == 0 {
+                assert_eq!(wheel.pop(), heap.pop());
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

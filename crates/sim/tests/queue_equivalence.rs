@@ -1,0 +1,115 @@
+//! Property test: the timer-wheel [`EventQueue`] is observationally
+//! identical to the original [`HeapQueue`] binary heap.
+//!
+//! Random interleaved push/pop schedules — including simultaneous events,
+//! past-time pushes (which clamp to `now`), times beyond the wheel horizon
+//! (overflow heap), and long advances that wrap the wheel several times —
+//! must produce the identical `(time, seq, event)` pop stream.
+
+use proptest::prelude::*;
+use renofs_sim::queue::baseline::HeapQueue;
+use renofs_sim::{EventQueue, SimTime};
+
+/// One step of a schedule, decoded from raw fuzz words.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Push at `now + offset_ns`.
+    PushAhead(u64),
+    /// Push at the same instant as the previous push (a tie).
+    PushTie,
+    /// Push at an absolute time that may be in the past (clamps).
+    PushAbsolute(u64),
+    /// Pop once from both queues and compare.
+    Pop,
+}
+
+fn decode(kind: u8, raw: u64) -> Step {
+    match kind % 10 {
+        // Near-future: inside one wheel slot (≤ 65 µs).
+        0 | 1 => Step::PushAhead(raw % 66_000),
+        // Mid-range: within the wheel window (~268 ms).
+        2 | 3 => Step::PushAhead(raw % 268_000_000),
+        // Far-future: beyond the horizon, lands in the overflow heap.
+        4 => Step::PushAhead(268_000_000 + raw % 30_000_000_000),
+        5 => Step::PushTie,
+        6 => Step::PushAbsolute(raw % 2_000_000_000),
+        _ => Step::Pop,
+    }
+}
+
+fn run_schedule(ops: &[(u8, u64)]) -> Result<(), TestCaseError> {
+    let mut wheel: EventQueue<u32> = EventQueue::new();
+    let mut heap: HeapQueue<u32> = HeapQueue::new();
+    let mut id: u32 = 0;
+    let mut last_push = SimTime::ZERO;
+    for &(kind, raw) in ops {
+        match decode(kind, raw) {
+            Step::PushAhead(off) => {
+                let at = SimTime::from_nanos(wheel.now().as_nanos() + off);
+                last_push = at;
+                wheel.push(at, id);
+                heap.push(at, id);
+                id += 1;
+            }
+            Step::PushTie => {
+                wheel.push(last_push, id);
+                heap.push(last_push, id);
+                id += 1;
+            }
+            Step::PushAbsolute(ns) => {
+                let at = SimTime::from_nanos(ns);
+                last_push = at;
+                wheel.push(at, id);
+                heap.push(at, id);
+                id += 1;
+            }
+            Step::Pop => {
+                prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                prop_assert_eq!(wheel.pop(), heap.pop());
+                prop_assert_eq!(wheel.now(), heap.now());
+            }
+        }
+        prop_assert_eq!(wheel.len(), heap.len());
+        prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+    }
+    // Drain: every remaining event must match in time, order, and payload.
+    loop {
+        let (a, b) = (wheel.pop(), heap.pop());
+        prop_assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The wheel and the reference heap pop the identical stream under
+    /// arbitrary interleavings of pushes and pops.
+    #[test]
+    fn wheel_matches_heap_reference(
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..500),
+    ) {
+        run_schedule(&ops)?;
+    }
+
+    /// Pure-burst schedules: many pushes at one instant pop FIFO on both.
+    #[test]
+    fn simultaneous_bursts_match(
+        n in 1usize..200,
+        at in 0u64..3_000_000_000,
+    ) {
+        let mut wheel: EventQueue<usize> = EventQueue::new();
+        let mut heap: HeapQueue<usize> = HeapQueue::new();
+        let t = SimTime::from_nanos(at);
+        for i in 0..n {
+            wheel.push(t, i);
+            heap.push(t, i);
+        }
+        for i in 0..n {
+            let got = wheel.pop();
+            prop_assert_eq!(got, heap.pop());
+            prop_assert_eq!(got, Some((t, i)));
+        }
+    }
+}

@@ -10,7 +10,10 @@
 pub mod msg;
 pub mod record;
 
-pub use msg::{peek_xid_kind, AcceptStat, AuthUnix, CallHeader, MsgKind, ReplyHeader, RpcError};
+pub use msg::{
+    peek_xid_kind, AcceptStat, AuthUnix, CallHeader, GidList, MachineName, MsgKind, ReplyHeader,
+    RpcError,
+};
 pub use record::{frame_record, RecordReader};
 
 /// The ONC RPC version this implementation speaks.

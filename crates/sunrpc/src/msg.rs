@@ -46,19 +46,153 @@ impl fmt::Display for RpcError {
 
 impl std::error::Error for RpcError {}
 
+/// Maximum bytes of an AUTH_UNIX machine name (RFC 1057 §9.2).
+pub const MACHINE_NAME_MAX: usize = 255;
+
+/// Maximum supplementary groups in AUTH_UNIX credentials.
+pub const AUTH_UNIX_MAX_GIDS: usize = 16;
+
+/// A machine name stored inline, so building or decoding credentials —
+/// which happens once per RPC on each side — never allocates.
+#[derive(Clone, Copy)]
+pub struct MachineName {
+    len: u8,
+    buf: [u8; MACHINE_NAME_MAX],
+}
+
+impl MachineName {
+    /// Creates a name from `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` exceeds [`MACHINE_NAME_MAX`] bytes.
+    pub fn new(s: &str) -> Self {
+        assert!(s.len() <= MACHINE_NAME_MAX, "machine name too long");
+        let mut buf = [0u8; MACHINE_NAME_MAX];
+        buf[..s.len()].copy_from_slice(s.as_bytes());
+        MachineName {
+            len: s.len() as u8,
+            buf,
+        }
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[..self.len as usize]).expect("constructed from valid UTF-8")
+    }
+}
+
+impl std::ops::Deref for MachineName {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for MachineName {
+    fn from(s: &str) -> Self {
+        MachineName::new(s)
+    }
+}
+
+impl PartialEq for MachineName {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for MachineName {}
+
+impl fmt::Debug for MachineName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for MachineName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Supplementary group ids stored inline (the wire format caps them at
+/// [`AUTH_UNIX_MAX_GIDS`]), for the same no-allocation reason.
+#[derive(Clone, Copy, Default)]
+pub struct GidList {
+    len: u8,
+    buf: [u32; AUTH_UNIX_MAX_GIDS],
+}
+
+impl GidList {
+    /// An empty list.
+    pub fn new() -> Self {
+        GidList::default()
+    }
+
+    /// A list holding a copy of `gids`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gids` exceeds [`AUTH_UNIX_MAX_GIDS`] entries.
+    pub fn from_slice(gids: &[u32]) -> Self {
+        let mut l = GidList::new();
+        for &g in gids {
+            l.push(g);
+        }
+        l
+    }
+
+    /// Appends one gid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the list is full.
+    pub fn push(&mut self, gid: u32) {
+        assert!((self.len as usize) < AUTH_UNIX_MAX_GIDS, "gid list full");
+        self.buf[self.len as usize] = gid;
+        self.len += 1;
+    }
+
+    /// The gids as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for GidList {
+    type Target = [u32];
+    fn deref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for GidList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for GidList {}
+
+impl fmt::Debug for GidList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
 /// AUTH_UNIX credentials (RFC 1057 §9.2).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AuthUnix {
     /// Arbitrary stamp (traditionally seconds since boot).
     pub stamp: u32,
     /// Client machine name.
-    pub machine: String,
+    pub machine: MachineName,
     /// Effective user id.
     pub uid: u32,
     /// Effective group id.
     pub gid: u32,
     /// Supplementary groups.
-    pub gids: Vec<u32>,
+    pub gids: GidList,
 }
 
 impl AuthUnix {
@@ -66,10 +200,10 @@ impl AuthUnix {
     pub fn root(machine: &str) -> Self {
         AuthUnix {
             stamp: 0,
-            machine: machine.to_string(),
+            machine: MachineName::new(machine),
             uid: 0,
             gid: 0,
-            gids: Vec::new(),
+            gids: GidList::new(),
         }
     }
 
@@ -83,7 +217,7 @@ impl AuthUnix {
         enc.put_u32(self.uid);
         enc.put_u32(self.gid);
         enc.put_u32(self.gids.len() as u32);
-        for g in &self.gids {
+        for g in self.gids.as_slice() {
             enc.put_u32(*g);
         }
     }
@@ -92,20 +226,24 @@ impl AuthUnix {
         let flavor = dec.get_u32()?;
         if flavor != AUTH_UNIX {
             // Tolerate AUTH_NULL credentials.
-            let len = dec.get_u32()?;
-            let _ = dec.get_opaque_fixed(len as usize)?;
+            let len = dec.get_u32()? as usize;
+            dec.skip_opaque_fixed(len)?;
             return Ok(AuthUnix::root("unknown"));
         }
         let _body_len = dec.get_u32()?;
         let stamp = dec.get_u32()?;
-        let machine = dec.get_string(255)?;
+        let mut name = [0u8; MACHINE_NAME_MAX];
+        let n = dec.get_opaque_var_into(&mut name, MACHINE_NAME_MAX as u32)?;
+        let machine = std::str::from_utf8(&name[..n])
+            .map_err(|_| RpcError::Xdr(XdrError::BadString))?
+            .into();
         let uid = dec.get_u32()?;
         let gid = dec.get_u32()?;
         let n = dec.get_u32()?;
-        if n > 16 {
+        if n as usize > AUTH_UNIX_MAX_GIDS {
             return Err(RpcError::Garbled);
         }
-        let mut gids = Vec::with_capacity(n as usize);
+        let mut gids = GidList::new();
         for _ in 0..n {
             gids.push(dec.get_u32()?);
         }
@@ -297,7 +435,7 @@ mod tests {
                 machine: "uvax2".into(),
                 uid: 501,
                 gid: 20,
-                gids: vec![20, 5],
+                gids: GidList::from_slice(&[20, 5]),
             },
         }
     }

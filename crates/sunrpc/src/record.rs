@@ -35,7 +35,7 @@ pub fn frame_record(mut msg: MbufChain, meter: &mut CopyMeter) -> MbufChain {
 /// let mut reader = RecordReader::new();
 /// reader.push(framed);
 /// let record = reader.next_record(&mut meter).unwrap();
-/// assert_eq!(record.to_vec_unmetered(), b"rpc-bytes...");
+/// assert_eq!(record.to_vec_for_test(), b"rpc-bytes...");
 /// assert!(reader.next_record(&mut meter).is_none());
 /// ```
 #[derive(Default)]
@@ -110,7 +110,7 @@ mod tests {
         assert_eq!(framed.len(), 9);
         let mut r = RecordReader::new();
         r.push(framed);
-        assert_eq!(r.next_record(&mut m).unwrap().to_vec_unmetered(), b"hello");
+        assert_eq!(r.next_record(&mut m).unwrap().to_vec_for_test(), b"hello");
         assert!(r.next_record(&mut m).is_none());
         assert_eq!(r.buffered(), 0);
     }
@@ -124,12 +124,9 @@ mod tests {
         }
         let mut r = RecordReader::new();
         r.push(stream);
-        assert_eq!(r.next_record(&mut m).unwrap().to_vec_unmetered(), b"first");
-        assert_eq!(
-            r.next_record(&mut m).unwrap().to_vec_unmetered(),
-            b"second!"
-        );
-        assert_eq!(r.next_record(&mut m).unwrap().to_vec_unmetered(), b"x");
+        assert_eq!(r.next_record(&mut m).unwrap().to_vec_for_test(), b"first");
+        assert_eq!(r.next_record(&mut m).unwrap().to_vec_for_test(), b"second!");
+        assert_eq!(r.next_record(&mut m).unwrap().to_vec_for_test(), b"x");
         assert!(r.next_record(&mut m).is_none());
     }
 
@@ -151,7 +148,7 @@ mod tests {
             let chunk = std::mem::replace(&mut stream, rest);
             r.push(chunk);
             while let Some(rec) = r.next_record(&mut m) {
-                got.push(rec.to_vec_unmetered());
+                got.push(rec.to_vec_for_test());
             }
         }
         assert_eq!(got.len(), 2);
@@ -170,7 +167,7 @@ mod tests {
         stream.append_bytes(b"def", &mut m);
         let mut r = RecordReader::new();
         r.push(stream);
-        assert_eq!(r.next_record(&mut m).unwrap().to_vec_unmetered(), b"abcdef");
+        assert_eq!(r.next_record(&mut m).unwrap().to_vec_for_test(), b"abcdef");
     }
 
     #[test]
@@ -182,6 +179,6 @@ mod tests {
         r.push(MbufChain::from_slice(&[0x00, 0x02, b'h'], &mut m));
         assert!(r.next_record(&mut m).is_none(), "payload incomplete");
         r.push(MbufChain::from_slice(b"i", &mut m));
-        assert_eq!(r.next_record(&mut m).unwrap().to_vec_unmetered(), b"hi");
+        assert_eq!(r.next_record(&mut m).unwrap().to_vec_for_test(), b"hi");
     }
 }

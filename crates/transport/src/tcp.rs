@@ -703,7 +703,7 @@ mod tests {
         fn b_received(&self) -> Vec<u8> {
             let mut v = Vec::new();
             for c in &self.b_rx {
-                v.extend_from_slice(&c.to_vec_unmetered());
+                v.extend_from_slice(&c.to_vec_for_test());
             }
             v
         }
@@ -793,7 +793,7 @@ mod tests {
         let out = w.b.send(MbufChain::from_slice(b"pong!", &mut m), now);
         w.pump(out, false);
         assert_eq!(w.b_received(), b"ping");
-        let a_got: Vec<u8> = w.a_rx.iter().flat_map(|c| c.to_vec_unmetered()).collect();
+        let a_got: Vec<u8> = w.a_rx.iter().flat_map(|c| c.to_vec_for_test()).collect();
         assert_eq!(a_got, b"pong!");
     }
 
@@ -847,7 +847,7 @@ mod tests {
         let got: Vec<u8> = out1
             .received
             .iter()
-            .flat_map(|c| c.to_vec_unmetered())
+            .flat_map(|c| c.to_vec_for_test())
             .collect();
         assert_eq!(got, b"12345678");
     }

@@ -82,6 +82,10 @@ impl UdpRpcConfig {
 }
 
 /// Actions the caller must perform after a transport step.
+// `Send` is fat because `MbufChain` keeps its segment list inline; the
+// action vector is recycled by the caller, so the size costs nothing
+// per call, while boxing the payload would allocate on every send.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum UdpAction {
     /// Transmit this RPC message as a UDP datagram.
@@ -246,25 +250,27 @@ impl UdpRpcClient {
     }
 
     /// Issues a call whose message (RPC header + args, XID already
-    /// embedded) is `msg`. Returns the actions to perform.
+    /// embedded) is `msg`. Appends the actions to perform to `actions`,
+    /// which the caller owns and recycles — an RPC happens every few
+    /// simulated milliseconds, so the transport never allocates a fresh
+    /// action vector.
     pub fn call(
         &mut self,
         now: SimTime,
         xid: u32,
         class: RpcClass,
         msg: MbufChain,
-    ) -> Vec<UdpAction> {
+        actions: &mut Vec<UdpAction>,
+    ) {
         self.stats.calls += 1;
-        let mut actions = Vec::new();
         if let Some(w) = &self.cwnd {
             if !w.allows(self.pending.len()) {
                 self.stats.window_deferrals += 1;
                 self.queue.push((xid, class, msg));
-                return actions;
+                return;
             }
         }
-        self.transmit(now, xid, class, msg, &mut actions);
-        actions
+        self.transmit(now, xid, class, msg, actions);
     }
 
     fn transmit(
@@ -295,18 +301,18 @@ impl UdpRpcClient {
     }
 
     /// Processes an incoming reply whose XID has been peeked by the
-    /// socket layer. Returns the completion (if it matches) plus any
-    /// queued calls the window now admits.
+    /// socket layer. Returns the completion (if it matches); any queued
+    /// calls the window now admits are appended to `actions`.
     pub fn on_reply(
         &mut self,
         now: SimTime,
         xid: u32,
         reply: MbufChain,
-    ) -> (Option<CompletedCall>, Vec<UdpAction>) {
-        let mut actions = Vec::new();
+        actions: &mut Vec<UdpAction>,
+    ) -> Option<CompletedCall> {
         let Some(p) = self.pending.remove(&xid) else {
             self.stats.stray_replies += 1;
-            return (None, actions);
+            return None;
         };
         self.stats.completed += 1;
         let rtt = now.since(p.first_sent);
@@ -321,17 +327,14 @@ impl UdpRpcClient {
             self.down_reported = false;
             actions.push(UdpAction::ServerOk { xid });
         }
-        self.drain_queue(now, &mut actions);
-        (
-            Some(CompletedCall {
-                xid,
-                class: p.class,
-                reply,
-                rtt,
-                retransmitted: p.retransmitted,
-            }),
-            actions,
-        )
+        self.drain_queue(now, actions);
+        Some(CompletedCall {
+            xid,
+            class: p.class,
+            reply,
+            rtt,
+            retransmitted: p.retransmitted,
+        })
     }
 
     fn drain_queue(&mut self, now: SimTime, actions: &mut Vec<UdpAction>) {
@@ -346,14 +349,14 @@ impl UdpRpcClient {
         }
     }
 
-    /// Handles a retransmit timer. Stale (xid, gen) pairs are no-ops.
-    pub fn on_timer(&mut self, now: SimTime, xid: u32, gen: u64) -> Vec<UdpAction> {
-        let mut actions = Vec::new();
+    /// Handles a retransmit timer, appending the resulting actions.
+    /// Stale (xid, gen) pairs are no-ops.
+    pub fn on_timer(&mut self, now: SimTime, xid: u32, gen: u64, actions: &mut Vec<UdpAction>) {
         let Some(p) = self.pending.get_mut(&xid) else {
-            return actions;
+            return;
         };
         if p.timer_gen != gen {
-            return actions;
+            return;
         }
         // A soft mount stops here once `retrans` transmissions have all
         // timed out; the syscall comes back with `ETIMEDOUT`.
@@ -366,8 +369,8 @@ impl UdpRpcClient {
             }
             self.rto.on_timeout(class);
             actions.push(UdpAction::GiveUp { xid });
-            self.drain_queue(now, &mut actions);
-            return actions;
+            self.drain_queue(now, actions);
+            return;
         }
         // Timeout: retransmit with exponential backoff; the class-level
         // backoff persists for subsequent requests until a clean sample.
@@ -406,7 +409,6 @@ impl UdpRpcClient {
             w.on_timeout();
         }
         self.rto.on_timeout(class);
-        actions
     }
 }
 
@@ -424,6 +426,35 @@ mod tests {
         SimTime::from_millis(n)
     }
 
+    fn call(
+        c: &mut UdpRpcClient,
+        now: SimTime,
+        xid: u32,
+        class: RpcClass,
+        m: MbufChain,
+    ) -> Vec<UdpAction> {
+        let mut actions = Vec::new();
+        c.call(now, xid, class, m, &mut actions);
+        actions
+    }
+
+    fn reply(
+        c: &mut UdpRpcClient,
+        now: SimTime,
+        xid: u32,
+        m: MbufChain,
+    ) -> (Option<CompletedCall>, Vec<UdpAction>) {
+        let mut actions = Vec::new();
+        let done = c.on_reply(now, xid, m, &mut actions);
+        (done, actions)
+    }
+
+    fn timer(c: &mut UdpRpcClient, now: SimTime, xid: u32, gen: u64) -> Vec<UdpAction> {
+        let mut actions = Vec::new();
+        c.on_timer(now, xid, gen, &mut actions);
+        actions
+    }
+
     fn first_send_xid(actions: &[UdpAction]) -> Option<u32> {
         actions.iter().find_map(|a| match a {
             UdpAction::Send { xid, .. } => Some(*xid),
@@ -435,7 +466,7 @@ mod tests {
     fn call_sends_and_arms_timer() {
         let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(1)), 100);
         let xid = c.alloc_xid();
-        let actions = c.call(ms(0), xid, RpcClass::Lookup, msg(1));
+        let actions = call(&mut c, ms(0), xid, RpcClass::Lookup, msg(1));
         assert_eq!(actions.len(), 2);
         assert_eq!(first_send_xid(&actions), Some(100));
         match &actions[1] {
@@ -452,8 +483,8 @@ mod tests {
         let mut c = UdpRpcClient::new(UdpRpcConfig::dynamic_paper(SimDuration::from_secs(1)), 0);
         for i in 0..30u64 {
             let xid = c.alloc_xid();
-            c.call(ms(i * 100), xid, RpcClass::Lookup, msg(0));
-            let (done, _) = c.on_reply(ms(i * 100 + 12), xid, msg(9));
+            call(&mut c, ms(i * 100), xid, RpcClass::Lookup, msg(0));
+            let (done, _) = reply(&mut c, ms(i * 100 + 12), xid, msg(9));
             let done = done.unwrap();
             assert_eq!(done.rtt, SimDuration::from_millis(12));
             assert!(!done.retransmitted);
@@ -467,12 +498,12 @@ mod tests {
     fn timer_retransmits_with_backoff() {
         let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(1)), 0);
         let xid = c.alloc_xid();
-        let a1 = c.call(ms(0), xid, RpcClass::Read, msg(0));
+        let a1 = call(&mut c, ms(0), xid, RpcClass::Read, msg(0));
         let gen1 = match &a1[1] {
             UdpAction::ArmTimer { gen, .. } => *gen,
             _ => panic!(),
         };
-        let a2 = c.on_timer(SimTime::from_secs(1), xid, gen1);
+        let a2 = timer(&mut c, SimTime::from_secs(1), xid, gen1);
         assert_eq!(a2.len(), 2, "resend + rearm");
         match &a2[1] {
             UdpAction::ArmTimer { gen, deadline, .. } => {
@@ -484,24 +515,25 @@ mod tests {
         }
         assert_eq!(c.stats().retransmits, 1);
         // Stale generation is ignored.
-        assert!(c.on_timer(SimTime::from_secs(2), xid, gen1).is_empty());
+        assert!(timer(&mut c, SimTime::from_secs(2), xid, gen1).is_empty());
     }
 
     #[test]
     fn retransmitted_call_skips_rtt_sample() {
         let mut c = UdpRpcClient::new(UdpRpcConfig::dynamic_paper(SimDuration::from_secs(1)), 0);
         let xid = c.alloc_xid();
-        c.call(ms(0), xid, RpcClass::Read, msg(0));
-        c.on_timer(SimTime::from_secs(1), xid, 1);
-        let (done, _) = c.on_reply(SimTime::from_secs(2), xid, msg(1));
+        call(&mut c, ms(0), xid, RpcClass::Read, msg(0));
+        timer(&mut c, SimTime::from_secs(1), xid, 1);
+        let (done, _) = reply(&mut c, SimTime::from_secs(2), xid, msg(1));
         assert!(done.unwrap().retransmitted);
         // No sample taken (Karn): the estimator is still empty, so the
         // RTO is the base value scaled by the persistent timeout backoff.
         assert_eq!(c.current_rto(RpcClass::Read), SimDuration::from_secs(2));
         // A clean call clears the backoff and finally feeds a sample.
         let xid2 = c.alloc_xid();
-        c.call(SimTime::from_secs(3), xid2, RpcClass::Read, msg(0));
-        let (done, _) = c.on_reply(
+        call(&mut c, SimTime::from_secs(3), xid2, RpcClass::Read, msg(0));
+        let (done, _) = reply(
+            &mut c,
             SimTime::from_secs(3) + SimDuration::from_millis(40),
             xid2,
             msg(1),
@@ -518,13 +550,13 @@ mod tests {
         for _ in 0..window + 5 {
             let xid = c.alloc_xid();
             xids.push(xid);
-            c.call(ms(0), xid, RpcClass::Lookup, msg(0));
+            call(&mut c, ms(0), xid, RpcClass::Lookup, msg(0));
         }
         assert_eq!(c.outstanding(), window);
         assert_eq!(c.queued(), 5);
         assert!(c.stats().window_deferrals >= 5);
         // A reply admits a queued call.
-        let (_, actions) = c.on_reply(ms(10), xids[0], msg(1));
+        let (_, actions) = reply(&mut c, ms(10), xids[0], msg(1));
         assert!(first_send_xid(&actions).is_some(), "queued call released");
     }
 
@@ -533,15 +565,15 @@ mod tests {
         let mut c = UdpRpcClient::new(UdpRpcConfig::dynamic_paper(SimDuration::from_secs(1)), 0);
         let before = c.window().unwrap();
         let xid = c.alloc_xid();
-        c.call(ms(0), xid, RpcClass::Read, msg(0));
-        c.on_timer(SimTime::from_secs(1), xid, 1);
+        call(&mut c, ms(0), xid, RpcClass::Read, msg(0));
+        timer(&mut c, SimTime::from_secs(1), xid, 1);
         assert!(c.window().unwrap() <= before / 2 + 1);
     }
 
     #[test]
     fn stray_reply_counted_not_crashing() {
         let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(1)), 0);
-        let (done, actions) = c.on_reply(ms(5), 999, msg(0));
+        let (done, actions) = reply(&mut c, ms(5), 999, msg(0));
         assert!(done.is_none());
         assert!(actions.is_empty());
         assert_eq!(c.stats().stray_replies, 1);
@@ -551,10 +583,10 @@ mod tests {
     fn duplicate_reply_is_stray() {
         let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(1)), 0);
         let xid = c.alloc_xid();
-        c.call(ms(0), xid, RpcClass::Getattr, msg(0));
-        let (d1, _) = c.on_reply(ms(3), xid, msg(1));
+        call(&mut c, ms(0), xid, RpcClass::Getattr, msg(0));
+        let (d1, _) = reply(&mut c, ms(3), xid, msg(1));
         assert!(d1.is_some());
-        let (d2, _) = c.on_reply(ms(4), xid, msg(1));
+        let (d2, _) = reply(&mut c, ms(4), xid, msg(1));
         assert!(d2.is_none(), "second reply to same xid is stray");
     }
 
@@ -570,13 +602,13 @@ mod tests {
         let cfg = UdpRpcConfig::fixed(SimDuration::from_secs(1)).soft(3);
         let mut c = UdpRpcClient::new(cfg, 0);
         let xid = c.alloc_xid();
-        let mut actions = c.call(ms(0), xid, RpcClass::Lookup, msg(0));
+        let mut actions = call(&mut c, ms(0), xid, RpcClass::Lookup, msg(0));
         let mut gave_up = false;
         for _ in 0..10 {
             let Some((gen, deadline)) = timer_args(&actions) else {
                 break;
             };
-            actions = c.on_timer(deadline, xid, gen);
+            actions = timer(&mut c, deadline, xid, gen);
             if actions
                 .iter()
                 .any(|a| matches!(a, UdpAction::GiveUp { xid: x } if *x == xid))
@@ -591,7 +623,7 @@ mod tests {
         assert_eq!(c.stats().soft_timeouts, 1);
         assert_eq!(c.outstanding(), 0);
         // A late reply for the abandoned xid is stray, not a completion.
-        let (done, _) = c.on_reply(SimTime::from_secs(30), xid, msg(1));
+        let (done, _) = reply(&mut c, SimTime::from_secs(30), xid, msg(1));
         assert!(done.is_none());
     }
 
@@ -601,11 +633,11 @@ mod tests {
         cfg.retrans = 2;
         let mut c = UdpRpcClient::new(cfg, 0);
         let xid = c.alloc_xid();
-        let mut actions = c.call(ms(0), xid, RpcClass::Read, msg(0));
+        let mut actions = call(&mut c, ms(0), xid, RpcClass::Read, msg(0));
         let mut reported = 0;
         for _ in 0..6 {
             let (gen, deadline) = timer_args(&actions).expect("hard mount always rearms");
-            actions = c.on_timer(deadline, xid, gen);
+            actions = timer(&mut c, deadline, xid, gen);
             reported += actions
                 .iter()
                 .filter(|a| matches!(a, UdpAction::NotResponding { .. }))
@@ -613,7 +645,7 @@ mod tests {
         }
         assert_eq!(reported, 1, "one console line per outage");
         assert!(c.outstanding() == 1, "hard mount never gives up");
-        let (done, reply_actions) = c.on_reply(SimTime::from_secs(500), xid, msg(1));
+        let (done, reply_actions) = reply(&mut c, SimTime::from_secs(500), xid, msg(1));
         assert!(done.is_some());
         assert!(
             reply_actions
@@ -627,10 +659,10 @@ mod tests {
     fn backoff_respects_sixty_second_cap() {
         let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(5)), 0);
         let xid = c.alloc_xid();
-        let mut actions = c.call(ms(0), xid, RpcClass::Read, msg(0));
+        let mut actions = call(&mut c, ms(0), xid, RpcClass::Read, msg(0));
         for _ in 0..12 {
             let (gen, deadline) = timer_args(&actions).unwrap();
-            actions = c.on_timer(deadline, xid, gen);
+            actions = timer(&mut c, deadline, xid, gen);
         }
         assert_eq!(c.stats().max_backoff, SimDuration::from_secs(60));
     }
@@ -640,8 +672,8 @@ mod tests {
         let mut c = UdpRpcClient::new(UdpRpcConfig::fixed(SimDuration::from_secs(1)), 0);
         for i in 0..20u64 {
             let xid = c.alloc_xid();
-            c.call(ms(i * 10), xid, RpcClass::Lookup, msg(0));
-            c.on_reply(ms(i * 10 + 1), xid, msg(1));
+            call(&mut c, ms(i * 10), xid, RpcClass::Lookup, msg(0));
+            reply(&mut c, ms(i * 10 + 1), xid, msg(1));
         }
         assert_eq!(c.current_rto(RpcClass::Lookup), SimDuration::from_secs(1));
     }

@@ -69,7 +69,7 @@ impl Harness {
     ) {
         if !from_a {
             for chunk in out.received.drain(..) {
-                self.received.extend(chunk.to_vec_unmetered());
+                self.received.extend(chunk.to_vec_for_test());
             }
         }
         if let Some((deadline, gen)) = out.arm_timer {

@@ -292,6 +292,23 @@ impl MemFs {
 
     /// Reads up to `len` bytes at `off`; short reads at EOF.
     pub fn read(&mut self, id: InodeId, off: u32, len: u32, now: SimTime) -> FsResult<Vec<u8>> {
+        let mut out = Vec::new();
+        self.read_into(id, off, len, now, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`MemFs::read`] into a caller-supplied buffer (cleared first), so
+    /// per-RPC read paths can recycle one scratch vector instead of
+    /// allocating a fresh `Vec` per call. Returns the bytes read.
+    pub fn read_into(
+        &mut self,
+        id: InodeId,
+        off: u32,
+        len: u32,
+        now: SimTime,
+        out: &mut Vec<u8>,
+    ) -> FsResult<usize> {
+        out.clear();
         let ino = self.inode_mut(id)?;
         let data = match &ino.kind {
             Kind::File(d) => d,
@@ -300,13 +317,11 @@ impl MemFs {
         };
         let off = off as usize;
         let end = (off + len as usize).min(data.len());
-        let out = if off >= data.len() {
-            Vec::new()
-        } else {
-            data[off..end].to_vec()
-        };
+        if off < data.len() {
+            out.extend_from_slice(&data[off..end]);
+        }
         ino.atime = now;
-        Ok(out)
+        Ok(out.len())
     }
 
     /// Writes `src` at `off`, extending (zero-filled) as needed.

@@ -222,6 +222,15 @@ pub fn generator_proc<S: Syscalls>(
     let per_proc_interval = cfg.procs as f64 / cfg.rate_per_sec;
     let total_weight = cfg.mix.total().max(1);
     let payload: Vec<u8> = vec![0xA5; 8192];
+    // Lookup names rendered once up front; formatting one per op would
+    // put a String allocation on the steady-state RPC path.
+    let names: Vec<String> = if cfg.mix.lookup > 0 {
+        (0..files.len())
+            .map(|i| file_name(i, cfg.long_names))
+            .collect()
+    } else {
+        Vec::new()
+    };
     loop {
         let gap = rng.exp(per_proc_interval);
         sys.sleep(SimDuration::from_secs_f64(gap));
@@ -233,11 +242,11 @@ pub fn generator_proc<S: Syscalls>(
         xid = xid.wrapping_add(1);
         let start = sys.now();
         let (proc, msg) = if pick < cfg.mix.lookup {
-            let name = file_name(file_idx, cfg.long_names);
+            let name = &names[file_idx];
             (
                 NfsProc::Lookup,
                 build_call(xid, NfsProc::Lookup, |c, m| {
-                    proto::build::dirop_args(c, m, &dir, &name)
+                    proto::build::dirop_args(c, m, &dir, name)
                 }),
             )
         } else if pick < cfg.mix.lookup + cfg.mix.read {

@@ -209,6 +209,25 @@ impl<'a> XdrDecoder<'a> {
         Ok(data)
     }
 
+    /// Decodes `dst.len()` bytes of fixed opaque data into a caller
+    /// buffer (no allocation), consuming padding.
+    pub fn get_opaque_fixed_into(&mut self, dst: &mut [u8]) -> Result<()> {
+        self.cursor
+            .read_exact(dst)
+            .map_err(|_| XdrError::Truncated)?;
+        self.cursor
+            .skip(pad_len(dst.len()))
+            .map_err(|_| XdrError::Truncated)?;
+        Ok(())
+    }
+
+    /// Skips `n` bytes of fixed opaque data plus its padding.
+    pub fn skip_opaque_fixed(&mut self, n: usize) -> Result<()> {
+        self.cursor
+            .skip(n + pad_len(n))
+            .map_err(|_| XdrError::Truncated)
+    }
+
     /// Decodes variable opaque data, rejecting lengths above `max`.
     pub fn get_opaque_var(&mut self, max: u32) -> Result<Vec<u8>> {
         let len = self.get_u32()?;
@@ -216,6 +235,21 @@ impl<'a> XdrDecoder<'a> {
             return Err(XdrError::TooLong { got: len, max });
         }
         self.get_opaque_fixed(len as usize)
+    }
+
+    /// Decodes variable opaque data into the front of a caller buffer
+    /// (no allocation), returning the item's length. Lengths above
+    /// `max` or beyond `dst.len()` are rejected.
+    pub fn get_opaque_var_into(&mut self, dst: &mut [u8], max: u32) -> Result<usize> {
+        let len = self.get_u32()?;
+        if len > max || len as usize > dst.len() {
+            return Err(XdrError::TooLong {
+                got: len,
+                max: max.min(dst.len() as u32),
+            });
+        }
+        self.get_opaque_fixed_into(&mut dst[..len as usize])?;
+        Ok(len as usize)
     }
 
     /// Decodes a counted string, rejecting lengths above `max`.

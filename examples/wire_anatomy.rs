@@ -53,7 +53,7 @@ fn main() {
         msg.seg_count(),
         meter.bytes()
     );
-    hexdump(&msg.to_vec_unmetered(), 96);
+    hexdump(&msg.to_vec_for_test(), 96);
     println!("internet checksum: 0x{:04x}", internet_checksum(&msg));
     println!();
 
@@ -86,7 +86,7 @@ fn main() {
         reader.push(piece);
     }
     let recovered = reader.next_record(&mut meter).expect("whole record");
-    assert_eq!(recovered.to_vec_unmetered(), msg.to_vec_unmetered());
+    assert_eq!(recovered.to_vec_for_test(), msg.to_vec_for_test());
     println!("recovered intact from 7-byte stream chunks");
     println!();
 

@@ -17,4 +17,10 @@ cargo test -q --workspace
 echo "==> repro faults --scale quick (smoke)"
 cargo run -q --release -p renofs-bench --bin repro -- faults --scale quick >/dev/null
 
+echo "==> cargo test -p renofs-bench --features profile (alloc discipline + profiler)"
+cargo test -q -p renofs-bench --features profile --release
+
+echo "==> repro bench --check BENCH_pr3.json (queue regression gate)"
+cargo run -q --release -p renofs-bench --bin repro -- bench --scale quick --check BENCH_pr3.json
+
 echo "All checks passed."
