@@ -16,21 +16,31 @@
 //!    run once and timed, giving the end-to-end trajectory number that
 //!    future PRs regress against.
 //!
-//! Results are written to `BENCH_pr3.json` (hand-rolled JSON — the
+//! Both schedules are replayed through three queue implementations: the
+//! hierarchical timer wheel, the plain `BinaryHeap` baseline, and the
+//! adaptive queue the simulator actually runs on (heap until the
+//! pending set deepens, then a one-way promotion to the wheel). A third
+//! trace records a 64-client crowd cell — the deep-queue regime the
+//! adaptive promotion exists for.
+//!
+//! Results are written to `BENCH_pr4.json` (hand-rolled JSON — the
 //! format is our own, and the checker below parses only what it
-//! wrote). `repro bench --check FILE` re-runs the microbench and fails
-//! if wheel throughput regressed more than [`CHECK_TOLERANCE`] against
-//! the committed numbers.
+//! wrote). `repro bench --check FILE` re-runs the microbenches and
+//! fails if wheel throughput on the graph-1 trace, or adaptive
+//! throughput on the crowd trace, regressed more than
+//! [`CHECK_TOLERANCE`] against the committed numbers.
 
 use std::time::Instant;
 
-use renofs::{TopologyKind, TransportKind};
-use renofs_sim::queue::{baseline::HeapQueue, EventQueue, QueueOp};
+use renofs::{TopologyKind, TransportKind, World, WorldConfig};
+use renofs_sim::queue::{baseline::HeapQueue, AdaptiveQueue, EventQueue, QueueOp};
 use renofs_sim::{SimDuration, SimTime};
 use renofs_workload::andrew::AndrewSpec;
 use renofs_workload::nhfsstone::{self, LoadMix, NhfsstoneConfig};
 
-use crate::experiments::{ablations, cd, cpu, faults, mab, servercmp, trace, transport, world_for};
+use crate::experiments::{
+    ablations, cd, cpu, crowd, faults, mab, servercmp, trace, transport, world_for,
+};
 use crate::runner::{point_seed, workload_seed};
 use crate::Scale;
 use renofs_netsim::topology::presets::Background;
@@ -79,6 +89,40 @@ pub fn record_graph1_trace(scale: &Scale) -> TraceInfo {
     // traced world did; what matters for the bench is that both queue
     // implementations process the identical stream — asserted in
     // `run_bench` — so the replay's own count is the canonical one.
+    let pops = EventQueue::replay(&ops);
+    TraceInfo {
+        ops,
+        pops,
+        peak_depth,
+    }
+}
+
+/// Clients in the crowd-replay bench cell.
+pub const CROWD_BENCH_CLIENTS: usize = 64;
+
+/// Runs a 64-client LAN crowd cell (dynamic-RTO UDP, the crowd mix,
+/// a [`crowd::SWEEP_NFSDS`]-wide nfsd pool) with queue tracing enabled
+/// and returns the recorded schedule. With 64 clients' retransmit
+/// timers, biods and nfsd hand-offs outstanding, the pending set runs
+/// deep — the regime the adaptive queue promotes itself to the timer
+/// wheel for.
+pub fn record_crowd_trace(scale: &Scale) -> TraceInfo {
+    let mut cfg = WorldConfig::baseline();
+    cfg.clients = CROWD_BENCH_CLIENTS;
+    cfg.nfsds = crowd::SWEEP_NFSDS;
+    cfg.server.dup_cache = true;
+    cfg.seed = point_seed(0xBE6C, 0, 0);
+    let mut world = World::new(cfg);
+    world.start_queue_trace();
+    let mut ncfg = NhfsstoneConfig::paper(4.0, LoadMix::crowd());
+    ncfg.procs = 2;
+    ncfg.duration = scale.duration.min(SimDuration::from_secs(10));
+    ncfg.warmup = SimDuration::from_secs(2);
+    ncfg.nfiles = scale.nfiles;
+    ncfg.seed = workload_seed(0xBE6C, 0);
+    let _ = nhfsstone::run_crowd(&mut world, &ncfg);
+    let (_, peak_depth) = world.queue_stats();
+    let ops = world.take_queue_trace();
     let pops = EventQueue::replay(&ops);
     TraceInfo {
         ops,
@@ -151,7 +195,7 @@ fn time_replay(pops: u64, run: &dyn Fn() -> u64) -> ReplayTiming {
     }
 }
 
-/// The full bench result; serialized to `BENCH_pr3.json`.
+/// The full bench result; serialized to `BENCH_pr4.json`.
 pub struct BenchReport {
     /// Scale label ("quick" or "paper").
     pub scale_name: String,
@@ -165,6 +209,9 @@ pub struct BenchReport {
     pub wheel: ReplayTiming,
     /// `BinaryHeap` baseline replay throughput on the graph-1 trace.
     pub heap: ReplayTiming,
+    /// Adaptive-queue replay throughput on the graph-1 trace (shallow:
+    /// it should stay on its heap arm and match the heap's cost).
+    pub adaptive: ReplayTiming,
     /// Outstanding events in the deep synthetic schedule.
     pub deep_pending: usize,
     /// Pop-push churn rounds in the deep synthetic schedule.
@@ -173,6 +220,24 @@ pub struct BenchReport {
     pub deep_wheel: ReplayTiming,
     /// `BinaryHeap` baseline replay throughput on the deep schedule.
     pub deep_heap: ReplayTiming,
+    /// Adaptive-queue replay throughput on the deep schedule (it
+    /// promotes to the wheel and should track wheel cost).
+    pub deep_adaptive: ReplayTiming,
+    /// Clients in the crowd-replay cell.
+    pub crowd_clients: usize,
+    /// Operations in the recorded crowd schedule.
+    pub crowd_trace_ops: usize,
+    /// Events dispatched by the crowd replay.
+    pub crowd_pops: u64,
+    /// High-water queue depth of the traced crowd cell.
+    pub crowd_peak_depth: usize,
+    /// Adaptive-queue replay throughput on the crowd trace (the number
+    /// the `--check` gate holds).
+    pub crowd_adaptive: ReplayTiming,
+    /// Timer-wheel replay throughput on the crowd trace.
+    pub crowd_wheel: ReplayTiming,
+    /// `BinaryHeap` baseline replay throughput on the crowd trace.
+    pub crowd_heap: ReplayTiming,
     /// `(experiment, wall-clock seconds)` for one full pass, empty in
     /// `--check` mode.
     pub experiments: Vec<(String, f64)>,
@@ -191,11 +256,22 @@ impl BenchReport {
         self.deep_wheel.events_per_sec / self.deep_heap.events_per_sec
     }
 
+    /// Adaptive-queue speedup over the heap baseline on the crowd trace.
+    pub fn crowd_speedup(&self) -> f64 {
+        self.crowd_adaptive.events_per_sec / self.crowd_heap.events_per_sec
+    }
+
     /// Renders the report as JSON.
     pub fn to_json(&self) -> String {
+        let timing = |t: &ReplayTiming| {
+            format!(
+                "{{ \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1} }}",
+                t.events_per_sec, t.ns_per_event
+            )
+        };
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str("  \"bench\": \"pr3-hot-path\",\n");
+        s.push_str("  \"bench\": \"pr4-crowd-scale\",\n");
         s.push_str(&format!("  \"scale\": \"{}\",\n", self.scale_name));
         s.push_str("  \"queue_replay\": {\n");
         s.push_str(&format!("    \"trace_ops\": {},\n", self.trace_ops));
@@ -204,28 +280,37 @@ impl BenchReport {
             "    \"peak_queue_depth\": {},\n",
             self.peak_queue_depth
         ));
-        s.push_str(&format!(
-            "    \"wheel\": {{ \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1} }},\n",
-            self.wheel.events_per_sec, self.wheel.ns_per_event
-        ));
-        s.push_str(&format!(
-            "    \"heap\": {{ \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1} }},\n",
-            self.heap.events_per_sec, self.heap.ns_per_event
-        ));
+        s.push_str(&format!("    \"wheel\": {},\n", timing(&self.wheel)));
+        s.push_str(&format!("    \"heap\": {},\n", timing(&self.heap)));
+        s.push_str(&format!("    \"adaptive\": {},\n", timing(&self.adaptive)));
         s.push_str(&format!("    \"speedup\": {:.2}\n", self.speedup()));
         s.push_str("  },\n");
         s.push_str("  \"deep_replay\": {\n");
         s.push_str(&format!("    \"pending\": {},\n", self.deep_pending));
         s.push_str(&format!("    \"churn\": {},\n", self.deep_churn));
+        s.push_str(&format!("    \"wheel\": {},\n", timing(&self.deep_wheel)));
+        s.push_str(&format!("    \"heap\": {},\n", timing(&self.deep_heap)));
         s.push_str(&format!(
-            "    \"wheel\": {{ \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1} }},\n",
-            self.deep_wheel.events_per_sec, self.deep_wheel.ns_per_event
-        ));
-        s.push_str(&format!(
-            "    \"heap\": {{ \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1} }},\n",
-            self.deep_heap.events_per_sec, self.deep_heap.ns_per_event
+            "    \"adaptive\": {},\n",
+            timing(&self.deep_adaptive)
         ));
         s.push_str(&format!("    \"speedup\": {:.2}\n", self.deep_speedup()));
+        s.push_str("  },\n");
+        s.push_str("  \"crowd_replay\": {\n");
+        s.push_str(&format!("    \"clients\": {},\n", self.crowd_clients));
+        s.push_str(&format!("    \"trace_ops\": {},\n", self.crowd_trace_ops));
+        s.push_str(&format!("    \"trace_pops\": {},\n", self.crowd_pops));
+        s.push_str(&format!(
+            "    \"peak_queue_depth\": {},\n",
+            self.crowd_peak_depth
+        ));
+        s.push_str(&format!(
+            "    \"adaptive\": {},\n",
+            timing(&self.crowd_adaptive)
+        ));
+        s.push_str(&format!("    \"wheel\": {},\n", timing(&self.crowd_wheel)));
+        s.push_str(&format!("    \"heap\": {},\n", timing(&self.crowd_heap)));
+        s.push_str(&format!("    \"speedup\": {:.2}\n", self.crowd_speedup()));
         s.push_str("  },\n");
         s.push_str("  \"experiments\": [\n");
         for (i, (name, wall)) in self.experiments.iter().enumerate() {
@@ -246,33 +331,37 @@ impl BenchReport {
 
     /// Renders a short human-readable summary.
     pub fn summary(&self) -> String {
+        let line = |s: &mut String, label: &str, t: &ReplayTiming| {
+            s.push_str(&format!(
+                "  {label}: {:>12.0} events/s  ({:.1} ns/event)\n",
+                t.events_per_sec, t.ns_per_event
+            ));
+        };
         let mut s = String::new();
         s.push_str(&format!(
             "queue replay ({} ops, {} pops, peak depth {}):\n",
             self.trace_ops, self.trace_pops, self.peak_queue_depth
         ));
-        s.push_str(&format!(
-            "  timer wheel : {:>12.0} events/s  ({:.1} ns/event)\n",
-            self.wheel.events_per_sec, self.wheel.ns_per_event
-        ));
-        s.push_str(&format!(
-            "  binary heap : {:>12.0} events/s  ({:.1} ns/event)\n",
-            self.heap.events_per_sec, self.heap.ns_per_event
-        ));
+        line(&mut s, "timer wheel ", &self.wheel);
+        line(&mut s, "binary heap ", &self.heap);
+        line(&mut s, "adaptive    ", &self.adaptive);
         s.push_str(&format!("  speedup     : {:.2}x\n", self.speedup()));
         s.push_str(&format!(
             "deep replay ({} pending, {} churn rounds):\n",
             self.deep_pending, self.deep_churn
         ));
-        s.push_str(&format!(
-            "  timer wheel : {:>12.0} events/s  ({:.1} ns/event)\n",
-            self.deep_wheel.events_per_sec, self.deep_wheel.ns_per_event
-        ));
-        s.push_str(&format!(
-            "  binary heap : {:>12.0} events/s  ({:.1} ns/event)\n",
-            self.deep_heap.events_per_sec, self.deep_heap.ns_per_event
-        ));
+        line(&mut s, "timer wheel ", &self.deep_wheel);
+        line(&mut s, "binary heap ", &self.deep_heap);
+        line(&mut s, "adaptive    ", &self.deep_adaptive);
         s.push_str(&format!("  speedup     : {:.2}x\n", self.deep_speedup()));
+        s.push_str(&format!(
+            "crowd replay ({} clients, {} ops, {} pops, peak depth {}):\n",
+            self.crowd_clients, self.crowd_trace_ops, self.crowd_pops, self.crowd_peak_depth
+        ));
+        line(&mut s, "adaptive    ", &self.crowd_adaptive);
+        line(&mut s, "timer wheel ", &self.crowd_wheel);
+        line(&mut s, "binary heap ", &self.crowd_heap);
+        s.push_str(&format!("  speedup     : {:.2}x\n", self.crowd_speedup()));
         if !self.experiments.is_empty() {
             s.push_str("experiment wall-clock:\n");
             for (name, wall) in &self.experiments {
@@ -320,6 +409,7 @@ pub fn experiment_list<'a>(
         ),
         ("table5", Box::new(|| cd::table5(scale).to_string())),
         ("faults", Box::new(|| faults::faults(scale).to_string())),
+        ("crowd", Box::new(|| crowd::crowd(scale).to_string())),
         ("section3", Box::new(|| cpu::section3(scale).to_string())),
         (
             "ablation-rto",
@@ -366,16 +456,28 @@ pub fn run_bench(
     assert_eq!(
         HeapQueue::<()>::replay(ops),
         pops,
-        "both queue implementations must dispatch the same stream"
+        "all queue implementations must dispatch the same stream"
     );
+    assert_eq!(AdaptiveQueue::replay(ops), pops);
     let wheel = time_replay(pops, &|| EventQueue::replay(ops));
     let heap = time_replay(pops, &|| HeapQueue::<()>::replay(ops));
+    let adaptive = time_replay(pops, &|| AdaptiveQueue::replay(ops));
     let (deep_pending, deep_churn) = (65_536, 262_144);
     let deep_ops = synth_deep_schedule(deep_pending, deep_churn);
     let deep_pops = EventQueue::replay(&deep_ops);
     assert_eq!(HeapQueue::<()>::replay(&deep_ops), deep_pops);
+    assert_eq!(AdaptiveQueue::replay(&deep_ops), deep_pops);
     let deep_wheel = time_replay(deep_pops, &|| EventQueue::replay(&deep_ops));
     let deep_heap = time_replay(deep_pops, &|| HeapQueue::<()>::replay(&deep_ops));
+    let deep_adaptive = time_replay(deep_pops, &|| AdaptiveQueue::replay(&deep_ops));
+    let crowd_info = record_crowd_trace(scale);
+    let crowd_ops = &crowd_info.ops;
+    let crowd_pops = crowd_info.pops;
+    assert_eq!(HeapQueue::<()>::replay(crowd_ops), crowd_pops);
+    assert_eq!(AdaptiveQueue::replay(crowd_ops), crowd_pops);
+    let crowd_adaptive = time_replay(crowd_pops, &|| AdaptiveQueue::replay(crowd_ops));
+    let crowd_wheel = time_replay(crowd_pops, &|| EventQueue::replay(crowd_ops));
+    let crowd_heap = time_replay(crowd_pops, &|| HeapQueue::<()>::replay(crowd_ops));
     let mut experiments = Vec::new();
     let mut total_wall_s = 0.0;
     if with_experiments {
@@ -398,10 +500,19 @@ pub fn run_bench(
         peak_queue_depth: trace_info.peak_depth,
         wheel,
         heap,
+        adaptive,
         deep_pending,
         deep_churn,
         deep_wheel,
         deep_heap,
+        deep_adaptive,
+        crowd_clients: CROWD_BENCH_CLIENTS,
+        crowd_trace_ops: crowd_info.ops.len(),
+        crowd_pops,
+        crowd_peak_depth: crowd_info.peak_depth,
+        crowd_adaptive,
+        crowd_wheel,
+        crowd_heap,
         experiments,
         total_wall_s,
     }
@@ -422,29 +533,62 @@ fn find_number(json: &str, section: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Like [`find_number`], but scoped to the object following `section`:
+/// finds `sub` after `section`, then `key` after that, so identically
+/// named sub-objects in other sections don't shadow it.
+fn find_number2(json: &str, section: &str, sub: &str, key: &str) -> Option<f64> {
+    let sec = format!("\"{section}\"");
+    let rest = &json[json.find(&sec)? + sec.len()..];
+    find_number(rest, sub, key)
+}
+
 /// Compares a fresh microbench result against a committed JSON report.
 /// Returns a human-readable verdict, or an error string if the wheel
-/// regressed beyond [`CHECK_TOLERANCE`] (or the file is unparseable).
+/// (graph-1 trace) or the adaptive queue (crowd trace) regressed beyond
+/// [`CHECK_TOLERANCE`] (or the file is unparseable).
 pub fn check_against(committed_json: &str, current: &BenchReport) -> Result<String, String> {
-    let committed = find_number(committed_json, "wheel", "events_per_sec")
+    let gate = |label: &str, committed: f64, now: f64| -> Result<String, String> {
+        let floor = committed * (1.0 - CHECK_TOLERANCE);
+        if now < floor {
+            return Err(format!(
+                "{label} throughput regressed: {now:.0} events/s vs committed {committed:.0} \
+                 (floor {floor:.0}, tolerance {:.0}%)",
+                CHECK_TOLERANCE * 100.0
+            ));
+        }
+        Ok(format!(
+            "{label} throughput ok: {now:.0} events/s vs committed {committed:.0} \
+             (floor {floor:.0})"
+        ))
+    };
+    let wheel_committed = find_number(committed_json, "wheel", "events_per_sec")
         .ok_or("committed bench JSON has no wheel events_per_sec")?;
-    let now = current.wheel.events_per_sec;
-    let floor = committed * (1.0 - CHECK_TOLERANCE);
-    if now < floor {
-        return Err(format!(
-            "wheel throughput regressed: {now:.0} events/s vs committed {committed:.0} \
-             (floor {floor:.0}, tolerance {:.0}%)",
-            CHECK_TOLERANCE * 100.0
-        ));
+    let mut verdict = gate("wheel", wheel_committed, current.wheel.events_per_sec)?;
+    // Older (pr3) reports have no crowd section; the gate applies once
+    // the committed file carries one.
+    if let Some(crowd_committed) =
+        find_number2(committed_json, "crowd_replay", "adaptive", "events_per_sec")
+    {
+        let crowd = gate(
+            "crowd adaptive",
+            crowd_committed,
+            current.crowd_adaptive.events_per_sec,
+        )?;
+        verdict = format!("{verdict}; {crowd}");
     }
-    Ok(format!(
-        "wheel throughput ok: {now:.0} events/s vs committed {committed:.0} (floor {floor:.0})"
-    ))
+    Ok(verdict)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn timing(eps: f64) -> ReplayTiming {
+        ReplayTiming {
+            events_per_sec: eps,
+            ns_per_event: 1e9 / eps,
+        }
+    }
 
     fn fake_report() -> BenchReport {
         BenchReport {
@@ -452,24 +596,21 @@ mod tests {
             trace_ops: 1000,
             trace_pops: 500,
             peak_queue_depth: 32,
-            wheel: ReplayTiming {
-                events_per_sec: 2_000_000.0,
-                ns_per_event: 500.0,
-            },
-            heap: ReplayTiming {
-                events_per_sec: 1_000_000.0,
-                ns_per_event: 1000.0,
-            },
+            wheel: timing(2_000_000.0),
+            heap: timing(1_000_000.0),
+            adaptive: timing(1_100_000.0),
             deep_pending: 16_384,
             deep_churn: 262_144,
-            deep_wheel: ReplayTiming {
-                events_per_sec: 8_000_000.0,
-                ns_per_event: 125.0,
-            },
-            deep_heap: ReplayTiming {
-                events_per_sec: 2_000_000.0,
-                ns_per_event: 500.0,
-            },
+            deep_wheel: timing(8_000_000.0),
+            deep_heap: timing(2_000_000.0),
+            deep_adaptive: timing(7_000_000.0),
+            crowd_clients: 64,
+            crowd_trace_ops: 5000,
+            crowd_pops: 2500,
+            crowd_peak_depth: 400,
+            crowd_adaptive: timing(6_000_000.0),
+            crowd_wheel: timing(6_500_000.0),
+            crowd_heap: timing(3_000_000.0),
             experiments: vec![("graph1".into(), 1.25)],
             total_wall_s: 1.25,
         }
@@ -484,6 +625,12 @@ mod tests {
             Some(2_000_000.0)
         );
         assert_eq!(find_number(&json, "heap", "ns_per_event"), Some(1000.0));
+        // The scoped lookup reads the crowd section's adaptive numbers,
+        // not the shallow-trace ones.
+        assert_eq!(
+            find_number2(&json, "crowd_replay", "adaptive", "events_per_sec"),
+            Some(6_000_000.0)
+        );
         assert!(check_against(&json, &report).is_ok());
     }
 
@@ -498,6 +645,37 @@ mod tests {
         let mut ok = fake_report();
         ok.wheel.events_per_sec = report.wheel.events_per_sec * 0.8;
         assert!(check_against(&json, &ok).is_ok());
+    }
+
+    #[test]
+    fn checker_gates_the_crowd_adaptive_number() {
+        let report = fake_report();
+        let json = report.to_json();
+        let mut slow = fake_report();
+        slow.crowd_adaptive.events_per_sec = report.crowd_adaptive.events_per_sec * 0.5;
+        let err = check_against(&json, &slow).expect_err("crowd regression must fail");
+        assert!(err.contains("crowd adaptive"), "got: {err}");
+        // A pr3-era report without a crowd section only gates the wheel.
+        let pr3 = json[..json.find("\"crowd_replay\"").unwrap()].to_string();
+        assert!(check_against(&pr3, &slow).is_ok());
+    }
+
+    #[test]
+    fn crowd_trace_promotes_the_adaptive_queue() {
+        let mut scale = Scale::quick();
+        scale.duration = renofs_sim::SimDuration::from_secs(4);
+        scale.nfiles = 20;
+        let t = record_crowd_trace(&scale);
+        assert!(t.pops > 5_000, "crowd cell dispatched {} events", t.pops);
+        assert!(
+            t.peak_depth > renofs_sim::queue::PROMOTE_DEPTH,
+            "64 clients must push the pending set past the promotion \
+             threshold, peak {}",
+            t.peak_depth
+        );
+        assert_eq!(EventQueue::replay(&t.ops), t.pops);
+        assert_eq!(HeapQueue::<()>::replay(&t.ops), t.pops);
+        assert_eq!(AdaptiveQueue::replay(&t.ops), t.pops);
     }
 
     #[test]

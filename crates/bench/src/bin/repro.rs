@@ -12,6 +12,7 @@
 //!   table2..table4   Modified Andrew Benchmark
 //!   table5           Create-Delete benchmark
 //!   faults           recovery under injected faults (soft/hard mounts)
+//!   crowd            multi-client saturation: N clients vs an nfsd pool
 //!   section3         interface-tuning ablation
 //!   ablation-rto ablation-slowstart ablation-namelen
 //!   ablation-preload ablation-rsize ablation-readahead
@@ -30,11 +31,13 @@
 //! `profile` cargo feature to report real numbers:
 //! `cargo run --release --features profile -- graph1 --quick --profile`.
 //!
-//! `repro bench` runs the queue-replay microbench (timer wheel vs the
-//! `BinaryHeap` it replaced, on an identical recorded schedule) plus a
-//! timed pass over every experiment, and writes `BENCH_pr3.json`.
-//! `repro bench --check FILE` re-runs just the microbench and exits
-//! nonzero if throughput regressed >30% against the committed numbers.
+//! `repro bench` runs the queue-replay microbenches (timer wheel,
+//! `BinaryHeap` baseline, and the adaptive queue, each replaying
+//! identical recorded schedules — including a 64-client crowd trace)
+//! plus a timed pass over every experiment, and writes
+//! `BENCH_pr4.json`. `repro bench --check FILE` re-runs just the
+//! microbenches and exits nonzero if throughput regressed >30% against
+//! the committed numbers.
 
 use std::time::Instant;
 
@@ -73,7 +76,7 @@ fn parse_args() -> Options {
     let mut quick = false;
     let mut jobs = renofs_bench::runner::default_jobs();
     let mut profile = false;
-    let mut out = "BENCH_pr3.json".to_string();
+    let mut out = "BENCH_pr4.json".to_string();
     let mut check = None;
     let mut i = 0;
     while i < args.len() {

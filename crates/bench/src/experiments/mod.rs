@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod cd;
 pub mod cpu;
+pub mod crowd;
 pub mod faults;
 pub mod mab;
 pub mod scale;

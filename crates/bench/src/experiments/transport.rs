@@ -338,6 +338,7 @@ pub fn table1(scale: &Scale) -> Table1 {
                 lookup: 0,
                 read: 100,
                 getattr: 0,
+                setattr: 0,
                 write: 0,
             },
             1.2,

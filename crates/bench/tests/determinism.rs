@@ -2,7 +2,7 @@
 //! be byte-identical whatever the worker count, because per-job seeds
 //! derive from sweep position and results are reassembled in job order.
 
-use renofs_bench::experiments::{cd, faults, transport};
+use renofs_bench::experiments::{cd, crowd, faults, transport};
 use renofs_bench::Scale;
 
 fn quick_subset() -> Scale {
@@ -58,6 +58,24 @@ fn faults_is_byte_identical_across_worker_counts() {
         assert_eq!(
             serial, parallel,
             "faults output diverged between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn crowd_is_byte_identical_across_worker_counts() {
+    // The crowd sweep spawns N generator threads per cell (not one), so
+    // seed-splitting per client — not thread scheduling — must be the
+    // only source of randomness for the output to survive any fan-out.
+    let mut scale = Scale::quick();
+    scale.jobs = 1;
+    let serial = crowd::crowd(&scale).to_string();
+    for jobs in [2, 4, 8] {
+        scale.jobs = jobs;
+        let parallel = crowd::crowd(&scale).to_string();
+        assert_eq!(
+            serial, parallel,
+            "crowd output diverged between jobs=1 and jobs={jobs}"
         );
     }
 }

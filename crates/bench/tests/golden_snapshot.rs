@@ -12,10 +12,11 @@
 //!   > crates/bench/tests/golden/graph1_quick.txt
 //! ```
 
-use renofs_bench::experiments::transport;
+use renofs_bench::experiments::{crowd, transport};
 use renofs_bench::Scale;
 
 const GOLDEN: &str = include_str!("golden/graph1_quick.txt");
+const CROWD_GOLDEN: &str = include_str!("golden/crowd_quick.txt");
 
 #[test]
 fn graph1_quick_matches_the_committed_golden_snapshot() {
@@ -40,6 +41,36 @@ fn graph1_quick_matches_the_golden_snapshot_at_every_worker_count() {
             out.trim_end(),
             GOLDEN.trim_end(),
             "graph1 --scale quick diverged from the fixture at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn crowd_quick_matches_the_committed_golden_snapshot() {
+    // Regenerate (deliberately) with:
+    //   cargo run --release -p renofs-bench --bin repro -- crowd \
+    //     --scale quick --jobs 1 > crates/bench/tests/golden/crowd_quick.txt
+    let mut scale = Scale::quick();
+    scale.jobs = 1;
+    let out = crowd::crowd(&scale).to_string();
+    assert_eq!(
+        out.trim_end(),
+        CROWD_GOLDEN.trim_end(),
+        "crowd --scale quick no longer matches the committed fixture; \
+         if the change is intended, regenerate tests/golden/crowd_quick.txt"
+    );
+}
+
+#[test]
+fn crowd_quick_matches_the_golden_snapshot_at_every_worker_count() {
+    for jobs in [2, 4, 8] {
+        let mut scale = Scale::quick();
+        scale.jobs = jobs;
+        let out = crowd::crowd(&scale).to_string();
+        assert_eq!(
+            out.trim_end(),
+            CROWD_GOLDEN.trim_end(),
+            "crowd --scale quick diverged from the fixture at jobs={jobs}"
         );
     }
 }

@@ -36,6 +36,6 @@ pub use proto::{FileHandle, NfsProc, NfsStatus};
 pub use server::{NfsServer, ServerConfig};
 pub use syscalls::Syscalls;
 pub use world::{
-    ClientEvent, ClientEventKind, MountOptions, TopologyKind, TransportKind, World, WorldConfig,
-    WorldScratch, WorldSys,
+    ClientEvent, ClientEventKind, MountOptions, NfsdStats, TopologyKind, TransportKind, World,
+    WorldConfig, WorldScratch, WorldSys,
 };

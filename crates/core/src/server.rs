@@ -124,15 +124,18 @@ impl ServerStats {
 
 /// The duplicate-request cache, per the tuned server in the paper.
 ///
-/// Keyed by `(xid, proc)` rather than xid alone: BSD clients pick xids
-/// from a counter that can collide across procedures after wraparound or
-/// reboot, and a Remove retransmission must never be answered with a
-/// cached Create reply. Lookups are O(1) via an index map; eviction is
-/// FIFO over a ring of keys, and re-inserting a live key refreshes the
-/// stored reply without growing the ring.
+/// Keyed by `(client, xid, proc)`: xids are drawn per client machine, so
+/// two independent clients routinely reuse the same value — a Remove
+/// retransmitted by one host must never be answered with a reply cached
+/// for another host's Create (the real BSD cache folds the client's
+/// address and port into the match for the same reason). The `proc`
+/// component guards against one client's counter colliding across
+/// procedures after wraparound or reboot. Lookups are O(1) via an index
+/// map; eviction is FIFO over a ring of keys, and re-inserting a live key
+/// refreshes the stored reply without growing the ring.
 struct DupCache {
-    index: std::collections::HashMap<(u32, u32), MbufChain>,
-    ring: VecDeque<(u32, u32)>,
+    index: std::collections::HashMap<(u32, u32, u32), MbufChain>,
+    ring: VecDeque<(u32, u32, u32)>,
     cap: usize,
 }
 
@@ -145,12 +148,12 @@ impl DupCache {
         }
     }
 
-    fn get(&self, xid: u32, proc: NfsProc) -> Option<MbufChain> {
-        self.index.get(&(xid, proc.to_wire())).cloned()
+    fn get(&self, client: u32, xid: u32, proc: NfsProc) -> Option<MbufChain> {
+        self.index.get(&(client, xid, proc.to_wire())).cloned()
     }
 
-    fn put(&mut self, xid: u32, proc: NfsProc, reply: MbufChain) {
-        let key = (xid, proc.to_wire());
+    fn put(&mut self, client: u32, xid: u32, proc: NfsProc, reply: MbufChain) {
+        let key = (client, xid, proc.to_wire());
         if self.index.insert(key, reply).is_some() {
             return; // live key refreshed; ring position unchanged
         }
@@ -163,6 +166,11 @@ impl DupCache {
     }
 }
 
+/// Duplicate-cache ring slots reserved per client machine; the total
+/// capacity scales with the mount count so a crowd of retransmitting
+/// clients cannot flush each other's entries before the retry arrives.
+const DUP_CACHE_PER_CLIENT: usize = 128;
+
 /// The NFS server instance.
 pub struct NfsServer {
     cfg: ServerConfig,
@@ -170,6 +178,10 @@ pub struct NfsServer {
     namecache: NameCache,
     bufcache: BufCache,
     dupcache: Option<DupCache>,
+    /// Duplicate-cache capacity in force ([`DUP_CACHE_PER_CLIENT`] ×
+    /// client count); survives [`NfsServer::reboot`] because it models
+    /// the compiled-in table size, not volatile state.
+    dup_cache_cap: usize,
     meter: CopyMeter,
     stats: ServerStats,
     /// Recycled buffer for READ data on its way from the filesystem
@@ -189,7 +201,8 @@ impl NfsServer {
             fs: MemFs::new(now),
             namecache,
             bufcache,
-            dupcache: cfg.dup_cache.then(|| DupCache::new(128)),
+            dupcache: cfg.dup_cache.then(|| DupCache::new(DUP_CACHE_PER_CLIENT)),
+            dup_cache_cap: DUP_CACHE_PER_CLIENT,
             meter: CopyMeter::new(),
             stats: ServerStats::default(),
             read_scratch: Vec::new(),
@@ -229,7 +242,18 @@ impl NfsServer {
         bufcache.set_ambient(self.cfg.ambient_blocks);
         self.bufcache = bufcache;
         if self.cfg.dup_cache {
-            self.dupcache = Some(DupCache::new(128));
+            self.dupcache = Some(DupCache::new(self.dup_cache_cap));
+        }
+    }
+
+    /// Sizes the duplicate-request cache for a community of `clients`
+    /// mounts ([`DUP_CACHE_PER_CLIENT`] ring slots each). Existing cached
+    /// replies are discarded — call this while wiring up a world, before
+    /// traffic flows.
+    pub fn set_client_count(&mut self, clients: usize) {
+        self.dup_cache_cap = DUP_CACHE_PER_CLIENT * clients.max(1);
+        if self.cfg.dup_cache {
+            self.dupcache = Some(DupCache::new(self.dup_cache_cap));
         }
     }
 
@@ -255,8 +279,25 @@ impl NfsServer {
         Ok(ino)
     }
 
-    /// Services one RPC request, producing the reply and its cost.
+    /// Services one RPC request from client 0, producing the reply and
+    /// its cost. Single-client convenience wrapper over
+    /// [`NfsServer::service_from`].
     pub fn service(&mut self, now: SimTime, request: &MbufChain) -> (MbufChain, ServiceCost) {
+        self.service_from(now, request, 0)
+    }
+
+    /// Services one RPC request, producing the reply and its cost.
+    ///
+    /// `client` identifies the requesting machine (in BSD terms, the
+    /// source address/port of the datagram) and scopes the duplicate-
+    /// request cache so xids reused across independent clients never
+    /// cross-match.
+    pub fn service_from(
+        &mut self,
+        now: SimTime,
+        request: &MbufChain,
+        client: u32,
+    ) -> (MbufChain, ServiceCost) {
         let mut cost = ServiceCost::default();
         let mut dec = XdrDecoder::new(request);
         let header = match CallHeader::decode(&mut dec) {
@@ -293,7 +334,7 @@ impl NfsServer {
         // against retransmitted requests.
         if !proc.is_idempotent() {
             if let Some(dc) = &self.dupcache {
-                if let Some(reply) = dc.get(xid, proc) {
+                if let Some(reply) = dc.get(client, xid, proc) {
                     self.stats.dup_hits += 1;
                     cost.dup_hit = true;
                     return (reply, cost);
@@ -323,7 +364,7 @@ impl NfsServer {
         self.dispatch(now, proc, args, &mut reply, &mut cost);
         if !proc.is_idempotent() {
             if let Some(dc) = &mut self.dupcache {
-                dc.put(xid, proc, reply.clone());
+                dc.put(client, xid, proc, reply.clone());
             }
         }
         (reply, cost)
@@ -1020,17 +1061,65 @@ mod tests {
     fn dup_cache_refresh_does_not_grow_ring_and_fifo_evicts() {
         let mut dc = DupCache::new(2);
         let reply = MbufChain::new();
-        dc.put(1, NfsProc::Create, reply.clone());
-        dc.put(1, NfsProc::Create, reply.clone()); // refresh, not re-insert
-        dc.put(2, NfsProc::Create, reply.clone());
-        assert!(dc.get(1, NfsProc::Create).is_some());
-        assert!(dc.get(2, NfsProc::Create).is_some());
+        dc.put(0, 1, NfsProc::Create, reply.clone());
+        dc.put(0, 1, NfsProc::Create, reply.clone()); // refresh, not re-insert
+        dc.put(0, 2, NfsProc::Create, reply.clone());
+        assert!(dc.get(0, 1, NfsProc::Create).is_some());
+        assert!(dc.get(0, 2, NfsProc::Create).is_some());
         // A third distinct key evicts the oldest (xid 1), proving the
         // refresh above did not occupy a second ring slot.
-        dc.put(3, NfsProc::Create, reply);
-        assert!(dc.get(1, NfsProc::Create).is_none(), "oldest evicted");
-        assert!(dc.get(2, NfsProc::Create).is_some());
-        assert!(dc.get(3, NfsProc::Create).is_some());
+        dc.put(0, 3, NfsProc::Create, reply);
+        assert!(dc.get(0, 1, NfsProc::Create).is_none(), "oldest evicted");
+        assert!(dc.get(0, 2, NfsProc::Create).is_some());
+        assert!(dc.get(0, 3, NfsProc::Create).is_some());
+    }
+
+    #[test]
+    fn dup_cache_never_cross_hits_between_clients() {
+        let mut cfg = ServerConfig::reno();
+        cfg.dup_cache = true;
+        let mut s = NfsServer::new(cfg, t(0));
+        s.set_client_count(2);
+        let root = s.root_handle();
+        // Client 0 and client 1 independently pick xid 50 for a CREATE of
+        // *different* names: the second must execute, not be answered with
+        // the first client's cached reply.
+        let creq = |name: &'static str| {
+            call(50, NfsProc::Create, move |c, m| {
+                proto::build::create_args(c, m, &root, name, &proto::Sattr::default())
+            })
+        };
+        let (_, c1) = s.service_from(t(1), &creq("from-c0"), 0);
+        assert!(!c1.dup_hit);
+        let (r2, c2) = s.service_from(t(2), &creq("from-c1"), 1);
+        assert!(!c2.dup_hit, "same xid, different client: not a duplicate");
+        let (_, attr) = results::get_diropres(&mut reply_body(&r2))
+            .unwrap()
+            .unwrap();
+        assert_eq!(attr.ftype, renofs_vfs::FileType::Regular);
+        assert_eq!(s.stats().count(NfsProc::Create), 2, "both executed");
+        // And each client's own retransmission still replays from cache.
+        let (_, c3) = s.service_from(t(3), &creq("from-c0"), 0);
+        let (_, c4) = s.service_from(t(4), &creq("from-c1"), 1);
+        assert!(c3.dup_hit);
+        assert!(c4.dup_hit);
+        assert_eq!(s.stats().dup_hits, 2);
+    }
+
+    #[test]
+    fn dup_cache_capacity_scales_with_clients_and_survives_reboot() {
+        let mut cfg = ServerConfig::reno();
+        cfg.dup_cache = true;
+        let mut s = NfsServer::new(cfg, t(0));
+        s.set_client_count(4);
+        assert_eq!(s.dup_cache_cap, 4 * super::DUP_CACHE_PER_CLIENT);
+        s.reboot();
+        assert_eq!(
+            s.dup_cache_cap,
+            4 * super::DUP_CACHE_PER_CLIENT,
+            "table size is compiled in, not volatile"
+        );
+        assert!(s.dupcache.is_some());
     }
 
     #[test]

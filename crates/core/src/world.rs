@@ -1,16 +1,35 @@
 //! The deterministic simulation world.
 //!
-//! One [`World`] owns a client machine and a server machine joined by a
-//! simulated internetwork, a client RPC transport (UDP-fixed,
-//! UDP-dynamic or TCP), and the NFS server. Workload code runs on real
-//! OS threads in natural blocking style against the [`Syscalls`] trait;
-//! determinism is preserved by strict hand-off — exactly one workload
-//! thread is runnable at any instant, and it runs only while the event
-//! loop waits for its next request.
+//! One [`World`] owns a community of client machines and a server machine
+//! joined by a simulated internetwork, per-client RPC transports
+//! (UDP-fixed, UDP-dynamic or TCP), and the NFS server. Workload code
+//! runs on real OS threads in natural blocking style against the
+//! [`Syscalls`] trait; determinism is preserved by strict hand-off —
+//! exactly one workload thread is runnable at any instant, and it runs
+//! only while the event loop waits for its next request.
 //!
 //! Every CPU microsecond, disk seek, wire serialization, IP fragment and
 //! retransmission flows through this loop, which is what lets the bench
 //! harnesses reproduce the paper's graphs.
+//!
+//! # Clients
+//!
+//! [`WorldConfig::clients`] scales the world from the paper's measured
+//! single client to a crowd: each client machine gets its own host model,
+//! transport instance, UDP source port (`1023 + index`, the BSD reserved-
+//! port convention) and RNG stream split stably from the world seed.
+//! Client 0 of an N-client world is bit-identical to the only client of a
+//! 1-client world, which keeps every pre-crowd experiment byte-stable.
+//!
+//! # The nfsd service pool
+//!
+//! A real 4.3BSD server runs a fixed set of `nfsd` daemons; requests
+//! beyond that concurrency wait in the socket buffer. [`WorldConfig::
+//! nfsds`] models the same bound: requests arriving while every daemon
+//! context is busy queue FIFO, and per-request queueing delay and service
+//! time are recorded in [`NfsdStats`]. `nfsds == 0` retains the pre-pool
+//! model (a daemon per request, serialization only through the CPU and
+//! disks), which the calibrated single-client experiments rely on.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -19,10 +38,12 @@ use std::thread::JoinHandle;
 use renofs_mbuf::{CopyMeter, MbufChain};
 use renofs_netsim::topology::presets::{self, Background};
 use renofs_netsim::{
-    Datagram, Delivery, FaultPlan, NetEvent, NetOutput, Network, ProtoHeader, IP_HEADER, TCP_HEADER,
+    Datagram, Delivery, FaultPlan, NetEvent, NetOutput, Network, NodeId, ProtoHeader, IP_HEADER,
+    TCP_HEADER,
 };
 use renofs_sim::cpu::CpuCategory;
-use renofs_sim::{profile, EventQueue, SimDuration, SimTime};
+use renofs_sim::stats::Running;
+use renofs_sim::{profile, AdaptiveQueue, SimDuration, SimTime};
 use renofs_sunrpc::{frame_record, peek_xid_kind, MsgKind, RecordReader, NFS_PORT};
 use renofs_transport::{TcpConfig, TcpConn, UdpAction, UdpRpcClient, UdpRpcConfig, UdpStats};
 
@@ -143,9 +164,15 @@ pub struct WorldConfig {
     pub server: ServerConfig,
     /// Server machine.
     pub server_host: HostProfile,
-    /// Client machine.
+    /// Client machine (every client in the community uses this profile).
     pub client_host: HostProfile,
-    /// Number of biods (asynchronous I/O daemons) on the client; 0
+    /// Number of client machines mounting the server.
+    pub clients: usize,
+    /// nfsd daemon contexts on the server; requests beyond this
+    /// concurrency queue FIFO. 0 = unbounded (the pre-pool model used by
+    /// the calibrated single-client experiments).
+    pub nfsds: usize,
+    /// Number of biods (asynchronous I/O daemons) on each client; 0
     /// makes asynchronous requests run synchronously (write-through).
     pub biods: usize,
     /// Master random seed.
@@ -170,6 +197,8 @@ impl WorldConfig {
             server: ServerConfig::reno(),
             server_host: HostProfile::microvax_tuned(),
             client_host: HostProfile::microvax_tuned(),
+            clients: 1,
+            nfsds: 0,
             biods: 4,
             seed: 42,
             faults: FaultPlan::new(),
@@ -220,21 +249,31 @@ enum Waker {
 enum Ev {
     Net(NetEvent),
     Wake(usize, Resp),
-    AsyncDone(u64, RpcResult),
+    AsyncDone {
+        client: usize,
+        ticket: u64,
+        result: RpcResult,
+    },
     UdpTimer {
+        client: usize,
         xid: u32,
         gen: u64,
     },
     TcpTimer {
+        client: usize,
         server_side: bool,
         gen: u64,
     },
     /// A message finishes its send-side CPU and enters the network.
     Send {
-        from_client: bool,
+        src: NodeId,
+        dst: NodeId,
         proto: ProtoHeader,
         payload: MbufChain,
     },
+    /// An nfsd daemon context handed its reply to the transport and
+    /// returns to the pool.
+    NfsdDone,
     /// Fault plan: the server dies, losing volatile state.
     ServerCrash {
         downtime: SimDuration,
@@ -243,7 +282,7 @@ enum Ev {
     ServerReboot,
 }
 
-// The UDP client is large but there is exactly one per world.
+// The UDP client is large but there are only a handful per world.
 #[allow(clippy::large_enum_variant)]
 enum Transport {
     Udp(UdpRpcClient),
@@ -256,6 +295,63 @@ struct TcpState {
     client_reader: RecordReader,
     server_reader: RecordReader,
     mss: usize,
+}
+
+/// Everything one client machine owns: its node, host model, transport
+/// endpoint, source port, in-flight RPC table, console log, and biod
+/// accounting. Index 0 is "the" client of the single-client experiments.
+struct ClientRt {
+    node: NodeId,
+    host: Host,
+    transport: Transport,
+    sport: u16,
+    /// Path MTU toward the server (fragmentation costing).
+    mtu: usize,
+    /// In-flight RPCs by xid. Per-client: independent machines draw xids
+    /// from independent counters and routinely collide.
+    pending: HashMap<u32, Waker>,
+    events: Vec<ClientEvent>,
+    async_outstanding: usize,
+    parked_async: VecDeque<(usize, NfsProc, MbufChain)>,
+    wait_all: Vec<usize>,
+}
+
+/// A request waiting for a free nfsd daemon context.
+struct QueuedRpc {
+    request: MbufChain,
+    client: usize,
+    tcp: bool,
+    arrival: SimTime,
+}
+
+/// nfsd service-pool accounting: how long requests waited for a daemon
+/// and how long daemons spent producing each reply.
+#[derive(Clone, Debug, Default)]
+pub struct NfsdStats {
+    /// Requests fully served (handed a reply to the transport).
+    pub served: u64,
+    /// Requests that had to wait for a daemon.
+    pub queued: u64,
+    /// High-water mark of the wait queue.
+    pub peak_queue: usize,
+    /// Per-request queueing delay in ms (0.0 when a daemon was free);
+    /// kept as raw samples so harnesses can report exact percentiles.
+    pub queue_delays_ms: Vec<f64>,
+    /// Daemon occupancy per request: service start to reply handoff.
+    pub service_ms: Running,
+}
+
+impl NfsdStats {
+    /// Exact queue-delay quantile (0.0 when nothing was served).
+    pub fn queue_delay_quantile(&self, q: f64) -> f64 {
+        if self.queue_delays_ms.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.queue_delays_ms.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN delays"));
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
 }
 
 struct ThreadState {
@@ -356,30 +452,30 @@ impl Syscalls for WorldSys {
 /// The simulation world.
 pub struct World {
     cfg: WorldConfig,
-    queue: EventQueue<Ev>,
+    queue: AdaptiveQueue<Ev>,
     net: Network,
-    client_node: renofs_netsim::NodeId,
-    server_node: renofs_netsim::NodeId,
-    client_host: Host,
+    server_node: NodeId,
     server_host: Host,
     server: NfsServer,
-    transport: Transport,
-    first_hop_mtu: usize,
     server_up: bool,
-    client_events: Vec<ClientEvent>,
-    // RPC bookkeeping.
-    pending: HashMap<u32, Waker>,
+    clients: Vec<ClientRt>,
+    /// Node index -> client index, for demultiplexing deliveries.
+    node_client: Vec<Option<usize>>,
+    // nfsd pool.
+    nfsd_busy: usize,
+    nfsd_queue: VecDeque<QueuedRpc>,
+    nfsd_stats: NfsdStats,
+    // RPC bookkeeping (tickets are unique world-wide).
     tickets_done: HashMap<u64, RpcResult>,
     ticket_waiters: HashMap<u64, usize>,
     forgotten: std::collections::HashSet<u64>,
     next_ticket: u64,
-    async_outstanding: usize,
-    parked_async: VecDeque<(usize, NfsProc, MbufChain)>,
-    wait_all: Vec<usize>,
     // Threads.
     req_tx: Sender<(usize, Req)>,
     req_rx: Receiver<(usize, Req)>,
     threads: Vec<ThreadState>,
+    /// Which client machine each workload thread runs on.
+    thread_client: Vec<usize>,
     live_threads: usize,
     ready: VecDeque<(usize, Resp)>,
     started: bool,
@@ -411,24 +507,34 @@ impl WorldScratch {
     }
 }
 
+/// Stable per-client split of the world seed; client 0 keeps the
+/// unsalted stream so single-client worlds stay byte-identical.
+fn client_salt(i: usize) -> u64 {
+    (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 impl World {
-    /// Builds a world; for TCP the connection is established before
-    /// returning.
+    /// Builds a world; for TCP every client's connection is established
+    /// before returning.
     pub fn new(cfg: WorldConfig) -> Self {
         Self::with_scratch(cfg, &WorldScratch::default())
     }
 
     /// [`World::new`] with buffer capacity hints from earlier runs.
     pub fn with_scratch(cfg: WorldConfig, scratch: &WorldScratch) -> Self {
-        let (mut topo, client_node, server_node) = match cfg.topology {
-            TopologyKind::SameLan => presets::same_lan(&cfg.background),
-            TopologyKind::TokenRing => presets::token_ring_path(&cfg.background),
-            TopologyKind::SlowLink => presets::slow_link_path(&cfg.background),
+        let n = cfg.clients.max(1);
+        let (mut topo, client_nodes, server_node) = match cfg.topology {
+            TopologyKind::SameLan => presets::same_lan_n(&cfg.background, n),
+            TopologyKind::TokenRing => presets::token_ring_path_n(&cfg.background, n),
+            TopologyKind::SlowLink => presets::slow_link_path_n(&cfg.background, n),
         };
-        topo.apply_faults(&cfg.faults, client_node, server_node);
-        let first_hop_mtu = topo.path_mtu(client_node, server_node).unwrap_or(1500);
-        let net = Network::new(topo, cfg.seed ^ 0x6e65_7473);
-        let server = NfsServer::new(cfg.server, SimTime::ZERO);
+        for &c in &client_nodes {
+            topo.apply_faults(&cfg.faults, c, server_node);
+        }
+        let mut node_client = vec![None; topo.node_count()];
+        for (i, &c) in client_nodes.iter().enumerate() {
+            node_client[c.0] = Some(i);
+        }
         // Soft/hard mount flags configure the UDP transport's retry
         // budget; TCP mounts are hard by construction.
         let mounted = |mut c: UdpRpcConfig| {
@@ -436,55 +542,75 @@ impl World {
             c.retrans = cfg.mount.retrans.max(1);
             c
         };
-        let transport = match &cfg.transport {
-            TransportKind::UdpFixed { timeo } => {
-                Transport::Udp(UdpRpcClient::new(mounted(UdpRpcConfig::fixed(*timeo)), 1))
-            }
-            TransportKind::UdpDynamic { timeo } => Transport::Udp(UdpRpcClient::new(
-                mounted(UdpRpcConfig::dynamic_paper(*timeo)),
-                1,
-            )),
-            TransportKind::UdpCustom(c) => Transport::Udp(UdpRpcClient::new(mounted(c.clone()), 1)),
-            TransportKind::Tcp => {
-                let mss = first_hop_mtu - IP_HEADER - TCP_HEADER;
-                let tcp_cfg = TcpConfig::for_mss(mss);
-                Transport::Tcp(Box::new(TcpState {
-                    // The client connection is a placeholder until
-                    // `tcp_connect` replaces it with the active opener
-                    // and pumps the handshake.
-                    client: TcpConn::server(tcp_cfg, 0),
-                    server: TcpConn::server(tcp_cfg, 88_000),
-                    client_reader: RecordReader::new(),
-                    server_reader: RecordReader::new(),
-                    mss,
-                }))
-            }
-        };
+        let mut clients = Vec::with_capacity(n);
+        for (i, &node) in client_nodes.iter().enumerate() {
+            let mtu = topo.path_mtu(node, server_node).unwrap_or(1500);
+            let xid_seed = (i + 1) as u32;
+            let transport = match &cfg.transport {
+                TransportKind::UdpFixed { timeo } => Transport::Udp(UdpRpcClient::new(
+                    mounted(UdpRpcConfig::fixed(*timeo)),
+                    xid_seed,
+                )),
+                TransportKind::UdpDynamic { timeo } => Transport::Udp(UdpRpcClient::new(
+                    mounted(UdpRpcConfig::dynamic_paper(*timeo)),
+                    xid_seed,
+                )),
+                TransportKind::UdpCustom(c) => {
+                    Transport::Udp(UdpRpcClient::new(mounted(c.clone()), xid_seed))
+                }
+                TransportKind::Tcp => {
+                    let mss = mtu - IP_HEADER - TCP_HEADER;
+                    let tcp_cfg = TcpConfig::for_mss(mss);
+                    Transport::Tcp(Box::new(TcpState {
+                        // The client connection is a placeholder until
+                        // `tcp_connect` replaces it with the active
+                        // opener and pumps the handshake.
+                        client: TcpConn::server(tcp_cfg, 0),
+                        server: TcpConn::server(tcp_cfg, 88_000),
+                        client_reader: RecordReader::new(),
+                        server_reader: RecordReader::new(),
+                        mss,
+                    }))
+                }
+            };
+            clients.push(ClientRt {
+                node,
+                host: Host::new(cfg.client_host, cfg.seed ^ 0xc11e ^ client_salt(i)),
+                transport,
+                sport: 1023 + i as u16,
+                mtu,
+                pending: HashMap::new(),
+                events: Vec::new(),
+                async_outstanding: 0,
+                parked_async: VecDeque::new(),
+                wait_all: Vec::new(),
+            });
+        }
+        let net = Network::new(topo, cfg.seed ^ 0x6e65_7473);
+        let mut server = NfsServer::new(cfg.server, SimTime::ZERO);
+        server.set_client_count(n);
         let (req_tx, req_rx) = channel();
         let mut world = World {
-            client_host: Host::new(cfg.client_host, cfg.seed ^ 0xc11e),
             server_host: Host::new(cfg.server_host, cfg.seed ^ 0x5e17),
             cfg,
-            queue: EventQueue::with_capacity(scratch.queue_cap),
+            queue: AdaptiveQueue::with_capacity(scratch.queue_cap),
             net,
-            client_node,
             server_node,
             server,
-            transport,
-            first_hop_mtu,
             server_up: true,
-            client_events: Vec::new(),
-            pending: HashMap::new(),
+            clients,
+            node_client,
+            nfsd_busy: 0,
+            nfsd_queue: VecDeque::new(),
+            nfsd_stats: NfsdStats::default(),
             tickets_done: HashMap::new(),
             ticket_waiters: HashMap::new(),
             forgotten: std::collections::HashSet::new(),
             next_ticket: 1,
-            async_outstanding: 0,
-            parked_async: VecDeque::new(),
-            wait_all: Vec::new(),
             req_tx,
             req_rx,
             threads: Vec::new(),
+            thread_client: Vec::new(),
             live_threads: 0,
             ready: VecDeque::new(),
             started: false,
@@ -499,24 +625,26 @@ impl World {
             world.queue.push(at, Ev::ServerCrash { downtime });
         }
         if matches!(world.cfg.transport, TransportKind::Tcp) {
-            world.tcp_connect();
+            for ci in 0..world.clients.len() {
+                world.tcp_connect(ci);
+            }
         }
         world
     }
 
-    fn tcp_connect(&mut self) {
-        let mss = match &self.transport {
+    fn tcp_connect(&mut self, ci: usize) {
+        let mss = match &self.clients[ci].transport {
             Transport::Tcp(t) => t.mss,
             _ => unreachable!(),
         };
         let (conn, out) = TcpConn::client(TcpConfig::for_mss(mss), 11_000, self.queue.now());
-        if let Transport::Tcp(t) = &mut self.transport {
+        if let Transport::Tcp(t) = &mut self.clients[ci].transport {
             t.client = conn;
         }
-        self.apply_tcp_out(out, true, self.queue.now());
+        self.apply_tcp_out(ci, out, true, self.queue.now());
         // Pump the event loop until established.
         for _ in 0..10_000 {
-            let established = match &self.transport {
+            let established = match &self.clients[ci].transport {
                 Transport::Tcp(t) => t.client.is_established() && t.server.is_established(),
                 _ => true,
             };
@@ -571,14 +699,24 @@ impl World {
         &mut self.server_host
     }
 
-    /// The client machine.
-    pub fn client_host(&self) -> &Host {
-        &self.client_host
+    /// Number of client machines in the world.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
     }
 
-    /// Mutable client machine access.
+    /// Client 0's machine (the single-client experiments' client).
+    pub fn client_host(&self) -> &Host {
+        &self.clients[0].host
+    }
+
+    /// Mutable access to client 0's machine.
     pub fn client_host_mut(&mut self) -> &mut Host {
-        &mut self.client_host
+        &mut self.clients[0].host
+    }
+
+    /// A specific client's machine.
+    pub fn client_host_of(&self, ci: usize) -> &Host {
+        &self.clients[ci].host
     }
 
     /// Network statistics.
@@ -586,28 +724,49 @@ impl World {
         self.net.stats()
     }
 
-    /// UDP transport statistics, if the mount uses UDP.
+    /// Client 0's UDP transport statistics, if the mount uses UDP.
     pub fn udp_stats(&self) -> Option<UdpStats> {
-        match &self.transport {
+        self.udp_stats_of(0)
+    }
+
+    /// A specific client's UDP transport statistics.
+    pub fn udp_stats_of(&self, ci: usize) -> Option<UdpStats> {
+        match &self.clients[ci].transport {
             Transport::Udp(u) => Some(u.stats()),
             _ => None,
         }
     }
 
-    /// Current RTO for a class (Graph 7 traces), if the mount uses UDP.
+    /// Current RTO for a class (Graph 7 traces), if client 0 uses UDP.
     pub fn current_rto(&self, class: renofs_transport::RpcClass) -> Option<SimDuration> {
-        match &self.transport {
+        match &self.clients[0].transport {
             Transport::Udp(u) => Some(u.current_rto(class)),
             _ => None,
         }
     }
 
-    /// TCP statistics, if the mount uses TCP.
+    /// Client 0's TCP statistics, if the mount uses TCP.
     pub fn tcp_stats(&self) -> Option<renofs_transport::tcp::TcpStats> {
-        match &self.transport {
+        self.tcp_stats_of(0)
+    }
+
+    /// A specific client's TCP statistics.
+    pub fn tcp_stats_of(&self, ci: usize) -> Option<renofs_transport::tcp::TcpStats> {
+        match &self.clients[ci].transport {
             Transport::Tcp(t) => Some(t.client.stats()),
             _ => None,
         }
+    }
+
+    /// nfsd service-pool accounting.
+    pub fn nfsd_stats(&self) -> &NfsdStats {
+        &self.nfsd_stats
+    }
+
+    /// Clears nfsd pool accounting (warm-up windows), like the host
+    /// models' accounting resets.
+    pub fn reset_nfsd_accounting(&mut self) {
+        self.nfsd_stats = NfsdStats::default();
     }
 
     /// Current virtual time.
@@ -615,10 +774,16 @@ impl World {
         self.queue.now()
     }
 
-    /// The timestamped console-event log (`server not responding`,
-    /// `server ok`, soft timeouts, crashes, reboots), in emission order.
+    /// Client 0's timestamped console-event log (`server not
+    /// responding`, `server ok`, soft timeouts, crashes, reboots), in
+    /// emission order.
     pub fn client_events(&self) -> &[ClientEvent] {
-        &self.client_events
+        &self.clients[0].events
+    }
+
+    /// A specific client's console-event log.
+    pub fn client_events_of(&self, ci: usize) -> &[ClientEvent] {
+        &self.clients[ci].events
     }
 
     /// Whether the server is currently up (fault plans can crash it).
@@ -626,12 +791,22 @@ impl World {
         self.server_up
     }
 
-    /// Spawns a workload thread. It starts suspended; [`World::run`]
-    /// schedules it.
+    /// Spawns a workload thread on client 0. It starts suspended;
+    /// [`World::run`] schedules it.
     pub fn spawn<F>(&mut self, f: F) -> usize
     where
         F: FnOnce(&mut WorldSys) + Send + 'static,
     {
+        self.spawn_on(0, f)
+    }
+
+    /// Spawns a workload thread on the given client machine. It starts
+    /// suspended; [`World::run`] schedules it.
+    pub fn spawn_on<F>(&mut self, client: usize, f: F) -> usize
+    where
+        F: FnOnce(&mut WorldSys) + Send + 'static,
+    {
+        assert!(client < self.clients.len(), "no such client machine");
         let id = self.threads.len();
         let (resp_tx, resp_rx) = channel();
         let req_tx = self.req_tx.clone();
@@ -654,6 +829,7 @@ impl World {
             resp_tx,
             handle: Some(handle),
         });
+        self.thread_client.push(client);
         self.live_threads += 1;
         id
     }
@@ -722,6 +898,7 @@ impl World {
         loop {
             let (id, req) = self.req_rx.recv().expect("thread alive");
             debug_assert_eq!(id, tid, "only one thread runnable at a time");
+            let ci = self.thread_client[tid];
             match req {
                 Req::Now => {
                     let t = self.queue.now();
@@ -743,22 +920,23 @@ impl World {
                     return;
                 }
                 Req::ChargeCpu(d) => {
-                    let done = self
-                        .client_host
-                        .cpu
-                        .charge(self.queue.now(), d, CpuCategory::User);
+                    let done =
+                        self.clients[ci]
+                            .host
+                            .cpu
+                            .charge(self.queue.now(), d, CpuCategory::User);
                     self.queue.push(done, Ev::Wake(tid, Resp::Unit));
                     return;
                 }
                 Req::LocalDisk { bytes, write, seq } => {
-                    let done = self
-                        .client_host
+                    let done = self.clients[ci]
+                        .host
                         .disk_io(self.queue.now(), bytes, write, seq);
                     self.queue.push(done, Ev::Wake(tid, Resp::Unit));
                     return;
                 }
                 Req::Rpc(proc, msg) => {
-                    self.start_rpc(Waker::Sync(tid), proc, msg);
+                    self.start_rpc(ci, Waker::Sync(tid), proc, msg);
                     return;
                 }
                 Req::RpcAsync(proc, msg) => {
@@ -769,19 +947,19 @@ impl World {
                         // behaviour of "async,0biod").
                         let ticket = self.next_ticket;
                         self.next_ticket += 1;
-                        self.async_outstanding += 1;
+                        self.clients[ci].async_outstanding += 1;
                         self.ticket_block_thread(tid, ticket);
-                        self.start_rpc(Waker::Async(ticket), proc, msg);
+                        self.start_rpc(ci, Waker::Async(ticket), proc, msg);
                         return;
                     }
-                    if self.async_outstanding < slots {
+                    if self.clients[ci].async_outstanding < slots {
                         let ticket = self.next_ticket;
                         self.next_ticket += 1;
-                        self.async_outstanding += 1;
-                        self.start_rpc(Waker::Async(ticket), proc, msg);
+                        self.clients[ci].async_outstanding += 1;
+                        self.start_rpc(ci, Waker::Async(ticket), proc, msg);
                         let _ = self.threads[tid].resp_tx.send(Resp::Ticket(ticket));
                     } else {
-                        self.parked_async.push_back((tid, proc, msg));
+                        self.clients[ci].parked_async.push_back((tid, proc, msg));
                         return;
                     }
                 }
@@ -794,10 +972,10 @@ impl World {
                     }
                 }
                 Req::WaitAllAsync => {
-                    if self.async_outstanding == 0 {
+                    if self.clients[ci].async_outstanding == 0 {
                         let _ = self.threads[tid].resp_tx.send(Resp::Unit);
                     } else {
-                        self.wait_all.push(tid);
+                        self.clients[ci].wait_all.push(tid);
                         return;
                     }
                 }
@@ -819,49 +997,52 @@ impl World {
 
     // ----- RPC initiation and completion ---------------------------------
 
-    fn start_rpc(&mut self, waker: Waker, proc: NfsProc, msg: MbufChain) {
+    fn start_rpc(&mut self, ci: usize, waker: Waker, proc: NfsProc, msg: MbufChain) {
         let Ok((xid, MsgKind::Call)) = peek_xid_kind(&msg) else {
             panic!("workload issued a malformed RPC message");
         };
         debug_assert!(
-            !self.pending.contains_key(&xid),
-            "duplicate xid {xid} in flight"
+            !self.clients[ci].pending.contains_key(&xid),
+            "duplicate xid {xid} in flight on client {ci}"
         );
-        self.pending.insert(xid, waker);
+        self.clients[ci].pending.insert(xid, waker);
         let now = self.queue.now();
-        match &mut self.transport {
+        match &mut self.clients[ci].transport {
             Transport::Udp(u) => {
                 let mut actions = std::mem::take(&mut self.udp_actions);
                 u.call(now, xid, proc.rto_class(), msg, &mut actions);
-                self.apply_udp_actions(&mut actions);
+                self.apply_udp_actions(ci, &mut actions);
                 self.udp_actions = actions;
             }
             Transport::Tcp(_) => {
                 // Once-per-record socket/codec work.
-                let t = self.client_host.charge_record(now);
+                let t = self.clients[ci].host.charge_record(now);
                 let framed = frame_record(msg, &mut self.scratch);
-                let out = match &mut self.transport {
+                let out = match &mut self.clients[ci].transport {
                     Transport::Tcp(ts) => ts.client.send(framed, t),
                     _ => unreachable!(),
                 };
-                self.apply_tcp_out(out, true, t);
+                self.apply_tcp_out(ci, out, true, t);
             }
         }
     }
 
-    fn apply_udp_actions(&mut self, actions: &mut Vec<UdpAction>) {
+    fn apply_udp_actions(&mut self, ci: usize, actions: &mut Vec<UdpAction>) {
         let now = self.queue.now();
         for action in actions.drain(..) {
             match action {
                 UdpAction::Send { payload, .. } => {
-                    let frags = udp_fragments(payload.len(), self.first_hop_mtu);
-                    let done = self.client_host.charge_tx(now, &payload, frags, false);
+                    let c = &mut self.clients[ci];
+                    let frags = udp_fragments(payload.len(), c.mtu);
+                    let done = c.host.charge_tx(now, &payload, frags, false);
+                    let (src, sport) = (c.node, c.sport);
                     self.queue.push(
                         done,
                         Ev::Send {
-                            from_client: true,
+                            src,
+                            dst: self.server_node,
                             proto: ProtoHeader::Udp {
-                                sport: 1023,
+                                sport,
                                 dport: NFS_PORT,
                             },
                             payload,
@@ -869,23 +1050,30 @@ impl World {
                     );
                 }
                 UdpAction::ArmTimer { xid, gen, deadline } => {
-                    self.queue.push(deadline, Ev::UdpTimer { xid, gen });
+                    self.queue.push(
+                        deadline,
+                        Ev::UdpTimer {
+                            client: ci,
+                            xid,
+                            gen,
+                        },
+                    );
                 }
                 UdpAction::GiveUp { xid } => {
-                    self.client_events.push(ClientEvent {
+                    self.clients[ci].events.push(ClientEvent {
                         at: now,
                         kind: ClientEventKind::SoftTimeout,
                     });
-                    self.finish_rpc(xid, Err(RpcError::TimedOut), now);
+                    self.finish_rpc(ci, xid, Err(RpcError::TimedOut), now);
                 }
                 UdpAction::NotResponding { .. } => {
-                    self.client_events.push(ClientEvent {
+                    self.clients[ci].events.push(ClientEvent {
                         at: now,
                         kind: ClientEventKind::NotResponding,
                     });
                 }
                 UdpAction::ServerOk { .. } => {
-                    self.client_events.push(ClientEvent {
+                    self.clients[ci].events.push(ClientEvent {
                         at: now,
                         kind: ClientEventKind::ServerOk,
                     });
@@ -894,17 +1082,24 @@ impl World {
         }
     }
 
-    fn apply_tcp_out(&mut self, out: renofs_transport::TcpOut, from_client: bool, at: SimTime) {
+    fn apply_tcp_out(
+        &mut self,
+        ci: usize,
+        out: renofs_transport::TcpOut,
+        from_client: bool,
+        at: SimTime,
+    ) {
         // Received data first: `out` was produced by the `from_client`
         // side, so its received chunks belong to that side's record
         // reader — RPC replies on the client, requests on the server.
         for chunk in out.received {
-            self.tcp_ingest(chunk, from_client, at);
+            self.tcp_ingest(ci, chunk, from_client, at);
         }
         if let Some((deadline, gen)) = out.arm_timer {
             self.queue.push(
                 deadline,
                 Ev::TcpTimer {
+                    client: ci,
                     server_side: !from_client,
                     gen,
                 },
@@ -912,20 +1107,27 @@ impl World {
         }
         for seg in out.segments {
             let host = if from_client {
-                &mut self.client_host
+                &mut self.clients[ci].host
             } else {
                 &mut self.server_host
             };
             let done = host.charge_tcp_tx(at, &seg.payload);
+            let csport = self.clients[ci].sport;
             let (sport, dport) = if from_client {
-                (1023, NFS_PORT)
+                (csport, NFS_PORT)
             } else {
-                (NFS_PORT, 1023)
+                (NFS_PORT, csport)
+            };
+            let (src, dst) = if from_client {
+                (self.clients[ci].node, self.server_node)
+            } else {
+                (self.server_node, self.clients[ci].node)
             };
             self.queue.push(
                 done,
                 Ev::Send {
-                    from_client,
+                    src,
+                    dst,
                     proto: ProtoHeader::Tcp {
                         sport,
                         dport,
@@ -942,9 +1144,9 @@ impl World {
 
     /// Feeds in-order stream data into the record reader of the side
     /// that received it.
-    fn tcp_ingest(&mut self, chunk: MbufChain, receiver_is_client: bool, at: SimTime) {
+    fn tcp_ingest(&mut self, ci: usize, chunk: MbufChain, receiver_is_client: bool, at: SimTime) {
         let mut records = Vec::new();
-        if let Transport::Tcp(t) = &mut self.transport {
+        if let Transport::Tcp(t) = &mut self.clients[ci].transport {
             let reader = if receiver_is_client {
                 &mut t.client_reader
             } else {
@@ -958,19 +1160,19 @@ impl World {
         for rec in records {
             // Once-per-record socket/codec work on the receiving side.
             let t = if receiver_is_client {
-                self.client_host.charge_record(at)
+                self.clients[ci].host.charge_record(at)
             } else {
                 self.server_host.charge_record(at)
             };
             if receiver_is_client {
-                self.client_rpc_reply(rec, t);
+                self.client_rpc_reply(ci, rec, t);
             } else {
-                self.serve_request(rec, true, t);
+                self.serve_request(rec, ci, true, t);
             }
         }
     }
 
-    fn client_rpc_reply(&mut self, reply: MbufChain, at: SimTime) {
+    fn client_rpc_reply(&mut self, ci: usize, reply: MbufChain, at: SimTime) {
         let _sp = profile::span(profile::Subsystem::Client);
         profile::count(profile::Subsystem::Client, 1);
         let Ok((xid, MsgKind::Reply)) = peek_xid_kind(&reply) else {
@@ -978,42 +1180,83 @@ impl World {
         };
         // For UDP the transport tracked RTTs itself; over TCP there is
         // no RPC-level bookkeeping to update.
-        if let Transport::Udp(u) = &mut self.transport {
+        if let Transport::Udp(u) = &mut self.clients[ci].transport {
             let mut actions = std::mem::take(&mut self.udp_actions);
             let completed = u.on_reply(at, xid, reply, &mut actions);
-            self.apply_udp_actions(&mut actions);
+            self.apply_udp_actions(ci, &mut actions);
             self.udp_actions = actions;
             let Some(call) = completed else {
                 return;
             };
-            self.finish_rpc(xid, Ok(call.reply), at);
+            self.finish_rpc(ci, xid, Ok(call.reply), at);
         } else {
-            self.finish_rpc(xid, Ok(reply), at);
+            self.finish_rpc(ci, xid, Ok(reply), at);
         }
     }
 
-    fn finish_rpc(&mut self, xid: u32, result: RpcResult, at: SimTime) {
-        let Some(waker) = self.pending.remove(&xid) else {
+    fn finish_rpc(&mut self, ci: usize, xid: u32, result: RpcResult, at: SimTime) {
+        let Some(waker) = self.clients[ci].pending.remove(&xid) else {
             return;
         };
         match waker {
             Waker::Sync(tid) => self.queue.push(at, Ev::Wake(tid, Resp::Chain(result))),
-            Waker::Async(ticket) => self.queue.push(at, Ev::AsyncDone(ticket, result)),
+            Waker::Async(ticket) => self.queue.push(
+                at,
+                Ev::AsyncDone {
+                    client: ci,
+                    ticket,
+                    result,
+                },
+            ),
         }
     }
 
-    /// Services an RPC request at the server, charging CPU and disk, and
-    /// schedules the reply transmission.
-    fn serve_request(&mut self, request: MbufChain, tcp: bool, at: SimTime) {
+    /// Admits an RPC request to the nfsd pool: service starts now if a
+    /// daemon context is free, otherwise the request queues FIFO.
+    fn serve_request(&mut self, request: MbufChain, client: usize, tcp: bool, at: SimTime) {
+        if self.cfg.nfsds > 0 {
+            if self.nfsd_busy >= self.cfg.nfsds {
+                self.nfsd_queue.push_back(QueuedRpc {
+                    request,
+                    client,
+                    tcp,
+                    arrival: at,
+                });
+                self.nfsd_stats.queued += 1;
+                self.nfsd_stats.peak_queue = self.nfsd_stats.peak_queue.max(self.nfsd_queue.len());
+                return;
+            }
+            self.nfsd_busy += 1;
+        }
+        self.nfsd_serve(request, client, tcp, at, at);
+    }
+
+    /// One nfsd daemon services a request: runs the server code, charges
+    /// CPU and disk, and schedules the reply transmission.
+    fn nfsd_serve(
+        &mut self,
+        request: MbufChain,
+        client: usize,
+        tcp: bool,
+        arrival: SimTime,
+        start: SimTime,
+    ) {
         let _sp = profile::span(profile::Subsystem::Server);
         profile::count(profile::Subsystem::Server, 1);
-        let (reply, cost) = self.server.service(at, &request);
+        self.nfsd_stats
+            .queue_delays_ms
+            .push(start.since(arrival).as_millis_f64());
+        let (reply, cost) = self.server.service_from(start, &request, client as u32);
         if reply.is_empty() {
-            return; // Unparseable request.
+            // Unparseable request: the daemon is immediately free again.
+            if self.cfg.nfsds > 0 {
+                self.queue.push(start, Ev::NfsdDone);
+            }
+            return;
         }
         let host = &mut self.server_host;
         let mut t = host.cpu.charge(
-            at,
+            start,
             costs::NFS_SERVICE_FIXED
                 + costs::CACHE_SEARCH_STEP * cost.cache_steps
                 + costs::DIR_SCAN_ENTRY * cost.dir_scan_entries,
@@ -1035,28 +1278,40 @@ impl World {
             t = host.disk_io(t, *bytes, true, seq && *bytes > 512);
             seq = true;
         }
+        let done;
         if tcp {
             let t = self.server_host.charge_record(t);
             let framed = frame_record(reply, &mut self.scratch);
-            let out = match &mut self.transport {
+            let out = match &mut self.clients[client].transport {
                 Transport::Tcp(ts) => ts.server.send(framed, t),
                 _ => unreachable!(),
             };
-            self.apply_tcp_out(out, false, t);
+            self.apply_tcp_out(client, out, false, t);
+            done = t;
         } else {
-            let frags = udp_fragments(reply.len(), self.first_hop_mtu);
-            let done = self.server_host.charge_tx(t, &reply, frags, false);
+            let c = &self.clients[client];
+            let frags = udp_fragments(reply.len(), c.mtu);
+            let (dst, dport) = (c.node, c.sport);
+            done = self.server_host.charge_tx(t, &reply, frags, false);
             self.queue.push(
                 done,
                 Ev::Send {
-                    from_client: false,
+                    src: self.server_node,
+                    dst,
                     proto: ProtoHeader::Udp {
                         sport: NFS_PORT,
-                        dport: 1023,
+                        dport,
                     },
                     payload: reply,
                 },
             );
+        }
+        self.nfsd_stats.served += 1;
+        self.nfsd_stats
+            .service_ms
+            .add(done.since(start).as_millis_f64());
+        if self.cfg.nfsds > 0 {
+            self.queue.push(done, Ev::NfsdDone);
         }
     }
 
@@ -1065,17 +1320,25 @@ impl World {
     fn handle_event(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::Wake(tid, resp) => self.ready.push_back((tid, resp)),
-            Ev::AsyncDone(ticket, reply) => self.async_done(ticket, reply),
-            Ev::UdpTimer { xid, gen } => {
-                if let Transport::Udp(u) = &mut self.transport {
+            Ev::AsyncDone {
+                client,
+                ticket,
+                result,
+            } => self.async_done(client, ticket, result),
+            Ev::UdpTimer { client, xid, gen } => {
+                if let Transport::Udp(u) = &mut self.clients[client].transport {
                     let mut actions = std::mem::take(&mut self.udp_actions);
                     u.on_timer(now, xid, gen, &mut actions);
-                    self.apply_udp_actions(&mut actions);
+                    self.apply_udp_actions(client, &mut actions);
                     self.udp_actions = actions;
                 }
             }
-            Ev::TcpTimer { server_side, gen } => {
-                let out = match &mut self.transport {
+            Ev::TcpTimer {
+                client,
+                server_side,
+                gen,
+            } => {
+                let out = match &mut self.clients[client].transport {
                     Transport::Tcp(t) => {
                         if server_side {
                             t.server.on_timer(gen, now)
@@ -1085,19 +1348,15 @@ impl World {
                     }
                     _ => return,
                 };
-                self.apply_tcp_out(out, !server_side, now);
+                self.apply_tcp_out(client, out, !server_side, now);
             }
             Ev::Send {
-                from_client,
+                src,
+                dst,
                 proto,
                 payload,
             } => {
                 let _sp = profile::span(profile::Subsystem::Links);
-                let (src, dst) = if from_client {
-                    (self.client_node, self.server_node)
-                } else {
-                    (self.server_node, self.client_node)
-                };
                 let id = self.net.alloc_dgram_id();
                 let mut out = std::mem::take(&mut self.net_out);
                 self.net.send_into(
@@ -1121,12 +1380,26 @@ impl World {
                 self.absorb_net(&mut out);
                 self.net_out = out;
             }
+            Ev::NfsdDone => {
+                self.nfsd_busy = self.nfsd_busy.saturating_sub(1);
+                if self.server_up {
+                    if let Some(q) = self.nfsd_queue.pop_front() {
+                        self.nfsd_busy += 1;
+                        self.nfsd_serve(q.request, q.client, q.tcp, q.arrival, now);
+                    }
+                }
+            }
             Ev::ServerCrash { downtime } => {
                 self.server_up = false;
-                self.client_events.push(ClientEvent {
-                    at: now,
-                    kind: ClientEventKind::ServerCrashed,
-                });
+                // Requests waiting for a daemon die with the machine;
+                // the clients retransmit them after the reboot.
+                self.nfsd_queue.clear();
+                for c in &mut self.clients {
+                    c.events.push(ClientEvent {
+                        at: now,
+                        kind: ClientEventKind::ServerCrashed,
+                    });
+                }
                 self.queue.push(now + downtime, Ev::ServerReboot);
             }
             Ev::ServerReboot => {
@@ -1134,10 +1407,12 @@ impl World {
                 // is lost; the on-disk file system survives.
                 self.server.reboot();
                 self.server_up = true;
-                self.client_events.push(ClientEvent {
-                    at: now,
-                    kind: ClientEventKind::ServerRebooted,
-                });
+                for c in &mut self.clients {
+                    c.events.push(ClientEvent {
+                        at: now,
+                        kind: ClientEventKind::ServerRebooted,
+                    });
+                }
             }
         }
     }
@@ -1160,16 +1435,26 @@ impl World {
         if at_server && !self.server_up {
             return;
         }
+        // Which client machine this delivery concerns: the receiver for
+        // client-bound traffic, the datagram's source for server-bound.
+        let ci = if at_server {
+            self.node_client[d.dgram.src.0]
+        } else {
+            self.node_client[d.host.0]
+        };
+        let Some(ci) = ci else {
+            return; // not addressed to or from any client machine
+        };
         let len = d.dgram.payload.len();
         let frags = d.frags.max(1);
         match d.dgram.proto {
             ProtoHeader::Udp { .. } => {
                 if at_server {
                     let t = self.server_host.charge_rx(now, len, frags, false);
-                    self.serve_request(d.dgram.payload, false, t);
+                    self.serve_request(d.dgram.payload, ci, false, t);
                 } else {
-                    let t = self.client_host.charge_rx(now, len, frags, false);
-                    self.client_rpc_reply(d.dgram.payload, t);
+                    let t = self.clients[ci].host.charge_rx(now, len, frags, false);
+                    self.client_rpc_reply(ci, d.dgram.payload, t);
                 }
             }
             ProtoHeader::Tcp {
@@ -1182,10 +1467,10 @@ impl World {
                 let host = if at_server {
                     &mut self.server_host
                 } else {
-                    &mut self.client_host
+                    &mut self.clients[ci].host
                 };
                 let t = host.charge_tcp_rx(now, len);
-                let out = match &mut self.transport {
+                let out = match &mut self.clients[ci].transport {
                     Transport::Tcp(ts) => {
                         let conn = if at_server {
                             &mut ts.server
@@ -1196,13 +1481,13 @@ impl World {
                     }
                     _ => return,
                 };
-                self.apply_tcp_out(out, !at_server, t);
+                self.apply_tcp_out(ci, out, !at_server, t);
             }
         }
     }
 
-    fn async_done(&mut self, ticket: u64, result: RpcResult) {
-        self.async_outstanding = self.async_outstanding.saturating_sub(1);
+    fn async_done(&mut self, ci: usize, ticket: u64, result: RpcResult) {
+        self.clients[ci].async_outstanding = self.clients[ci].async_outstanding.saturating_sub(1);
         if self.forgotten.remove(&ticket) {
             // Dropped interest; discard the reply.
         } else if let Some(holder) = self.ticket_waiters.remove(&ticket) {
@@ -1218,16 +1503,16 @@ impl World {
         } else {
             self.tickets_done.insert(ticket, result);
         }
-        // A slot freed: admit a parked async request.
-        if let Some((tid, proc, msg)) = self.parked_async.pop_front() {
+        // A slot freed: admit a parked async request from this client.
+        if let Some((tid, proc, msg)) = self.clients[ci].parked_async.pop_front() {
             let t = self.next_ticket;
             self.next_ticket += 1;
-            self.async_outstanding += 1;
-            self.start_rpc(Waker::Async(t), proc, msg);
+            self.clients[ci].async_outstanding += 1;
+            self.start_rpc(ci, Waker::Async(t), proc, msg);
             self.ready.push_back((tid, Resp::Ticket(t)));
         }
-        if self.async_outstanding == 0 {
-            for tid in self.wait_all.drain(..) {
+        if self.clients[ci].async_outstanding == 0 {
+            for tid in self.clients[ci].wait_all.drain(..) {
                 self.ready.push_back((tid, Resp::Unit));
             }
         }
@@ -1358,6 +1643,125 @@ mod tests {
         });
         world.run();
         assert_eq!(rx.recv().unwrap(), SimDuration::from_millis(250));
+    }
+
+    fn multi_client_round_trip(transport: TransportKind) {
+        let mut cfg = WorldConfig::baseline();
+        cfg.transport = transport;
+        cfg.clients = 3;
+        let mut world = World::new(cfg);
+        assert_eq!(world.client_count(), 3);
+        preload(&mut world, "shared.bin", &[5u8; 9_000]);
+        let root = world.root_handle();
+        let (tx, rx) = result_channel();
+        for ci in 0..3 {
+            let tx = tx.clone();
+            world.spawn_on(ci, move |sys| {
+                let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, "uvax1");
+                let fh = fs.lookup_path("/shared.bin").unwrap();
+                let got = fs.read(fh, 0, 9_000).unwrap();
+                assert_eq!(got.len(), 9_000);
+                // Each client writes its own file too.
+                let out = fs.open("/own.bin", true, false).unwrap();
+                fs.write(out, 0, &[ci as u8; 2_000]).unwrap();
+                fs.close(out).unwrap();
+                tx.send(ci).unwrap();
+            });
+        }
+        drop(tx);
+        world.run();
+        let mut done: Vec<usize> = rx.iter().collect();
+        done.sort_unstable();
+        assert_eq!(done, vec![0, 1, 2], "every client completed");
+        assert!(world.server().stats().total() > 15);
+    }
+
+    #[test]
+    fn three_clients_udp_share_one_server() {
+        multi_client_round_trip(TransportKind::UdpDynamic {
+            timeo: SimDuration::from_secs(1),
+        });
+    }
+
+    #[test]
+    fn three_clients_tcp_share_one_server() {
+        multi_client_round_trip(TransportKind::Tcp);
+    }
+
+    #[test]
+    fn multi_client_runs_are_deterministic() {
+        let run_once = || {
+            let mut cfg = WorldConfig::baseline();
+            cfg.clients = 4;
+            let mut world = World::new(cfg);
+            preload(&mut world, "d.bin", &[7u8; 8_000]);
+            let root = world.root_handle();
+            for ci in 0..4 {
+                world.spawn_on(ci, move |sys| {
+                    let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, "uvax1");
+                    let fh = fs.lookup_path("/d.bin").unwrap();
+                    let _ = fs.read(fh, 0, 8_000).unwrap();
+                });
+            }
+            world.run();
+            world.now()
+        };
+        assert_eq!(run_once(), run_once(), "identical seeds, identical clocks");
+    }
+
+    #[test]
+    fn nfsd_pool_queues_when_daemons_are_busy() {
+        let mut cfg = WorldConfig::baseline();
+        cfg.clients = 4;
+        cfg.nfsds = 1;
+        let mut world = World::new(cfg);
+        preload(&mut world, "hot.bin", &[3u8; 8_000]);
+        let root = world.root_handle();
+        for ci in 0..4 {
+            world.spawn_on(ci, move |sys| {
+                let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, "uvax1");
+                let fh = fs.lookup_path("/hot.bin").unwrap();
+                let _ = fs.read(fh, 0, 8_000).unwrap();
+            });
+        }
+        world.run();
+        let stats = world.nfsd_stats();
+        assert!(stats.served > 0, "pool served requests");
+        assert!(
+            stats.queued > 0,
+            "one daemon, four clients: someone waited ({stats:?})"
+        );
+        assert!(
+            stats.queue_delays_ms.iter().any(|&d| d > 0.0),
+            "queueing delay recorded"
+        );
+        assert!(stats.service_ms.count() > 0);
+        assert_eq!(stats.served as usize, stats.queue_delays_ms.len());
+    }
+
+    #[test]
+    fn nfsd_pool_with_headroom_matches_unbounded_world() {
+        // A pool wider than the peak concurrency must not change any
+        // timing: the daemons never saturate, so the request stream is
+        // identical to the unbounded pre-pool model.
+        let run = |nfsds: usize| {
+            let mut cfg = WorldConfig::baseline();
+            cfg.nfsds = nfsds;
+            let mut world = World::new(cfg);
+            preload(&mut world, "d.bin", &[7u8; 12_000]);
+            let root = world.root_handle();
+            world.spawn(move |sys| {
+                let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, "uvax1");
+                let fh = fs.lookup_path("/d.bin").unwrap();
+                let _ = fs.read(fh, 0, 12_000).unwrap();
+                let out = fs.open("/o.bin", true, false).unwrap();
+                fs.write(out, 0, &[1u8; 9_000]).unwrap();
+                fs.close(out).unwrap();
+            });
+            world.run();
+            world.now()
+        };
+        assert_eq!(run(0), run(64), "headroom pool is timing-transparent");
     }
 
     #[test]

@@ -174,14 +174,27 @@ fn give(rc: Arc<ClusterBuf>) {
         if p.capacity == 0 || rc.capacity() < MCLBYTES {
             return;
         }
-        if p.free.len() == p.capacity {
+        // A thread that has never *taken* a cluster is a pure producer —
+        // a workload thread dropping reply chains shipped over from the
+        // simulation loop. Letting it fill a full-size local free list
+        // strands (threads × capacity) buffers where no allocation will
+        // ever reuse them, and with a crowd of client threads the
+        // consumer side re-allocates fresh for the entire fill window.
+        // Producers stage only one transfer batch locally and spill it
+        // to the shared tier, where the simulation thread refills from.
+        let cap = if p.fresh + p.reused == 0 {
+            XFER_BATCH.min(p.capacity)
+        } else {
+            p.capacity
+        };
+        if p.free.len() >= cap {
             let mut sh = shared();
             let room = SHARED_CLUSTER_CAPACITY - sh.clusters.len();
             let n = XFER_BATCH.min(room).min(p.free.len());
             let at = p.free.len() - n;
             sh.clusters.extend(p.free.drain(at..));
         }
-        if p.free.len() < p.capacity {
+        if p.free.len() < cap {
             p.free.push(rc);
         }
     });
@@ -330,14 +343,21 @@ fn small_give(b: Box<[u8; MLEN]>) {
         if p.capacity == 0 {
             return;
         }
-        if p.free.len() == p.capacity {
+        // Same producer-thread rule as `give`: a thread that never
+        // allocates small mbufs must not park them locally forever.
+        let cap = if p.fresh + p.reused == 0 {
+            XFER_BATCH.min(p.capacity)
+        } else {
+            p.capacity
+        };
+        if p.free.len() >= cap {
             let mut sh = shared();
             let room = SHARED_SMALL_CAPACITY - sh.smalls.len();
             let n = XFER_BATCH.min(room).min(p.free.len());
             let at = p.free.len() - n;
             sh.smalls.extend(p.free.drain(at..));
         }
-        if p.free.len() < p.capacity {
+        if p.free.len() < cap {
             p.free.push(b);
         }
     });

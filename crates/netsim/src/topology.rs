@@ -370,6 +370,113 @@ pub mod presets {
         t.compute_routes();
         (t, client, server)
     }
+
+    /// Stable display names for the crowd's client machines (node names
+    /// are `&'static str`; 64 covers the largest sweep point).
+    const CLIENT_NAMES: [&str; 64] = [
+        "client1", "client2", "client3", "client4", "client5", "client6", "client7", "client8",
+        "client9", "client10", "client11", "client12", "client13", "client14", "client15",
+        "client16", "client17", "client18", "client19", "client20", "client21", "client22",
+        "client23", "client24", "client25", "client26", "client27", "client28", "client29",
+        "client30", "client31", "client32", "client33", "client34", "client35", "client36",
+        "client37", "client38", "client39", "client40", "client41", "client42", "client43",
+        "client44", "client45", "client46", "client47", "client48", "client49", "client50",
+        "client51", "client52", "client53", "client54", "client55", "client56", "client57",
+        "client58", "client59", "client60", "client61", "client62", "client63", "client64",
+    ];
+
+    fn client_name(i: usize) -> &'static str {
+        CLIENT_NAMES.get(i).copied().unwrap_or("client")
+    }
+
+    /// A multiport bridge joining hosts on one LAN segment: store-and-
+    /// forward like a router, but with 1991-era learning-bridge latency
+    /// rather than an IP forwarding path.
+    fn bridge() -> NodeKind {
+        NodeKind::Router {
+            forward_delay: SimDuration::from_micros(10),
+        }
+    }
+
+    /// Configuration 1 scaled to `n` clients. `n == 1` is exactly
+    /// [`same_lan`]; for larger communities each client gets its own
+    /// drop onto a bridge, and the bridge–server Ethernet carries the
+    /// aggregate — the shared segment every client's traffic contends
+    /// for, just as on a real thickwire LAN.
+    ///
+    /// Returns `(topology, clients, server)`.
+    pub fn same_lan_n(bg: &Background, n: usize) -> (Topology, Vec<NodeId>, NodeId) {
+        assert!(n >= 1, "at least one client");
+        if n == 1 {
+            let (t, c, s) = same_lan(bg);
+            return (t, vec![c], s);
+        }
+        let mut t = Topology::new();
+        let clients: Vec<NodeId> = (0..n)
+            .map(|i| t.add_node(client_name(i), NodeKind::Host))
+            .collect();
+        let hub = t.add_node("hub", bridge());
+        let server = t.add_node("server", NodeKind::Host);
+        for &c in &clients {
+            t.add_duplex_link(c, hub, ethernet(bg));
+        }
+        t.add_duplex_link(hub, server, ethernet(bg));
+        t.compute_routes();
+        (t, clients, server)
+    }
+
+    /// Configuration 2 scaled to `n` clients: every client enters the
+    /// first router on its own Ethernet drop, then shares the token ring
+    /// and the server-side Ethernet. `n == 1` is exactly
+    /// [`token_ring_path`].
+    pub fn token_ring_path_n(bg: &Background, n: usize) -> (Topology, Vec<NodeId>, NodeId) {
+        assert!(n >= 1, "at least one client");
+        if n == 1 {
+            let (t, c, s) = token_ring_path(bg);
+            return (t, vec![c], s);
+        }
+        let mut t = Topology::new();
+        let clients: Vec<NodeId> = (0..n)
+            .map(|i| t.add_node(client_name(i), NodeKind::Host))
+            .collect();
+        let r1 = t.add_node("router1", router());
+        let r2 = t.add_node("router2", router());
+        let server = t.add_node("server", NodeKind::Host);
+        for &c in &clients {
+            t.add_duplex_link(c, r1, ethernet(bg));
+        }
+        t.add_duplex_link(r1, r2, token_ring(bg));
+        t.add_duplex_link(r2, server, ethernet(bg));
+        t.compute_routes();
+        (t, clients, server)
+    }
+
+    /// Configuration 3 scaled to `n` clients: the shared 56 Kbit/s serial
+    /// hop throttles the whole community. `n == 1` is exactly
+    /// [`slow_link_path`].
+    pub fn slow_link_path_n(bg: &Background, n: usize) -> (Topology, Vec<NodeId>, NodeId) {
+        assert!(n >= 1, "at least one client");
+        if n == 1 {
+            let (t, c, s) = slow_link_path(bg);
+            return (t, vec![c], s);
+        }
+        let mut t = Topology::new();
+        let clients: Vec<NodeId> = (0..n)
+            .map(|i| t.add_node(client_name(i), NodeKind::Host))
+            .collect();
+        let r1 = t.add_node("router1", router());
+        let r2 = t.add_node("router2", router());
+        let r3 = t.add_node("router3", router());
+        let server = t.add_node("server", NodeKind::Host);
+        for &c in &clients {
+            t.add_duplex_link(c, r1, ethernet(bg));
+        }
+        t.add_duplex_link(r1, r2, token_ring(bg));
+        t.add_duplex_link(r2, r3, serial_56k(bg));
+        t.add_duplex_link(r3, server, ethernet(bg));
+        t.compute_routes();
+        (t, clients, server)
+    }
 }
 
 #[cfg(test)]
@@ -421,5 +528,61 @@ mod tests {
     fn route_to_self_is_none() {
         let (t, c, _) = presets::same_lan(&Background::quiet());
         assert_eq!(t.route(c, c), None);
+    }
+
+    #[test]
+    fn n_client_presets_collapse_to_singles() {
+        let bg = Background::quiet();
+        // n == 1 must build the identical topology (node and link order)
+        // as the original single-client presets.
+        let (t1, c1, s1) = presets::same_lan(&bg);
+        let (tn, cn, sn) = presets::same_lan_n(&bg, 1);
+        assert_eq!(cn, vec![c1]);
+        assert_eq!(sn, s1);
+        assert_eq!(tn.node_count(), t1.node_count());
+        let (t1, _, _) = presets::token_ring_path(&bg);
+        let (tn, cn, _) = presets::token_ring_path_n(&bg, 1);
+        assert_eq!(tn.node_count(), t1.node_count());
+        assert_eq!(cn.len(), 1);
+        let (t1, _, _) = presets::slow_link_path(&bg);
+        let (tn, cn, _) = presets::slow_link_path_n(&bg, 1);
+        assert_eq!(tn.node_count(), t1.node_count());
+        assert_eq!(cn.len(), 1);
+    }
+
+    #[test]
+    fn n_client_lan_routes_through_shared_segment() {
+        let bg = Background::quiet();
+        let (t, clients, server) = presets::same_lan_n(&bg, 4);
+        assert_eq!(clients.len(), 4);
+        assert_eq!(t.node_count(), 6, "4 clients + hub + server");
+        // Every client reaches the server in 2 hops via the bridge, and
+        // the final hop is the same shared link for all of them.
+        let mut shared = None;
+        for &c in &clients {
+            let path = t.path_links(c, server);
+            assert_eq!(path.len(), 2, "client -> hub -> server");
+            let last = *path.last().unwrap();
+            if let Some(prev) = shared {
+                assert_eq!(prev, last, "aggregate rides one segment");
+            }
+            shared = Some(last);
+        }
+        assert_eq!(t.path_mtu(clients[0], server), Some(1500));
+    }
+
+    #[test]
+    fn n_client_slow_link_keeps_serial_bottleneck() {
+        let bg = Background::quiet();
+        let (t, clients, server) = presets::slow_link_path_n(&bg, 8);
+        for &c in &clients {
+            assert_eq!(t.path_mtu(c, server), Some(576));
+            assert_eq!(t.path_links(c, server).len(), 4);
+        }
+        // Distinct access links, shared serial hop.
+        let a = t.path_links(clients[0], server);
+        let b = t.path_links(clients[7], server);
+        assert_ne!(a[0], b[0]);
+        assert_eq!(a[2], b[2], "serial hop is shared");
     }
 }

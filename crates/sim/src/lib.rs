@@ -28,6 +28,6 @@ pub mod time;
 
 pub use cpu::{Cpu, CpuProfile};
 pub use disk::{Disk, DiskProfile};
-pub use queue::EventQueue;
+pub use queue::{AdaptiveQueue, EventQueue};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

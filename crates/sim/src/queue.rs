@@ -458,6 +458,208 @@ impl EventQueue<()> {
     }
 }
 
+/// Pending-event depth at which an [`AdaptiveQueue`] abandons its binary
+/// heap and promotes to the timer wheel.
+///
+/// Shallow single-client schedules hover around a depth of ~10, where the
+/// wheel's cursor bookkeeping loses to a tiny heap (the 0.7× regression
+/// measured in PR 3); many-client worlds push hundreds of pending events,
+/// where the wheel wins 2×+. 64 sits comfortably between the two regimes.
+pub const PROMOTE_DEPTH: usize = 64;
+
+// The wheel's inline occupancy bitmap makes the variant large, but one
+// queue exists per world and lives there directly; boxing it would put a
+// pointer dereference on every push/pop of exactly the deep schedules
+// the promotion exists to speed up.
+#[allow(clippy::large_enum_variant)]
+enum Backend<E> {
+    Heap(baseline::HeapQueue<E>),
+    Wheel(EventQueue<E>),
+}
+
+/// An event queue that starts life as a plain binary heap and promotes
+/// itself to the timer wheel the first time the pending-event depth
+/// crosses [`PROMOTE_DEPTH`].
+///
+/// Both backends honour the identical `(time, seq)` FIFO ordering
+/// contract, and promotion migrates entries in pop order, so the sequence
+/// of popped events is bit-for-bit the same as either backend run alone —
+/// only the constant factors change. Constructing with a capacity hint
+/// above the threshold (a world that already knows it will be deep)
+/// starts directly on the wheel.
+pub struct AdaptiveQueue<E> {
+    backend: Backend<E>,
+    len: usize,
+    pops: u64,
+    peak: usize,
+    trace: Option<Vec<QueueOp>>,
+}
+
+impl<E> Default for AdaptiveQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> AdaptiveQueue<E> {
+    /// Creates an empty queue at t = 0, starting on the heap backend.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue; a capacity hint above [`PROMOTE_DEPTH`]
+    /// starts directly on the timer wheel.
+    pub fn with_capacity(cap: usize) -> Self {
+        let backend = if cap > PROMOTE_DEPTH {
+            Backend::Wheel(EventQueue::with_capacity(cap))
+        } else {
+            Backend::Heap(baseline::HeapQueue::new())
+        };
+        AdaptiveQueue {
+            backend,
+            len: 0,
+            pops: 0,
+            peak: 0,
+            trace: None,
+        }
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        match &self.backend {
+            Backend::Heap(q) => q.now(),
+            Backend::Wheel(q) => q.now(),
+        }
+    }
+
+    /// Whether the queue has promoted to the timer wheel.
+    pub fn is_promoted(&self) -> bool {
+        matches!(self.backend, Backend::Wheel(_))
+    }
+
+    /// Schedules `event` at time `at`, clamping past times to `now`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(QueueOp::Push(at));
+        }
+        self.len += 1;
+        if self.len > self.peak {
+            self.peak = self.len;
+        }
+        match &mut self.backend {
+            Backend::Heap(q) => {
+                q.push(at, event);
+                if self.len >= PROMOTE_DEPTH {
+                    self.promote();
+                }
+            }
+            Backend::Wheel(q) => q.push(at, event),
+        }
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let popped = match &mut self.backend {
+            Backend::Heap(q) => {
+                let p = q.pop();
+                if p.is_some() {
+                    crate::profile::count_event();
+                }
+                p
+            }
+            // The wheel counts its own profile events.
+            Backend::Wheel(q) => q.pop(),
+        };
+        if popped.is_some() {
+            self.len -= 1;
+            self.pops += 1;
+            if let Some(t) = self.trace.as_mut() {
+                t.push(QueueOp::Pop);
+            }
+        }
+        popped
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.backend {
+            Backend::Heap(q) => q.peek_time(),
+            Backend::Wheel(q) => q.peek_time(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total events popped over the queue's lifetime.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// High-water mark of pending events.
+    pub fn peak_depth(&self) -> usize {
+        self.peak
+    }
+
+    /// Starts recording `(push, pop)` operations for later replay.
+    pub fn start_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the operation stream.
+    pub fn take_trace(&mut self) -> Vec<QueueOp> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Drains the heap in pop order into a fresh wheel positioned at the
+    /// heap's clock. Pop order assigns ascending wheel sequence numbers,
+    /// so FIFO ties survive the migration.
+    fn promote(&mut self) {
+        let heap = match &mut self.backend {
+            Backend::Heap(q) => std::mem::take(q),
+            Backend::Wheel(_) => return,
+        };
+        let mut wheel = EventQueue::with_capacity(self.len);
+        // Same module, so the wheel's clock and cursor are reachable:
+        // without this, a post-promotion push in the past would clamp to
+        // t = 0 instead of the migrated clock.
+        wheel.now = heap.now();
+        wheel.cursor = slot_of(heap.now());
+        let mut heap = heap;
+        while let Some((t, e)) = heap.pop() {
+            wheel.push(t, e);
+        }
+        self.backend = Backend::Wheel(wheel);
+    }
+}
+
+impl AdaptiveQueue<()> {
+    /// Replays a recorded operation stream on the adaptive queue,
+    /// returning how many events were popped.
+    pub fn replay(ops: &[QueueOp]) -> u64 {
+        let mut q: AdaptiveQueue<()> = AdaptiveQueue::new();
+        let mut popped = 0;
+        for op in ops {
+            match *op {
+                QueueOp::Push(at) => q.push(at, ()),
+                QueueOp::Pop => {
+                    if q.pop().is_some() {
+                        popped += 1;
+                    }
+                }
+            }
+        }
+        popped
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,6 +809,103 @@ mod tests {
         // Replay reproduces the pop count on both implementations.
         assert_eq!(EventQueue::replay(&ops), 1);
         assert_eq!(baseline::HeapQueue::<()>::replay(&ops), 1);
+    }
+
+    #[test]
+    fn adaptive_promotes_at_threshold_and_preserves_order() {
+        let mut q = AdaptiveQueue::new();
+        assert!(!q.is_promoted());
+        // Stay shallow: no promotion.
+        for i in 0..10 {
+            q.push(SimTime::from_millis(i), i);
+        }
+        assert!(!q.is_promoted());
+        // Cross the threshold.
+        for i in 10..PROMOTE_DEPTH as u64 + 20 {
+            q.push(SimTime::from_millis(i), i);
+        }
+        assert!(q.is_promoted());
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let expect: Vec<u64> = (0..PROMOTE_DEPTH as u64 + 20).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn adaptive_clock_survives_promotion() {
+        // After promotion, a push in the past must clamp to the migrated
+        // clock, not to t = 0.
+        let mut q = AdaptiveQueue::new();
+        q.push(SimTime::from_secs(10), u64::MAX - 1);
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(10));
+        for i in 0..PROMOTE_DEPTH as u64 + 1 {
+            q.push(SimTime::from_secs(20) + SimDuration::from_millis(i), i);
+        }
+        assert!(q.is_promoted());
+        assert_eq!(q.now(), SimTime::from_secs(10));
+        q.push(SimTime::from_secs(1), u64::MAX);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, u64::MAX, "clamped event is earliest");
+        assert_eq!(t, SimTime::from_secs(10), "clamped to migrated now");
+    }
+
+    #[test]
+    fn adaptive_ties_stay_fifo_across_promotion() {
+        let mut q = AdaptiveQueue::new();
+        let t = SimTime::from_millis(500);
+        for i in 0..PROMOTE_DEPTH as u64 + 10 {
+            q.push(t, i);
+        }
+        assert!(q.is_promoted());
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..PROMOTE_DEPTH as u64 + 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adaptive_counters_trace_and_replay() {
+        let mut q = AdaptiveQueue::new();
+        q.start_trace();
+        q.push(SimTime::from_millis(1), ());
+        q.push(SimTime::from_millis(2), ());
+        q.pop();
+        assert_eq!(q.peak_depth(), 2);
+        assert_eq!(q.pops(), 1);
+        assert_eq!(q.len(), 1);
+        let ops = q.take_trace();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(AdaptiveQueue::replay(&ops), 1);
+        assert_eq!(EventQueue::replay(&ops), 1);
+        assert_eq!(baseline::HeapQueue::<()>::replay(&ops), 1);
+    }
+
+    #[test]
+    fn adaptive_capacity_hint_starts_on_wheel() {
+        let q: AdaptiveQueue<()> = AdaptiveQueue::with_capacity(PROMOTE_DEPTH + 1);
+        assert!(q.is_promoted());
+        let q: AdaptiveQueue<()> = AdaptiveQueue::with_capacity(4);
+        assert!(!q.is_promoted());
+    }
+
+    #[test]
+    fn adaptive_matches_heap_on_a_burst() {
+        let mut adaptive = AdaptiveQueue::new();
+        let mut heap = baseline::HeapQueue::new();
+        let mut rng = crate::rng::Rng::new(7);
+        for i in 0..5000u64 {
+            let at = SimTime::from_nanos(rng.gen_range(0, 2_000_000_000));
+            adaptive.push(at, i);
+            heap.push(at, i);
+            if rng.gen_range(0, 3) == 0 {
+                assert_eq!(adaptive.pop(), heap.pop());
+            }
+        }
+        assert!(adaptive.is_promoted());
+        loop {
+            let (a, b) = (adaptive.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

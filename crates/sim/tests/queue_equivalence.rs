@@ -1,5 +1,6 @@
-//! Property test: the timer-wheel [`EventQueue`] is observationally
-//! identical to the original [`HeapQueue`] binary heap.
+//! Property test: the timer-wheel [`EventQueue`] and the promoting
+//! [`AdaptiveQueue`] are observationally identical to the original
+//! [`HeapQueue`] binary heap.
 //!
 //! Random interleaved push/pop schedules — including simultaneous events,
 //! past-time pushes (which clamp to `now`), times beyond the wheel horizon
@@ -8,7 +9,7 @@
 
 use proptest::prelude::*;
 use renofs_sim::queue::baseline::HeapQueue;
-use renofs_sim::{EventQueue, SimTime};
+use renofs_sim::{AdaptiveQueue, EventQueue, SimTime};
 
 /// One step of a schedule, decoded from raw fuzz words.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +40,7 @@ fn decode(kind: u8, raw: u64) -> Step {
 
 fn run_schedule(ops: &[(u8, u64)]) -> Result<(), TestCaseError> {
     let mut wheel: EventQueue<u32> = EventQueue::new();
+    let mut adaptive: AdaptiveQueue<u32> = AdaptiveQueue::new();
     let mut heap: HeapQueue<u32> = HeapQueue::new();
     let mut id: u32 = 0;
     let mut last_push = SimTime::ZERO;
@@ -48,11 +50,13 @@ fn run_schedule(ops: &[(u8, u64)]) -> Result<(), TestCaseError> {
                 let at = SimTime::from_nanos(wheel.now().as_nanos() + off);
                 last_push = at;
                 wheel.push(at, id);
+                adaptive.push(at, id);
                 heap.push(at, id);
                 id += 1;
             }
             Step::PushTie => {
                 wheel.push(last_push, id);
+                adaptive.push(last_push, id);
                 heap.push(last_push, id);
                 id += 1;
             }
@@ -60,22 +64,29 @@ fn run_schedule(ops: &[(u8, u64)]) -> Result<(), TestCaseError> {
                 let at = SimTime::from_nanos(ns);
                 last_push = at;
                 wheel.push(at, id);
+                adaptive.push(at, id);
                 heap.push(at, id);
                 id += 1;
             }
             Step::Pop => {
                 prop_assert_eq!(wheel.peek_time(), heap.peek_time());
-                prop_assert_eq!(wheel.pop(), heap.pop());
+                prop_assert_eq!(adaptive.peek_time(), heap.peek_time());
+                let expect = heap.pop();
+                prop_assert_eq!(wheel.pop(), expect);
+                prop_assert_eq!(adaptive.pop(), expect);
                 prop_assert_eq!(wheel.now(), heap.now());
+                prop_assert_eq!(adaptive.now(), heap.now());
             }
         }
         prop_assert_eq!(wheel.len(), heap.len());
+        prop_assert_eq!(adaptive.len(), heap.len());
         prop_assert_eq!(wheel.is_empty(), heap.is_empty());
     }
     // Drain: every remaining event must match in time, order, and payload.
     loop {
         let (a, b) = (wheel.pop(), heap.pop());
         prop_assert_eq!(a, b);
+        prop_assert_eq!(adaptive.pop(), b);
         if a.is_none() {
             break;
         }

@@ -29,6 +29,10 @@ pub struct LoadMix {
     pub read: u32,
     /// GETATTR weight.
     pub getattr: u32,
+    /// SETATTR weight (mode-only chmod: non-idempotent, so retransmitted
+    /// instances exercise the server's duplicate-request cache, but the
+    /// subtree's sizes and contents stay untouched).
+    pub setattr: u32,
     /// WRITE weight (8 KB writes; avoid for immutable-subtree runs).
     pub write: u32,
 }
@@ -40,6 +44,7 @@ impl LoadMix {
             lookup: 100,
             read: 0,
             getattr: 0,
+            setattr: 0,
             write: 0,
         }
     }
@@ -50,6 +55,7 @@ impl LoadMix {
             lookup: 50,
             read: 50,
             getattr: 0,
+            setattr: 0,
             write: 0,
         }
     }
@@ -60,12 +66,26 @@ impl LoadMix {
             lookup: 10,
             read: 90,
             getattr: 0,
+            setattr: 0,
+            write: 0,
+        }
+    }
+
+    /// The crowd mix: mostly metadata with some reads, plus a slice of
+    /// non-idempotent SETATTRs so saturation-driven retransmission puts
+    /// real pressure on the duplicate-request cache.
+    pub fn crowd() -> Self {
+        LoadMix {
+            lookup: 40,
+            read: 25,
+            getattr: 25,
+            setattr: 10,
             write: 0,
         }
     }
 
     fn total(&self) -> u32 {
-        self.lookup + self.read + self.getattr + self.write
+        self.lookup + self.read + self.getattr + self.setattr + self.write
     }
 }
 
@@ -268,6 +288,20 @@ pub fn generator_proc<S: Syscalls>(
                     proto::build::handle_args(c, m, &fh)
                 }),
             )
+        } else if pick < cfg.mix.lookup + cfg.mix.read + cfg.mix.getattr + cfg.mix.setattr {
+            // Mode-only chmod: a non-idempotent RPC that leaves sizes
+            // and data alone, so the measured subtree stays reusable.
+            let fh = files[file_idx];
+            let sattr = proto::Sattr {
+                mode: Some(0o644),
+                ..proto::Sattr::default()
+            };
+            (
+                NfsProc::Setattr,
+                build_call(xid, NfsProc::Setattr, |c, m| {
+                    proto::build::setattr_args(c, m, &fh, &sattr)
+                }),
+            )
         } else {
             // Writes go to a scratch file so the measured subtree stays
             // immutable.
@@ -337,6 +371,53 @@ pub fn run(world: &mut World, cfg: &NhfsstoneConfig) -> NhfsstoneReport {
         all.append(&mut s);
     }
     summarize(all, cfg.duration)
+}
+
+/// Stable per-client tweak for the generator RNG streams: clients run
+/// decorrelated op sequences, while client 0 keeps the unsalted stream.
+fn crowd_salt(client: usize) -> u64 {
+    (client as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+/// Runs the load generator from **every client machine of the world** at
+/// once — `cfg.procs` generator processes per client, each offering
+/// `cfg.rate_per_sec / procs` ops/sec, so `rate_per_sec` is the offered
+/// load *per client* and the aggregate offered load is `clients × rate`.
+///
+/// Returns one report per client, in client order. Generator RNG streams
+/// are salted per client (so clients interleave realistically), but xid
+/// bases are deliberately **shared** across clients — exactly as real
+/// machines draw xids from their own counters — which makes cross-client
+/// xid collisions routine and keeps the server's per-client duplicate
+/// cache keying honest under load.
+pub fn run_crowd(world: &mut World, cfg: &NhfsstoneConfig) -> Vec<NhfsstoneReport> {
+    let (dir, files) = preload_subtree(world, cfg);
+    let clients = world.client_count();
+    let measure_from = world.now() + cfg.warmup;
+    let end = measure_from + cfg.duration;
+    let (tx, rx) = std::sync::mpsc::channel();
+    for ci in 0..clients {
+        for p in 0..cfg.procs {
+            let mut cfg = cfg.clone();
+            cfg.seed ^= crowd_salt(ci);
+            let files = files.clone();
+            let tx = tx.clone();
+            world.spawn_on(ci, move |sys| {
+                let samples = generator_proc(sys, p, &cfg, dir, &files, measure_from, end, None);
+                let _ = tx.send((ci, samples));
+            });
+        }
+    }
+    drop(tx);
+    world.run();
+    let mut per_client: Vec<Vec<OpSample>> = vec![Vec::new(); clients];
+    while let Ok((ci, mut s)) = rx.recv() {
+        per_client[ci].append(&mut s);
+    }
+    per_client
+        .into_iter()
+        .map(|samples| summarize(samples, cfg.duration))
+        .collect()
 }
 
 #[cfg(test)]
@@ -416,6 +497,33 @@ mod tests {
     }
 
     #[test]
+    fn crowd_run_measures_every_client() {
+        let mut wcfg = WorldConfig::baseline();
+        wcfg.clients = 4;
+        wcfg.server.dup_cache = true;
+        let mut world = World::new(wcfg);
+        let cfg = quick_cfg(LoadMix::crowd(), 8.0);
+        let reports = run_crowd(&mut world, &cfg);
+        assert_eq!(reports.len(), 4);
+        for (ci, r) in reports.iter().enumerate() {
+            assert!(r.ops > 40, "client {ci} measured only {} ops", r.ops);
+            assert!(
+                (r.achieved_rate - 8.0).abs() < 4.0,
+                "client {ci} rate {}",
+                r.achieved_rate
+            );
+        }
+        // The mix's SETATTRs hit the server as non-idempotent ops.
+        assert!(world.server().stats().count(NfsProc::Setattr) > 20);
+        // Clients are decorrelated: their op counts are not all equal.
+        let rates: Vec<u64> = reports.iter().map(|r| r.ops).collect();
+        assert!(
+            rates.iter().any(|&r| r != rates[0]),
+            "salted RNG streams should desynchronize clients: {rates:?}"
+        );
+    }
+
+    #[test]
     fn preloaded_files_yield_full_reads() {
         let mut world = World::new(WorldConfig::baseline());
         let cfg = quick_cfg(
@@ -423,6 +531,7 @@ mod tests {
                 lookup: 10,
                 read: 90,
                 getattr: 0,
+                setattr: 0,
                 write: 0,
             },
             10.0,

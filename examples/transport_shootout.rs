@@ -51,6 +51,7 @@ fn main() {
                 lookup: 0,
                 read: 100,
                 getattr: 0,
+                setattr: 0,
                 write: 0,
             },
         );

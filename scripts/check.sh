@@ -17,10 +17,13 @@ cargo test -q --workspace
 echo "==> repro faults --scale quick (smoke)"
 cargo run -q --release -p renofs-bench --bin repro -- faults --scale quick >/dev/null
 
+echo "==> repro crowd --scale quick (smoke)"
+cargo run -q --release -p renofs-bench --bin repro -- crowd --scale quick >/dev/null
+
 echo "==> cargo test -p renofs-bench --features profile (alloc discipline + profiler)"
 cargo test -q -p renofs-bench --features profile --release
 
-echo "==> repro bench --check BENCH_pr3.json (queue regression gate)"
-cargo run -q --release -p renofs-bench --bin repro -- bench --scale quick --check BENCH_pr3.json
+echo "==> repro bench --check BENCH_pr4.json (queue + crowd regression gate)"
+cargo run -q --release -p renofs-bench --bin repro -- bench --scale quick --check BENCH_pr4.json
 
 echo "All checks passed."
