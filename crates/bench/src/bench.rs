@@ -39,7 +39,7 @@ use renofs_workload::andrew::AndrewSpec;
 use renofs_workload::nhfsstone::{self, LoadMix, NhfsstoneConfig};
 
 use crate::experiments::{
-    ablations, cd, cpu, crowd, faults, mab, servercmp, trace, transport, world_for,
+    ablations, cd, cpu, crowd, faults, mab, servercmp, soak, trace, transport, world_for,
 };
 use crate::runner::{point_seed, workload_seed};
 use crate::Scale;
@@ -410,6 +410,7 @@ pub fn experiment_list<'a>(
         ("table5", Box::new(|| cd::table5(scale).to_string())),
         ("faults", Box::new(|| faults::faults(scale).to_string())),
         ("crowd", Box::new(|| crowd::crowd(scale).to_string())),
+        ("soak", Box::new(|| soak::soak(scale).to_string())),
         ("section3", Box::new(|| cpu::section3(scale).to_string())),
         (
             "ablation-rto",

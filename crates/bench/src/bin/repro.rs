@@ -13,6 +13,8 @@
 //!   table5           Create-Delete benchmark
 //!   faults           recovery under injected faults (soft/hard mounts)
 //!   crowd            multi-client saturation: N clients vs an nfsd pool
+//!   soak             randomized chaos worlds vs the consistency oracle
+//!                    (`--seeds N` sweep, `--case SPEC` single replay)
 //!   section3         interface-tuning ablation
 //!   ablation-rto ablation-slowstart ablation-namelen
 //!   ablation-preload ablation-rsize ablation-readahead
@@ -55,7 +57,12 @@ static ALLOC: renofs_sim::profile::CountingAlloc = renofs_sim::profile::Counting
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all|bench> [--quick | --scale quick|paper] [--jobs N] \
-         [--profile] [--out FILE] [--check FILE]"
+         [--profile] [--out FILE] [--check FILE] [--seeds N] [--case SPEC]"
+    );
+    eprintln!(
+        "soak: `repro soak --seeds N` sweeps chaos seeds 0..N; `repro soak --case \
+         \"seed=S,clients=C,rounds=R,windows=0;1\"` replays one shrunk case. Both exit 1 \
+         on an oracle violation."
     );
     eprintln!("run `repro all --quick` for the fast version of everything");
     std::process::exit(2);
@@ -68,6 +75,8 @@ struct Options {
     profile: bool,
     out: String,
     check: Option<String>,
+    seeds: Option<usize>,
+    case: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -78,6 +87,8 @@ fn parse_args() -> Options {
     let mut profile = false;
     let mut out = "BENCH_pr4.json".to_string();
     let mut check = None;
+    let mut seeds = None;
+    let mut case = None;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -113,6 +124,20 @@ fn parse_args() -> Options {
                     None => usage(),
                 };
             }
+            "--seeds" => {
+                i += 1;
+                seeds = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => Some(n),
+                    _ => usage(),
+                };
+            }
+            "--case" => {
+                i += 1;
+                case = match args.get(i) {
+                    Some(s) => Some(s.clone()),
+                    None => usage(),
+                };
+            }
             "--help" | "-h" => usage(),
             _ if a.starts_with("--") => usage(),
             _ => {
@@ -130,6 +155,37 @@ fn parse_args() -> Options {
         profile,
         out,
         check,
+        seeds,
+        case,
+    }
+}
+
+/// Dedicated `repro soak` modes: `--seeds N` sweeps seeds `0..N` and
+/// `--case SPEC` replays one (possibly shrunk) case. Both exit nonzero
+/// when the oracle reports a violation, so CI can gate on a bounded
+/// soak run.
+fn run_soak_mode(opts: &Options, scale: &Scale) {
+    use renofs_bench::experiments::soak;
+    if let Some(spec) = &opts.case {
+        let case = match soak::SoakCase::parse(spec) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("bad --case: {e}");
+                std::process::exit(2);
+            }
+        };
+        let (report, violated) = soak::replay_report(&case);
+        print!("{report}");
+        if violated {
+            std::process::exit(1);
+        }
+    } else {
+        let count = opts.seeds.expect("caller checked");
+        let report = soak::soak_with(scale, 0, count, soak::Mutation::None);
+        print!("{report}");
+        if report.total_violations() > 0 {
+            std::process::exit(1);
+        }
     }
 }
 
@@ -185,6 +241,14 @@ fn main() {
 
     if opts.what == "bench" {
         run_bench_mode(&opts, &scale, &spec);
+        if opts.profile {
+            eprint!("{}", renofs_sim::profile::report());
+        }
+        return;
+    }
+
+    if opts.what == "soak" && (opts.seeds.is_some() || opts.case.is_some()) {
+        run_soak_mode(&opts, &scale);
         if opts.profile {
             eprint!("{}", renofs_sim::profile::report());
         }

@@ -69,6 +69,7 @@ enum ScenarioKind {
     DupReorder(SimDuration),
     DelaySpike(SimDuration, SimDuration),
     Crash(SimDuration),
+    Corrupt(f64, SimDuration),
 }
 
 impl Scenario {
@@ -84,6 +85,7 @@ impl Scenario {
             ),
             ScenarioKind::DelaySpike(extra, d) => FaultPlan::new().delay_spike(FAULT_AT, extra, d),
             ScenarioKind::Crash(downtime) => FaultPlan::new().server_crash(FAULT_AT, downtime),
+            ScenarioKind::Corrupt(p, d) => FaultPlan::new().corrupt(FAULT_AT, p, d),
         }
     }
 }
@@ -112,6 +114,16 @@ fn scenarios(core_only: bool) -> Vec<Scenario> {
             label: "server crash 8s",
             kind: ScenarioKind::Crash(SimDuration::from_secs(8)),
             heal: FAULT_AT + SimDuration::from_secs(8),
+            udp_only: false,
+            mount: hard,
+        },
+        // Byte corruption runs on every topology: the decode-path
+        // hardening (checksum drops, GARBAGE_ARGS, retransmits — never a
+        // panic or a wrong answer) must hold regardless of the path.
+        Scenario {
+            label: "corrupt 20%",
+            kind: ScenarioKind::Corrupt(0.20, SimDuration::from_secs(10)),
+            heal: FAULT_AT + SimDuration::from_secs(10),
             udp_only: false,
             mount: hard,
         },
@@ -185,6 +197,10 @@ pub struct FaultRow {
     pub flap_drops: u64,
     /// Frames duplicated / reordered by the fault plan.
     pub injected: u64,
+    /// Frames damaged in flight by the fault plan.
+    pub corrupted_frames: u64,
+    /// Damaged datagrams a receiver checksum caught and discarded.
+    pub checksum_drops: u64,
 }
 
 /// The experiment result.
@@ -218,6 +234,8 @@ impl fmt::Display for FaultReport {
                     format!("{}/{}/{}", r.not_responding, r.server_ok, r.soft_timeouts),
                     format!("{}", r.flap_drops),
                     format!("{}", r.injected),
+                    format!("{}", r.corrupted_frames),
+                    format!("{}", r.checksum_drops),
                 ]
             })
             .collect();
@@ -236,7 +254,9 @@ impl fmt::Display for FaultReport {
                     "anom",
                     "nr/ok/to",
                     "flapdrop",
-                    "dup+reord"
+                    "dup+reord",
+                    "corrupt",
+                    "ckdrop"
                 ],
                 &rows
             )
@@ -316,6 +336,8 @@ fn run_cell(cell: &Cell, iters: usize) -> FaultRow {
         soft_timeouts: count(ClientEventKind::SoftTimeout),
         flap_drops: net.flap_drops,
         injected: net.dup_frames + net.reordered_frames,
+        corrupted_frames: net.corrupted_frames,
+        checksum_drops: net.checksum_drops,
     }
 }
 
@@ -371,9 +393,9 @@ mod tests {
     #[test]
     fn matrix_covers_every_cell_and_recovers() {
         let r = quick_report();
-        // 3 topologies × 3 core scenarios × 3 transports, plus the
+        // 3 topologies × 4 core scenarios × 3 transports, plus the
         // LAN-only extras (2×3 hard + 1×2 soft).
-        assert_eq!(r.rows.len(), 27 + 6 + 2);
+        assert_eq!(r.rows.len(), 36 + 6 + 2);
         for row in &r.rows {
             let is_soft = row.scenario.starts_with("soft");
             if is_soft {
@@ -402,6 +424,32 @@ mod tests {
         assert!(part.flap_drops > 0, "frames died against the down link");
         assert!(part.retrans_per_op > 0.0);
         assert!(part.recovery_ms.is_some(), "ops completed after the heal");
+    }
+
+    /// Decode-path hardening, end to end: on every paper topology and
+    /// transport, in-flight byte corruption produces only checksum
+    /// drops, server-side garbage rejections, or clean retransmits —
+    /// never a client-visible anomaly, and the hard mounts still finish
+    /// their work.
+    #[test]
+    fn corruption_is_survived_on_every_topology() {
+        let r = quick_report();
+        for topo in ["same LAN", "token ring", "56Kbps"] {
+            let rows: Vec<_> = r
+                .rows
+                .iter()
+                .filter(|row| row.topo == topo && row.scenario == "corrupt 20%")
+                .collect();
+            assert_eq!(rows.len(), 3, "all transports ran on {topo}");
+            assert!(
+                rows.iter().any(|row| row.corrupted_frames > 0),
+                "the plan damaged frames on {topo}"
+            );
+            for row in rows {
+                assert_eq!(row.anomalies, 0, "{row:?}");
+                assert!(row.ops > 0, "{row:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1103 @@
+//! The chaos soak harness: randomized worlds, a randomized multi-client
+//! workload, and a differential consistency oracle.
+//!
+//! Every seed deterministically generates a whole world — client count,
+//! topology, transport, nfsd pool width, mount semantics, and a fault
+//! timeline mixing partitions, loss bursts, duplication, reordering,
+//! delay spikes, server crashes, and **byte corruption** — then runs a
+//! phased workload from every client: each round, every client rewrites
+//! its own files (single-writer discipline), exercises non-idempotent
+//! CREATE/REMOVE pairs, and reads its neighbours' files. Every
+//! client-visible outcome is recorded as a [`renofs_oracle::Obs`] and
+//! the merged log is replayed against the sequential model filesystem
+//! in [`renofs_oracle::Oracle`], which encodes close-to-open
+//! consistency, content integrity, synchronous-write durability, and
+//! exactly-once semantics for non-idempotent RPCs (DESIGN.md §10).
+//!
+//! A violating seed **auto-shrinks**: the harness re-runs the case with
+//! fewer clients, then greedily drops fault windows, then trims rounds,
+//! keeping every reduction that still violates — and prints a minimal
+//! deterministic `repro soak --case ...` command.
+//!
+//! Replay (duplicate-cache) checks are suppressed for operations that
+//! overlap a server-crash window: the duplicate-request cache is
+//! in-memory and legitimately dies with the server, so a retransmission
+//! re-executed across a reboot is 4.3BSD behaviour, not a bug.
+//!
+//! Every case's seeds derive from its position, so output is
+//! byte-identical at any `--jobs` level.
+
+use std::fmt;
+use std::sync::mpsc::channel;
+
+use renofs::{
+    ClientConfig, ClientError, ClientFs, MountOptions, Syscalls, TopologyKind, TransportKind,
+    World, WorldConfig,
+};
+use renofs_netsim::topology::presets::Background;
+use renofs_netsim::FaultPlan;
+use renofs_oracle::{fnv1a, Obs, ObsKind, OpOutcome, Oracle, Violation};
+use renofs_sim::{Rng, SimDuration, SimTime};
+
+use crate::fmt::table;
+use crate::runner::{point_seed, run_jobs};
+use crate::Scale;
+
+/// Virtual length of one workload round.
+const ROUND: u64 = 8; // seconds
+/// Offset of the cross-read phase within a round.
+const READ_SLOT: u64 = 4; // seconds
+/// Setup slack before round 0 (mounts, mkdir, file creation).
+const SETUP: u64 = 3; // seconds
+/// Client attribute-cache lifetime in soak worlds.
+const ATTR_TIMEOUT: SimDuration = SimDuration::from_secs(1);
+/// Close-to-open staleness the oracle tolerates: the attribute-cache
+/// lifetime plus transfer/scheduling slack.
+const GRACE_NS: u64 = 2_000_000_000;
+/// Default seed count per scale.
+const QUICK_SEEDS: usize = 12;
+const PAPER_SEEDS: usize = 64;
+
+/// A deliberately planted consistency bug, for mutation-testing the
+/// oracle (the soak must *catch* these; they are never enabled by
+/// `repro soak`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// No bug: the tuned system.
+    None,
+    /// Disable the server duplicate-request cache: retransmitted
+    /// non-idempotent RPCs re-execute.
+    NoDupCache,
+    /// Never expire the client attribute cache: close-to-open breaks.
+    StickyAttrs,
+    /// Do not flush dirty data on close: other clients read old bytes.
+    NoClosePush,
+}
+
+/// One scheduled fault window of a generated world.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowSpec {
+    /// What the window injects.
+    pub kind: WindowKind,
+    /// Window start (virtual ms).
+    pub at_ms: u64,
+    /// Window length (virtual ms).
+    pub dur_ms: u64,
+    /// Probability parameter (loss/dup/reorder/corrupt).
+    pub prob: f64,
+    /// Delay parameter (reorder hold-back / spike extra), ms.
+    pub delay_ms: u64,
+}
+
+/// The fault classes a soak world can schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Both routes dark.
+    Partition,
+    /// Random frame loss.
+    Loss,
+    /// Frame duplication.
+    Dup,
+    /// Frame reordering.
+    Reorder,
+    /// Added one-way delay.
+    DelaySpike,
+    /// Server crash + reboot (the duration is the downtime).
+    Crash,
+    /// Bit corruption: damaged frames hit checksum handling.
+    Corrupt,
+}
+
+impl WindowSpec {
+    fn label(&self) -> &'static str {
+        match self.kind {
+            WindowKind::Partition => "part",
+            WindowKind::Loss => "loss",
+            WindowKind::Dup => "dup",
+            WindowKind::Reorder => "reord",
+            WindowKind::DelaySpike => "delay",
+            WindowKind::Crash => "crash",
+            WindowKind::Corrupt => "corrupt",
+        }
+    }
+
+    fn add_to(&self, plan: FaultPlan) -> FaultPlan {
+        let at = SimTime::from_millis(self.at_ms);
+        let dur = SimDuration::from_millis(self.dur_ms);
+        match self.kind {
+            WindowKind::Partition => plan.partition(at, dur),
+            WindowKind::Loss => plan.loss_burst(at, self.prob, dur),
+            WindowKind::Dup => plan.duplicate(at, self.prob, dur),
+            WindowKind::Reorder => {
+                plan.reorder(at, self.prob, SimDuration::from_millis(self.delay_ms), dur)
+            }
+            WindowKind::DelaySpike => {
+                plan.delay_spike(at, SimDuration::from_millis(self.delay_ms), dur)
+            }
+            WindowKind::Crash => plan.server_crash(at, dur),
+            WindowKind::Corrupt => plan.corrupt(at, self.prob, dur),
+        }
+    }
+}
+
+/// The seed-derived shape of one soak world (before shrinking).
+#[derive(Clone, Debug)]
+pub struct DerivedWorld {
+    /// Client machines.
+    pub clients: usize,
+    /// Workload rounds.
+    pub rounds: usize,
+    /// Files per client.
+    pub files: usize,
+    /// Non-idempotent create/remove pairs per round.
+    pub temps: usize,
+    /// Topology label + kind.
+    pub topo: (&'static str, TopologyKind),
+    /// Transport label + kind.
+    pub transport: (&'static str, TransportKind),
+    /// nfsd pool width (0 = unbounded).
+    pub nfsds: usize,
+    /// Mount semantics.
+    pub soft: bool,
+    /// The full fault-window roster.
+    pub windows: Vec<WindowSpec>,
+}
+
+/// Derives the world shape for a seed. Pure function of the seed: the
+/// same seed always yields the same world.
+pub fn derive_world(seed: u64) -> DerivedWorld {
+    let mut rng = Rng::new(point_seed(0x50AC, seed as usize, 0));
+    let clients = 2 + rng.gen_range(0, 4) as usize; // 2..=5
+    let rounds = 3 + rng.gen_range(0, 3) as usize; // 3..=5
+    let topo = match rng.index(3) {
+        0 => ("same LAN", TopologyKind::SameLan),
+        1 => ("token ring", TopologyKind::TokenRing),
+        _ => ("56Kbps", TopologyKind::SlowLink),
+    };
+    let slow = topo.1 == TopologyKind::SlowLink;
+    let files = if slow { 1 } else { 1 + rng.index(2) };
+    let temps = if slow { 1 } else { 2 };
+    let transport = match rng.index(3) {
+        0 => (
+            "UDP rto=1s",
+            TransportKind::UdpFixed {
+                timeo: SimDuration::from_secs(1),
+            },
+        ),
+        1 => (
+            "UDP rto=A+4D",
+            TransportKind::UdpDynamic {
+                timeo: SimDuration::from_secs(1),
+            },
+        ),
+        _ => ("TCP", TransportKind::Tcp),
+    };
+    let nfsds = [0usize, 2, 4, 8][rng.index(4)];
+    let soft = !matches!(transport.1, TransportKind::Tcp) && rng.chance(0.25);
+    let span_ms = (SETUP + rounds as u64 * ROUND) * 1000;
+    let nwindows = 1 + rng.index(4);
+    let mut windows = Vec::with_capacity(nwindows);
+    for _ in 0..nwindows {
+        let kind = match rng.index(7) {
+            0 => WindowKind::Partition,
+            1 => WindowKind::Loss,
+            2 => WindowKind::Dup,
+            3 => WindowKind::Reorder,
+            4 => WindowKind::DelaySpike,
+            5 => WindowKind::Crash,
+            _ => WindowKind::Corrupt,
+        };
+        let at_ms = rng.gen_range(
+            SETUP * 1000,
+            span_ms.saturating_sub(4000).max(SETUP * 1000 + 1),
+        );
+        let (dur_ms, prob, delay_ms) = match kind {
+            WindowKind::Partition => (rng.gen_range(1000, 4000), 0.0, 0),
+            WindowKind::Loss => (rng.gen_range(3000, 9000), rng.gen_range_f64(0.25, 0.5), 0),
+            WindowKind::Dup => (rng.gen_range(2000, 7000), rng.gen_range_f64(0.1, 0.3), 0),
+            WindowKind::Reorder => (
+                rng.gen_range(2000, 7000),
+                rng.gen_range_f64(0.1, 0.3),
+                rng.gen_range(10, 40),
+            ),
+            WindowKind::DelaySpike => (rng.gen_range(2000, 5000), 0.0, rng.gen_range(50, 200)),
+            WindowKind::Crash => (rng.gen_range(2000, 5000), 0.0, 0),
+            WindowKind::Corrupt => (rng.gen_range(3000, 9000), rng.gen_range_f64(0.05, 0.3), 0),
+        };
+        windows.push(WindowSpec {
+            kind,
+            at_ms,
+            dur_ms,
+            prob,
+            delay_ms,
+        });
+    }
+    DerivedWorld {
+        clients,
+        rounds,
+        files,
+        temps,
+        topo,
+        transport,
+        nfsds,
+        soft,
+        windows,
+    }
+}
+
+/// One runnable (and shrinkable) soak case: a seed plus overrides. The
+/// seed fixes the world shape; `clients`, `rounds`, and the kept
+/// `windows` subset can be reduced below the derived values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoakCase {
+    /// World-generation seed.
+    pub seed: u64,
+    /// Client machines (≤ derived).
+    pub clients: usize,
+    /// Workload rounds (≤ derived).
+    pub rounds: usize,
+    /// Indices into the derived fault-window roster that stay active.
+    pub windows: Vec<usize>,
+    /// Perturbs the world's packet-level RNG without changing the world
+    /// shape (topology, transport, fault windows). Always 0 for a full
+    /// case; the shrinker searches a small salt range so a bug that
+    /// needs a rare frame-level coincidence can still reproduce after
+    /// the client count drops changed every coin flip.
+    pub salt: u64,
+}
+
+impl SoakCase {
+    /// The full (unshrunk) case for a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let d = derive_world(seed);
+        SoakCase {
+            seed,
+            clients: d.clients,
+            rounds: d.rounds,
+            windows: (0..d.windows.len()).collect(),
+            salt: 0,
+        }
+    }
+
+    /// Parses the `--case` encoding produced by [`fmt::Display`]:
+    /// `seed=S,clients=C,rounds=R,windows=0;2;3[,salt=K]` (windows may
+    /// be empty: `windows=`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut seed = None;
+        let mut clients = None;
+        let mut rounds = None;
+        let mut windows = None;
+        let mut salt = 0;
+        for part in s.split(',') {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad case field {part:?}"))?;
+            match k.trim() {
+                "seed" => seed = Some(v.parse::<u64>().map_err(|e| e.to_string())?),
+                "clients" => clients = Some(v.parse::<usize>().map_err(|e| e.to_string())?),
+                "rounds" => rounds = Some(v.parse::<usize>().map_err(|e| e.to_string())?),
+                "windows" => {
+                    let mut idx = Vec::new();
+                    for w in v.split(';').filter(|w| !w.is_empty()) {
+                        idx.push(w.parse::<usize>().map_err(|e| e.to_string())?);
+                    }
+                    windows = Some(idx);
+                }
+                "salt" => salt = v.parse::<u64>().map_err(|e| e.to_string())?,
+                other => return Err(format!("unknown case field {other:?}")),
+            }
+        }
+        let seed = seed.ok_or("case needs seed=")?;
+        let full = SoakCase::from_seed(seed);
+        Ok(SoakCase {
+            seed,
+            clients: clients.unwrap_or(full.clients),
+            rounds: rounds.unwrap_or(full.rounds),
+            windows: windows.unwrap_or(full.windows),
+            salt,
+        })
+    }
+}
+
+impl fmt::Display for SoakCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w: Vec<String> = self.windows.iter().map(|i| i.to_string()).collect();
+        write!(
+            f,
+            "seed={},clients={},rounds={},windows={}",
+            self.seed,
+            self.clients,
+            self.rounds,
+            w.join(";")
+        )?;
+        if self.salt != 0 {
+            write!(f, ",salt={}", self.salt)?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one soak world.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// Violations the oracle confirmed (crash-window replays filtered).
+    pub violations: Vec<Violation>,
+    /// Observations checked.
+    pub observations: usize,
+    /// Successful client operations.
+    pub ok_ops: u64,
+    /// Indeterminate (soft-timeout) outcomes.
+    pub taints: u64,
+    /// Frames damaged in flight by corruption windows.
+    pub corrupted_frames: u64,
+    /// Damaged frames caught by receiver checksums.
+    pub checksum_drops: u64,
+    /// Garbled RPC calls the server discarded.
+    pub garbage: u64,
+    /// Server duplicate-cache hits.
+    pub dup_hits: u64,
+}
+
+/// Deterministic per-(seed, client, file, round) content.
+fn content(seed: u64, ci: usize, file: usize, round: usize, len: usize) -> Vec<u8> {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((ci as u64) << 32)
+        .wrapping_add(((file as u64) << 16) | round as u64)
+        | 1;
+    let mut v = Vec::with_capacity(len);
+    while v.len() < len {
+        // xorshift64*
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let w = x.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes();
+        let take = w.len().min(len - v.len());
+        v.extend_from_slice(&w[..take]);
+    }
+    v
+}
+
+/// Fixed per-(seed, client, file) length, ≤ half a block so every file
+/// is rewritten by a single atomic WRITE RPC.
+fn file_len(seed: u64, ci: usize, file: usize) -> usize {
+    512 + ((seed as usize).wrapping_mul(31) ^ ci.wrapping_mul(131) ^ file.wrapping_mul(977)) % 1536
+}
+
+fn outcome_of(e: &ClientError) -> OpOutcome {
+    match e {
+        ClientError::TimedOut => OpOutcome::Indeterminate,
+        // A protocol-level failure means the reply never parsed; like a
+        // timeout, the server may or may not have executed the call.
+        ClientError::Protocol => OpOutcome::Indeterminate,
+        ClientError::Stale => OpOutcome::Status("Stale".to_string()),
+        ClientError::Nfs(s) => OpOutcome::Status(format!("{s:?}")),
+    }
+}
+
+fn status_of(e: &ClientError) -> String {
+    match e {
+        ClientError::TimedOut => "TimedOut".to_string(),
+        ClientError::Protocol => "Protocol".to_string(),
+        ClientError::Stale => "Stale".to_string(),
+        ClientError::Nfs(s) => format!("{s:?}"),
+    }
+}
+
+/// The cross-read phase of one workload round: sleep to the round's
+/// read slot (if it has not already passed), then read neighbours'
+/// files end to end, logging observed contents or failures.
+fn cross_reads<S: Syscalls>(
+    fs: &mut ClientFs<S>,
+    log: &mut Vec<Obs>,
+    rng: &mut Rng,
+    base: SimTime,
+    ci: usize,
+    nclients: usize,
+    files: usize,
+) {
+    let read_at = base + SimDuration::from_secs(READ_SLOT);
+    let now = fs.sys().now();
+    if read_at > now {
+        fs.sys().sleep(read_at.since(now));
+    }
+    let neighbours = 2.min(nclients.saturating_sub(1)).max(
+        // A lone client reads its own files back.
+        usize::from(nclients == 1),
+    );
+    for k in 0..neighbours {
+        let target = if nclients == 1 {
+            ci
+        } else {
+            (ci + 1 + k) % nclients
+        };
+        let f = rng.index(files);
+        let path = format!("/c{target}/f{f}");
+        let t_open = fs.sys().now().as_nanos();
+        match fs.open(&path, false, false) {
+            Ok(fh) => {
+                match fs.read(fh, 0, 8192) {
+                    Ok(bytes) => log.push(Obs {
+                        client: ci,
+                        t_start: t_open,
+                        t_done: fs.sys().now().as_nanos(),
+                        kind: ObsKind::Observed {
+                            path: path.clone(),
+                            len: bytes.len(),
+                            fnv: fnv1a(&bytes),
+                        },
+                    }),
+                    Err(e) => log.push(Obs {
+                        client: ci,
+                        t_start: t_open,
+                        t_done: fs.sys().now().as_nanos(),
+                        kind: ObsKind::ReadFailed {
+                            path: path.clone(),
+                            status: status_of(&e),
+                        },
+                    }),
+                }
+                let _ = fs.close(fh);
+            }
+            Err(e) => log.push(Obs {
+                client: ci,
+                t_start: t_open,
+                t_done: fs.sys().now().as_nanos(),
+                kind: ObsKind::ReadFailed {
+                    path: path.clone(),
+                    status: status_of(&e),
+                },
+            }),
+        }
+    }
+}
+
+/// Runs one soak world and checks it against the oracle.
+pub fn run_case(case: &SoakCase, mutation: Mutation) -> CaseOutcome {
+    let derived = derive_world(case.seed);
+    let kept: Vec<WindowSpec> = case
+        .windows
+        .iter()
+        .filter_map(|&i| derived.windows.get(i).copied())
+        .collect();
+    let mut plan = FaultPlan::new();
+    for w in &kept {
+        plan = w.add_to(plan);
+    }
+
+    let mut cfg = WorldConfig::baseline();
+    cfg.topology = derived.topo.1;
+    cfg.transport = derived.transport.1.clone();
+    cfg.background = Background::quiet();
+    cfg.clients = case.clients;
+    cfg.nfsds = derived.nfsds;
+    cfg.server.dup_cache = mutation != Mutation::NoDupCache;
+    cfg.faults = plan;
+    cfg.mount = if derived.soft {
+        MountOptions::soft(3)
+    } else {
+        MountOptions::hard()
+    };
+    // A zero salt leaves the seed untouched, so full cases are
+    // byte-identical to the pre-salt harness.
+    cfg.seed = point_seed(0x50AC, case.seed as usize, 1)
+        .wrapping_add(case.salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    let mut ccfg = ClientConfig::reno();
+    ccfg.attr_timeout = ATTR_TIMEOUT;
+    match mutation {
+        Mutation::StickyAttrs => ccfg.attr_timeout = SimDuration::from_secs(600),
+        Mutation::NoClosePush => ccfg.push_on_close = false,
+        _ => {}
+    }
+
+    let mut world = World::new(cfg);
+    let root = world.root_handle();
+    let (tx, rx) = channel();
+    let nclients = case.clients;
+    let rounds = case.rounds;
+    let files = derived.files;
+    let temps = derived.temps;
+    let seed = case.seed;
+    for ci in 0..nclients {
+        let tx = tx.clone();
+        world.spawn_on(ci, move |sys| {
+            let mut fs = ClientFs::mount(sys, ccfg, root, "soak");
+            let mut log: Vec<Obs> = Vec::new();
+            let dir = format!("/c{ci}");
+
+            // Setup: the client's own directory and data files.
+            let t0 = fs.sys().now().as_nanos();
+            let mk = fs.mkdir(&dir);
+            log.push(Obs {
+                client: ci,
+                t_start: t0,
+                t_done: fs.sys().now().as_nanos(),
+                kind: ObsKind::Created {
+                    path: dir.clone(),
+                    outcome: mk.map(|_| OpOutcome::Ok).unwrap_or_else(|e| outcome_of(&e)),
+                },
+            });
+
+            for r in 0..rounds {
+                let base = SimTime::from_secs(SETUP + r as u64 * ROUND);
+                let now = fs.sys().now();
+                if base > now {
+                    fs.sys().sleep(base.since(now));
+                }
+                let mut rng = Rng::new(
+                    point_seed(0x50AC, seed as usize, 2).wrapping_add((ci as u64) << 8 | r as u64),
+                );
+                // Non-idempotent create/remove pairs are spread across
+                // the whole round (offsets drawn first, executed in
+                // order), so a fault window anywhere in the timeline
+                // lands on some client's dup-cache-critical RPC.
+                let mut temp_offs: Vec<(u64, usize)> = (0..temps)
+                    .map(|t| (500 + rng.gen_range(0, ROUND * 1000 - 1500), t))
+                    .collect();
+                temp_offs.sort_unstable();
+
+                // Write phase: rewrite every owned file in place.
+                for f in 0..files {
+                    let path = format!("{dir}/f{f}");
+                    let len = file_len(seed, ci, f);
+                    let data = content(seed, ci, f, r, len);
+                    let t_open = fs.sys().now().as_nanos();
+                    let opened = fs.open(&path, true, false);
+                    log.push(Obs {
+                        client: ci,
+                        t_start: t_open,
+                        t_done: fs.sys().now().as_nanos(),
+                        kind: ObsKind::Created {
+                            path: path.clone(),
+                            outcome: opened
+                                .as_ref()
+                                .map(|_| OpOutcome::Ok)
+                                .unwrap_or_else(outcome_of),
+                        },
+                    });
+                    let Ok(fh) = opened else { continue };
+                    let t_close = fs.sys().now().as_nanos();
+                    let wrote = fs.write(fh, 0, &data);
+                    let closed = fs.close(fh);
+                    let t_done = fs.sys().now().as_nanos();
+                    let certain = wrote.is_ok() && closed.is_ok();
+                    log.push(Obs {
+                        client: ci,
+                        t_start: t_close,
+                        t_done,
+                        kind: ObsKind::Committed {
+                            path: path.clone(),
+                            len,
+                            fnv: fnv1a(&data),
+                            certain,
+                        },
+                    });
+                    // A close failing with a *status* (not a timeout)
+                    // means the flush hit an error even recovery could
+                    // not absorb; record it so durable loss is flagged.
+                    if let Err(e @ (ClientError::Stale | ClientError::Nfs(_))) = &closed {
+                        log.push(Obs {
+                            client: ci,
+                            t_start: t_close,
+                            t_done,
+                            kind: ObsKind::ReadFailed {
+                                path: path.clone(),
+                                status: status_of(e),
+                            },
+                        });
+                    }
+                }
+
+                // Interleave the spread-out non-idempotent pairs with
+                // the cross-read phase at its fixed slot.
+                let read_ms = READ_SLOT * 1000;
+                let mut read_done = false;
+                for &(off, t) in &temp_offs {
+                    if off >= read_ms && !read_done {
+                        cross_reads(&mut fs, &mut log, &mut rng, base, ci, nclients, files);
+                        read_done = true;
+                    }
+                    let at = base + SimDuration::from_millis(off);
+                    let now = fs.sys().now();
+                    if at > now {
+                        fs.sys().sleep(at.since(now));
+                    }
+                    let path = format!("{dir}/t{r}x{t}");
+                    let t_open = fs.sys().now().as_nanos();
+                    let opened = fs.open(&path, true, false);
+                    log.push(Obs {
+                        client: ci,
+                        t_start: t_open,
+                        t_done: fs.sys().now().as_nanos(),
+                        kind: ObsKind::Created {
+                            path: path.clone(),
+                            outcome: opened
+                                .as_ref()
+                                .map(|_| OpOutcome::Ok)
+                                .unwrap_or_else(outcome_of),
+                        },
+                    });
+                    if let Ok(fh) = opened {
+                        let _ = fs.close(fh);
+                    }
+                    let t_rm = fs.sys().now().as_nanos();
+                    let removed = fs.remove(&path);
+                    log.push(Obs {
+                        client: ci,
+                        t_start: t_rm,
+                        t_done: fs.sys().now().as_nanos(),
+                        kind: ObsKind::Removed {
+                            path: path.clone(),
+                            outcome: removed
+                                .map(|_| OpOutcome::Ok)
+                                .unwrap_or_else(|e| outcome_of(&e)),
+                        },
+                    });
+                }
+                if !read_done {
+                    cross_reads(&mut fs, &mut log, &mut rng, base, ci, nclients, files);
+                }
+
+                // List the home directory: durable files must appear.
+                let t_ls = fs.sys().now().as_nanos();
+                if let Ok(entries) = fs.readdir(&dir) {
+                    log.push(Obs {
+                        client: ci,
+                        t_start: t_ls,
+                        t_done: fs.sys().now().as_nanos(),
+                        kind: ObsKind::Listed {
+                            dir: dir.clone(),
+                            names: entries.into_iter().map(|e| e.name).collect(),
+                        },
+                    });
+                }
+            }
+            let _ = tx.send((ci, log));
+        });
+    }
+    drop(tx);
+    world.run();
+
+    let mut per_client: Vec<Vec<Obs>> = vec![Vec::new(); nclients];
+    while let Ok((ci, log)) = rx.recv() {
+        per_client[ci] = log;
+    }
+    let observations: Vec<Obs> = per_client.into_iter().flatten().collect();
+
+    let ok_ops = observations
+        .iter()
+        .filter(|o| match &o.kind {
+            ObsKind::Created { outcome, .. } | ObsKind::Removed { outcome, .. } => {
+                *outcome == OpOutcome::Ok
+            }
+            ObsKind::Committed { certain, .. } => *certain,
+            ObsKind::Observed { .. } | ObsKind::Listed { .. } => true,
+            ObsKind::ReadFailed { .. } => false,
+        })
+        .count() as u64;
+    let taints = observations
+        .iter()
+        .filter(|o| match &o.kind {
+            ObsKind::Created { outcome, .. } | ObsKind::Removed { outcome, .. } => {
+                *outcome == OpOutcome::Indeterminate
+            }
+            ObsKind::Committed { certain, .. } => !*certain,
+            _ => false,
+        })
+        .count() as u64;
+
+    let mut violations = Oracle::new(GRACE_NS).check(&observations);
+    // The duplicate-request cache is in-memory state: a server crash
+    // legitimately forgets it, so replay anomalies whose completion
+    // lands near a crash window are 4.3BSD behaviour, not bugs.
+    let crash_spans: Vec<(u64, u64)> = kept
+        .iter()
+        .filter(|w| w.kind == WindowKind::Crash)
+        .map(|w| {
+            (
+                (w.at_ms.saturating_sub(2_000)) * 1_000_000,
+                (w.at_ms + w.dur_ms + 30_000) * 1_000_000,
+            )
+        })
+        .collect();
+    violations.retain(|v| match v {
+        Violation::Replay { t, .. } => !crash_spans.iter().any(|&(s, e)| s <= *t && *t <= e),
+        _ => true,
+    });
+
+    let net = world.net_stats();
+    let sstats = world.server().stats();
+    CaseOutcome {
+        violations,
+        observations: observations.len(),
+        ok_ops,
+        taints,
+        corrupted_frames: net.corrupted_frames,
+        checksum_drops: net.checksum_drops,
+        garbage: sstats.garbage,
+        dup_hits: sstats.dup_hits,
+    }
+}
+
+/// Salts the shrinker may try per reduced candidate. Dropping a client
+/// reshuffles every frame-level coin flip, so a violation that needed a
+/// rare loss/duplication coincidence usually vanishes at the original
+/// salt; re-rolling the packet RNG (same topology, same fault windows)
+/// recovers it often enough to keep shrinking.
+const SHRINK_SALTS: u64 = 48;
+
+/// Shrinks a violating case to a local minimum: fewer clients (searching
+/// a bounded salt range per candidate count), then a greedy pass
+/// dropping fault windows, then fewer rounds — keeping each reduction
+/// only if *a* violation still reproduces, and iterating the passes to a
+/// fixpoint. The result is deterministic: the search order is fixed, so
+/// the same violating case always shrinks to the same minimal repro.
+pub fn shrink(case: &SoakCase, mutation: Mutation) -> SoakCase {
+    let violates = |c: &SoakCase| !run_case(c, mutation).violations.is_empty();
+    // Tries a candidate at its inherited salt first (the most faithful
+    // reduction), then the rest of the salt range; returns the first
+    // violating variant. The order is fixed, so shrinking is
+    // deterministic.
+    let search = |cand: &SoakCase| -> Option<SoakCase> {
+        let mut c = cand.clone();
+        if violates(&c) {
+            return Some(c);
+        }
+        for salt in 0..SHRINK_SALTS {
+            if salt == cand.salt {
+                continue;
+            }
+            c.salt = salt;
+            if violates(&c) {
+                return Some(c);
+            }
+        }
+        None
+    };
+    let mut best = case.clone();
+    loop {
+        let before = best.clone();
+        // Fewer clients, smallest count first.
+        for clients in 1..best.clients {
+            if let Some(c) = search(&SoakCase {
+                clients,
+                ..best.clone()
+            }) {
+                best = c;
+                break;
+            }
+        }
+        // Greedy fault-window drop.
+        let mut i = 0;
+        while i < best.windows.len() {
+            let mut cand = best.clone();
+            cand.windows.remove(i);
+            if let Some(c) = search(&cand) {
+                best = c;
+            } else {
+                i += 1;
+            }
+        }
+        // Fewer rounds, smallest first.
+        for rounds in 1..best.rounds {
+            if let Some(c) = search(&SoakCase {
+                rounds,
+                ..best.clone()
+            }) {
+                best = c;
+                break;
+            }
+        }
+        if best == before {
+            return best;
+        }
+    }
+}
+
+/// One row of the soak report.
+#[derive(Clone, Debug)]
+pub struct SoakRow {
+    /// The seed.
+    pub seed: u64,
+    /// Clients in the world.
+    pub clients: usize,
+    /// nfsd pool width.
+    pub nfsds: usize,
+    /// Topology label.
+    pub topo: String,
+    /// Transport label.
+    pub transport: String,
+    /// Mount semantics.
+    pub mount: &'static str,
+    /// Rounds run.
+    pub rounds: usize,
+    /// Fault-window kinds, joined.
+    pub faults: String,
+    /// Successful client operations.
+    pub ops: u64,
+    /// Indeterminate outcomes.
+    pub taints: u64,
+    /// Frames damaged by corruption windows.
+    pub corrupted: u64,
+    /// Checksum drops at receivers.
+    pub checksum_drops: u64,
+    /// Garbled calls the server discarded.
+    pub garbage: u64,
+    /// Oracle violations.
+    pub violations: usize,
+}
+
+/// The soak report: one row per seed, plus the shrunk repro for the
+/// first violating seed (if any).
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    /// Per-seed rows, in seed order.
+    pub rows: Vec<SoakRow>,
+    /// First violating seed's violations (display capped).
+    pub first_violations: Vec<String>,
+    /// The shrunk minimal case, if anything violated.
+    pub shrunk: Option<SoakCase>,
+}
+
+impl SoakReport {
+    /// Total violations across all seeds.
+    pub fn total_violations(&self) -> usize {
+        self.rows.iter().map(|r| r.violations).sum()
+    }
+}
+
+impl fmt::Display for SoakReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Soak: randomized chaos worlds checked against the sequential \
+             oracle (grace {} ms)",
+            GRACE_NS / 1_000_000
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{}", r.seed),
+                    format!("{}", r.clients),
+                    format!("{}", r.nfsds),
+                    r.topo.clone(),
+                    r.transport.clone(),
+                    r.mount.to_string(),
+                    format!("{}", r.rounds),
+                    r.faults.clone(),
+                    format!("{}", r.ops),
+                    format!("{}", r.taints),
+                    format!("{}", r.corrupted),
+                    format!("{}", r.checksum_drops),
+                    format!("{}", r.garbage),
+                    format!("{}", r.violations),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            table(
+                &[
+                    "seed",
+                    "N",
+                    "nfsd",
+                    "config",
+                    "transport",
+                    "mount",
+                    "rnds",
+                    "faults",
+                    "ops",
+                    "taint",
+                    "corrupt",
+                    "ckdrop",
+                    "garb",
+                    "viol"
+                ],
+                &rows
+            )
+        )?;
+        let total: u64 = self.rows.iter().map(|r| r.ops).sum();
+        writeln!(
+            f,
+            "checked {} worlds: {} successful ops, {} violations",
+            self.rows.len(),
+            total,
+            self.total_violations()
+        )?;
+        if let Some(shrunk) = &self.shrunk {
+            writeln!(f, "ORACLE VIOLATIONS (first violating seed):")?;
+            for v in &self.first_violations {
+                writeln!(f, "  {v}")?;
+            }
+            writeln!(f, "minimal repro: repro soak --case \"{shrunk}\"")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs seeds `first..first + count` through [`run_case`], in parallel,
+/// then shrinks the first violating seed (if any) sequentially.
+pub fn soak_with(scale: &Scale, first: u64, count: usize, mutation: Mutation) -> SoakReport {
+    let seeds: Vec<u64> = (first..first + count as u64).collect();
+    let rows = run_jobs(&seeds, scale.jobs, |&seed| {
+        let case = SoakCase::from_seed(seed);
+        let d = derive_world(seed);
+        let outcome = run_case(&case, mutation);
+        let mut kinds: Vec<&'static str> = Vec::new();
+        for w in &d.windows {
+            if !kinds.contains(&w.label()) {
+                kinds.push(w.label());
+            }
+        }
+        SoakRow {
+            seed,
+            clients: d.clients,
+            nfsds: d.nfsds,
+            topo: d.topo.0.to_string(),
+            transport: d.transport.0.to_string(),
+            mount: if d.soft { "soft" } else { "hard" },
+            rounds: d.rounds,
+            faults: kinds.join("+"),
+            ops: outcome.ok_ops,
+            taints: outcome.taints,
+            corrupted: outcome.corrupted_frames,
+            checksum_drops: outcome.checksum_drops,
+            garbage: outcome.garbage,
+            violations: outcome.violations.len(),
+        }
+    });
+    let first_bad = rows.iter().find(|r| r.violations > 0).map(|r| r.seed);
+    let (first_violations, shrunk) = match first_bad {
+        Some(seed) => {
+            let case = SoakCase::from_seed(seed);
+            let outcome = run_case(&case, mutation);
+            let msgs = outcome
+                .violations
+                .iter()
+                .take(5)
+                .map(|v| v.to_string())
+                .collect();
+            (msgs, Some(shrink(&case, mutation)))
+        }
+        None => (Vec::new(), None),
+    };
+    SoakReport {
+        rows,
+        first_violations,
+        shrunk,
+    }
+}
+
+/// Renders one case for `repro soak --case`: the derived world shape,
+/// the headline counters, and every violation. Returns the report text
+/// and whether the case violated (for the caller's exit status).
+pub fn replay_report(case: &SoakCase) -> (String, bool) {
+    use fmt::Write as _;
+    let d = derive_world(case.seed);
+    let out = run_case(case, Mutation::None);
+    let mut s = String::new();
+    let _ = writeln!(s, "Soak case replay: {case}");
+    let winlist: Vec<String> = case
+        .windows
+        .iter()
+        .filter_map(|&i| d.windows.get(i))
+        .map(|w| format!("{}@{}ms+{}ms", w.label(), w.at_ms, w.dur_ms))
+        .collect();
+    let _ = writeln!(
+        s,
+        "world: {} clients, {} rounds, {} / {}, nfsd={}, {} mount, faults [{}]",
+        case.clients,
+        case.rounds,
+        d.topo.0,
+        d.transport.0,
+        d.nfsds,
+        if d.soft { "soft" } else { "hard" },
+        winlist.join(", ")
+    );
+    let _ = writeln!(
+        s,
+        "ops={} taints={} corrupted={} checksum_drops={} garbage={} dup_hits={}",
+        out.ok_ops, out.taints, out.corrupted_frames, out.checksum_drops, out.garbage, out.dup_hits
+    );
+    if out.violations.is_empty() {
+        let _ = writeln!(s, "no oracle violations");
+    } else {
+        let _ = writeln!(s, "ORACLE VIOLATIONS:");
+        for v in &out.violations {
+            let _ = writeln!(s, "  {v}");
+        }
+    }
+    (s, !out.violations.is_empty())
+}
+
+/// The `repro soak` entry point: the default seed range for the scale.
+pub fn soak(scale: &Scale) -> SoakReport {
+    let quick = scale.duration < SimDuration::from_secs(5 * 60);
+    let count = if quick { QUICK_SEEDS } else { PAPER_SEEDS };
+    soak_with(scale, 0, count, Mutation::None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_a_pure_function_of_the_seed() {
+        for seed in 0..50 {
+            let a = derive_world(seed);
+            let b = derive_world(seed);
+            assert_eq!(a.clients, b.clients);
+            assert_eq!(a.windows, b.windows);
+            assert!((2..=5).contains(&a.clients));
+            assert!((3..=5).contains(&a.rounds));
+            assert!((1..=4).contains(&a.windows.len()));
+            for w in &a.windows {
+                assert!(w.at_ms >= SETUP * 1000, "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn case_roundtrips_through_the_cli_encoding() {
+        let mut case = SoakCase::from_seed(17);
+        case.clients = 1;
+        case.windows = vec![0, 2];
+        let s = case.to_string();
+        assert_eq!(SoakCase::parse(&s).unwrap(), case);
+        // Omitted fields fall back to the derived values.
+        let partial = SoakCase::parse("seed=17").unwrap();
+        assert_eq!(partial, SoakCase::from_seed(17));
+        assert!(SoakCase::parse("clients=2").is_err());
+        assert!(SoakCase::parse("seed=17,bogus=1").is_err());
+        // An empty windows list parses (a fault-free world).
+        let none = SoakCase::parse("seed=17,windows=").unwrap();
+        assert!(none.windows.is_empty());
+        // A nonzero salt survives the roundtrip; zero stays implicit.
+        case.salt = 7;
+        assert!(case.to_string().contains("salt=7"));
+        assert_eq!(SoakCase::parse(&case.to_string()).unwrap(), case);
+        assert_eq!(SoakCase::parse("seed=17").unwrap().salt, 0);
+    }
+
+    #[test]
+    fn a_handful_of_seeds_soak_clean() {
+        let mut scale = Scale::quick();
+        scale.jobs = 2;
+        let r = soak_with(&scale, 0, 6, Mutation::None);
+        assert_eq!(r.rows.len(), 6);
+        assert_eq!(r.total_violations(), 0, "{r}");
+        assert!(r.shrunk.is_none());
+        for row in &r.rows {
+            assert!(row.ops > 0, "{row:?}");
+        }
+        // The seed mix exercises the corruption path somewhere.
+        assert!(
+            r.rows.iter().any(|row| row.faults.contains("corrupt")),
+            "expected at least one corrupt window in the first seeds"
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! be byte-identical whatever the worker count, because per-job seeds
 //! derive from sweep position and results are reassembled in job order.
 
-use renofs_bench::experiments::{cd, crowd, faults, transport};
+use renofs_bench::experiments::{cd, crowd, faults, soak, transport};
 use renofs_bench::Scale;
 
 fn quick_subset() -> Scale {
@@ -76,6 +76,25 @@ fn crowd_is_byte_identical_across_worker_counts() {
         assert_eq!(
             serial, parallel,
             "crowd output diverged between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn soak_is_byte_identical_across_worker_counts() {
+    // Every chaos world derives from its seed alone and each client
+    // thread returns its observation log through a per-client slot, so
+    // the merged oracle verdict — and the rendered report — must not
+    // depend on thread scheduling or worker count.
+    let mut scale = Scale::quick();
+    scale.jobs = 1;
+    let serial = soak::soak_with(&scale, 0, 8, soak::Mutation::None).to_string();
+    for jobs in [2, 4, 8] {
+        scale.jobs = jobs;
+        let parallel = soak::soak_with(&scale, 0, 8, soak::Mutation::None).to_string();
+        assert_eq!(
+            serial, parallel,
+            "soak output diverged between jobs=1 and jobs={jobs}"
         );
     }
 }

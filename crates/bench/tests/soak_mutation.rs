@@ -1,0 +1,103 @@
+//! Mutation-testing the soak oracle: a deliberately planted consistency
+//! bug must be *caught* by `repro soak` and then *shrunk* to a small,
+//! deterministic repro. If the oracle waves these through, its clean
+//! verdict on the real system means nothing.
+
+use renofs::TransportKind;
+use renofs_bench::experiments::soak::{
+    derive_world, run_case, shrink, Mutation, SoakCase, WindowKind,
+};
+
+/// Seeds whose derived worlds can expose a disabled duplicate-request
+/// cache at small scale: a UDP hard mount under a fault window that
+/// drops *individual frames at random* (loss, or corruption caught by a
+/// checksum), so a reply can vanish and the retransmission re-execute.
+/// Duplication alone never loses the first OK reply, and a partition
+/// only swallows a reply that happens to be *transmitted* inside the
+/// window — which at one or two clients (no nfsd queueing delay) is a
+/// microsecond coincidence that effectively never happens. Derivation
+/// is pure and cheap, so scanning is instant; only promising seeds are
+/// actually run.
+fn candidate_seeds() -> Vec<u64> {
+    (0..400)
+        .filter(|&seed| {
+            let d = derive_world(seed);
+            let udp = !matches!(d.transport.1, TransportKind::Tcp);
+            let risky = d.windows.iter().any(|w| {
+                matches!(w.kind, WindowKind::Loss | WindowKind::Corrupt) && w.prob >= 0.15
+            });
+            udp && !d.soft && risky
+        })
+        .collect()
+}
+
+#[test]
+fn planted_dup_cache_bug_is_caught_and_shrunk() {
+    let seeds = candidate_seeds();
+    assert!(
+        seeds.len() >= 10,
+        "the seed space must offer lossy UDP worlds, got {}",
+        seeds.len()
+    );
+    // The tuned system must soak clean on the exact worlds the mutant
+    // fails on — otherwise the catch below proves nothing.
+    let mut caught: Option<SoakCase> = None;
+    for &seed in &seeds {
+        let case = SoakCase::from_seed(seed);
+        let mutant = run_case(&case, Mutation::NoDupCache);
+        if !mutant.violations.is_empty() {
+            let clean = run_case(&case, Mutation::None);
+            assert!(
+                clean.violations.is_empty(),
+                "seed {seed}: the unmutated system must pass the oracle, got {:?}",
+                clean.violations
+            );
+            caught = Some(case);
+            break;
+        }
+    }
+    let case = caught.expect("no candidate world exposed the disabled dup cache");
+    let minimal = shrink(&case, Mutation::NoDupCache);
+    // The shrinker must reach a genuinely small repro.
+    assert!(
+        minimal.clients <= 2,
+        "shrunk to {} clients: {minimal:?}",
+        minimal.clients
+    );
+    assert!(
+        minimal.windows.len() <= 3,
+        "shrunk to {} fault windows: {minimal:?}",
+        minimal.windows.len()
+    );
+    // And the minimal case still reproduces, deterministically.
+    let replay = run_case(&minimal, Mutation::NoDupCache);
+    assert!(
+        !replay.violations.is_empty(),
+        "the minimal case must still violate"
+    );
+    let again = run_case(&minimal, Mutation::NoDupCache);
+    assert_eq!(
+        replay.violations.len(),
+        again.violations.len(),
+        "identical reruns reproduce identically"
+    );
+}
+
+/// The cache-consistency mutants break close-to-open almost everywhere:
+/// a client that never expires attributes serves stale versions, and one
+/// that skips the close-time flush publishes nothing for neighbours to
+/// read. A handful of seeds must suffice to catch each.
+#[test]
+fn planted_consistency_bugs_are_caught() {
+    for (mutation, what) in [
+        (Mutation::StickyAttrs, "sticky attribute cache"),
+        (Mutation::NoClosePush, "missing close-time flush"),
+    ] {
+        let caught = (0..5u64).any(|seed| {
+            !run_case(&SoakCase::from_seed(seed), mutation)
+                .violations
+                .is_empty()
+        });
+        assert!(caught, "oracle never caught the {what} mutant");
+    }
+}

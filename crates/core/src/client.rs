@@ -140,11 +140,19 @@ pub enum ClientError {
     /// `ETIMEDOUT` a BSD soft mount hands the application. Hard mounts
     /// never return this; their RPCs block until the server answers.
     TimedOut,
+    /// The server answered `NFSERR_STALE`: the file handle predates the
+    /// server's last reboot (or the inode was recycled). The client
+    /// recovers transparently by re-looking-up the path; this error
+    /// only reaches the application when recovery itself fails.
+    Stale,
 }
 
 impl From<NfsStatus> for ClientError {
     fn from(s: NfsStatus) -> Self {
-        ClientError::Nfs(s)
+        match s {
+            NfsStatus::Stale => ClientError::Stale,
+            s => ClientError::Nfs(s),
+        }
     }
 }
 
@@ -213,6 +221,20 @@ struct VnodeState {
     /// (in-flight biods, delayed blocks) and must never shrink the file
     /// below this watermark.
     write_high: u32,
+    /// The path this vnode was opened under, kept for ESTALE recovery:
+    /// when the server reboots its handles go stale and the client
+    /// re-derives a fresh one by walking this path from the root.
+    path: Option<String>,
+}
+
+/// One asynchronous WRITE in flight. The pushed byte range is recorded
+/// so a reply of `NFSERR_STALE` (server rebooted under the write) can be
+/// re-sent from the still-cached block under a fresh handle.
+struct PendingWrite {
+    ticket: Ticket,
+    blk: u64,
+    d0: usize,
+    d1: usize,
 }
 
 /// The client filesystem instance (one mount).
@@ -228,7 +250,7 @@ pub struct ClientFs<S: Syscalls> {
     bufcache: BufCache,
     readdir_cache: HashMap<VnodeId, Vec<DirEntry>>,
     pending_reads: HashMap<(VnodeId, u64), Ticket>,
-    pending_writes: HashMap<VnodeId, Vec<Ticket>>,
+    pending_writes: HashMap<VnodeId, Vec<PendingWrite>>,
     counts: RpcCounts,
     meter: CopyMeter,
 }
@@ -349,7 +371,29 @@ impl<S: Syscalls> ClientFs<S> {
                 needs_flush: false,
                 size: 0,
                 write_high: 0,
+                path: None,
             })
+    }
+
+    /// The freshest known handle for a vnode: recovery after a server
+    /// reboot updates the stored handle in place, so callers holding a
+    /// pre-reboot handle are redirected to the live one.
+    fn current_fh(&self, fh: FileHandle) -> FileHandle {
+        self.vnodes
+            .get(&fh.vnode_token())
+            .map(|v| v.fh)
+            .unwrap_or(fh)
+    }
+
+    /// Records the path a handle was resolved under, for ESTALE
+    /// recovery. Skips the store when unchanged so steady-state opens
+    /// stay allocation-free.
+    fn remember_path(&mut self, fh: FileHandle, path: &str) {
+        let vn = self.vnode(fh);
+        match &vn.path {
+            Some(p) if p == path => {}
+            _ => vn.path = Some(path.to_string()),
+        }
     }
 
     /// Processes freshly arrived attributes: the mtime-based consistency
@@ -432,8 +476,19 @@ impl<S: Syscalls> ClientFs<S> {
         }
     }
 
-    /// Attributes, from cache or via GETATTR.
+    /// Attributes, from cache or via GETATTR, recovering transparently
+    /// from a stale handle when the vnode's path is known.
     pub fn getattr_validated(&mut self, fh: FileHandle) -> CResult<Vattr> {
+        match self.getattr_inner(fh) {
+            Err(ClientError::Stale) => {
+                let fh = self.recover_stale_fh(fh)?;
+                self.getattr_inner(fh)
+            }
+            r => r,
+        }
+    }
+
+    fn getattr_inner(&mut self, fh: FileHandle) -> CResult<Vattr> {
         let token = fh.vnode_token();
         let now = self.sys.now();
         if let Some(a) = self.attrcache.get(token, now) {
@@ -448,6 +503,57 @@ impl<S: Syscalls> ClientFs<S> {
         Ok(attr)
     }
 
+    // ----- ESTALE recovery ----------------------------------------------
+
+    /// Drops every cached attribute so post-reboot validations go to the
+    /// wire (where stale handles are detected and refreshed) instead of
+    /// trusting entries that may carry a pre-reboot handle's epoch.
+    fn stale_purge(&mut self) {
+        let tokens: Vec<VnodeId> = self.vnodes.keys().copied().collect();
+        for t in tokens {
+            self.attrcache.invalidate(t);
+        }
+    }
+
+    /// Re-derives a fresh handle for a vnode whose handle the server
+    /// declared stale, by walking its recorded path from the mount root
+    /// (which the MOUNT protocol keeps valid across reboots). The vnode
+    /// — and its cached blocks — survive, because the token (inode,
+    /// generation) is unchanged across a reboot; only the handle's boot
+    /// epoch differs. Fails with [`ClientError::Stale`] when no path
+    /// was recorded or the path now names a different file.
+    fn recover_stale_fh(&mut self, fh: FileHandle) -> CResult<FileHandle> {
+        let token = fh.vnode_token();
+        let Some(path) = self.vnodes.get(&token).and_then(|v| v.path.clone()) else {
+            return Err(ClientError::Stale);
+        };
+        self.stale_purge();
+        let mut at = self.root;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            at = self.lookup_rpc(at, comp)?.0;
+        }
+        if at.vnode_token() != token {
+            // The name now binds to a different inode: the file this
+            // handle described is genuinely gone.
+            self.drop_vnode(token);
+            return Err(ClientError::Stale);
+        }
+        Ok(at)
+    }
+
+    /// Runs `f`, and on [`ClientError::Stale`] purges cached attributes
+    /// and retries once: the rerun re-walks its paths from the root,
+    /// picking up fresh handles along the way.
+    fn with_stale_retry<T>(&mut self, mut f: impl FnMut(&mut Self) -> CResult<T>) -> CResult<T> {
+        match f(self) {
+            Err(ClientError::Stale) => {
+                self.stale_purge();
+                f(self)
+            }
+            r => r,
+        }
+    }
+
     // ----- name resolution ----------------------------------------------
 
     fn lookup_rpc(&mut self, dir: FileHandle, name: &str) -> CResult<(FileHandle, Vattr)> {
@@ -457,7 +563,9 @@ impl<S: Syscalls> ClientFs<S> {
         let mut dec = Self::open_reply(&reply)?;
         let (fh, attr) = results::get_diropres(&mut dec)??;
         self.receive_attrs(fh, &attr, false);
-        self.vnode(fh); // ensure the vnode table knows the handle
+        // Ensure the vnode table knows the handle, refreshing a stored
+        // handle whose boot epoch a server reboot left behind.
+        self.vnode(fh).fh = fh;
         self.namecache
             .enter(dir.vnode_token(), name, fh.vnode_token());
         Ok((fh, attr))
@@ -471,10 +579,24 @@ impl<S: Syscalls> ClientFs<S> {
                 // Validate the cached translation through the attribute
                 // cache; a stale handle falls back to a fresh LOOKUP.
                 match self.getattr_validated(fh) {
-                    Ok(_) => return Ok(fh),
-                    Err(ClientError::Nfs(NfsStatus::Stale)) => {
+                    Ok(_) => return Ok(self.current_fh(fh)),
+                    Err(ClientError::Stale) => {
                         self.namecache.invalidate(dir.vnode_token(), name);
-                        self.drop_vnode(token);
+                        self.attrcache.invalidate(token);
+                        match self.lookup_rpc(dir, name) {
+                            Ok((newfh, _)) => {
+                                if newfh.vnode_token() != token {
+                                    // The name binds to a new inode now;
+                                    // the old vnode's file is gone.
+                                    self.drop_vnode(token);
+                                }
+                                return Ok(newfh);
+                            }
+                            Err(e) => {
+                                self.drop_vnode(token);
+                                return Err(e);
+                            }
+                        }
                     }
                     Err(e) => return Err(e),
                 }
@@ -511,9 +633,9 @@ impl<S: Syscalls> ClientFs<S> {
         self.namecache.purge_vnode(token);
         self.bufcache.purge_vnode(token);
         self.readdir_cache.remove(&token);
-        if let Some(tickets) = self.pending_writes.remove(&token) {
-            for t in tickets {
-                self.sys.forget_ticket(t);
+        if let Some(pending) = self.pending_writes.remove(&token) {
+            for pw in pending {
+                self.sys.forget_ticket(pw.ticket);
             }
         }
         let stale: Vec<(VnodeId, u64)> = self
@@ -534,14 +656,22 @@ impl<S: Syscalls> ClientFs<S> {
     /// Gets attributes for a path (the stat(2) syscall).
     pub fn stat(&mut self, path: &str) -> CResult<Vattr> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
-        let fh = self.lookup_path(path)?;
-        self.getattr_validated(fh)
+        self.with_stale_retry(|c| {
+            let fh = c.lookup_path(path)?;
+            c.getattr_validated(fh)
+        })
     }
 
     /// Opens a path. With `create`, the file is created if absent; with
     /// `truncate`, an existing file is truncated to zero.
     pub fn open(&mut self, path: &str, create: bool, truncate: bool) -> CResult<FileHandle> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        let fh = self.with_stale_retry(|c| c.open_inner(path, create, truncate))?;
+        self.remember_path(fh, path);
+        Ok(fh)
+    }
+
+    fn open_inner(&mut self, path: &str, create: bool, truncate: bool) -> CResult<FileHandle> {
         match self.lookup_path(path) {
             Ok(fh) => {
                 if truncate {
@@ -589,6 +719,7 @@ impl<S: Syscalls> ClientFs<S> {
     /// and waits for every outstanding write.
     pub fn close(&mut self, fh: FileHandle) -> CResult<()> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        let fh = self.current_fh(fh);
         if self.cfg.consistency && self.cfg.push_on_close {
             self.push_dirty(fh, false)?;
             self.drain_writes(fh)?;
@@ -600,7 +731,9 @@ impl<S: Syscalls> ClientFs<S> {
     /// Reads up to `len` bytes at `off`.
     pub fn read(&mut self, fh: FileHandle, off: u32, len: u32) -> CResult<Vec<u8>> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        let fh = self.current_fh(fh);
         self.validate_for_read(fh)?;
+        let fh = self.current_fh(fh);
         let size = self.file_size(fh)?;
         if off >= size {
             return Ok(Vec::new());
@@ -666,8 +799,20 @@ impl<S: Syscalls> ClientFs<S> {
     }
 
     /// Ensures block `blk` is cached: from a pending read-ahead, or via
-    /// a synchronous READ RPC.
+    /// a synchronous READ RPC, recovering transparently when the server
+    /// rebooted and the handle (or a read-ahead issued under it) went
+    /// stale.
     fn fill_block(&mut self, fh: FileHandle, blk: u64) -> CResult<()> {
+        match self.fill_block_inner(fh, blk) {
+            Err(ClientError::Stale) => {
+                let fh = self.recover_stale_fh(fh)?;
+                self.fill_block_inner(fh, blk)
+            }
+            r => r,
+        }
+    }
+
+    fn fill_block_inner(&mut self, fh: FileHandle, blk: u64) -> CResult<()> {
         let token = fh.vnode_token();
         let reply = match self.pending_reads.remove(&(token, blk)) {
             Some(t) => self.sys.await_ticket(t)?,
@@ -765,6 +910,7 @@ impl<S: Syscalls> ClientFs<S> {
     /// Writes `data` at `off`.
     pub fn write(&mut self, fh: FileHandle, off: u32, data: &[u8]) -> CResult<()> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        let fh = self.current_fh(fh);
         self.sys
             .charge_cpu(costs::USER_COPY_PER_BYTE * data.len() as u64);
         {
@@ -874,20 +1020,22 @@ impl<S: Syscalls> ClientFs<S> {
         // Clamp to the file's logical size (a trailing partial block's
         // dirty region may extend past EOF only when bs > size; keep
         // what was written).
-        let _ = d1;
-        let data_chain = MbufChain::from_slice(&payload, &mut self.meter);
         if sync {
-            let reply = self.call(NfsProc::Write, |c, m| {
-                proto::build::write_args(c, m, &fh, woff, data_chain)
-            })?;
-            let mut dec = Self::open_reply(&reply)?;
-            let attr = results::get_attrstat(&mut dec)??;
-            self.receive_attrs(fh, &attr, true);
+            self.write_rpc_recovering(fh, woff, &payload)?;
         } else {
+            let data_chain = MbufChain::from_slice(&payload, &mut self.meter);
             let ticket = self.call_async(NfsProc::Write, |c, m| {
                 proto::build::write_args(c, m, &fh, woff, data_chain)
             });
-            self.pending_writes.entry(token).or_default().push(ticket);
+            self.pending_writes
+                .entry(token)
+                .or_default()
+                .push(PendingWrite {
+                    ticket,
+                    blk,
+                    d0,
+                    d1,
+                });
         }
         // After the push the written range is known-good: when it covers
         // the block from its start through EOF (or the whole block), the
@@ -914,19 +1062,52 @@ impl<S: Syscalls> ClientFs<S> {
     }
 
     /// Awaits outstanding asynchronous writes of a file and folds their
-    /// reply attributes in.
+    /// reply attributes in. Writes the server answered with
+    /// `NFSERR_STALE` (it rebooted under them) are re-sent from the
+    /// still-cached blocks under a freshly looked-up handle, preserving
+    /// the synchronous-write durability contract (DESIGN.md §6a).
     fn drain_writes(&mut self, fh: FileHandle) -> CResult<()> {
         let token = fh.vnode_token();
-        let tickets = self.pending_writes.remove(&token).unwrap_or_default();
+        let pending = self.pending_writes.remove(&token).unwrap_or_default();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        // Snapshot every in-flight payload before folding any reply in:
+        // Reno's mtime-change flush purges clean blocks as reply
+        // attributes land, and a write the server answers with
+        // `NFSERR_STALE` (it rebooted under the flush) must be re-sent
+        // from these bytes afterwards.
+        let snaps: Vec<Option<(u32, Vec<u8>)>> = pending
+            .iter()
+            .map(|pw| {
+                let (buf, _) = self.bufcache.lookup(token, pw.blk);
+                buf.map(|b| {
+                    let woff = pw.blk as u32 * BLOCK_SIZE as u32 + pw.d0 as u32;
+                    (woff, b.data()[pw.d0..pw.d1].to_vec())
+                })
+            })
+            .collect();
         // Await every ticket even if one timed out (a soft mount), so no
         // completion is leaked; the first error is reported after.
         let mut first_err: Option<ClientError> = None;
-        for t in tickets {
-            match self.sys.await_ticket(t) {
+        let mut stale: Vec<(u32, Vec<u8>)> = Vec::new();
+        for (pw, snap) in pending.iter().zip(snaps) {
+            match self.sys.await_ticket(pw.ticket) {
                 Ok(reply) => {
                     if let Ok(mut dec) = Self::open_reply(&reply) {
-                        if let Ok(Ok(attr)) = results::get_attrstat(&mut dec) {
-                            self.receive_attrs(fh, &attr, true);
+                        match results::get_attrstat(&mut dec) {
+                            Ok(Ok(attr)) => self.receive_attrs(fh, &attr, true),
+                            Ok(Err(NfsStatus::Stale)) => match snap {
+                                Some(s) => stale.push(s),
+                                // The block was evicted before the drain
+                                // began: the bytes are unrecoverable.
+                                None => {
+                                    if first_err.is_none() {
+                                        first_err = Some(ClientError::Stale);
+                                    }
+                                }
+                            },
+                            _ => {}
                         }
                     }
                 }
@@ -937,9 +1118,54 @@ impl<S: Syscalls> ClientFs<S> {
                 }
             }
         }
+        if !stale.is_empty() && first_err.is_none() {
+            if let Err(e) = self.redo_stale_writes(fh, stale) {
+                first_err = Some(e);
+            }
+        }
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
+        }
+    }
+
+    /// Re-sends asynchronous writes rejected with `NFSERR_STALE` (the
+    /// server rebooted under them) under a freshly looked-up handle,
+    /// from payloads snapshotted at drain entry, preserving the
+    /// synchronous-write durability contract (DESIGN.md §6a).
+    fn redo_stale_writes(&mut self, fh: FileHandle, stale: Vec<(u32, Vec<u8>)>) -> CResult<()> {
+        let fh = self.recover_stale_fh(fh)?;
+        for (woff, payload) in stale {
+            self.write_rpc(fh, woff, &payload)?;
+        }
+        Ok(())
+    }
+
+    /// One synchronous WRITE RPC, folding the reply attributes in.
+    fn write_rpc(&mut self, fh: FileHandle, woff: u32, payload: &[u8]) -> CResult<Vattr> {
+        let data_chain = MbufChain::from_slice(payload, &mut self.meter);
+        let reply = self.call(NfsProc::Write, |c, m| {
+            proto::build::write_args(c, m, &fh, woff, data_chain)
+        })?;
+        let mut dec = Self::open_reply(&reply)?;
+        let attr = results::get_attrstat(&mut dec)??;
+        self.receive_attrs(fh, &attr, true);
+        Ok(attr)
+    }
+
+    /// [`ClientFs::write_rpc`] with transparent ESTALE recovery.
+    fn write_rpc_recovering(
+        &mut self,
+        fh: FileHandle,
+        woff: u32,
+        payload: &[u8],
+    ) -> CResult<Vattr> {
+        match self.write_rpc(fh, woff, payload) {
+            Err(ClientError::Stale) => {
+                let fh = self.recover_stale_fh(fh)?;
+                self.write_rpc(fh, woff, payload)
+            }
+            r => r,
         }
     }
 
@@ -954,13 +1180,7 @@ impl<S: Syscalls> ClientFs<S> {
             let fh = vn.fh;
             let payload = buf.data()[d0..d1].to_vec();
             let woff = blk as u32 * BLOCK_SIZE as u32 + d0 as u32;
-            let data_chain = MbufChain::from_slice(&payload, &mut self.meter);
-            let reply = self.call(NfsProc::Write, |c, m| {
-                proto::build::write_args(c, m, &fh, woff, data_chain)
-            })?;
-            let mut dec = Self::open_reply(&reply)?;
-            let attr = results::get_attrstat(&mut dec)??;
-            self.receive_attrs(fh, &attr, true);
+            self.write_rpc_recovering(fh, woff, &payload)?;
         }
         Ok(())
     }
@@ -976,8 +1196,20 @@ impl<S: Syscalls> ClientFs<S> {
         Ok(())
     }
 
-    /// Sets attributes (truncate, chmod...).
+    /// Sets attributes (truncate, chmod...), recovering transparently
+    /// from a stale handle.
     pub fn setattr_fh(&mut self, fh: FileHandle, sattr: Sattr) -> CResult<Vattr> {
+        let fh = self.current_fh(fh);
+        match self.setattr_inner(fh, sattr) {
+            Err(ClientError::Stale) => {
+                let fh = self.recover_stale_fh(fh)?;
+                self.setattr_inner(fh, sattr)
+            }
+            r => r,
+        }
+    }
+
+    fn setattr_inner(&mut self, fh: FileHandle, sattr: Sattr) -> CResult<Vattr> {
         let reply = self.call(NfsProc::Setattr, |c, m| {
             proto::build::setattr_args(c, m, &fh, &sattr)
         })?;
@@ -997,6 +1229,12 @@ impl<S: Syscalls> ClientFs<S> {
     /// Creates a directory.
     pub fn mkdir(&mut self, path: &str) -> CResult<FileHandle> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        let fh = self.with_stale_retry(|c| c.mkdir_inner(path))?;
+        self.remember_path(fh, path);
+        Ok(fh)
+    }
+
+    fn mkdir_inner(&mut self, path: &str) -> CResult<FileHandle> {
         let (dir, name) = self.resolve_parent(path)?;
         let reply = self.call(NfsProc::Mkdir, |c, m| {
             proto::build::create_args(c, m, &dir, &name, &Sattr::default())
@@ -1015,6 +1253,10 @@ impl<S: Syscalls> ClientFs<S> {
     /// Removes a file.
     pub fn remove(&mut self, path: &str) -> CResult<()> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        self.with_stale_retry(|c| c.remove_inner(path))
+    }
+
+    fn remove_inner(&mut self, path: &str) -> CResult<()> {
         let (dir, name) = self.resolve_parent(path)?;
         let target = self.namecache.lookup(dir.vnode_token(), &name);
         let reply = self.call(NfsProc::Remove, |c, m| {
@@ -1037,6 +1279,10 @@ impl<S: Syscalls> ClientFs<S> {
     /// Removes an empty directory.
     pub fn rmdir(&mut self, path: &str) -> CResult<()> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        self.with_stale_retry(|c| c.rmdir_inner(path))
+    }
+
+    fn rmdir_inner(&mut self, path: &str) -> CResult<()> {
         let (dir, name) = self.resolve_parent(path)?;
         let target = self.namecache.lookup(dir.vnode_token(), &name);
         let reply = self.call(NfsProc::Rmdir, |c, m| {
@@ -1059,6 +1305,10 @@ impl<S: Syscalls> ClientFs<S> {
     /// Renames a file or directory.
     pub fn rename(&mut self, from: &str, to: &str) -> CResult<()> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        self.with_stale_retry(|c| c.rename_inner(from, to))
+    }
+
+    fn rename_inner(&mut self, from: &str, to: &str) -> CResult<()> {
         let (fdir, fname) = self.resolve_parent(from)?;
         let (tdir, tname) = self.resolve_parent(to)?;
         let reply = self.call(NfsProc::Rename, |c, m| {
@@ -1081,6 +1331,10 @@ impl<S: Syscalls> ClientFs<S> {
     /// Creates a symbolic link.
     pub fn symlink(&mut self, path: &str, target: &str) -> CResult<()> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        self.with_stale_retry(|c| c.symlink_inner(path, target))
+    }
+
+    fn symlink_inner(&mut self, path: &str, target: &str) -> CResult<()> {
         let (dir, name) = self.resolve_parent(path)?;
         let reply = self.call(NfsProc::Symlink, |c, m| {
             proto::build::symlink_args(c, m, &dir, &name, target)
@@ -1095,12 +1349,14 @@ impl<S: Syscalls> ClientFs<S> {
     /// Reads a symbolic link.
     pub fn readlink(&mut self, path: &str) -> CResult<String> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
-        let fh = self.lookup_path(path)?;
-        let reply = self.call(NfsProc::Readlink, |c, m| {
-            proto::build::handle_args(c, m, &fh)
-        })?;
-        let mut dec = Self::open_reply(&reply)?;
-        Ok(results::get_readlinkres(&mut dec)??)
+        self.with_stale_retry(|c| {
+            let fh = c.lookup_path(path)?;
+            let reply = c.call(NfsProc::Readlink, |ch, m| {
+                proto::build::handle_args(ch, m, &fh)
+            })?;
+            let mut dec = Self::open_reply(&reply)?;
+            Ok(results::get_readlinkres(&mut dec)??)
+        })
     }
 
     /// Lists a directory, using the cached listing when valid. With the
@@ -1110,6 +1366,10 @@ impl<S: Syscalls> ClientFs<S> {
     /// per RPC" future direction.
     pub fn readdir(&mut self, path: &str) -> CResult<Vec<DirEntry>> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        self.with_stale_retry(|c| c.readdir_inner(path))
+    }
+
+    fn readdir_inner(&mut self, path: &str) -> CResult<Vec<DirEntry>> {
         let fh = self.lookup_path(path)?;
         let token = fh.vnode_token();
         if self.cfg.consistency {

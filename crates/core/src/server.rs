@@ -187,6 +187,11 @@ pub struct NfsServer {
     /// Recycled buffer for READ data on its way from the filesystem
     /// into an mbuf chain, so steady-state reads don't allocate.
     read_scratch: Vec<u8>,
+    /// Boot epoch, stamped into every issued file handle's `fsid` field
+    /// and bumped on reboot: handles minted before a crash come back
+    /// `NfsStatus::Stale` (the root is exempt — the MOUNT protocol
+    /// re-derives it), forcing clients to re-lookup their paths.
+    epoch: u32,
 }
 
 impl NfsServer {
@@ -206,6 +211,7 @@ impl NfsServer {
             meter: CopyMeter::new(),
             stats: ServerStats::default(),
             read_scratch: Vec::new(),
+            epoch: 1,
         }
     }
 
@@ -231,10 +237,13 @@ impl NfsServer {
     }
 
     /// Simulates a server crash and reboot: every volatile structure
-    /// (name cache, buffer cache, duplicate-request cache) is lost, but
-    /// the statelessness of the protocol means clients simply retry —
-    /// file handles remain valid because inode generations live on disk.
+    /// (name cache, buffer cache, duplicate-request cache) is lost, and
+    /// the boot epoch advances so file handles minted before the crash
+    /// are answered with `NfsStatus::Stale` — the statelessness of the
+    /// protocol means clients recover by re-looking-up their paths from
+    /// the root (which the MOUNT protocol re-derives, so it stays valid).
     pub fn reboot(&mut self) {
+        self.epoch += 1;
         let mut namecache = NameCache::new(512);
         namecache.set_enabled(self.cfg.name_cache);
         self.namecache = namecache;
@@ -262,10 +271,11 @@ impl NfsServer {
         self.handle_for(self.fs.root()).expect("root exists")
     }
 
-    /// Builds the file handle for an inode.
+    /// Builds the file handle for an inode, stamped with the current
+    /// boot epoch.
     pub fn handle_for(&self, ino: InodeId) -> Result<FileHandle, FsError> {
         Ok(FileHandle {
-            fsid: 1,
+            fsid: self.epoch,
             ino: ino.0,
             gen: self.fs.generation(ino)?,
         })
@@ -273,6 +283,12 @@ impl NfsServer {
 
     fn resolve(&self, fh: &FileHandle) -> Result<InodeId, NfsStatus> {
         let ino = InodeId(fh.ino);
+        // Handles minted before the last reboot are stale, except the
+        // root: the MOUNT protocol hands the root handle out again, so
+        // clients always have a valid place to restart their lookups.
+        if fh.fsid != self.epoch && ino != self.fs.root() {
+            return Err(NfsStatus::Stale);
+        }
         self.fs
             .check_handle(ino, fh.gen)
             .map_err(|_| NfsStatus::Stale)?;
@@ -949,6 +965,41 @@ mod tests {
         let (reply, _) = s.service(t(2), &req);
         let res = results::get_attrstat(&mut reply_body(&reply)).unwrap();
         assert_eq!(res, Err(NfsStatus::Stale));
+    }
+
+    #[test]
+    fn reboot_bumps_epoch_and_stales_old_handles() {
+        let mut s = server();
+        let root_ino = s.fs().root();
+        let ino = s.fs_mut().create(root_ino, "kept", 0o644, t(0)).unwrap();
+        let old_fh = s.handle_for(ino).unwrap();
+        let old_root = s.root_handle();
+        s.reboot();
+        // The inode still exists on "disk", but the handle predates the
+        // reboot: ESTALE.
+        let req = call(40, NfsProc::Getattr, |c, m| {
+            proto::build::handle_args(c, m, &old_fh)
+        });
+        let (reply, _) = s.service(t(2), &req);
+        let res = results::get_attrstat(&mut reply_body(&reply)).unwrap();
+        assert_eq!(res, Err(NfsStatus::Stale));
+        // The pre-reboot root handle is exempt — lookups can restart.
+        let req = call(41, NfsProc::Lookup, |c, m| {
+            proto::build::dirop_args(c, m, &old_root, "kept")
+        });
+        let (reply, _) = s.service(t(3), &req);
+        let res = results::get_diropres(&mut reply_body(&reply)).unwrap();
+        let (fresh_fh, _) = res.expect("root-based lookup succeeds after reboot");
+        assert_eq!(fresh_fh.ino, old_fh.ino, "same inode");
+        assert_eq!(fresh_fh.gen, old_fh.gen, "same generation");
+        assert_ne!(fresh_fh.fsid, old_fh.fsid, "new boot epoch");
+        // And the re-looked-up handle works.
+        let req = call(42, NfsProc::Getattr, |c, m| {
+            proto::build::handle_args(c, m, &fresh_fh)
+        });
+        let (reply, _) = s.service(t(4), &req);
+        let res = results::get_attrstat(&mut reply_body(&reply)).unwrap();
+        assert!(res.is_ok(), "fresh handle valid: {res:?}");
     }
 
     #[test]

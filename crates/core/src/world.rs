@@ -822,8 +822,24 @@ impl World {
                 Ok(Resp::Unit) => {}
                 _ => return,
             }
+            // `Finished` must reach the world even when the workload
+            // panics — otherwise the event loop waits forever for this
+            // thread's next request. The drop guard fires during unwind
+            // too; `run` then surfaces the panic from `join`.
+            struct Finish {
+                id: usize,
+                tx: Sender<(usize, Req)>,
+            }
+            impl Drop for Finish {
+                fn drop(&mut self) {
+                    let _ = self.tx.send((self.id, Req::Finished));
+                }
+            }
+            let _fin = Finish {
+                id,
+                tx: sys.req_tx.clone(),
+            };
             f(&mut sys);
-            let _ = sys.req_tx.send((id, Req::Finished));
         });
         self.threads.push(ThreadState {
             resp_tx,
@@ -883,7 +899,11 @@ impl World {
         }
         for t in &mut self.threads {
             if let Some(h) = t.handle.take() {
-                let _ = h.join();
+                if let Err(payload) = h.join() {
+                    // Re-raise a workload panic on the caller's thread so
+                    // tests fail loudly instead of reporting half a run.
+                    std::panic::resume_unwind(payload);
+                }
             }
         }
     }

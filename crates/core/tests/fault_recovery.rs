@@ -184,3 +184,37 @@ fn server_crash_mid_flush_preserves_acknowledged_writes() {
         .unwrap();
     assert_eq!(got, expect, "no acknowledged write was lost to the crash");
 }
+
+/// The ESTALE contract: a reboot bumps the server's boot epoch, so every
+/// handle a client obtained beforehand is answered with `NFSERR_STALE`;
+/// the client recovers transparently by re-walking the recorded path
+/// from the (epoch-exempt) mount root, and the caller sees ordinary
+/// successful reads with the right bytes.
+#[test]
+fn stale_handles_after_reboot_recover_by_relookup() {
+    let mut cfg = WorldConfig::baseline();
+    cfg.faults =
+        FaultPlan::new().server_crash(SimTime::from_secs(4), SimDuration::from_millis(500));
+    let mut world = World::new(cfg);
+    let root = world.root_handle();
+    let (tx, rx) = channel();
+    world.spawn(move |sys| {
+        let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, "uvax1");
+        // Pre-crash: create a file and learn its handle.
+        let fh = fs.open("/notes.txt", true, false).unwrap();
+        fs.write(fh, 0, b"survives the reboot").unwrap();
+        fs.close(fh).unwrap();
+        // Sleep across the crash window; the attribute cache expires,
+        // so the next access revalidates against the rebooted server.
+        fs.sys().sleep(SimDuration::from_secs(30));
+        let fh = fs.open("/notes.txt", false, false).unwrap();
+        let back = fs.read(fh, 0, 64).unwrap();
+        fs.close(fh).unwrap();
+        tx.send(back).unwrap();
+    });
+    world.run();
+    let back = rx.recv().expect("client finished");
+    assert_eq!(back, b"survives the reboot", "recovered read sees the file");
+    let kinds: Vec<_> = world.client_events().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&ClientEventKind::ServerRebooted));
+}

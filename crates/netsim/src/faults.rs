@@ -70,6 +70,16 @@ pub enum FaultKind {
         /// Window length.
         duration: SimDuration,
     },
+    /// Frames have their bytes corrupted in flight with probability
+    /// `prob` for `duration` (failing NIC, noisy serial hop). Corrupted
+    /// frames still arrive; whether the damage is caught depends on the
+    /// receiver's checksum coverage (see `Network`).
+    Corrupt {
+        /// Per-frame corruption probability.
+        prob: f64,
+        /// Window length.
+        duration: SimDuration,
+    },
     /// The NFS server crashes, losing all volatile state, and reboots
     /// after `downtime`. Interpreted by the `World`, not the network.
     ServerCrash {
@@ -149,6 +159,11 @@ impl FaultPlan {
         )
     }
 
+    /// Byte-corruption window.
+    pub fn corrupt(self, at: SimTime, prob: f64, duration: SimDuration) -> Self {
+        self.push(at, FaultKind::Corrupt { prob, duration })
+    }
+
     /// Server crash at `at`, rebooting after `downtime`.
     pub fn server_crash(self, at: SimTime, downtime: SimDuration) -> Self {
         self.push(at, FaultKind::ServerCrash { downtime })
@@ -206,6 +221,9 @@ impl FaultPlan {
                     w.reorder
                         .push((at, at + duration.as_nanos(), prob, max_extra.as_nanos()));
                 }
+                FaultKind::Corrupt { prob, duration } => {
+                    w.corrupt.push((at, at + duration.as_nanos(), prob));
+                }
                 FaultKind::ServerCrash { .. } => {}
             }
         }
@@ -227,6 +245,7 @@ pub struct FaultWindows {
     delay: Vec<(u64, u64, u64)>,
     dup: Vec<(u64, u64, f64)>,
     reorder: Vec<(u64, u64, f64, u64)>,
+    corrupt: Vec<(u64, u64, f64)>,
 }
 
 impl FaultWindows {
@@ -238,6 +257,7 @@ impl FaultWindows {
             && self.delay.is_empty()
             && self.dup.is_empty()
             && self.reorder.is_empty()
+            && self.corrupt.is_empty()
     }
 
     /// Is the link down at `now`?
@@ -285,6 +305,15 @@ impl FaultWindows {
             .iter()
             .find(|&&(s, e, _, _)| s <= t && t < e)
             .map(|&(_, _, p, m)| (p, SimDuration::from_nanos(m)))
+    }
+
+    /// Corruption probability active at `now`, if any window covers it.
+    pub fn corrupt_prob(&self, now: SimTime) -> Option<f64> {
+        let t = now.as_nanos();
+        self.corrupt
+            .iter()
+            .find(|&&(s, e, _)| s <= t && t < e)
+            .map(|&(_, _, p)| p)
     }
 
     /// Total scheduled downtime across all finite down windows.
@@ -381,5 +410,16 @@ mod tests {
         assert!((p - 0.25).abs() < 1e-12);
         assert_eq!(m, SimDuration::from_millis(30));
         assert_eq!(w.reorder_at(SimTime::from_secs(1)), None);
+    }
+
+    #[test]
+    fn corrupt_window_queries() {
+        let plan = FaultPlan::new().corrupt(SimTime::from_secs(3), 0.4, SimDuration::from_secs(2));
+        let w = plan.compile();
+        assert!(!w.is_empty());
+        assert_eq!(w.corrupt_prob(SimTime::from_secs(2)), None);
+        assert_eq!(w.corrupt_prob(SimTime::from_secs(3)), Some(0.4));
+        assert_eq!(w.corrupt_prob(SimTime::from_secs(4)), Some(0.4));
+        assert_eq!(w.corrupt_prob(SimTime::from_secs(5)), None);
     }
 }

@@ -52,6 +52,8 @@ pub struct LinkStats {
     pub dup_frames: u64,
     /// Frames given extra delay by an injected reorder window.
     pub reordered_frames: u64,
+    /// Frames whose bytes were corrupted by an injected corruption window.
+    pub corrupted_frames: u64,
     /// Total scheduled downtime from the fault plan's finite windows.
     pub downtime: SimDuration,
 }
@@ -64,6 +66,9 @@ pub enum TxResult {
     /// Frame was duplicated by an injected fault: two copies arrive,
     /// at these times.
     Duplicated(SimTime, SimTime),
+    /// Frame arrives at this time with its bytes damaged in flight; the
+    /// receiver's checksum handling decides whether the damage is caught.
+    ArrivesCorrupted(SimTime),
     /// Frame was dropped (queue overflow, random loss, or a down link).
     Dropped,
 }
@@ -155,6 +160,14 @@ impl Link {
                 let span = max_extra.as_nanos().max(1);
                 arrival += SimDuration::from_nanos(rng.gen_range(0, span) + 1);
                 self.stats.reordered_frames += 1;
+            }
+        }
+        if let Some(prob) = self.faults.corrupt_prob(now) {
+            if rng.chance(prob) {
+                self.stats.corrupted_frames += 1;
+                // A damaged frame is never also duplicated: the bridge
+                // replay model applies to intact frames only.
+                return TxResult::ArrivesCorrupted(arrival);
             }
         }
         if let Some(prob) = self.faults.dup_prob(now) {

@@ -6,7 +6,7 @@ use renofs_mbuf::{CopyMeter, MbufChain};
 use renofs_sim::{Rng, SimDuration, SimTime};
 
 use crate::link::TxResult;
-use crate::packet::{Datagram, Fragment, IP_HEADER};
+use crate::packet::{Datagram, Fragment, ProtoHeader, IP_HEADER};
 use crate::topology::{LinkId, NodeId, NodeKind, Topology};
 
 /// Events the network schedules for itself via the caller's event queue.
@@ -97,12 +97,20 @@ pub struct NetStats {
     pub reordered_frames: u64,
     /// Fragments dropped because a link was down (injected flap).
     pub flap_drops: u64,
+    /// Fragments whose bytes were damaged by an injected corruption
+    /// window (summed from per-link counters).
+    pub corrupted_frames: u64,
+    /// Datagrams discarded at the receiving host because a checksum
+    /// caught in-flight corruption (TCP always; UDP when the sender
+    /// computed a checksum).
+    pub checksum_drops: u64,
 }
 
 struct ReasmState {
     parts: Vec<(usize, MbufChain)>,
     total_len: usize,
     received: usize,
+    corrupted: bool,
 }
 
 /// The simulated internetwork.
@@ -152,6 +160,7 @@ impl Network {
             s.dup_frames += ls.dup_frames;
             s.reordered_frames += ls.reordered_frames;
             s.flap_drops += ls.flap_drops;
+            s.corrupted_frames += ls.corrupted_frames;
         }
         s
     }
@@ -218,6 +227,7 @@ impl Network {
                 offset: 0,
                 total_len,
                 more: false,
+                corrupted: false,
                 payload: dgram.payload,
             });
             return;
@@ -239,6 +249,7 @@ impl Network {
                 offset: off,
                 total_len,
                 more,
+                corrupted: false,
                 payload,
             });
             off += take;
@@ -258,6 +269,17 @@ impl Network {
         let ip_len = frag.ip_len();
         let link = self.topo.link_mut(link_id);
         match link.transmit(now, ip_len, &mut self.rng) {
+            TxResult::ArrivesCorrupted(at) => {
+                let mut frag = frag;
+                frag.corrupted = true;
+                out.events.push((
+                    at,
+                    NetEvent::FragArrive {
+                        link: link_id,
+                        frag,
+                    },
+                ));
+            }
             TxResult::Arrives(at) => {
                 out.events.push((
                     at,
@@ -380,6 +402,7 @@ impl Network {
                 offset: abs_off,
                 total_len: frag.total_len,
                 more,
+                corrupted: frag.corrupted,
                 payload,
             });
             rel += take;
@@ -388,18 +411,23 @@ impl Network {
 
     fn reassemble(&mut self, now: SimTime, host: NodeId, frag: Fragment, out: &mut NetOutput) {
         if frag.is_whole() {
-            self.stats.datagrams_delivered += 1;
-            out.delivered.push(Delivery {
-                host,
-                dgram: Datagram {
-                    id: frag.dgram_id,
-                    src: frag.src,
-                    dst: frag.dst,
-                    proto: frag.proto,
-                    payload: frag.payload,
-                },
-                frags: 1,
-            });
+            let dgram = Datagram {
+                id: frag.dgram_id,
+                src: frag.src,
+                dst: frag.dst,
+                proto: frag.proto,
+                payload: frag.payload,
+            };
+            if frag.corrupted {
+                self.deliver_corrupted(host, dgram, 1, out);
+            } else {
+                self.stats.datagrams_delivered += 1;
+                out.delivered.push(Delivery {
+                    host,
+                    dgram,
+                    frags: 1,
+                });
+            }
             return;
         }
         let key = (host, frag.src, frag.dgram_id);
@@ -408,7 +436,9 @@ impl Network {
             parts: self.parts_pool.pop().unwrap_or_default(),
             total_len: frag.total_len,
             received: 0,
+            corrupted: false,
         });
+        state.corrupted |= frag.corrupted;
         if fresh {
             out.events.push((
                 now + self.reasm_timeout,
@@ -438,18 +468,59 @@ impl Network {
             payload.append_chain(part);
         }
         self.recycle_parts(state.parts);
+        let dgram = Datagram {
+            id: dgram_id,
+            src,
+            dst: host,
+            proto,
+            payload,
+        };
+        if state.corrupted {
+            self.deliver_corrupted(host, dgram, frags, out);
+            return;
+        }
         self.stats.datagrams_delivered += 1;
-        out.delivered.push(Delivery {
-            host,
-            dgram: Datagram {
-                id: dgram_id,
-                src,
-                dst: host,
-                proto,
-                payload,
-            },
-            frags,
-        });
+        out.delivered.push(Delivery { host, dgram, frags });
+    }
+
+    /// Fraction of corrupted UDP datagrams that slip past the receiver's
+    /// checksum. 4.3BSD shipped with UDP checksums disabled by default
+    /// (`udpcksum = 0`), so some damaged datagrams reach the socket layer
+    /// and the RPC decoder must cope with arbitrary bytes. TCP checksums
+    /// are mandatory, so damaged segments are always discarded and the
+    /// sender retransmits cleanly.
+    const UDP_CHECKSUM_MISS: f64 = 0.25;
+
+    /// Disposes of a datagram assembled from damaged fragments. TCP and
+    /// checksummed UDP drop it (`checksum_drops`); the rest are delivered
+    /// with their payload scrambled to deterministic garbage, modeling
+    /// what the wire damage did to the bytes.
+    fn deliver_corrupted(
+        &mut self,
+        host: NodeId,
+        mut dgram: Datagram,
+        frags: usize,
+        out: &mut NetOutput,
+    ) {
+        let survives = match dgram.proto {
+            ProtoHeader::Tcp { .. } => false,
+            ProtoHeader::Udp { .. } => self.rng.chance(Self::UDP_CHECKSUM_MISS),
+        };
+        if !survives {
+            self.stats.checksum_drops += 1;
+            return;
+        }
+        let len = dgram.payload.len();
+        let mut garbage = Vec::with_capacity(len);
+        while garbage.len() < len {
+            let word = self.rng.next_u64().to_le_bytes();
+            let take = word.len().min(len - garbage.len());
+            garbage.extend_from_slice(&word[..take]);
+        }
+        let mut scramble_meter = CopyMeter::new();
+        dgram.payload = MbufChain::from_slice(&garbage, &mut scramble_meter);
+        self.stats.datagrams_delivered += 1;
+        out.delivered.push(Delivery { host, dgram, frags });
     }
 }
 
@@ -601,6 +672,106 @@ mod tests {
         assert!(failures_possible);
         assert!(net.stats().reasm_failures > 0, "timeouts must have fired");
         assert!(net.reasm.is_empty(), "no leaked reassembly state");
+    }
+
+    #[test]
+    fn corrupted_udp_is_dropped_or_scrambled_never_intact() {
+        use crate::faults::FaultPlan;
+        let (mut topo, c, s) = presets::same_lan(&Background::quiet());
+        let plan = FaultPlan::new().corrupt(SimTime::ZERO, 1.0, SimDuration::from_secs(3600));
+        topo.apply_faults(&plan, c, s);
+        let mut net = Network::new(topo, 21);
+        let want: Vec<u8> = (0..512usize).map(|i| (i % 256) as u8).collect();
+        let mut delivered_scrambled = 0;
+        let mut sent = 0;
+        for i in 0..80 {
+            let d = make_dgram(&mut net, c, s, 512);
+            sent += 1;
+            let out = net.send(SimTime::from_millis(i * 50), d);
+            for (_, dv) in run(&mut net, out) {
+                let got = dv.dgram.payload.to_vec_for_test();
+                assert_eq!(got.len(), want.len(), "length preserved");
+                assert_ne!(got, want, "corrupted payload must not match original");
+                delivered_scrambled += 1;
+            }
+        }
+        let stats = net.stats();
+        assert_eq!(stats.corrupted_frames, sent, "every frame corrupted at p=1");
+        assert!(stats.checksum_drops > 0, "some datagrams checksum-dropped");
+        assert!(
+            delivered_scrambled > 0,
+            "some slip past disabled UDP checksums"
+        );
+        assert_eq!(
+            stats.checksum_drops + delivered_scrambled,
+            sent,
+            "every corrupted datagram is either dropped or scrambled"
+        );
+    }
+
+    #[test]
+    fn corrupted_tcp_is_always_checksum_dropped() {
+        use crate::faults::FaultPlan;
+        use crate::packet::TcpFlags;
+        let (mut topo, c, s) = presets::same_lan(&Background::quiet());
+        let plan = FaultPlan::new().corrupt(SimTime::ZERO, 1.0, SimDuration::from_secs(3600));
+        topo.apply_faults(&plan, c, s);
+        let mut net = Network::new(topo, 22);
+        let mut meter = CopyMeter::new();
+        for i in 0..40u64 {
+            let d = Datagram {
+                id: net.alloc_dgram_id(),
+                src: c,
+                dst: s,
+                proto: ProtoHeader::Tcp {
+                    sport: 1023,
+                    dport: 2049,
+                    seq: i as u32,
+                    ack: 0,
+                    window: 4096,
+                    flags: TcpFlags::default(),
+                },
+                payload: MbufChain::from_slice(&[0xA5u8; 256], &mut meter),
+            };
+            let out = net.send(SimTime::from_millis(i * 50), d);
+            let delivered = run(&mut net, out);
+            assert!(delivered.is_empty(), "TCP checksums catch all corruption");
+        }
+        let stats = net.stats();
+        assert_eq!(stats.checksum_drops, 40);
+        assert_eq!(stats.datagrams_delivered, 0);
+    }
+
+    #[test]
+    fn corruption_of_one_fragment_taints_the_reassembled_datagram() {
+        use crate::faults::FaultPlan;
+        // Corrupt with moderate probability so multi-fragment datagrams
+        // usually have a mix of clean and damaged fragments.
+        let (mut topo, c, s) = presets::same_lan(&Background::quiet());
+        let plan = FaultPlan::new().corrupt(SimTime::ZERO, 0.3, SimDuration::from_secs(3600));
+        topo.apply_faults(&plan, c, s);
+        let mut net = Network::new(topo, 23);
+        let want: Vec<u8> = (0..8312usize).map(|i| (i % 256) as u8).collect();
+        let mut intact = 0;
+        let mut scrambled = 0;
+        for i in 0..60 {
+            let d = make_dgram(&mut net, c, s, 8312);
+            let out = net.send(SimTime::from_millis(i * 200), d);
+            for (_, dv) in run(&mut net, out) {
+                if dv.dgram.payload.to_vec_for_test() == want {
+                    intact += 1;
+                } else {
+                    scrambled += 1;
+                }
+            }
+        }
+        let stats = net.stats();
+        assert!(stats.corrupted_frames > 0);
+        assert!(intact > 0, "clean datagrams still get through at p=0.3");
+        assert!(
+            scrambled + stats.checksum_drops as usize > 0,
+            "tainted datagrams are dropped or scrambled"
+        );
     }
 
     #[test]

@@ -124,6 +124,9 @@ pub struct Fragment {
     pub total_len: usize,
     /// Whether more fragments follow.
     pub more: bool,
+    /// Whether an injected fault damaged this fragment's bytes in flight.
+    /// Checked by the receiving host's checksum handling at reassembly.
+    pub corrupted: bool,
     /// This fragment's slice of the payload.
     pub payload: MbufChain,
 }
@@ -201,6 +204,7 @@ mod tests {
             offset,
             total_len: 3000,
             more,
+            corrupted: false,
             payload: MbufChain::from_slice(&[0u8; 1472], &mut m),
         };
         let first = mk(0, true);

@@ -1,0 +1,142 @@
+//! Property tests: the RPC header decoders and the TCP record reader
+//! must survive arbitrary garbage — truncated, bit-flipped, or random
+//! bytes — returning errors, never panicking or over-reading.
+
+use proptest::prelude::*;
+use renofs_mbuf::{CopyMeter, MbufChain};
+use renofs_sunrpc::{frame_record, peek_xid_kind, AuthUnix, CallHeader, RecordReader, ReplyHeader};
+use renofs_xdr::XdrDecoder;
+
+proptest! {
+    /// Random bytes through every header decoder: each call returns a
+    /// value or an error, and decoding consumes at most the buffer.
+    #[test]
+    fn header_decoders_survive_arbitrary_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut meter = CopyMeter::new();
+        let chain = MbufChain::from_slice(&bytes, &mut meter);
+        let _ = peek_xid_kind(&chain);
+        let mut dec = XdrDecoder::new(&chain);
+        let _ = CallHeader::decode(&mut dec);
+        prop_assert!(dec.position() <= bytes.len());
+        let mut dec = XdrDecoder::new(&chain);
+        let _ = ReplyHeader::decode(&mut dec);
+        prop_assert!(dec.position() <= bytes.len());
+    }
+
+    /// A well-formed call header with any prefix of its bytes chopped
+    /// off the end decodes to an error, never a wrong header or panic.
+    #[test]
+    fn truncated_call_header_is_an_error(
+        xid in any::<u32>(),
+        proc in 0u32..32,
+        cut in 1usize..96,
+    ) {
+        let mut meter = CopyMeter::new();
+        let hdr = CallHeader {
+            xid,
+            prog: 100003,
+            vers: 2,
+            proc,
+            auth: AuthUnix::root("fuzzhost"),
+        };
+        let mut chain = MbufChain::new();
+        hdr.encode(&mut chain, &mut meter);
+        let full = chain.len();
+        if cut >= full {
+            return Ok(());
+        }
+        chain.trim_back(full - cut);
+        let mut dec = XdrDecoder::new(&chain);
+        prop_assert!(CallHeader::decode(&mut dec).is_err());
+    }
+
+    /// A well-formed call header with one byte flipped either decodes
+    /// (the flip landed in a don't-care field) or errors; a successful
+    /// decode never invents a different xid when the flip was past the
+    /// first word.
+    #[test]
+    fn bit_flipped_call_header_never_panics(
+        xid in any::<u32>(),
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let mut meter = CopyMeter::new();
+        let hdr = CallHeader {
+            xid,
+            prog: 100003,
+            vers: 2,
+            proc: 4,
+            auth: AuthUnix::root("fuzzhost"),
+        };
+        let mut chain = MbufChain::new();
+        hdr.encode(&mut chain, &mut meter);
+        let mut bytes = chain.to_vec_for_test();
+        if flip_byte >= bytes.len() {
+            return Ok(());
+        }
+        bytes[flip_byte] ^= 1 << flip_bit;
+        let flipped = MbufChain::from_slice(&bytes, &mut meter);
+        let mut dec = XdrDecoder::new(&flipped);
+        if let Ok(out) = CallHeader::decode(&mut dec) {
+            if flip_byte >= 4 {
+                prop_assert_eq!(out.xid, xid);
+            }
+        }
+    }
+
+    /// The record reader fed random bytes in random-sized chunks never
+    /// panics, never loses track of its byte accounting, and never
+    /// produces more record payload than it was fed.
+    #[test]
+    fn record_reader_survives_garbage_streams(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(1usize..64, 0..16),
+    ) {
+        let mut meter = CopyMeter::new();
+        let mut reader = RecordReader::new();
+        let mut fed = 0usize;
+        let mut produced = 0usize;
+        let mut rest: &[u8] = &bytes;
+        for cut in cuts {
+            let take = cut.min(rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            fed += take;
+            reader.push(MbufChain::from_slice(chunk, &mut meter));
+            while let Some(rec) = reader.next_record(&mut meter) {
+                produced += rec.len();
+            }
+            // Each extracted record sheds a 4-byte marker, so payload
+            // plus what is still buffered never exceeds the input.
+            prop_assert!(produced + reader.buffered() <= fed);
+        }
+    }
+
+    /// Round-trip: any payloads framed and streamed through arbitrary
+    /// chunk boundaries come back exactly, in order.
+    #[test]
+    fn framed_records_reassemble_across_any_chunking(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..128), 1..6),
+        chunk in 1usize..32,
+    ) {
+        let mut meter = CopyMeter::new();
+        let mut stream = Vec::new();
+        for p in &payloads {
+            let framed = frame_record(MbufChain::from_slice(p, &mut meter), &mut meter);
+            stream.extend_from_slice(&framed.to_vec_for_test());
+        }
+        let mut reader = RecordReader::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for piece in stream.chunks(chunk) {
+            reader.push(MbufChain::from_slice(piece, &mut meter));
+            while let Some(rec) = reader.next_record(&mut meter) {
+                got.push(rec.to_vec_for_test());
+            }
+        }
+        prop_assert_eq!(got, payloads);
+        prop_assert_eq!(reader.buffered(), 0);
+    }
+}

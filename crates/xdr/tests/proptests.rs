@@ -75,3 +75,94 @@ proptest! {
         prop_assert!(dec.get_opaque_var(512).is_err());
     }
 }
+
+/// One decode call against arbitrary bytes. Sizes deliberately range
+/// past the buffer so truncation, oversized claims, and misaligned
+/// tails are all exercised.
+#[derive(Clone, Debug)]
+enum FuzzOp {
+    U32,
+    I32,
+    U64,
+    Bool,
+    OpaqueFixed(usize),
+    OpaqueFixedInto(usize),
+    SkipFixed(usize),
+    OpaqueVar(u32),
+    OpaqueVarInto(usize, u32),
+    Str(u32),
+    SkipVar(u32),
+}
+
+fn fuzz_op_strategy() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        Just(FuzzOp::U32),
+        Just(FuzzOp::I32),
+        Just(FuzzOp::U64),
+        Just(FuzzOp::Bool),
+        (0usize..2048).prop_map(FuzzOp::OpaqueFixed),
+        (0usize..96).prop_map(FuzzOp::OpaqueFixedInto),
+        (0usize..2048).prop_map(FuzzOp::SkipFixed),
+        (0u32..2048).prop_map(FuzzOp::OpaqueVar),
+        ((0usize..96), (0u32..2048)).prop_map(|(c, m)| FuzzOp::OpaqueVarInto(c, m)),
+        (0u32..2048).prop_map(FuzzOp::Str),
+        (0u32..2048).prop_map(FuzzOp::SkipVar),
+    ]
+}
+
+proptest! {
+    /// Every getter, fed random bytes: each call returns `Ok` or `Err`
+    /// (never panics, never reads out of bounds), the cursor only moves
+    /// forward, and `position + remaining` stays the chain length.
+    #[test]
+    fn decoders_survive_arbitrary_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+        ops in proptest::collection::vec(fuzz_op_strategy(), 1..24),
+    ) {
+        let mut meter = CopyMeter::new();
+        let chain = MbufChain::from_slice(&bytes, &mut meter);
+        let total = chain.len();
+        let mut dec = XdrDecoder::new(&chain);
+        let mut last_pos = 0;
+        for op in &ops {
+            match op.clone() {
+                FuzzOp::U32 => { let _ = dec.get_u32(); }
+                FuzzOp::I32 => { let _ = dec.get_i32(); }
+                FuzzOp::U64 => { let _ = dec.get_u64(); }
+                FuzzOp::Bool => { let _ = dec.get_bool(); }
+                FuzzOp::OpaqueFixed(n) => { let _ = dec.get_opaque_fixed(n); }
+                FuzzOp::OpaqueFixedInto(n) => {
+                    let mut dst = vec![0u8; n];
+                    let _ = dec.get_opaque_fixed_into(&mut dst);
+                }
+                FuzzOp::SkipFixed(n) => { let _ = dec.skip_opaque_fixed(n); }
+                FuzzOp::OpaqueVar(max) => {
+                    if let Ok(v) = dec.get_opaque_var(max) {
+                        prop_assert!(v.len() <= max as usize, "item under cap");
+                    }
+                }
+                FuzzOp::OpaqueVarInto(cap, max) => {
+                    let mut dst = vec![0u8; cap];
+                    if let Ok(n) = dec.get_opaque_var_into(&mut dst, max) {
+                        prop_assert!(n <= cap && n <= max as usize);
+                    }
+                }
+                FuzzOp::Str(max) => {
+                    if let Ok(s) = dec.get_string(max) {
+                        prop_assert!(s.len() <= max as usize);
+                    }
+                }
+                FuzzOp::SkipVar(max) => {
+                    if let Ok(n) = dec.skip_opaque_var(max) {
+                        prop_assert!(n <= max as usize);
+                    }
+                }
+            }
+            let pos = dec.position();
+            prop_assert!(pos >= last_pos, "cursor never rewinds");
+            prop_assert!(pos <= total, "cursor never passes the end");
+            prop_assert_eq!(pos + dec.remaining(), total, "position accounting");
+            last_pos = pos;
+        }
+    }
+}

@@ -20,6 +20,11 @@ cargo run -q --release -p renofs-bench --bin repro -- faults --scale quick >/dev
 echo "==> repro crowd --scale quick (smoke)"
 cargo run -q --release -p renofs-bench --bin repro -- crowd --scale quick >/dev/null
 
+echo "==> repro soak --seeds 24 --scale quick (chaos oracle gate)"
+# Exits nonzero on any oracle violation; a fixed seed range keeps the
+# gate deterministic and bounded.
+cargo run -q --release -p renofs-bench --bin repro -- soak --seeds 24 --scale quick >/dev/null
+
 echo "==> cargo test -p renofs-bench --features profile (alloc discipline + profiler)"
 cargo test -q -p renofs-bench --features profile --release
 
