@@ -1,7 +1,7 @@
 //! The experiment runner: one subcommand per paper table/figure.
 //!
 //! ```text
-//! repro <experiment> [--quick | --scale quick|paper] [--jobs N] [--profile]
+//! repro <experiment> [--quick | --scale quick|paper] [--jobs N] [--sim-threads N] [--profile]
 //!
 //! experiments:
 //!   graph1..graph5   RTT vs load per transport and topology
@@ -21,12 +21,18 @@
 //!   ablation-readdirplus
 //!   all              everything above
 //!   bench            the simulator benchmarking itself (see below)
+//!   pdes-smoke       256-client PDES determinism smoke gate
 //! ```
 //!
 //! `--jobs N` sets the worker-thread count for the parallel job runner
 //! (default: all hardware threads). Results are byte-identical on
 //! stdout for any `--jobs` value; per-experiment wall-clock timing goes
 //! to stderr so it never perturbs the comparable output.
+//!
+//! `--sim-threads N` sets the OS-thread count driving each multi-client
+//! world's event loop (the conservative-PDES domain executor; see
+//! DESIGN.md §11). The default of 1 runs the same bounded-round
+//! protocol inline, and output is byte-identical for any value.
 //!
 //! `--profile` prints the self-profiler's subsystem table (events,
 //! wall-clock, allocations) to stderr after the run. It needs the
@@ -37,14 +43,21 @@
 //! `BinaryHeap` baseline, and the adaptive queue, each replaying
 //! identical recorded schedules — including a 64-client crowd trace)
 //! plus a timed pass over every experiment, and writes
-//! `BENCH_pr4.json`. `repro bench --check FILE` re-runs just the
-//! microbenches and exits nonzero if throughput regressed >30% against
-//! the committed numbers.
+//! `BENCH_pr4.json`; it then runs the PDES crowd matrix (256- and
+//! 1,024-client worlds, monolithic baseline vs 1/2/4/8 sim threads)
+//! and writes `BENCH_pr6.json` with `nproc`/rustc metadata. `repro
+//! bench --check FILE` re-runs the microbenches and the PDES matrix
+//! and exits nonzero if throughput regressed >30% against the
+//! committed numbers, the adaptive queue trails the heap >5% on the
+//! shallow replay, the partitioned engine costs >10% at one sim
+//! thread, any thread count diverges from the monolithic state hash,
+//! or (given ≥4 cores) 4 sim threads fail a 2x speedup. Gates that
+//! need more cores than the machine has are reported as skipped.
 
 use std::time::Instant;
 
-use renofs_bench::bench;
 use renofs_bench::Scale;
+use renofs_bench::{bench, pdes};
 use renofs_workload::andrew::AndrewSpec;
 
 // With the `profile` feature, count every heap allocation so the
@@ -56,8 +69,9 @@ static ALLOC: renofs_sim::profile::CountingAlloc = renofs_sim::profile::Counting
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|bench> [--quick | --scale quick|paper] [--jobs N] \
-         [--profile] [--out FILE] [--check FILE] [--seeds N] [--case SPEC]"
+        "usage: repro <experiment|all|bench|pdes-smoke> [--quick | --scale quick|paper] \
+         [--jobs N] [--sim-threads N] [--profile] [--out FILE] [--check FILE] [--seeds N] \
+         [--case SPEC]"
     );
     eprintln!(
         "soak: `repro soak --seeds N` sweeps chaos seeds 0..N; `repro soak --case \
@@ -72,6 +86,7 @@ struct Options {
     what: String,
     quick: bool,
     jobs: usize,
+    sim_threads: usize,
     profile: bool,
     out: String,
     check: Option<String>,
@@ -84,6 +99,7 @@ fn parse_args() -> Options {
     let mut what = None;
     let mut quick = false;
     let mut jobs = renofs_bench::runner::default_jobs();
+    let mut sim_threads = 1;
     let mut profile = false;
     let mut out = "BENCH_pr4.json".to_string();
     let mut check = None;
@@ -105,6 +121,13 @@ fn parse_args() -> Options {
             "--jobs" => {
                 i += 1;
                 jobs = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => usage(),
+                };
+            }
+            "--sim-threads" => {
+                i += 1;
+                sim_threads = match args.get(i).and_then(|v| v.parse().ok()) {
                     Some(n) if n >= 1 => n,
                     _ => usage(),
                 };
@@ -152,6 +175,7 @@ fn parse_args() -> Options {
         what: what.unwrap_or_else(|| "all".to_string()),
         quick,
         jobs,
+        sim_threads,
         profile,
         out,
         check,
@@ -189,9 +213,13 @@ fn run_soak_mode(opts: &Options, scale: &Scale) {
     }
 }
 
+/// Where the PDES matrix lands (next to the PR 4 queue-replay report).
+const PDES_OUT: &str = "BENCH_pr6.json";
+
 fn run_bench_mode(opts: &Options, scale: &Scale, spec: &AndrewSpec) {
     let checking = opts.check.is_some();
     let report = bench::run_bench(scale, spec, opts.jobs, !checking);
+    let pdes_report = pdes::run_pdes_section(scale, &report.scale_name);
     match &opts.check {
         Some(path) => {
             let committed = match std::fs::read_to_string(path) {
@@ -208,14 +236,37 @@ fn run_bench_mode(opts: &Options, scale: &Scale, spec: &AndrewSpec) {
                     std::process::exit(1);
                 }
             }
+            // The PDES gates judge the fresh matrix (determinism,
+            // sequential overhead, core-conditioned speedup), not a
+            // committed file: wall-clocks only compare within one
+            // machine and one run.
+            match pdes_report.check() {
+                Ok(msg) => eprintln!("[bench] pdes: {msg}"),
+                Err(msg) => {
+                    eprintln!("[bench] FAIL: pdes: {msg}");
+                    std::process::exit(1);
+                }
+            }
         }
         None => {
             if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
                 eprintln!("[bench] cannot write {}: {e}", opts.out);
                 std::process::exit(1);
             }
+            if let Err(e) = std::fs::write(PDES_OUT, pdes_report.to_json()) {
+                eprintln!("[bench] cannot write {PDES_OUT}: {e}");
+                std::process::exit(1);
+            }
             print!("{}", report.summary());
-            eprintln!("[bench] wrote {}", opts.out);
+            print!("{}", pdes_report.summary());
+            match pdes_report.check() {
+                Ok(msg) => eprintln!("[bench] pdes: {msg}"),
+                Err(msg) => {
+                    eprintln!("[bench] FAIL: pdes: {msg}");
+                    std::process::exit(1);
+                }
+            }
+            eprintln!("[bench] wrote {} and {PDES_OUT}", opts.out);
         }
     }
 }
@@ -228,6 +279,7 @@ fn main() {
         Scale::paper()
     };
     scale.jobs = opts.jobs;
+    scale.sim_threads = opts.sim_threads;
     let spec = if opts.quick {
         AndrewSpec::small()
     } else {
@@ -243,6 +295,17 @@ fn main() {
         run_bench_mode(&opts, &scale, &spec);
         if opts.profile {
             eprint!("{}", renofs_sim::profile::report());
+        }
+        return;
+    }
+
+    if opts.what == "pdes-smoke" {
+        match pdes::pdes_smoke(&scale) {
+            Ok(msg) => eprintln!("[pdes-smoke] {msg}"),
+            Err(msg) => {
+                eprintln!("[pdes-smoke] FAIL: {msg}");
+                std::process::exit(1);
+            }
         }
         return;
     }

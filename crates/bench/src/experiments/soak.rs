@@ -474,6 +474,18 @@ fn cross_reads<S: Syscalls>(
 
 /// Runs one soak world and checks it against the oracle.
 pub fn run_case(case: &SoakCase, mutation: Mutation) -> CaseOutcome {
+    run_case_with_threads(case, mutation, 1)
+}
+
+/// [`run_case`] with an explicit simulation-thread count. Chaos worlds
+/// whose fault roster is crash-only still carve into per-client domains,
+/// so the soak doubles as a PDES determinism surface: the outcome must
+/// be byte-identical at any `sim_threads`.
+pub fn run_case_with_threads(
+    case: &SoakCase,
+    mutation: Mutation,
+    sim_threads: usize,
+) -> CaseOutcome {
     let derived = derive_world(case.seed);
     let kept: Vec<WindowSpec> = case
         .windows
@@ -493,6 +505,7 @@ pub fn run_case(case: &SoakCase, mutation: Mutation) -> CaseOutcome {
     cfg.nfsds = derived.nfsds;
     cfg.server.dup_cache = mutation != Mutation::NoDupCache;
     cfg.faults = plan;
+    cfg.sim_threads = sim_threads;
     cfg.mount = if derived.soft {
         MountOptions::soft(3)
     } else {
@@ -946,7 +959,7 @@ pub fn soak_with(scale: &Scale, first: u64, count: usize, mutation: Mutation) ->
     let rows = run_jobs(&seeds, scale.jobs, |&seed| {
         let case = SoakCase::from_seed(seed);
         let d = derive_world(seed);
-        let outcome = run_case(&case, mutation);
+        let outcome = run_case_with_threads(&case, mutation, scale.sim_threads);
         let mut kinds: Vec<&'static str> = Vec::new();
         for w in &d.windows {
             if !kinds.contains(&w.label()) {

@@ -10,6 +10,7 @@
 pub mod bench;
 pub mod experiments;
 pub mod fmt;
+pub mod pdes;
 pub mod runner;
 
 pub use experiments::scale::Scale;

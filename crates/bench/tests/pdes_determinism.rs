@@ -1,0 +1,84 @@
+//! Byte-identical experiment output across the full `--sim-threads` ×
+//! `--jobs` matrix.
+//!
+//! `--jobs` parallelizes across independent worlds and was proven
+//! determinism-safe in the runner; `--sim-threads` parallelizes *inside*
+//! one world via the conservative-PDES engine (DESIGN.md §11). Neither
+//! axis — nor their product — may perturb a single rendered byte. The
+//! crowd experiment is the matrix workhorse because its cells carve
+//! (quiet background, UDP) while its TCP cells exercise the monolithic
+//! fallback in the same report; the chaos soak adds fault plans and
+//! oracle bookkeeping on top.
+
+use renofs::{World, WorldConfig};
+use renofs_bench::experiments::{crowd, soak};
+use renofs_bench::Scale;
+use renofs_sim::SimDuration;
+
+fn scale(sim_threads: usize, jobs: usize) -> Scale {
+    let mut s = Scale::quick();
+    s.duration = SimDuration::from_secs(4);
+    s.warmup = SimDuration::from_secs(1);
+    s.nfiles = 12;
+    s.jobs = jobs;
+    s.sim_threads = sim_threads;
+    s
+}
+
+/// The carve guard: the representative crowd world — multi-client,
+/// quiet background, UDP — must actually run partitioned, or the whole
+/// matrix below degenerates into comparing the monolithic engine with
+/// itself.
+#[test]
+fn quiet_udp_multiclient_worlds_carve() {
+    let mut cfg = WorldConfig::baseline();
+    cfg.clients = 4;
+    let world = World::new(cfg);
+    assert!(
+        world.is_partitioned(),
+        "a quiet multi-client UDP world must carve into domains"
+    );
+}
+
+/// The tentpole contract at the experiment level: every `--sim-threads`
+/// value at every `--jobs` level renders the same crowd table, byte for
+/// byte.
+#[test]
+fn crowd_output_is_byte_identical_across_the_matrix() {
+    let baseline = crowd::crowd_with_counts(&scale(1, 1), &[2]).to_string();
+    assert!(
+        baseline.contains("same LAN"),
+        "baseline report rendered: {baseline}"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        for jobs in [1usize, 4] {
+            if (threads, jobs) == (1, 1) {
+                continue;
+            }
+            let got = crowd::crowd_with_counts(&scale(threads, jobs), &[2]).to_string();
+            assert_eq!(
+                got, baseline,
+                "crowd output diverged at sim_threads={threads} jobs={jobs}"
+            );
+        }
+    }
+}
+
+/// The chaos soak — randomized fault plans, oracle verdicts, shrunk
+/// case specs — through the same matrix (a lighter corner of it: the
+/// soak already replays every case twice per seed for its determinism
+/// oracle).
+#[test]
+fn soak_output_is_byte_identical_across_sim_threads() {
+    let render = |threads: usize, jobs: usize| {
+        soak::soak_with(&scale(threads, jobs), 0, 2, soak::Mutation::None).to_string()
+    };
+    let baseline = render(1, 1);
+    for (threads, jobs) in [(4usize, 1usize), (1, 2), (4, 2)] {
+        let got = render(threads, jobs);
+        assert_eq!(
+            got, baseline,
+            "soak output diverged at sim_threads={threads} jobs={jobs}"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Partitioned ⇔ monolithic equivalence under randomized fault plans.
+//!
+//! The conservative-PDES engine (DESIGN.md §11) promises byte-identical
+//! results to the historical single-queue loop, whatever the thread
+//! count and whatever the world throws at it. This property test builds
+//! a two-client world, draws a random fault plan — server crash windows
+//! (which partitioned worlds absorb: the crash is a hub event and the
+//! client console notes are pre-scheduled per domain) plus occasional
+//! link faults (which must refuse the carve and fall back to the
+//! monolithic engine) — and requires the full observable state to match
+//! between a forced-monolithic run and a 2-thread partitioned run.
+
+use proptest::prelude::*;
+use renofs::client::{ClientConfig, ClientFs};
+use renofs::{Syscalls, TopologyKind, TransportKind, World, WorldConfig};
+use renofs_netsim::FaultPlan;
+use renofs_sim::{SimDuration, SimTime};
+use std::sync::mpsc::channel;
+
+/// Decodes `(kind, at, dur)` draws into a plan. Three in four events are
+/// server crashes so most cases exercise the partitioned engine; the
+/// fourth kind is a partition, which makes the world refuse to carve.
+/// Returns the plan and whether it contains any link fault.
+fn build_plan(events: &[(u8, u16, u16)]) -> (FaultPlan, bool) {
+    let mut plan = FaultPlan::new();
+    let mut link_fault = false;
+    for &(kind, at_ms, dur_ms) in events {
+        let at = SimTime::from_millis(500 + (at_ms % 5000) as u64);
+        if kind % 4 == 3 {
+            link_fault = true;
+            plan = plan.partition(at, SimDuration::from_millis(300 + (dur_ms % 1500) as u64));
+        } else {
+            plan = plan.server_crash(at, SimDuration::from_millis(300 + (dur_ms % 2500) as u64));
+        }
+    }
+    (plan, link_fault)
+}
+
+/// Every observable the simulation exposes, Debug-formatted: final
+/// clock, per-client console events and transport counters, server op
+/// counters, nfsd pool stats, and the server filesystem's full contents.
+fn digest(world: &mut World) -> String {
+    let mut out = format!("now={:?}\n", world.now());
+    for ci in 0..world.client_count() {
+        out.push_str(&format!(
+            "client{ci}: events={:?} udp={:?}\n",
+            world.client_events_of(ci),
+            world.udp_stats_of(ci)
+        ));
+    }
+    out.push_str(&format!(
+        "server={:?} nfsd={:?}\n",
+        world.server().stats(),
+        world.nfsd_stats()
+    ));
+    let root = world.server().fs().root();
+    let (entries, eof) = world.server().fs().readdir(root, 0, 1024).unwrap();
+    assert!(eof, "digest walks the whole directory");
+    for (_cookie, name, ino) in entries {
+        let attr = world.server().fs().getattr(ino).unwrap();
+        let data = world
+            .server_mut()
+            .fs_mut()
+            .read(ino, 0, attr.size, SimTime::ZERO)
+            .unwrap_or_default();
+        out.push_str(&format!("file {name}: {data:?}\n"));
+    }
+    out
+}
+
+/// Two hard-mount clients create, overwrite, rename and remove files
+/// under the fault plan; returns the world digest and whether the run
+/// actually used the partitioned engine.
+fn run_world(plan: &FaultPlan, sim_threads: usize, force_monolithic: bool) -> (String, bool) {
+    let mut cfg = WorldConfig::baseline();
+    cfg.topology = TopologyKind::SameLan;
+    cfg.transport = TransportKind::UdpDynamic {
+        timeo: SimDuration::from_secs(1),
+    };
+    cfg.clients = 2;
+    cfg.nfsds = 2;
+    cfg.sim_threads = sim_threads;
+    cfg.force_monolithic = force_monolithic;
+    cfg.faults = plan.clone();
+    let mut world = World::new(cfg);
+    let root = world.root_handle();
+    let (tx, rx) = channel();
+    for ci in 0..2usize {
+        let tx = tx.clone();
+        world.spawn_on(ci, move |sys| {
+            let host = if ci == 0 { "uvax1" } else { "uvax2" };
+            let mut fs = ClientFs::mount(sys, ClientConfig::reno(), root, host);
+            for i in 0..4u32 {
+                let name = format!("/c{ci}_{i}.dat");
+                let fh = fs.open(&name, true, false).unwrap();
+                let body: Vec<u8> = (0..(300 + i * 41))
+                    .map(|b| (b * 11 + i + ci as u32 * 7) as u8)
+                    .collect();
+                fs.write(fh, 0, &body).unwrap();
+                fs.close(fh).unwrap();
+                fs.sys().sleep(SimDuration::from_millis(600));
+            }
+            fs.rename(&format!("/c{ci}_0.dat"), &format!("/r{ci}.dat"))
+                .unwrap();
+            fs.remove(&format!("/c{ci}_2.dat")).unwrap();
+            tx.send(ci).unwrap();
+        });
+    }
+    world.run();
+    for _ in 0..2 {
+        rx.recv().expect("hard-mount workload completed every op");
+    }
+    let partitioned = world.is_partitioned();
+    (digest(&mut world), partitioned)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn partitioned_runs_match_monolithic_under_random_faults(
+        events in proptest::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u16>()),
+            0..3,
+        ),
+    ) {
+        let (plan, link_fault) = build_plan(&events);
+        let (mono, mono_part) = run_world(&plan, 1, true);
+        let (pdes, pdes_part) = run_world(&plan, 2, false);
+        prop_assert!(!mono_part, "force_monolithic must defeat the carve");
+        if link_fault {
+            prop_assert!(
+                !pdes_part,
+                "a link fault must make the world refuse to carve"
+            );
+        } else {
+            prop_assert!(
+                pdes_part,
+                "a quiet UDP LAN (even with server crashes) must carve"
+            );
+        }
+        prop_assert_eq!(
+            mono,
+            pdes,
+            "partitioned execution diverged from the monolithic engine"
+        );
+    }
+}

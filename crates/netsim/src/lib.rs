@@ -18,6 +18,7 @@
 //! queue plus any datagrams that completed reassembly at their
 //! destination.
 
+pub mod access;
 pub mod checksum;
 pub mod faults;
 pub mod link;
@@ -26,10 +27,11 @@ pub mod nic;
 pub mod packet;
 pub mod topology;
 
+pub use access::{AccessCarve, AccessNet};
 pub use checksum::internet_checksum;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultWindows};
 pub use link::{LinkParams, LinkStats, TxResult};
-pub use network::{Delivery, NetEvent, NetOutput, Network};
+pub use network::{Delivery, NetEvent, NetOutput, NetStats, Network};
 pub use nic::{NicConfig, NicProfile, TxCopyMode};
 pub use packet::{Datagram, Fragment, ProtoHeader, TcpFlags, IP_HEADER, TCP_HEADER, UDP_HEADER};
 pub use topology::{LinkId, NodeId, NodeKind, Topology};

@@ -113,21 +113,214 @@ struct ReasmState {
     corrupted: bool,
 }
 
+/// The per-host IP reassembly machinery: in-progress datagrams keyed by
+/// `(host, src, dgram id)`, the part-list recycling pool, and the
+/// reassembly timeout.
+///
+/// Factored out of [`Network`] so a partitioned world's client domains
+/// ([`crate::AccessNet`]) run the identical reassembly code on their own
+/// state instead of sharing the hub's map.
+pub(crate) struct Reassembler {
+    reasm: HashMap<(NodeId, NodeId, u64), ReasmState>,
+    timeout: SimDuration,
+    /// Cleared part-lists recycled between reassembly states.
+    parts_pool: Vec<Vec<(usize, MbufChain)>>,
+}
+
+impl Reassembler {
+    pub(crate) fn new() -> Self {
+        Reassembler {
+            reasm: HashMap::new(),
+            timeout: SimDuration::from_secs(20),
+            parts_pool: Vec::new(),
+        }
+    }
+
+    /// Whether no datagrams are mid-reassembly.
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.reasm.is_empty()
+    }
+
+    /// Offers one arrived fragment at `host`.
+    ///
+    /// Clean completed datagrams are appended to `out.delivered`;
+    /// datagrams assembled from damaged fragments are returned instead so
+    /// the caller can apply its checksum policy (which may draw from an
+    /// RNG this struct deliberately does not own).
+    pub(crate) fn offer(
+        &mut self,
+        now: SimTime,
+        host: NodeId,
+        frag: Fragment,
+        stats: &mut NetStats,
+        out: &mut NetOutput,
+    ) -> Option<(Datagram, usize)> {
+        if frag.is_whole() {
+            let dgram = Datagram {
+                id: frag.dgram_id,
+                src: frag.src,
+                dst: frag.dst,
+                proto: frag.proto,
+                payload: frag.payload,
+            };
+            if frag.corrupted {
+                return Some((dgram, 1));
+            }
+            stats.datagrams_delivered += 1;
+            out.delivered.push(Delivery {
+                host,
+                dgram,
+                frags: 1,
+            });
+            return None;
+        }
+        let key = (host, frag.src, frag.dgram_id);
+        let fresh = !self.reasm.contains_key(&key);
+        let state = self.reasm.entry(key).or_insert_with(|| ReasmState {
+            parts: self.parts_pool.pop().unwrap_or_default(),
+            total_len: frag.total_len,
+            received: 0,
+            corrupted: false,
+        });
+        state.corrupted |= frag.corrupted;
+        if fresh {
+            out.events.push((
+                now + self.timeout,
+                NetEvent::ReasmExpire {
+                    host,
+                    src: frag.src,
+                    dgram_id: frag.dgram_id,
+                },
+            ));
+        }
+        // Ignore duplicate offsets (a retransmitted fragment).
+        if state.parts.iter().any(|&(off, _)| off == frag.offset) {
+            return None;
+        }
+        state.received += frag.payload.len();
+        let (src, proto, dgram_id) = (frag.src, frag.proto, frag.dgram_id);
+        state.parts.push((frag.offset, frag.payload));
+        if state.received < state.total_len {
+            return None;
+        }
+        // Complete: stitch parts in offset order.
+        let mut state = self.reasm.remove(&key).expect("state just touched");
+        state.parts.sort_by_key(|&(off, _)| off);
+        let frags = state.parts.len();
+        let mut payload = MbufChain::new();
+        for (_, part) in state.parts.drain(..) {
+            payload.append_chain(part);
+        }
+        self.recycle_parts(state.parts);
+        let dgram = Datagram {
+            id: dgram_id,
+            src,
+            dst: host,
+            proto,
+            payload,
+        };
+        if state.corrupted {
+            return Some((dgram, frags));
+        }
+        stats.datagrams_delivered += 1;
+        out.delivered.push(Delivery { host, dgram, frags });
+        None
+    }
+
+    /// Fires the reassembly timer for `(host, src, dgram_id)`, discarding
+    /// any incomplete datagram.
+    pub(crate) fn expire(
+        &mut self,
+        host: NodeId,
+        src: NodeId,
+        dgram_id: u64,
+        stats: &mut NetStats,
+    ) {
+        if let Some(state) = self.reasm.remove(&(host, src, dgram_id)) {
+            stats.reasm_failures += 1;
+            self.recycle_parts(state.parts);
+        }
+    }
+
+    /// Parks a drained part-list for reuse by a future reassembly.
+    fn recycle_parts(&mut self, mut parts: Vec<(usize, MbufChain)>) {
+        parts.clear();
+        if self.parts_pool.len() < 64 {
+            self.parts_pool.push(parts);
+        }
+    }
+}
+
+/// Splits a datagram into MTU-sized fragments appended to `frags`.
+/// Fragment payload chains share the original's clusters, so this copies
+/// (almost) nothing — exactly like the BSD `ip_output` fragmentation
+/// path. Shared by the hub [`Network`] and the per-client
+/// [`crate::AccessNet`].
+pub(crate) fn fragment_into(
+    dgram: Datagram,
+    mtu: usize,
+    frags: &mut Vec<Fragment>,
+    meter: &mut CopyMeter,
+    stats: &mut NetStats,
+) {
+    let total_len = dgram.payload.len();
+    let hdr_len = dgram.proto.header_len();
+    // First fragment carries the transport header.
+    let first_cap = round8(mtu - IP_HEADER - hdr_len);
+    let rest_cap = round8(mtu - IP_HEADER);
+    if hdr_len + total_len + IP_HEADER <= mtu {
+        stats.frags_built += 1;
+        frags.push(Fragment {
+            dgram_id: dgram.id,
+            src: dgram.src,
+            dst: dgram.dst,
+            proto: dgram.proto,
+            offset: 0,
+            total_len,
+            more: false,
+            corrupted: false,
+            payload: dgram.payload,
+        });
+        return;
+    }
+    let mut off = 0;
+    while off < total_len || (off == 0 && total_len == 0) {
+        let cap = if off == 0 { first_cap } else { rest_cap };
+        let take = cap.min(total_len - off);
+        let payload = dgram.payload.share_range(off, take, meter);
+        let more = off + take < total_len;
+        stats.frags_built += 1;
+        frags.push(Fragment {
+            dgram_id: dgram.id,
+            src: dgram.src,
+            dst: dgram.dst,
+            proto: dgram.proto,
+            offset: off,
+            total_len,
+            more,
+            corrupted: false,
+            payload,
+        });
+        off += take;
+        if take == 0 {
+            break;
+        }
+    }
+}
+
 /// The simulated internetwork.
 pub struct Network {
     topo: Topology,
     rng: Rng,
     next_id: u64,
-    reasm: HashMap<(NodeId, NodeId, u64), ReasmState>,
-    reasm_timeout: SimDuration,
+    reasm: Reassembler,
     scratch_meter: CopyMeter,
     stats: NetStats,
     /// Scratch for fragment lists; drained after every use, so
     /// fragmentation reuses one grown buffer instead of allocating a
     /// `Vec<Fragment>` per datagram.
     frag_scratch: Vec<Fragment>,
-    /// Cleared part-lists recycled between reassembly states.
-    parts_pool: Vec<Vec<(usize, MbufChain)>>,
 }
 
 impl Network {
@@ -137,12 +330,10 @@ impl Network {
             topo,
             rng: Rng::new(seed),
             next_id: 1,
-            reasm: HashMap::new(),
-            reasm_timeout: SimDuration::from_secs(20),
+            reasm: Reassembler::new(),
             scratch_meter: CopyMeter::new(),
             stats: NetStats::default(),
             frag_scratch: Vec::new(),
-            parts_pool: Vec::new(),
         }
     }
 
@@ -199,64 +390,18 @@ impl Network {
         let mtu = self.topo.link(first_link).params().mtu;
         let mut frags = std::mem::take(&mut self.frag_scratch);
         debug_assert!(frags.is_empty());
-        self.fragment_into(dgram, mtu, &mut frags);
+        fragment_into(
+            dgram,
+            mtu,
+            &mut frags,
+            &mut self.scratch_meter,
+            &mut self.stats,
+        );
         for frag in frags.drain(..) {
             self.stats.frags_sent += 1;
             self.offer_to_link(now, first_link, frag, out);
         }
         self.frag_scratch = frags;
-    }
-
-    /// Splits a datagram into MTU-sized fragments appended to `frags`.
-    /// Fragment payload chains share the original's clusters, so this
-    /// copies (almost) nothing — exactly like the BSD `ip_output`
-    /// fragmentation path.
-    fn fragment_into(&mut self, dgram: Datagram, mtu: usize, frags: &mut Vec<Fragment>) {
-        let total_len = dgram.payload.len();
-        let hdr_len = dgram.proto.header_len();
-        // First fragment carries the transport header.
-        let first_cap = round8(mtu - IP_HEADER - hdr_len);
-        let rest_cap = round8(mtu - IP_HEADER);
-        if hdr_len + total_len + IP_HEADER <= mtu {
-            self.stats.frags_built += 1;
-            frags.push(Fragment {
-                dgram_id: dgram.id,
-                src: dgram.src,
-                dst: dgram.dst,
-                proto: dgram.proto,
-                offset: 0,
-                total_len,
-                more: false,
-                corrupted: false,
-                payload: dgram.payload,
-            });
-            return;
-        }
-        let mut off = 0;
-        while off < total_len || (off == 0 && total_len == 0) {
-            let cap = if off == 0 { first_cap } else { rest_cap };
-            let take = cap.min(total_len - off);
-            let payload = dgram
-                .payload
-                .share_range(off, take, &mut self.scratch_meter);
-            let more = off + take < total_len;
-            self.stats.frags_built += 1;
-            frags.push(Fragment {
-                dgram_id: dgram.id,
-                src: dgram.src,
-                dst: dgram.dst,
-                proto: dgram.proto,
-                offset: off,
-                total_len,
-                more,
-                corrupted: false,
-                payload,
-            });
-            off += take;
-            if take == 0 {
-                break;
-            }
-        }
     }
 
     fn offer_to_link(
@@ -333,10 +478,7 @@ impl Network {
                 src,
                 dgram_id,
             } => {
-                if let Some(state) = self.reasm.remove(&(host, src, dgram_id)) {
-                    self.stats.reasm_failures += 1;
-                    self.recycle_parts(state.parts);
-                }
+                self.reasm.expire(host, src, dgram_id, &mut self.stats);
             }
         }
     }
@@ -410,77 +552,9 @@ impl Network {
     }
 
     fn reassemble(&mut self, now: SimTime, host: NodeId, frag: Fragment, out: &mut NetOutput) {
-        if frag.is_whole() {
-            let dgram = Datagram {
-                id: frag.dgram_id,
-                src: frag.src,
-                dst: frag.dst,
-                proto: frag.proto,
-                payload: frag.payload,
-            };
-            if frag.corrupted {
-                self.deliver_corrupted(host, dgram, 1, out);
-            } else {
-                self.stats.datagrams_delivered += 1;
-                out.delivered.push(Delivery {
-                    host,
-                    dgram,
-                    frags: 1,
-                });
-            }
-            return;
-        }
-        let key = (host, frag.src, frag.dgram_id);
-        let fresh = !self.reasm.contains_key(&key);
-        let state = self.reasm.entry(key).or_insert_with(|| ReasmState {
-            parts: self.parts_pool.pop().unwrap_or_default(),
-            total_len: frag.total_len,
-            received: 0,
-            corrupted: false,
-        });
-        state.corrupted |= frag.corrupted;
-        if fresh {
-            out.events.push((
-                now + self.reasm_timeout,
-                NetEvent::ReasmExpire {
-                    host,
-                    src: frag.src,
-                    dgram_id: frag.dgram_id,
-                },
-            ));
-        }
-        // Ignore duplicate offsets (a retransmitted fragment).
-        if state.parts.iter().any(|&(off, _)| off == frag.offset) {
-            return;
-        }
-        state.received += frag.payload.len();
-        let (src, proto, dgram_id) = (frag.src, frag.proto, frag.dgram_id);
-        state.parts.push((frag.offset, frag.payload));
-        if state.received < state.total_len {
-            return;
-        }
-        // Complete: stitch parts in offset order.
-        let mut state = self.reasm.remove(&key).expect("state just touched");
-        state.parts.sort_by_key(|&(off, _)| off);
-        let frags = state.parts.len();
-        let mut payload = MbufChain::new();
-        for (_, part) in state.parts.drain(..) {
-            payload.append_chain(part);
-        }
-        self.recycle_parts(state.parts);
-        let dgram = Datagram {
-            id: dgram_id,
-            src,
-            dst: host,
-            proto,
-            payload,
-        };
-        if state.corrupted {
+        if let Some((dgram, frags)) = self.reasm.offer(now, host, frag, &mut self.stats, out) {
             self.deliver_corrupted(host, dgram, frags, out);
-            return;
         }
-        self.stats.datagrams_delivered += 1;
-        out.delivered.push(Delivery { host, dgram, frags });
     }
 
     /// Fraction of corrupted UDP datagrams that slip past the receiver's
@@ -521,16 +595,6 @@ impl Network {
         dgram.payload = MbufChain::from_slice(&garbage, &mut scramble_meter);
         self.stats.datagrams_delivered += 1;
         out.delivered.push(Delivery { host, dgram, frags });
-    }
-}
-
-impl Network {
-    /// Parks a drained part-list for reuse by a future reassembly.
-    fn recycle_parts(&mut self, mut parts: Vec<(usize, MbufChain)>) {
-        parts.clear();
-        if self.parts_pool.len() < 64 {
-            self.parts_pool.push(parts);
-        }
     }
 }
 

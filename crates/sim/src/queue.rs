@@ -179,12 +179,29 @@ impl<E> EventQueue<E> {
     /// Events scheduled in the past are clamped to the current time, so a
     /// zero-delay "immediate" event is always safe to post.
     pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.insert(at, seq, event);
+    }
+
+    /// Schedules `event` at time `at` under a caller-supplied tie-break
+    /// key instead of the internal counter.
+    ///
+    /// This is the PDES entry point: per-domain queues order simultaneous
+    /// events by a globally unique `(creator domain, creator seq)` key so
+    /// the merge order is identical whether domains run interleaved on one
+    /// thread or concurrently on many. A queue must be fed *either* keyed
+    /// or unkeyed pushes, never a mix — the internal counter does not
+    /// advance past caller keys.
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, event: E) {
+        self.insert(at, key, event);
+    }
+
+    fn insert(&mut self, at: SimTime, seq: u64, event: E) {
         if let Some(t) = self.trace.as_mut() {
             t.push(QueueOp::Push(at));
         }
         let time = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
         let entry = Entry { time, seq, event };
         self.len += 1;
         if self.len > self.peak {
@@ -212,6 +229,13 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, advancing the clock to it.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(t, _, e)| (t, e))
+    }
+
+    /// Like [`pop`](Self::pop), but also returns the event's tie-break key
+    /// (the internal counter, or the caller key under
+    /// [`push_keyed`](Self::push_keyed)).
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
         if self.near.is_empty() {
             self.refill();
         }
@@ -224,7 +248,7 @@ impl<E> EventQueue<E> {
             t.push(QueueOp::Pop);
         }
         crate::profile::count_event();
-        Some((entry.time, entry.event))
+        Some((entry.time, entry.seq, entry.event))
     }
 
     /// The time of the earliest pending event, if any.
@@ -236,6 +260,16 @@ impl<E> EventQueue<E> {
             self.refill();
         }
         self.near.peek().map(|e| e.time)
+    }
+
+    /// The `(time, key)` of the earliest pending event, if any, without
+    /// removing it. Takes `&mut self` for the same cursor-advance reason
+    /// as [`peek_time`](Self::peek_time).
+    pub fn peek_keyed(&mut self) -> Option<(SimTime, u64)> {
+        if self.near.is_empty() {
+            self.refill();
+        }
+        self.near.peek().map(|e| (e.time, e.seq))
     }
 
     /// Number of pending events.
@@ -359,10 +393,18 @@ pub mod baseline {
     use std::collections::BinaryHeap;
 
     /// A time-ordered queue of simulation events backed by one binary heap.
+    ///
+    /// Carries the same counters and trace hook as the timer wheel, so the
+    /// [`AdaptiveQueue`](super::AdaptiveQueue) can delegate all bookkeeping
+    /// to whichever backend is live — the wrapper adds no per-operation
+    /// state of its own — and so the bench compares like against like.
     pub struct HeapQueue<E> {
         heap: BinaryHeap<Entry<E>>,
         seq: u64,
         now: SimTime,
+        pops: u64,
+        peak: usize,
+        pub(super) trace: Option<Vec<QueueOp>>,
     }
 
     impl<E> Default for HeapQueue<E> {
@@ -378,6 +420,9 @@ pub mod baseline {
                 heap: BinaryHeap::new(),
                 seq: 0,
                 now: SimTime::ZERO,
+                pops: 0,
+                peak: 0,
+                trace: None,
             }
         }
 
@@ -388,23 +433,81 @@ pub mod baseline {
 
         /// Schedules `event` at time `at`, clamping past times to `now`.
         pub fn push(&mut self, at: SimTime, event: E) {
-            let time = at.max(self.now);
             let seq = self.seq;
             self.seq += 1;
-            self.heap.push(Entry { time, seq, event });
+            self.push_keyed(at, seq, event);
+        }
+
+        /// Schedules `event` under a caller-supplied tie-break key. Keyed
+        /// and unkeyed pushes must not be mixed on one queue; see
+        /// [`EventQueue::push_keyed`](super::EventQueue::push_keyed).
+        pub fn push_keyed(&mut self, at: SimTime, key: u64, event: E) {
+            if let Some(t) = self.trace.as_mut() {
+                t.push(QueueOp::Push(at));
+            }
+            let time = at.max(self.now);
+            self.heap.push(Entry {
+                time,
+                seq: key,
+                event,
+            });
+            if self.heap.len() > self.peak {
+                self.peak = self.heap.len();
+            }
         }
 
         /// Removes and returns the earliest event, advancing the clock.
         pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            self.pop_keyed().map(|(t, _, e)| (t, e))
+        }
+
+        /// Like [`pop`](Self::pop), but also returns the tie-break key.
+        pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
             let entry = self.heap.pop()?;
             debug_assert!(entry.time >= self.now, "time ran backwards");
             self.now = entry.time;
-            Some((entry.time, entry.event))
+            self.pops += 1;
+            crate::profile::count_event();
+            if let Some(t) = self.trace.as_mut() {
+                t.push(QueueOp::Pop);
+            }
+            Some((entry.time, entry.seq, entry.event))
+        }
+
+        /// Pops without counting, tracing, or profiling: promotion uses
+        /// this to drain entries into the wheel so the migration is
+        /// invisible to every observer.
+        pub(super) fn drain_pop(&mut self) -> Option<(SimTime, u64, E)> {
+            let entry = self.heap.pop()?;
+            self.now = entry.time;
+            Some((entry.time, entry.seq, entry.event))
+        }
+
+        /// Total events popped over the queue's lifetime.
+        pub fn pops(&self) -> u64 {
+            self.pops
+        }
+
+        /// High-water mark of pending events.
+        pub fn peak_depth(&self) -> usize {
+            self.peak
         }
 
         /// The time of the earliest pending event, if any.
         pub fn peek_time(&self) -> Option<SimTime> {
             self.heap.peek().map(|e| e.time)
+        }
+
+        /// The `(time, key)` of the earliest pending event, if any.
+        pub fn peek_keyed(&self) -> Option<(SimTime, u64)> {
+            self.heap.peek().map(|e| (e.time, e.seq))
+        }
+
+        /// The internal sequence counter; promotion transfers it so
+        /// post-promotion unkeyed pushes keep sorting after migrated
+        /// entries.
+        pub(super) fn next_seq(&self) -> u64 {
+            self.seq
         }
 
         /// Number of pending events.
@@ -467,14 +570,14 @@ impl EventQueue<()> {
 /// where the wheel wins 2×+. 64 sits comfortably between the two regimes.
 pub const PROMOTE_DEPTH: usize = 64;
 
-// The wheel's inline occupancy bitmap makes the variant large, but one
-// queue exists per world and lives there directly; boxing it would put a
-// pointer dereference on every push/pop of exactly the deep schedules
-// the promotion exists to speed up.
-#[allow(clippy::large_enum_variant)]
+// The wheel's inline occupancy bitmap makes its struct large; boxing it
+// keeps the whole un-promoted queue — discriminant and heap head — within
+// a cache line or two, which the shallow 5 % ratio gate needs. The cost
+// is one pointer dereference per op on deep schedules, noise against the
+// wheel's own per-op work (and invisible in the deep/crowd bench arms).
 enum Backend<E> {
     Heap(baseline::HeapQueue<E>),
-    Wheel(EventQueue<E>),
+    Wheel(Box<EventQueue<E>>),
 }
 
 /// An event queue that starts life as a plain binary heap and promotes
@@ -489,10 +592,6 @@ enum Backend<E> {
 /// starts directly on the wheel.
 pub struct AdaptiveQueue<E> {
     backend: Backend<E>,
-    len: usize,
-    pops: u64,
-    peak: usize,
-    trace: Option<Vec<QueueOp>>,
 }
 
 impl<E> Default for AdaptiveQueue<E> {
@@ -511,17 +610,11 @@ impl<E> AdaptiveQueue<E> {
     /// starts directly on the timer wheel.
     pub fn with_capacity(cap: usize) -> Self {
         let backend = if cap > PROMOTE_DEPTH {
-            Backend::Wheel(EventQueue::with_capacity(cap))
+            Backend::Wheel(Box::new(EventQueue::with_capacity(cap)))
         } else {
             Backend::Heap(baseline::HeapQueue::new())
         };
-        AdaptiveQueue {
-            backend,
-            len: 0,
-            pops: 0,
-            peak: 0,
-            trace: None,
-        }
+        AdaptiveQueue { backend }
     }
 
     /// The time of the most recently popped event.
@@ -538,18 +631,17 @@ impl<E> AdaptiveQueue<E> {
     }
 
     /// Schedules `event` at time `at`, clamping past times to `now`.
+    ///
+    /// All counting, tracing, and profiling lives in the backends (both
+    /// implement the identical bookkeeping), so on the shallow heap arm
+    /// this wrapper adds exactly one predictable branch and the promotion
+    /// check over a raw [`baseline::HeapQueue`] — the `--check` gate holds
+    /// it within 5 % of the raw heap on the shallow replay.
     pub fn push(&mut self, at: SimTime, event: E) {
-        if let Some(t) = self.trace.as_mut() {
-            t.push(QueueOp::Push(at));
-        }
-        self.len += 1;
-        if self.len > self.peak {
-            self.peak = self.len;
-        }
         match &mut self.backend {
             Backend::Heap(q) => {
                 q.push(at, event);
-                if self.len >= PROMOTE_DEPTH {
+                if q.len() >= PROMOTE_DEPTH {
                     self.promote();
                 }
             }
@@ -557,27 +649,33 @@ impl<E> AdaptiveQueue<E> {
         }
     }
 
+    /// Schedules `event` under a caller-supplied tie-break key. Keyed and
+    /// unkeyed pushes must not be mixed on one queue; see
+    /// [`EventQueue::push_keyed`]. Promotion preserves caller keys, so the
+    /// `(time, key)` ordering contract survives the backend switch.
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, event: E) {
+        match &mut self.backend {
+            Backend::Heap(q) => {
+                q.push_keyed(at, key, event);
+                if q.len() >= PROMOTE_DEPTH {
+                    self.promote();
+                }
+            }
+            Backend::Wheel(q) => q.push_keyed(at, key, event),
+        }
+    }
+
     /// Removes and returns the earliest event, advancing the clock to it.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let popped = match &mut self.backend {
-            Backend::Heap(q) => {
-                let p = q.pop();
-                if p.is_some() {
-                    crate::profile::count_event();
-                }
-                p
-            }
-            // The wheel counts its own profile events.
-            Backend::Wheel(q) => q.pop(),
-        };
-        if popped.is_some() {
-            self.len -= 1;
-            self.pops += 1;
-            if let Some(t) = self.trace.as_mut() {
-                t.push(QueueOp::Pop);
-            }
+        self.pop_keyed().map(|(t, _, e)| (t, e))
+    }
+
+    /// Like [`pop`](Self::pop), but also returns the tie-break key.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
+        match &mut self.backend {
+            Backend::Heap(q) => q.pop_keyed(),
+            Backend::Wheel(q) => q.pop_keyed(),
         }
-        popped
     }
 
     /// The time of the earliest pending event, if any.
@@ -588,55 +686,93 @@ impl<E> AdaptiveQueue<E> {
         }
     }
 
+    /// The `(time, key)` of the earliest pending event, if any.
+    pub fn peek_keyed(&mut self) -> Option<(SimTime, u64)> {
+        match &mut self.backend {
+            Backend::Heap(q) => q.peek_keyed(),
+            Backend::Wheel(q) => q.peek_keyed(),
+        }
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.len
+        match &self.backend {
+            Backend::Heap(q) => q.len(),
+            Backend::Wheel(q) => q.len(),
+        }
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Total events popped over the queue's lifetime.
     pub fn pops(&self) -> u64 {
-        self.pops
+        match &self.backend {
+            Backend::Heap(q) => q.pops(),
+            Backend::Wheel(q) => q.pops(),
+        }
     }
 
     /// High-water mark of pending events.
     pub fn peak_depth(&self) -> usize {
-        self.peak
+        match &self.backend {
+            Backend::Heap(q) => q.peak_depth(),
+            Backend::Wheel(q) => q.peak_depth(),
+        }
     }
 
     /// Starts recording `(push, pop)` operations for later replay.
     pub fn start_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        match &mut self.backend {
+            Backend::Heap(q) => q.trace = Some(Vec::new()),
+            Backend::Wheel(q) => q.trace = Some(Vec::new()),
+        }
     }
 
     /// Stops recording and returns the operation stream.
     pub fn take_trace(&mut self) -> Vec<QueueOp> {
-        self.trace.take().unwrap_or_default()
+        match &mut self.backend {
+            Backend::Heap(q) => q.trace.take().unwrap_or_default(),
+            Backend::Wheel(q) => q.trace.take().unwrap_or_default(),
+        }
     }
 
     /// Drains the heap in pop order into a fresh wheel positioned at the
-    /// heap's clock. Pop order assigns ascending wheel sequence numbers,
-    /// so FIFO ties survive the migration.
+    /// heap's clock. Entries migrate with their tie-break keys intact, so
+    /// both FIFO ties (internal counter keys) and PDES canonical keys
+    /// survive the migration; the wheel inherits the heap's counter,
+    /// pop/peak statistics, and live trace, so the backend switch is
+    /// invisible to every observer (the migration itself is neither
+    /// counted nor traced).
+    // Cold and never inlined: `promote` fires at most once per queue, but
+    // if its body is inlined into `push` the hot path spills registers for
+    // a migration that essentially never runs.
+    #[cold]
+    #[inline(never)]
     fn promote(&mut self) {
-        let heap = match &mut self.backend {
+        let mut heap = match &mut self.backend {
             Backend::Heap(q) => std::mem::take(q),
             Backend::Wheel(_) => return,
         };
-        let mut wheel = EventQueue::with_capacity(self.len);
+        let heap_peak = heap.peak_depth();
+        let heap_pops = heap.pops();
+        let trace = heap.trace.take();
+        let mut wheel = EventQueue::with_capacity(heap.len());
         // Same module, so the wheel's clock and cursor are reachable:
         // without this, a post-promotion push in the past would clamp to
         // t = 0 instead of the migrated clock.
         wheel.now = heap.now();
         wheel.cursor = slot_of(heap.now());
-        let mut heap = heap;
-        while let Some((t, e)) = heap.pop() {
-            wheel.push(t, e);
+        wheel.seq = heap.next_seq();
+        while let Some((t, k, e)) = heap.drain_pop() {
+            wheel.push_keyed(t, k, e);
         }
-        self.backend = Backend::Wheel(wheel);
+        wheel.peak = heap_peak.max(wheel.peak);
+        wheel.pops = heap_pops;
+        wheel.trace = trace;
+        self.backend = Backend::Wheel(Box::new(wheel));
     }
 }
 

@@ -20,6 +20,12 @@ cargo run -q --release -p renofs-bench --bin repro -- faults --scale quick >/dev
 echo "==> repro crowd --scale quick (smoke)"
 cargo run -q --release -p renofs-bench --bin repro -- crowd --scale quick >/dev/null
 
+echo "==> repro pdes-smoke --scale quick (256-client carve + determinism gate)"
+cargo run -q --release -p renofs-bench --bin repro -- pdes-smoke --scale quick
+
+echo "==> crowd determinism matrix (sim-threads x jobs, byte-identical)"
+cargo test -q -p renofs-bench --release --test pdes_determinism
+
 echo "==> repro soak --seeds 24 --scale quick (chaos oracle gate)"
 # Exits nonzero on any oracle violation; a fixed seed range keeps the
 # gate deterministic and bounded.
