@@ -71,12 +71,19 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all|bench|pdes-smoke> [--quick | --scale quick|paper] \
          [--jobs N] [--sim-threads N] [--profile] [--out FILE] [--check FILE] [--seeds N] \
-         [--case SPEC]"
+         [--case SPEC] [--duration SECS] [--max-ops N] [--long]"
     );
     eprintln!(
         "soak: `repro soak --seeds N` sweeps chaos seeds 0..N; `repro soak --case \
          \"seed=S,clients=C,rounds=R,windows=0;1\"` replays one shrunk case. Both exit 1 \
          on an oracle violation."
+    );
+    eprintln!(
+        "soak budget mode: `--duration SECS` and/or `--max-ops N` run seeds (streaming \
+         oracle, heartbeats to stderr) until the budget is spent, failing fast on the \
+         first violation; `--long` switches to the certification worlds (up to 16 \
+         clients, crash/reboot cycles; default {} seeds). `--seeds N` caps the sweep.",
+        renofs_bench::experiments::soak::LONG_SEEDS
     );
     eprintln!("run `repro all --quick` for the fast version of everything");
     std::process::exit(2);
@@ -92,6 +99,9 @@ struct Options {
     check: Option<String>,
     seeds: Option<usize>,
     case: Option<String>,
+    duration: Option<u64>,
+    max_ops: Option<u64>,
+    long: bool,
 }
 
 fn parse_args() -> Options {
@@ -105,6 +115,9 @@ fn parse_args() -> Options {
     let mut check = None;
     let mut seeds = None;
     let mut case = None;
+    let mut duration = None;
+    let mut max_ops = None;
+    let mut long = false;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -161,6 +174,21 @@ fn parse_args() -> Options {
                     None => usage(),
                 };
             }
+            "--duration" => {
+                i += 1;
+                duration = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => Some(n),
+                    _ => usage(),
+                };
+            }
+            "--max-ops" => {
+                i += 1;
+                max_ops = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => Some(n),
+                    _ => usage(),
+                };
+            }
+            "--long" => long = true,
             "--help" | "-h" => usage(),
             _ if a.starts_with("--") => usage(),
             _ => {
@@ -181,11 +209,16 @@ fn parse_args() -> Options {
         check,
         seeds,
         case,
+        duration,
+        max_ops,
+        long,
     }
 }
 
-/// Dedicated `repro soak` modes: `--seeds N` sweeps seeds `0..N` and
-/// `--case SPEC` replays one (possibly shrunk) case. Both exit nonzero
+/// Dedicated `repro soak` modes: `--seeds N` sweeps seeds `0..N`,
+/// `--case SPEC` replays one (possibly shrunk) case, and any of
+/// `--duration`/`--max-ops`/`--long` runs the streaming budget mode
+/// (fail-fast, heartbeats to stderr, extended table). All exit nonzero
 /// when the oracle reports a violation, so CI can gate on a bounded
 /// soak run.
 fn run_soak_mode(opts: &Options, scale: &Scale) {
@@ -201,6 +234,28 @@ fn run_soak_mode(opts: &Options, scale: &Scale) {
         let (report, violated) = soak::replay_report(&case);
         print!("{report}");
         if violated {
+            std::process::exit(1);
+        }
+    } else if opts.duration.is_some() || opts.max_ops.is_some() || opts.long {
+        let budget = soak::BudgetOpts {
+            wall_limit: opts.duration.map(std::time::Duration::from_secs),
+            max_ops: opts.max_ops,
+            // `--long` alone certifies a fixed seed count; a pure
+            // `--duration`/`--max-ops` run is budget-bounded only.
+            max_seeds: opts.seeds.unwrap_or(if opts.long {
+                soak::LONG_SEEDS
+            } else {
+                usize::MAX
+            }),
+            profile: if opts.long {
+                soak::SoakProfile::Long
+            } else {
+                soak::SoakProfile::Quick
+            },
+        };
+        let report = soak::soak_budget(scale, &budget);
+        print!("{report}");
+        if report.violated() {
             std::process::exit(1);
         }
     } else {
@@ -310,7 +365,13 @@ fn main() {
         return;
     }
 
-    if opts.what == "soak" && (opts.seeds.is_some() || opts.case.is_some()) {
+    if opts.what == "soak"
+        && (opts.seeds.is_some()
+            || opts.case.is_some()
+            || opts.duration.is_some()
+            || opts.max_ops.is_some()
+            || opts.long)
+    {
         run_soak_mode(&opts, &scale);
         if opts.profile {
             eprint!("{}", renofs_sim::profile::report());

@@ -29,6 +29,8 @@
 
 use std::fmt;
 use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use renofs::{
     ClientConfig, ClientError, ClientFs, MountOptions, Syscalls, TopologyKind, TransportKind,
@@ -36,7 +38,7 @@ use renofs::{
 };
 use renofs_netsim::topology::presets::Background;
 use renofs_netsim::FaultPlan;
-use renofs_oracle::{fnv1a, Obs, ObsKind, OpOutcome, Oracle, Violation};
+use renofs_oracle::{fnv1a, Obs, ObsKind, OpOutcome, StreamConfig, StreamingOracle, Violation};
 use renofs_sim::{Rng, SimDuration, SimTime};
 
 use crate::fmt::table;
@@ -53,10 +55,13 @@ const SETUP: u64 = 3; // seconds
 const ATTR_TIMEOUT: SimDuration = SimDuration::from_secs(1);
 /// Close-to-open staleness the oracle tolerates: the attribute-cache
 /// lifetime plus transfer/scheduling slack.
-const GRACE_NS: u64 = 2_000_000_000;
+pub const GRACE_NS: u64 = 2_000_000_000;
 /// Default seed count per scale.
 const QUICK_SEEDS: usize = 12;
 const PAPER_SEEDS: usize = 64;
+/// Default seed count for the `--long` certification profile when no
+/// other stop condition is given.
+pub const LONG_SEEDS: usize = 256;
 
 /// A deliberately planted consistency bug, for mutation-testing the
 /// oracle (the soak must *catch* these; they are never enabled by
@@ -163,6 +168,141 @@ pub struct DerivedWorld {
     pub windows: Vec<WindowSpec>,
 }
 
+/// Which world-generation recipe a soak case uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SoakProfile {
+    /// The PR 5 recipe: small worlds, minutes of virtual time. The
+    /// golden-pinned default.
+    #[default]
+    Quick,
+    /// The certification recipe: up to 16 clients, 8–16 rounds, wider
+    /// nfsd pools, denser fault timelines including repeated
+    /// crash/reboot cycles. Meant for `--long` overnight runs.
+    Long,
+}
+
+impl SoakProfile {
+    fn tag(&self) -> &'static str {
+        match self {
+            SoakProfile::Quick => "quick",
+            SoakProfile::Long => "long",
+        }
+    }
+}
+
+/// Derives the world shape for a seed under a profile. Pure function of
+/// `(seed, profile)`: the same pair always yields the same world.
+pub fn derive_world_for(seed: u64, profile: SoakProfile) -> DerivedWorld {
+    match profile {
+        SoakProfile::Quick => derive_world(seed),
+        SoakProfile::Long => derive_long_world(seed),
+    }
+}
+
+/// The `--long` world recipe: a distinct seed domain so long worlds are
+/// uncorrelated with the quick sweep's.
+fn derive_long_world(seed: u64) -> DerivedWorld {
+    let mut rng = Rng::new(point_seed(0x10A6, seed as usize, 0));
+    let clients = 2 + rng.gen_range(0, 15) as usize; // 2..=16
+    let rounds = 8 + rng.gen_range(0, 9) as usize; // 8..=16
+    let topo = match rng.index(3) {
+        0 => ("same LAN", TopologyKind::SameLan),
+        1 => ("token ring", TopologyKind::TokenRing),
+        _ => ("56Kbps", TopologyKind::SlowLink),
+    };
+    let slow = topo.1 == TopologyKind::SlowLink;
+    let files = if slow { 1 } else { 1 + rng.index(3) }; // 1..=3
+    let temps = 2;
+    let transport = match rng.index(3) {
+        0 => (
+            "UDP rto=1s",
+            TransportKind::UdpFixed {
+                timeo: SimDuration::from_secs(1),
+            },
+        ),
+        1 => (
+            "UDP rto=A+4D",
+            TransportKind::UdpDynamic {
+                timeo: SimDuration::from_secs(1),
+            },
+        ),
+        _ => ("TCP", TransportKind::Tcp),
+    };
+    let nfsds = [0usize, 2, 4, 8, 16][rng.index(5)];
+    let soft = !matches!(transport.1, TransportKind::Tcp) && rng.chance(0.25);
+    let span_ms = (SETUP + rounds as u64 * ROUND) * 1000;
+    let nwindows = 2 + rng.index(5); // 2..=6 draws (crash cycles add more)
+    let mut windows = Vec::with_capacity(nwindows);
+    for _ in 0..nwindows {
+        let kind = match rng.index(7) {
+            0 => WindowKind::Partition,
+            1 => WindowKind::Loss,
+            2 => WindowKind::Dup,
+            3 => WindowKind::Reorder,
+            4 => WindowKind::DelaySpike,
+            5 => WindowKind::Crash,
+            _ => WindowKind::Corrupt,
+        };
+        // A crash draw may expand into a repeated crash/reboot cycle:
+        // the server flaps several times in a row, the regime where an
+        // in-memory duplicate cache and boot-epoch handles are weakest.
+        if kind == WindowKind::Crash && rng.chance(0.5) {
+            let cycles = 2 + rng.index(3); // 2..=4
+            let mut at = rng.gen_range(
+                SETUP * 1000,
+                span_ms.saturating_sub(30_000).max(SETUP * 1000 + 1),
+            );
+            for _ in 0..cycles {
+                let dur = rng.gen_range(1500, 4000);
+                windows.push(WindowSpec {
+                    kind: WindowKind::Crash,
+                    at_ms: at,
+                    dur_ms: dur,
+                    prob: 0.0,
+                    delay_ms: 0,
+                });
+                at += dur + rng.gen_range(3000, 8000);
+            }
+            continue;
+        }
+        let at_ms = rng.gen_range(
+            SETUP * 1000,
+            span_ms.saturating_sub(4000).max(SETUP * 1000 + 1),
+        );
+        let (dur_ms, prob, delay_ms) = match kind {
+            WindowKind::Partition => (rng.gen_range(1000, 5000), 0.0, 0),
+            WindowKind::Loss => (rng.gen_range(3000, 12000), rng.gen_range_f64(0.25, 0.5), 0),
+            WindowKind::Dup => (rng.gen_range(2000, 9000), rng.gen_range_f64(0.1, 0.3), 0),
+            WindowKind::Reorder => (
+                rng.gen_range(2000, 9000),
+                rng.gen_range_f64(0.1, 0.3),
+                rng.gen_range(10, 40),
+            ),
+            WindowKind::DelaySpike => (rng.gen_range(2000, 6000), 0.0, rng.gen_range(50, 200)),
+            WindowKind::Crash => (rng.gen_range(2000, 5000), 0.0, 0),
+            WindowKind::Corrupt => (rng.gen_range(3000, 12000), rng.gen_range_f64(0.05, 0.3), 0),
+        };
+        windows.push(WindowSpec {
+            kind,
+            at_ms,
+            dur_ms,
+            prob,
+            delay_ms,
+        });
+    }
+    DerivedWorld {
+        clients,
+        rounds,
+        files,
+        temps,
+        topo,
+        transport,
+        nfsds,
+        soft,
+        windows,
+    }
+}
+
 /// Derives the world shape for a seed. Pure function of the seed: the
 /// same seed always yields the same world.
 pub fn derive_world(seed: u64) -> DerivedWorld {
@@ -264,30 +404,39 @@ pub struct SoakCase {
     /// needs a rare frame-level coincidence can still reproduce after
     /// the client count drops changed every coin flip.
     pub salt: u64,
+    /// Which world-generation recipe the seed runs through.
+    pub profile: SoakProfile,
 }
 
 impl SoakCase {
-    /// The full (unshrunk) case for a seed.
+    /// The full (unshrunk) quick-profile case for a seed.
     pub fn from_seed(seed: u64) -> Self {
-        let d = derive_world(seed);
+        SoakCase::from_seed_profile(seed, SoakProfile::Quick)
+    }
+
+    /// The full (unshrunk) case for a seed under a profile.
+    pub fn from_seed_profile(seed: u64, profile: SoakProfile) -> Self {
+        let d = derive_world_for(seed, profile);
         SoakCase {
             seed,
             clients: d.clients,
             rounds: d.rounds,
             windows: (0..d.windows.len()).collect(),
             salt: 0,
+            profile,
         }
     }
 
     /// Parses the `--case` encoding produced by [`fmt::Display`]:
-    /// `seed=S,clients=C,rounds=R,windows=0;2;3[,salt=K]` (windows may
-    /// be empty: `windows=`).
+    /// `seed=S,clients=C,rounds=R,windows=0;2;3[,profile=long][,salt=K]`
+    /// (windows may be empty: `windows=`).
     pub fn parse(s: &str) -> Result<Self, String> {
         let mut seed = None;
         let mut clients = None;
         let mut rounds = None;
         let mut windows = None;
         let mut salt = 0;
+        let mut profile = SoakProfile::Quick;
         for part in s.split(',') {
             let (k, v) = part
                 .split_once('=')
@@ -304,17 +453,25 @@ impl SoakCase {
                     windows = Some(idx);
                 }
                 "salt" => salt = v.parse::<u64>().map_err(|e| e.to_string())?,
+                "profile" => {
+                    profile = match v.trim() {
+                        "quick" => SoakProfile::Quick,
+                        "long" => SoakProfile::Long,
+                        other => return Err(format!("unknown profile {other:?}")),
+                    }
+                }
                 other => return Err(format!("unknown case field {other:?}")),
             }
         }
         let seed = seed.ok_or("case needs seed=")?;
-        let full = SoakCase::from_seed(seed);
+        let full = SoakCase::from_seed_profile(seed, profile);
         Ok(SoakCase {
             seed,
             clients: clients.unwrap_or(full.clients),
             rounds: rounds.unwrap_or(full.rounds),
             windows: windows.unwrap_or(full.windows),
             salt,
+            profile,
         })
     }
 }
@@ -330,11 +487,45 @@ impl fmt::Display for SoakCase {
             self.rounds,
             w.join(";")
         )?;
+        if self.profile != SoakProfile::Quick {
+            write!(f, ",profile={}", self.profile.tag())?;
+        }
         if self.salt != 0 {
             write!(f, ",salt={}", self.salt)?;
         }
         Ok(())
     }
+}
+
+/// The fault windows a case keeps active (indices resolved against its
+/// derived roster).
+pub fn kept_windows(case: &SoakCase) -> Vec<WindowSpec> {
+    let d = derive_world_for(case.seed, case.profile);
+    case.windows
+        .iter()
+        .filter_map(|&i| d.windows.get(i).copied())
+        .collect()
+}
+
+/// Drops replay anomalies that land near a server-crash window. The
+/// duplicate-request cache is in-memory state: a crash legitimately
+/// forgets it, so a retransmission re-executed across a reboot is
+/// 4.3BSD behaviour, not a bug.
+pub fn filter_crash_replays(kept: &[WindowSpec], violations: &mut Vec<Violation>) {
+    let crash_spans: Vec<(u64, u64)> = kept
+        .iter()
+        .filter(|w| w.kind == WindowKind::Crash)
+        .map(|w| {
+            (
+                (w.at_ms.saturating_sub(2_000)) * 1_000_000,
+                (w.at_ms + w.dur_ms + 30_000) * 1_000_000,
+            )
+        })
+        .collect();
+    violations.retain(|v| match v {
+        Violation::Replay { t, .. } => !crash_spans.iter().any(|&(s, e)| s <= *t && *t <= e),
+        _ => true,
+    });
 }
 
 /// The outcome of one soak world.
@@ -356,6 +547,89 @@ pub struct CaseOutcome {
     pub garbage: u64,
     /// Server duplicate-cache hits.
     pub dup_hits: u64,
+    /// High-water mark of streaming-checker retained state (versions +
+    /// pending reads): the memory bound, O(open window) not O(ops).
+    pub peak_retained: usize,
+    /// Versions the streaming checker retired during the run.
+    pub retired: u64,
+    /// The full client-major observation log, only when
+    /// [`RunOpts::capture`] was set (differential tests).
+    pub full_log: Option<Vec<Obs>>,
+}
+
+/// Knobs for [`run_case_opts`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// PDES simulation threads for the world.
+    pub sim_threads: usize,
+    /// Also capture the full observation log (defeats the memory
+    /// bound; differential tests only).
+    pub capture: bool,
+    /// Streaming-checker windows.
+    pub stream: StreamConfig,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            sim_threads: 1,
+            capture: false,
+            stream: StreamConfig::for_soak(GRACE_NS),
+        }
+    }
+}
+
+/// Per-client workload counters, classified at emission.
+#[derive(Clone, Copy, Debug, Default)]
+struct Tally {
+    ok: u64,
+    taints: u64,
+}
+
+/// A client's handle on the shared streaming checker: classifies and
+/// feeds each observation the moment it happens, and forwards watermark
+/// heartbeats so idle clients never stall the merge.
+struct ObsSink {
+    oracle: Arc<Mutex<StreamingOracle>>,
+    ci: usize,
+    tally: Tally,
+}
+
+impl ObsSink {
+    fn emit(&mut self, obs: Obs) {
+        match &obs.kind {
+            ObsKind::Created { outcome, .. } | ObsKind::Removed { outcome, .. } => match outcome {
+                OpOutcome::Ok => self.tally.ok += 1,
+                OpOutcome::Indeterminate => self.tally.taints += 1,
+                OpOutcome::Status(_) => {}
+            },
+            ObsKind::Committed { certain, .. } => {
+                if *certain {
+                    self.tally.ok += 1;
+                } else {
+                    self.tally.taints += 1;
+                }
+            }
+            ObsKind::Observed { .. } | ObsKind::Listed { .. } => self.tally.ok += 1,
+            ObsKind::ReadFailed { .. } => {}
+        }
+        self.oracle.lock().expect("oracle poisoned").feed(obs);
+    }
+
+    fn heartbeat(&self, t_ns: u64) {
+        self.oracle
+            .lock()
+            .expect("oracle poisoned")
+            .heartbeat(self.ci, t_ns);
+    }
+
+    fn finish(self) -> Tally {
+        self.oracle
+            .lock()
+            .expect("oracle poisoned")
+            .finish_client(self.ci);
+        self.tally
+    }
 }
 
 /// Deterministic per-(seed, client, file, round) content.
@@ -409,7 +683,7 @@ fn status_of(e: &ClientError) -> String {
 /// files end to end, logging observed contents or failures.
 fn cross_reads<S: Syscalls>(
     fs: &mut ClientFs<S>,
-    log: &mut Vec<Obs>,
+    log: &mut ObsSink,
     rng: &mut Rng,
     base: SimTime,
     ci: usize,
@@ -420,6 +694,7 @@ fn cross_reads<S: Syscalls>(
     let now = fs.sys().now();
     if read_at > now {
         fs.sys().sleep(read_at.since(now));
+        log.heartbeat(fs.sys().now().as_nanos());
     }
     let neighbours = 2.min(nclients.saturating_sub(1)).max(
         // A lone client reads its own files back.
@@ -437,7 +712,7 @@ fn cross_reads<S: Syscalls>(
         match fs.open(&path, false, false) {
             Ok(fh) => {
                 match fs.read(fh, 0, 8192) {
-                    Ok(bytes) => log.push(Obs {
+                    Ok(bytes) => log.emit(Obs {
                         client: ci,
                         t_start: t_open,
                         t_done: fs.sys().now().as_nanos(),
@@ -447,7 +722,7 @@ fn cross_reads<S: Syscalls>(
                             fnv: fnv1a(&bytes),
                         },
                     }),
-                    Err(e) => log.push(Obs {
+                    Err(e) => log.emit(Obs {
                         client: ci,
                         t_start: t_open,
                         t_done: fs.sys().now().as_nanos(),
@@ -459,7 +734,7 @@ fn cross_reads<S: Syscalls>(
                 }
                 let _ = fs.close(fh);
             }
-            Err(e) => log.push(Obs {
+            Err(e) => log.emit(Obs {
                 client: ci,
                 t_start: t_open,
                 t_done: fs.sys().now().as_nanos(),
@@ -474,7 +749,7 @@ fn cross_reads<S: Syscalls>(
 
 /// Runs one soak world and checks it against the oracle.
 pub fn run_case(case: &SoakCase, mutation: Mutation) -> CaseOutcome {
-    run_case_with_threads(case, mutation, 1)
+    run_case_opts(case, mutation, &RunOpts::default())
 }
 
 /// [`run_case`] with an explicit simulation-thread count. Chaos worlds
@@ -486,7 +761,22 @@ pub fn run_case_with_threads(
     mutation: Mutation,
     sim_threads: usize,
 ) -> CaseOutcome {
-    let derived = derive_world(case.seed);
+    run_case_opts(
+        case,
+        mutation,
+        &RunOpts {
+            sim_threads,
+            ..RunOpts::default()
+        },
+    )
+}
+
+/// [`run_case`] with full knobs. The consistency check is *streaming*:
+/// clients feed a shared [`StreamingOracle`] as each operation
+/// completes, so checker memory is bounded by the staleness window, not
+/// the world length.
+pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> CaseOutcome {
+    let derived = derive_world_for(case.seed, case.profile);
     let kept: Vec<WindowSpec> = case
         .windows
         .iter()
@@ -505,7 +795,7 @@ pub fn run_case_with_threads(
     cfg.nfsds = derived.nfsds;
     cfg.server.dup_cache = mutation != Mutation::NoDupCache;
     cfg.faults = plan;
-    cfg.sim_threads = sim_threads;
+    cfg.sim_threads = opts.sim_threads;
     cfg.mount = if derived.soft {
         MountOptions::soft(3)
     } else {
@@ -532,17 +822,27 @@ pub fn run_case_with_threads(
     let files = derived.files;
     let temps = derived.temps;
     let seed = case.seed;
+    let mut checker = StreamingOracle::new(nclients, opts.stream);
+    if opts.capture {
+        checker = checker.with_capture();
+    }
+    let oracle = Arc::new(Mutex::new(checker));
     for ci in 0..nclients {
         let tx = tx.clone();
+        let oracle = Arc::clone(&oracle);
         world.spawn_on(ci, move |sys| {
             let mut fs = ClientFs::mount(sys, ccfg, root, "soak");
-            let mut log: Vec<Obs> = Vec::new();
+            let mut log = ObsSink {
+                oracle,
+                ci,
+                tally: Tally::default(),
+            };
             let dir = format!("/c{ci}");
 
             // Setup: the client's own directory and data files.
             let t0 = fs.sys().now().as_nanos();
             let mk = fs.mkdir(&dir);
-            log.push(Obs {
+            log.emit(Obs {
                 client: ci,
                 t_start: t0,
                 t_done: fs.sys().now().as_nanos(),
@@ -557,6 +857,7 @@ pub fn run_case_with_threads(
                 let now = fs.sys().now();
                 if base > now {
                     fs.sys().sleep(base.since(now));
+                    log.heartbeat(fs.sys().now().as_nanos());
                 }
                 let mut rng = Rng::new(
                     point_seed(0x50AC, seed as usize, 2).wrapping_add((ci as u64) << 8 | r as u64),
@@ -577,7 +878,7 @@ pub fn run_case_with_threads(
                     let data = content(seed, ci, f, r, len);
                     let t_open = fs.sys().now().as_nanos();
                     let opened = fs.open(&path, true, false);
-                    log.push(Obs {
+                    log.emit(Obs {
                         client: ci,
                         t_start: t_open,
                         t_done: fs.sys().now().as_nanos(),
@@ -595,7 +896,7 @@ pub fn run_case_with_threads(
                     let closed = fs.close(fh);
                     let t_done = fs.sys().now().as_nanos();
                     let certain = wrote.is_ok() && closed.is_ok();
-                    log.push(Obs {
+                    log.emit(Obs {
                         client: ci,
                         t_start: t_close,
                         t_done,
@@ -610,7 +911,7 @@ pub fn run_case_with_threads(
                     // means the flush hit an error even recovery could
                     // not absorb; record it so durable loss is flagged.
                     if let Err(e @ (ClientError::Stale | ClientError::Nfs(_))) = &closed {
-                        log.push(Obs {
+                        log.emit(Obs {
                             client: ci,
                             t_start: t_close,
                             t_done,
@@ -635,11 +936,12 @@ pub fn run_case_with_threads(
                     let now = fs.sys().now();
                     if at > now {
                         fs.sys().sleep(at.since(now));
+                        log.heartbeat(fs.sys().now().as_nanos());
                     }
                     let path = format!("{dir}/t{r}x{t}");
                     let t_open = fs.sys().now().as_nanos();
                     let opened = fs.open(&path, true, false);
-                    log.push(Obs {
+                    log.emit(Obs {
                         client: ci,
                         t_start: t_open,
                         t_done: fs.sys().now().as_nanos(),
@@ -656,7 +958,7 @@ pub fn run_case_with_threads(
                     }
                     let t_rm = fs.sys().now().as_nanos();
                     let removed = fs.remove(&path);
-                    log.push(Obs {
+                    log.emit(Obs {
                         client: ci,
                         t_start: t_rm,
                         t_done: fs.sys().now().as_nanos(),
@@ -675,7 +977,7 @@ pub fn run_case_with_threads(
                 // List the home directory: durable files must appear.
                 let t_ls = fs.sys().now().as_nanos();
                 if let Ok(entries) = fs.readdir(&dir) {
-                    log.push(Obs {
+                    log.emit(Obs {
                         client: ci,
                         t_start: t_ls,
                         t_done: fs.sys().now().as_nanos(),
@@ -686,70 +988,40 @@ pub fn run_case_with_threads(
                     });
                 }
             }
-            let _ = tx.send((ci, log));
+            let _ = tx.send((ci, log.finish()));
         });
     }
     drop(tx);
     world.run();
 
-    let mut per_client: Vec<Vec<Obs>> = vec![Vec::new(); nclients];
-    while let Ok((ci, log)) = rx.recv() {
-        per_client[ci] = log;
+    let mut ok_ops = 0u64;
+    let mut taints = 0u64;
+    while let Ok((_, tally)) = rx.recv() {
+        ok_ops += tally.ok;
+        taints += tally.taints;
     }
-    let observations: Vec<Obs> = per_client.into_iter().flatten().collect();
-
-    let ok_ops = observations
-        .iter()
-        .filter(|o| match &o.kind {
-            ObsKind::Created { outcome, .. } | ObsKind::Removed { outcome, .. } => {
-                *outcome == OpOutcome::Ok
-            }
-            ObsKind::Committed { certain, .. } => *certain,
-            ObsKind::Observed { .. } | ObsKind::Listed { .. } => true,
-            ObsKind::ReadFailed { .. } => false,
-        })
-        .count() as u64;
-    let taints = observations
-        .iter()
-        .filter(|o| match &o.kind {
-            ObsKind::Created { outcome, .. } | ObsKind::Removed { outcome, .. } => {
-                *outcome == OpOutcome::Indeterminate
-            }
-            ObsKind::Committed { certain, .. } => !*certain,
-            _ => false,
-        })
-        .count() as u64;
-
-    let mut violations = Oracle::new(GRACE_NS).check(&observations);
-    // The duplicate-request cache is in-memory state: a server crash
-    // legitimately forgets it, so replay anomalies whose completion
-    // lands near a crash window are 4.3BSD behaviour, not bugs.
-    let crash_spans: Vec<(u64, u64)> = kept
-        .iter()
-        .filter(|w| w.kind == WindowKind::Crash)
-        .map(|w| {
-            (
-                (w.at_ms.saturating_sub(2_000)) * 1_000_000,
-                (w.at_ms + w.dur_ms + 30_000) * 1_000_000,
-            )
-        })
-        .collect();
-    violations.retain(|v| match v {
-        Violation::Replay { t, .. } => !crash_spans.iter().any(|&(s, e)| s <= *t && *t <= e),
-        _ => true,
-    });
+    let Ok(mutex) = Arc::try_unwrap(oracle) else {
+        panic!("client feeds still hold the oracle");
+    };
+    let checker = mutex.into_inner().expect("oracle poisoned");
+    let stream_out = checker.finish();
+    let mut violations = stream_out.violations;
+    filter_crash_replays(&kept, &mut violations);
 
     let net = world.net_stats();
     let sstats = world.server().stats();
     CaseOutcome {
         violations,
-        observations: observations.len(),
+        observations: stream_out.stats.processed as usize,
         ok_ops,
         taints,
         corrupted_frames: net.corrupted_frames,
         checksum_drops: net.checksum_drops,
         garbage: sstats.garbage,
         dup_hits: sstats.dup_hits,
+        peak_retained: stream_out.stats.peak_retained,
+        retired: stream_out.stats.retired,
+        full_log: stream_out.log,
     }
 }
 
@@ -1010,7 +1282,7 @@ pub fn soak_with(scale: &Scale, first: u64, count: usize, mutation: Mutation) ->
 /// and whether the case violated (for the caller's exit status).
 pub fn replay_report(case: &SoakCase) -> (String, bool) {
     use fmt::Write as _;
-    let d = derive_world(case.seed);
+    let d = derive_world_for(case.seed, case.profile);
     let out = run_case(case, Mutation::None);
     let mut s = String::new();
     let _ = writeln!(s, "Soak case replay: {case}");
@@ -1052,6 +1324,282 @@ pub fn soak(scale: &Scale) -> SoakReport {
     let quick = scale.duration < SimDuration::from_secs(5 * 60);
     let count = if quick { QUICK_SEEDS } else { PAPER_SEEDS };
     soak_with(scale, 0, count, Mutation::None)
+}
+
+/// Stop conditions for [`soak_budget`], the `--duration`/`--max-ops`/
+/// `--long` certification mode.
+#[derive(Clone, Copy, Debug)]
+pub struct BudgetOpts {
+    /// Stop once this much wall-clock has elapsed (checked between
+    /// world batches; the running batch finishes).
+    pub wall_limit: Option<Duration>,
+    /// Stop once this many observations have been checked.
+    pub max_ops: Option<u64>,
+    /// Hard cap on seeds run.
+    pub max_seeds: usize,
+    /// World recipe.
+    pub profile: SoakProfile,
+}
+
+/// One row of the budget-mode report: the legacy columns plus the
+/// streaming-checker memory bound and wall-clock throughput.
+#[derive(Clone, Debug)]
+pub struct BudgetRow {
+    /// The legacy per-seed row.
+    pub row: SoakRow,
+    /// Streaming-checker retained-state high-water mark.
+    pub peak_retained: usize,
+    /// Wall-clock seconds this world took.
+    pub wall: f64,
+    /// Observations checked per wall-clock second.
+    pub obs_per_sec: f64,
+}
+
+/// Why a budget soak stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetStop {
+    /// Ran every seed up to the cap.
+    Seeds,
+    /// Wall-clock budget exhausted.
+    Duration,
+    /// Observation budget exhausted.
+    Ops,
+    /// Fail-fast on the first violating world.
+    Violation,
+}
+
+impl BudgetStop {
+    fn describe(&self) -> &'static str {
+        match self {
+            BudgetStop::Seeds => "seed cap reached",
+            BudgetStop::Duration => "wall-clock budget reached",
+            BudgetStop::Ops => "observation budget reached",
+            BudgetStop::Violation => "stopped at first violation (fail-fast)",
+        }
+    }
+}
+
+/// The budget-mode report: extended rows, totals, and the shrunk repro
+/// if the run failed fast.
+#[derive(Clone, Debug)]
+pub struct BudgetReport {
+    /// Per-seed rows, in seed order.
+    pub rows: Vec<BudgetRow>,
+    /// Observations checked across all worlds.
+    pub observations: u64,
+    /// Total wall-clock seconds.
+    pub elapsed: f64,
+    /// Why the run stopped.
+    pub stopped: BudgetStop,
+    /// World recipe used.
+    pub profile: SoakProfile,
+    /// First violating seed's violations (display capped).
+    pub first_violations: Vec<String>,
+    /// The shrunk minimal case, if anything violated.
+    pub shrunk: Option<SoakCase>,
+}
+
+impl BudgetReport {
+    /// Whether any world violated (the caller's exit status).
+    pub fn violated(&self) -> bool {
+        self.rows.iter().any(|r| r.row.violations > 0)
+    }
+}
+
+impl fmt::Display for BudgetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Soak ({} profile, streaming oracle, grace {} ms): budget run",
+            self.profile.tag(),
+            GRACE_NS / 1_000_000
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|b| {
+                let r = &b.row;
+                vec![
+                    format!("{}", r.seed),
+                    format!("{}", r.clients),
+                    format!("{}", r.nfsds),
+                    r.topo.clone(),
+                    r.transport.clone(),
+                    r.mount.to_string(),
+                    format!("{}", r.rounds),
+                    r.faults.clone(),
+                    format!("{}", r.ops),
+                    format!("{}", r.taints),
+                    format!("{}", r.violations),
+                    format!("{}", b.peak_retained),
+                    format!("{:.2}", b.wall),
+                    format!("{:.0}", b.obs_per_sec),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            table(
+                &[
+                    "seed",
+                    "N",
+                    "nfsd",
+                    "config",
+                    "transport",
+                    "mount",
+                    "rnds",
+                    "faults",
+                    "ops",
+                    "taint",
+                    "viol",
+                    "peak",
+                    "wall(s)",
+                    "obs/s"
+                ],
+                &rows
+            )
+        )?;
+        let peak = self.rows.iter().map(|b| b.peak_retained).max().unwrap_or(0);
+        writeln!(
+            f,
+            "checked {} worlds in {:.1}s: {} observations, peak retained {}, \
+             {} violations — {}",
+            self.rows.len(),
+            self.elapsed,
+            self.observations,
+            peak,
+            self.rows.iter().map(|b| b.row.violations).sum::<usize>(),
+            self.stopped.describe()
+        )?;
+        if let Some(shrunk) = &self.shrunk {
+            writeln!(f, "ORACLE VIOLATIONS (first violating seed):")?;
+            for v in &self.first_violations {
+                writeln!(f, "  {v}")?;
+            }
+            writeln!(f, "minimal repro: repro soak --case \"{shrunk}\"")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the legacy row labels for a derived world.
+fn fault_kinds(d: &DerivedWorld) -> String {
+    let mut kinds: Vec<&'static str> = Vec::new();
+    for w in &d.windows {
+        if !kinds.contains(&w.label()) {
+            kinds.push(w.label());
+        }
+    }
+    kinds.join("+")
+}
+
+/// The budget/certification soak: runs seeds in `--jobs`-sized batches
+/// until a wall-clock, observation, or seed budget is exhausted —
+/// heartbeating progress to stderr every few seconds — and **fails
+/// fast** on the first violating world (the auto-shrinker still runs on
+/// it). Wall-clock columns are inherently nondeterministic, which is
+/// why this mode has its own report and the golden-pinned quick render
+/// is untouched.
+pub fn soak_budget(scale: &Scale, opts: &BudgetOpts) -> BudgetReport {
+    let start = Instant::now();
+    let mut last_beat = Instant::now();
+    let mut rows: Vec<BudgetRow> = Vec::new();
+    let mut observations = 0u64;
+    let mut stopped = BudgetStop::Seeds;
+    let mut first_bad: Option<(u64, Vec<Violation>)> = None;
+    let jobs = scale.jobs.max(1);
+    let mut next_seed = 0u64;
+    while (next_seed as usize) < opts.max_seeds && first_bad.is_none() {
+        let end = (next_seed + jobs as u64).min(opts.max_seeds as u64);
+        let batch: Vec<u64> = (next_seed..end).collect();
+        next_seed = end;
+        let run_opts = RunOpts {
+            sim_threads: scale.sim_threads,
+            ..RunOpts::default()
+        };
+        let profile = opts.profile;
+        let outs = run_jobs(&batch, jobs, |&seed| {
+            let case = SoakCase::from_seed_profile(seed, profile);
+            let t0 = Instant::now();
+            let out = run_case_opts(&case, Mutation::None, &run_opts);
+            (seed, out, t0.elapsed().as_secs_f64())
+        });
+        for (seed, out, wall) in outs {
+            let d = derive_world_for(seed, profile);
+            observations += out.observations as u64;
+            let obs_per_sec = if wall > 0.0 {
+                out.observations as f64 / wall
+            } else {
+                0.0
+            };
+            let bad = !out.violations.is_empty();
+            rows.push(BudgetRow {
+                row: SoakRow {
+                    seed,
+                    clients: d.clients,
+                    nfsds: d.nfsds,
+                    topo: d.topo.0.to_string(),
+                    transport: d.transport.0.to_string(),
+                    mount: if d.soft { "soft" } else { "hard" },
+                    rounds: d.rounds,
+                    faults: fault_kinds(&d),
+                    ops: out.ok_ops,
+                    taints: out.taints,
+                    corrupted: out.corrupted_frames,
+                    checksum_drops: out.checksum_drops,
+                    garbage: out.garbage,
+                    violations: out.violations.len(),
+                },
+                peak_retained: out.peak_retained,
+                wall,
+                obs_per_sec,
+            });
+            if bad && first_bad.is_none() {
+                first_bad = Some((seed, out.violations.clone()));
+            }
+        }
+        if last_beat.elapsed() >= Duration::from_secs(5) {
+            last_beat = Instant::now();
+            eprintln!(
+                "[soak] {:.0}s elapsed: {} worlds, {} observations, {} violations",
+                start.elapsed().as_secs_f64(),
+                rows.len(),
+                observations,
+                rows.iter().map(|b| b.row.violations).sum::<usize>()
+            );
+        }
+        if first_bad.is_some() {
+            stopped = BudgetStop::Violation;
+        } else if opts
+            .wall_limit
+            .is_some_and(|limit| start.elapsed() >= limit)
+        {
+            stopped = BudgetStop::Duration;
+            break;
+        } else if opts.max_ops.is_some_and(|cap| observations >= cap) {
+            stopped = BudgetStop::Ops;
+            break;
+        }
+    }
+    let (first_violations, shrunk) = match first_bad {
+        Some((seed, violations)) => {
+            eprintln!("[soak] seed {seed} violated; shrinking...");
+            let case = SoakCase::from_seed_profile(seed, opts.profile);
+            let msgs = violations.iter().take(5).map(|v| v.to_string()).collect();
+            (msgs, Some(shrink(&case, Mutation::None)))
+        }
+        None => (Vec::new(), None),
+    };
+    BudgetReport {
+        rows,
+        observations,
+        elapsed: start.elapsed().as_secs_f64(),
+        stopped,
+        profile: opts.profile,
+        first_violations,
+        shrunk,
+    }
 }
 
 #[cfg(test)]

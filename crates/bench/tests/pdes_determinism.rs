@@ -74,11 +74,36 @@ fn soak_output_is_byte_identical_across_sim_threads() {
         soak::soak_with(&scale(threads, jobs), 0, 2, soak::Mutation::None).to_string()
     };
     let baseline = render(1, 1);
-    for (threads, jobs) in [(4usize, 1usize), (1, 2), (4, 2)] {
+    for (threads, jobs) in [(4usize, 1usize), (1, 2), (4, 2), (2, 4), (1, 4)] {
         let got = render(threads, jobs);
         assert_eq!(
             got, baseline,
             "soak output diverged at sim_threads={threads} jobs={jobs}"
         );
+    }
+}
+
+/// The streaming checker's internals — not just the rendered table —
+/// must be deterministic across the PDES axis: watermark arrival order
+/// changes with thread interleaving, but the released sequence (and so
+/// the violation list, the retirement counter, and the `peak_retained`
+/// high-water mark) may not.
+#[test]
+fn streaming_stats_are_byte_identical_across_sim_threads() {
+    for seed in [2u64, 5] {
+        let case = soak::SoakCase::from_seed(seed);
+        let base = soak::run_case_with_threads(&case, soak::Mutation::None, 1);
+        for threads in [2usize, 4] {
+            let got = soak::run_case_with_threads(&case, soak::Mutation::None, threads);
+            assert_eq!(
+                got.violations, base.violations,
+                "seed {seed}: violations diverged at sim_threads={threads}"
+            );
+            assert_eq!(
+                (got.observations, got.peak_retained, got.retired),
+                (base.observations, base.peak_retained, base.retired),
+                "seed {seed}: streaming stats diverged at sim_threads={threads}"
+            );
+        }
     }
 }

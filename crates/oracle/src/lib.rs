@@ -45,6 +45,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
+pub mod stream;
+pub use stream::{StreamConfig, StreamOutcome, StreamStats, StreamingOracle};
+
 /// FNV-1a 64-bit hash, the content fingerprint used by writers and
 /// readers. Collisions between the handful of versions of one file are
 /// never a practical concern.
@@ -230,6 +233,29 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// The violation's (time, client) anchor, the primary report order.
+    pub fn time_client(&self) -> (u64, usize) {
+        match self {
+            Violation::CorruptRead { t, client, .. }
+            | Violation::StaleRead { t, client, .. }
+            | Violation::TimeTravel { t, client, .. }
+            | Violation::LostFile { t, client, .. }
+            | Violation::Replay { t, client, .. }
+            | Violation::MissingEntry { t, client, .. } => (*t, *client),
+        }
+    }
+}
+
+/// The deterministic total order both checkers sort their reports by:
+/// time, then client, then the full rendered record so exact ties (two
+/// missing entries from one listing, say) break identically no matter
+/// which checker — or which internal iteration order — produced them.
+pub(crate) fn violation_total_key(v: &Violation) -> (u64, usize, String) {
+    let (t, c) = v.time_client();
+    (t, c, format!("{v:?}"))
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -309,21 +335,21 @@ impl fmt::Display for Violation {
 
 /// One committed (or possibly-committed) version of a file.
 #[derive(Clone, Debug)]
-struct Version {
-    len: usize,
-    fnv: u64,
+pub(crate) struct Version {
+    pub(crate) len: usize,
+    pub(crate) fnv: u64,
     /// When the close was issued (content cannot be observed earlier).
-    t_start: u64,
+    pub(crate) t_start: u64,
     /// When the close returned.
-    t_done: u64,
+    pub(crate) t_done: u64,
     /// Whether the close succeeded (uncertain versions never raise the
     /// close-to-open floor).
-    certain: bool,
+    pub(crate) certain: bool,
 }
 
 /// Name-existence state in the sequential model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Exists {
+pub(crate) enum Exists {
     /// Never created (or certainly removed).
     No,
     /// Certainly present.
@@ -566,13 +592,17 @@ impl Oracle {
                 ObsKind::Listed { dir, names } => {
                     // Every never-removed file with a certain version
                     // committed more than `grace` before the listing must
-                    // appear.
+                    // appear. Candidate paths are visited in sorted order
+                    // so ties in the final report order are deterministic
+                    // (HashMap iteration is not).
                     let prefix = if dir.ends_with('/') {
                         dir.clone()
                     } else {
                         format!("{dir}/")
                     };
-                    for (p, pm) in &model {
+                    let mut cands: Vec<(&&str, &PathModel)> = model.iter().collect();
+                    cands.sort_by_key(|(p, _)| **p);
+                    for (p, pm) in cands {
                         if pm.ever_removed || !p.starts_with(prefix.as_str()) {
                             continue;
                         }
@@ -596,16 +626,9 @@ impl Oracle {
                 }
             }
         }
-        // HashMap iteration above (Listed) is unordered; sort the final
-        // list deterministically.
-        violations.sort_by_key(|v| match v {
-            Violation::CorruptRead { t, client, .. }
-            | Violation::StaleRead { t, client, .. }
-            | Violation::TimeTravel { t, client, .. }
-            | Violation::LostFile { t, client, .. }
-            | Violation::Replay { t, client, .. }
-            | Violation::MissingEntry { t, client, .. } => (*t, *client),
-        });
+        // Total-order sort shared with the streaming checker so exact
+        // (t, client) ties break identically in both.
+        violations.sort_by_cached_key(violation_total_key);
         violations
     }
 }

@@ -31,6 +31,12 @@ echo "==> repro soak --seeds 24 --scale quick (chaos oracle gate)"
 # gate deterministic and bounded.
 cargo run -q --release -p renofs-bench --bin repro -- soak --seeds 24 --scale quick >/dev/null
 
+echo "==> repro soak --duration 30 --seeds 8 (streaming budget-mode smoke)"
+# Time-boxed streaming-oracle run: exits 1 on the first violation
+# (fail-fast), caps at 8 seeds so it finishes well inside the box.
+cargo run -q --release -p renofs-bench --bin repro -- soak --duration 30 --seeds 8 \
+    --scale quick >/dev/null
+
 echo "==> cargo test -p renofs-bench --features profile (alloc discipline + profiler)"
 cargo test -q -p renofs-bench --features profile --release
 
