@@ -485,6 +485,10 @@ pub fn experiment_list<'a>(
             "ablation-readdirplus",
             Box::new(|| ablations::ablation_readdirplus(scale).to_string()),
         ),
+        (
+            "ablation-lease",
+            Box::new(|| ablations::ablation_lease(scale).to_string()),
+        ),
     ]
 }
 
@@ -606,8 +610,9 @@ pub fn run_bench(
 
 /// Extracts the number following `"key":` inside the (flat) object that
 /// follows the first occurrence of `"section"` in `json`. Only parses
-/// the format [`BenchReport::to_json`] writes.
-fn find_number(json: &str, section: &str, key: &str) -> Option<f64> {
+/// the format [`BenchReport::to_json`] writes (and the sibling lease
+/// report, which uses the same hand-rolled shape).
+pub(crate) fn find_number(json: &str, section: &str, key: &str) -> Option<f64> {
     let sec = format!("\"{section}\"");
     let rest = &json[json.find(&sec)? + sec.len()..];
     let keypat = format!("\"{key}\"");
@@ -622,7 +627,7 @@ fn find_number(json: &str, section: &str, key: &str) -> Option<f64> {
 /// Like [`find_number`], but scoped to the object following `section`:
 /// finds `sub` after `section`, then `key` after that, so identically
 /// named sub-objects in other sections don't shadow it.
-fn find_number2(json: &str, section: &str, sub: &str, key: &str) -> Option<f64> {
+pub(crate) fn find_number2(json: &str, section: &str, sub: &str, key: &str) -> Option<f64> {
     let sec = format!("\"{section}\"");
     let rest = &json[json.find(&sec)? + sec.len()..];
     find_number(rest, sub, key)
@@ -675,18 +680,21 @@ pub fn check_against(committed_json: &str, current: &BenchReport) -> Result<Stri
     } else {
         verdict = format!("{verdict}; shallow adaptive at {shallow_ratio:.2}x heap");
     }
-    // Older (pr3) reports have no crowd section; the gate applies once
-    // the committed file carries one.
-    if let Some(crowd_committed) =
-        find_number2(committed_json, "crowd_replay", "adaptive", "events_per_sec")
-    {
-        let crowd = gate(
-            "crowd adaptive",
-            crowd_committed,
-            current.crowd_adaptive.events_per_sec,
+    // A gated section that is simply absent must fail loudly: a
+    // truncated or pre-crowd committed report silently waiving the
+    // crowd gate is exactly the kind of regression the checker exists
+    // to catch.
+    let crowd_committed =
+        find_number2(committed_json, "crowd_replay", "adaptive", "events_per_sec").ok_or(
+            "committed bench JSON is missing the gated \"crowd_replay\" section — \
+             regenerate it with `repro bench`",
         )?;
-        verdict = format!("{verdict}; {crowd}");
-    }
+    let crowd = gate(
+        "crowd adaptive",
+        crowd_committed,
+        current.crowd_adaptive.events_per_sec,
+    )?;
+    verdict = format!("{verdict}; {crowd}");
     Ok(verdict)
 }
 
@@ -799,9 +807,12 @@ mod tests {
         slow.crowd_adaptive.events_per_sec = report.crowd_adaptive.events_per_sec * 0.5;
         let err = check_against(&json, &slow).expect_err("crowd regression must fail");
         assert!(err.contains("crowd adaptive"), "got: {err}");
-        // A pr3-era report without a crowd section only gates the wheel.
+        // A report without the crowd section must fail loudly — a
+        // truncated committed file may not silently waive the gate.
         let pr3 = json[..json.find("\"crowd_replay\"").unwrap()].to_string();
-        assert!(check_against(&pr3, &slow).is_ok());
+        let fresh = fake_report();
+        let err = check_against(&pr3, &fresh).expect_err("missing section must fail");
+        assert!(err.contains("missing the gated"), "got: {err}");
     }
 
     #[test]

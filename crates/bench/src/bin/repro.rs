@@ -14,11 +14,13 @@
 //!   faults           recovery under injected faults (soft/hard mounts)
 //!   crowd            multi-client saturation: N clients vs an nfsd pool
 //!   soak             randomized chaos worlds vs the consistency oracle
-//!                    (`--seeds N` sweep, `--case SPEC` single replay)
+//!                    (`--seeds N` sweep, `--case SPEC` single replay,
+//!                    `--lease` for NQNFS lease worlds under the
+//!                    tightened oracle grace)
 //!   section3         interface-tuning ablation
 //!   ablation-rto ablation-slowstart ablation-namelen
 //!   ablation-preload ablation-rsize ablation-readahead
-//!   ablation-readdirplus
+//!   ablation-readdirplus ablation-lease
 //!   all              everything above
 //!   bench            the simulator benchmarking itself (see below)
 //!   pdes-smoke       256-client PDES determinism smoke gate
@@ -45,19 +47,25 @@
 //! plus a timed pass over every experiment, and writes
 //! `BENCH_pr4.json`; it then runs the PDES crowd matrix (256- and
 //! 1,024-client worlds, monolithic baseline vs 1/2/4/8 sim threads)
-//! and writes `BENCH_pr6.json` with `nproc`/rustc metadata. `repro
-//! bench --check FILE` re-runs the microbenches and the PDES matrix
-//! and exits nonzero if throughput regressed >30% against the
-//! committed numbers, the adaptive queue trails the heap >5% on the
-//! shallow replay, the partitioned engine costs >10% at one sim
-//! thread, any thread count diverges from the monolithic state hash,
-//! or (given ≥4 cores) 4 sim threads fail a 2x speedup. Gates that
-//! need more cores than the machine has are reported as skipped.
+//! and writes `BENCH_pr6.json` with `nproc`/rustc metadata, and the
+//! lease section (Create-Delete write-RPC recovery vs noconsist plus
+//! a lease-soak certification) into `BENCH_pr8.json`. `repro bench
+//! --check FILE` re-runs the microbenches, the PDES matrix, and the
+//! lease section, and exits nonzero if: throughput regressed more
+//! than 30% against the committed numbers; the adaptive queue trails
+//! the heap more than 5% on the shallow replay; the partitioned
+//! engine costs more than 10% at one sim thread; any thread count
+//! diverges from the monolithic state hash; (given ≥4 cores) 4 sim
+//! threads fail a 2x speedup; the lease mount recovers under 60% of
+//! the noconsist write-RPC reduction on any topology; or the lease
+//! soak reports a violation. A committed report missing a gated
+//! section fails loudly rather than waiving the gate. Gates that need
+//! more cores than the machine has are reported as skipped.
 
 use std::time::Instant;
 
 use renofs_bench::Scale;
-use renofs_bench::{bench, pdes};
+use renofs_bench::{bench, lease, pdes};
 use renofs_workload::andrew::AndrewSpec;
 
 // With the `profile` feature, count every heap allocation so the
@@ -71,12 +79,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all|bench|pdes-smoke> [--quick | --scale quick|paper] \
          [--jobs N] [--sim-threads N] [--profile] [--out FILE] [--check FILE] [--seeds N] \
-         [--case SPEC] [--duration SECS] [--max-ops N] [--long]"
+         [--case SPEC] [--duration SECS] [--max-ops N] [--long] [--lease]"
     );
     eprintln!(
         "soak: `repro soak --seeds N` sweeps chaos seeds 0..N; `repro soak --case \
-         \"seed=S,clients=C,rounds=R,windows=0;1\"` replays one shrunk case. Both exit 1 \
-         on an oracle violation."
+         \"seed=S,clients=C,rounds=R,windows=0;1\"` replays one shrunk case; `--lease` \
+         sweeps NQNFS lease worlds (write-behind clients, crash/partition windows) \
+         under the tightened lease oracle grace. All exit 1 on an oracle violation."
     );
     eprintln!(
         "soak budget mode: `--duration SECS` and/or `--max-ops N` run seeds (streaming \
@@ -102,6 +111,7 @@ struct Options {
     duration: Option<u64>,
     max_ops: Option<u64>,
     long: bool,
+    lease: bool,
 }
 
 fn parse_args() -> Options {
@@ -118,6 +128,7 @@ fn parse_args() -> Options {
     let mut duration = None;
     let mut max_ops = None;
     let mut long = false;
+    let mut lease = false;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -189,6 +200,7 @@ fn parse_args() -> Options {
                 };
             }
             "--long" => long = true,
+            "--lease" => lease = true,
             "--help" | "-h" => usage(),
             _ if a.starts_with("--") => usage(),
             _ => {
@@ -212,6 +224,7 @@ fn parse_args() -> Options {
         duration,
         max_ops,
         long,
+        lease,
     }
 }
 
@@ -247,7 +260,9 @@ fn run_soak_mode(opts: &Options, scale: &Scale) {
             } else {
                 usize::MAX
             }),
-            profile: if opts.long {
+            profile: if opts.lease {
+                soak::SoakProfile::Lease
+            } else if opts.long {
                 soak::SoakProfile::Long
             } else {
                 soak::SoakProfile::Quick
@@ -259,8 +274,15 @@ fn run_soak_mode(opts: &Options, scale: &Scale) {
             std::process::exit(1);
         }
     } else {
-        let count = opts.seeds.expect("caller checked");
-        let report = soak::soak_with(scale, 0, count, soak::Mutation::None);
+        // A bare `--lease` sweeps a default seed range; `--seeds N`
+        // overrides it either way.
+        let count = opts.seeds.unwrap_or(16);
+        let profile = if opts.lease {
+            soak::SoakProfile::Lease
+        } else {
+            soak::SoakProfile::Quick
+        };
+        let report = soak::soak_profile_with(scale, 0, count, soak::Mutation::None, profile);
         print!("{report}");
         if report.total_violations() > 0 {
             std::process::exit(1);
@@ -271,10 +293,14 @@ fn run_soak_mode(opts: &Options, scale: &Scale) {
 /// Where the PDES matrix lands (next to the PR 4 queue-replay report).
 const PDES_OUT: &str = "BENCH_pr6.json";
 
+/// Where the lease write-behind section lands.
+const LEASE_OUT: &str = "BENCH_pr8.json";
+
 fn run_bench_mode(opts: &Options, scale: &Scale, spec: &AndrewSpec) {
     let checking = opts.check.is_some();
     let report = bench::run_bench(scale, spec, opts.jobs, !checking);
     let pdes_report = pdes::run_pdes_section(scale, &report.scale_name);
+    let lease_report = lease::run_lease_section(scale, &report.scale_name);
     match &opts.check {
         Some(path) => {
             let committed = match std::fs::read_to_string(path) {
@@ -302,6 +328,26 @@ fn run_bench_mode(opts: &Options, scale: &Scale, spec: &AndrewSpec) {
                     std::process::exit(1);
                 }
             }
+            // The lease gate holds both the committed BENCH_pr8.json
+            // (which must exist, parse, and certify a clean sweep) and
+            // the fresh recovery/honesty numbers.
+            let committed_lease = match std::fs::read_to_string(LEASE_OUT) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!(
+                        "[bench] FAIL: cannot read {LEASE_OUT}: {e} — the lease gate \
+                         needs the committed report; regenerate it with `repro bench`"
+                    );
+                    std::process::exit(1);
+                }
+            };
+            match lease::check_against(&committed_lease, &lease_report) {
+                Ok(msg) => eprintln!("[bench] lease: {msg}"),
+                Err(msg) => {
+                    eprintln!("[bench] FAIL: lease: {msg}");
+                    std::process::exit(1);
+                }
+            }
         }
         None => {
             if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
@@ -312,8 +358,13 @@ fn run_bench_mode(opts: &Options, scale: &Scale, spec: &AndrewSpec) {
                 eprintln!("[bench] cannot write {PDES_OUT}: {e}");
                 std::process::exit(1);
             }
+            if let Err(e) = std::fs::write(LEASE_OUT, lease_report.to_json()) {
+                eprintln!("[bench] cannot write {LEASE_OUT}: {e}");
+                std::process::exit(1);
+            }
             print!("{}", report.summary());
             print!("{}", pdes_report.summary());
+            print!("{}", lease_report.summary());
             match pdes_report.check() {
                 Ok(msg) => eprintln!("[bench] pdes: {msg}"),
                 Err(msg) => {
@@ -321,7 +372,14 @@ fn run_bench_mode(opts: &Options, scale: &Scale, spec: &AndrewSpec) {
                     std::process::exit(1);
                 }
             }
-            eprintln!("[bench] wrote {} and {PDES_OUT}", opts.out);
+            match lease_report.check() {
+                Ok(msg) => eprintln!("[bench] lease: {msg}"),
+                Err(msg) => {
+                    eprintln!("[bench] FAIL: lease: {msg}");
+                    std::process::exit(1);
+                }
+            }
+            eprintln!("[bench] wrote {}, {PDES_OUT} and {LEASE_OUT}", opts.out);
         }
     }
 }
@@ -370,7 +428,8 @@ fn main() {
             || opts.case.is_some()
             || opts.duration.is_some()
             || opts.max_ops.is_some()
-            || opts.long)
+            || opts.long
+            || opts.lease)
     {
         run_soak_mode(&opts, &scale);
         if opts.profile {

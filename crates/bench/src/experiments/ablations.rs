@@ -8,6 +8,7 @@ use renofs::{TopologyKind, TransportKind, World, WorldConfig};
 use renofs_netsim::topology::presets::Background;
 use renofs_sim::SimDuration;
 use renofs_transport::{RtoPolicy, UdpRpcConfig};
+use renofs_workload::createdelete::create_delete_nfs;
 use renofs_workload::nhfsstone::{self, LoadMix, NhfsstoneConfig};
 
 use super::world_for;
@@ -378,6 +379,105 @@ pub fn ablation_readdirplus(scale: &Scale) -> Ablation {
     }
 }
 
+/// One cell of the lease headline grid: one Create-Delete run at
+/// 100Kbytes under one mount mode on one topology.
+#[derive(Clone, Copy, Debug)]
+pub struct LeaseCell {
+    /// Mount mode: "default", "lease", or "no consist".
+    pub mode: &'static str,
+    /// Topology label: "same LAN", "token ring", or "56Kbps".
+    pub topo: &'static str,
+    /// Mean per-iteration latency in ms.
+    pub ms: f64,
+    /// WRITE RPCs issued across the run.
+    pub write_rpcs: u64,
+    /// All RPCs issued across the run.
+    pub total_rpcs: u64,
+}
+
+/// The measurement grid behind [`ablation_lease`], exposed structured
+/// so the bench gate can compute write-RPC recovery without re-parsing
+/// a rendered table.
+pub fn lease_grid(scale: &Scale) -> Vec<LeaseCell> {
+    let modes: [(&'static str, ClientConfig, bool); 3] = [
+        ("default", ClientConfig::reno(), false),
+        ("lease", ClientConfig::reno_lease(), true),
+        ("no consist", ClientConfig::reno_noconsist(), false),
+    ];
+    let topos: [(&'static str, TopologyKind); 3] = [
+        ("same LAN", TopologyKind::SameLan),
+        ("token ring", TopologyKind::TokenRing),
+        ("56Kbps", TopologyKind::SlowLink),
+    ];
+    let mut jobs = Vec::new();
+    for (mi, mode) in modes.iter().enumerate() {
+        for (ti, topo) in topos.iter().enumerate() {
+            jobs.push((mi, ti, *mode, *topo));
+        }
+    }
+    let iters = scale.cd_iters;
+    run_jobs(
+        &jobs,
+        scale.jobs,
+        move |&(mi, ti, (mode, cfg, leases), (topo, kind))| {
+            let mut wcfg = WorldConfig::baseline();
+            wcfg.topology = kind;
+            wcfg.background = Background::quiet();
+            wcfg.transport = TransportKind::UdpDynamic {
+                timeo: SimDuration::from_secs(1),
+            };
+            wcfg.biods = 4;
+            wcfg.server.leases = leases;
+            wcfg.seed = 0xAB80 + (mi * 3 + ti) as u64;
+            let mut world = World::new(wcfg);
+            let root = world.root_handle();
+            let (tx, rx) = std::sync::mpsc::channel();
+            world.spawn(move |sys| {
+                let mut fs = ClientFs::mount(sys, cfg, root, "client");
+                let r = create_delete_nfs(&mut fs, 100 * 1024, iters).expect("cd runs");
+                let counts = fs.counts();
+                let _ = tx.send((r, counts.count(renofs::NfsProc::Write), counts.total()));
+            });
+            world.run();
+            let (r, write_rpcs, total_rpcs) = rx.recv().unwrap();
+            LeaseCell {
+                mode,
+                topo,
+                ms: r.per_iter.as_millis_f64(),
+                write_rpcs,
+                total_rpcs,
+            }
+        },
+    )
+}
+
+/// PR 8's headline table: the lease mount mode against the default and
+/// noconsist mounts on the Create-Delete benchmark (100Kbyte files)
+/// across all three topologies. The honest chase of the noconsist upper
+/// bound — leases keep cache consistency, yet a created-then-deleted
+/// file's data never crosses the wire, so the WRITE column collapses to
+/// the noconsist floor while the default mount pays full freight.
+pub fn ablation_lease(scale: &Scale) -> Ablation {
+    let rows = lease_grid(scale)
+        .into_iter()
+        .map(|c| {
+            (
+                format!("{}, {}", c.mode, c.topo),
+                vec![c.ms, c.write_rpcs as f64, c.total_rpcs as f64],
+            )
+        })
+        .collect();
+    Ablation {
+        title: "Ablation: lease mount vs default and noconsist (Create-Delete, 100Kbytes)".into(),
+        columns: vec![
+            "cd ms/iter".into(),
+            "WRITE rpcs".into(),
+            "total rpcs".into(),
+        ],
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +533,36 @@ mod tests {
         let t_plain = a.value("plain READDIR + LOOKUPs", "elapsed ms");
         let t_plus = a.value("READDIRLOOKUP", "elapsed ms");
         assert!(t_plus < t_plain, "and be faster: {t_plus} vs {t_plain}");
+    }
+
+    #[test]
+    fn lease_mode_recovers_the_noconsist_write_savings() {
+        let mut s = Scale::quick();
+        s.cd_iters = 3;
+        let a = ablation_lease(&s);
+        assert_eq!(a.rows.len(), 9, "3 modes x 3 topologies");
+        for topo in ["same LAN", "token ring", "56Kbps"] {
+            let wd = a.value(&format!("default, {topo}"), "WRITE rpcs");
+            let wl = a.value(&format!("lease, {topo}"), "WRITE rpcs");
+            let wn = a.value(&format!("no consist, {topo}"), "WRITE rpcs");
+            assert!(wd > 0.0, "{topo}: the default mount must issue WRITEs");
+            assert!(
+                wn < wd,
+                "{topo}: noconsist ({wn}) must save WRITEs vs default ({wd})"
+            );
+            let recovery = (wd - wl) / (wd - wn);
+            assert!(
+                recovery >= 0.60,
+                "{topo}: lease mode recovers {recovery:.2} of the noconsist \
+                 write-RPC reduction (default {wd}, lease {wl}, noconsist {wn})"
+            );
+            let md = a.value(&format!("default, {topo}"), "cd ms/iter");
+            let ml = a.value(&format!("lease, {topo}"), "cd ms/iter");
+            assert!(
+                ml < md,
+                "{topo}: lease CD ({ml:.0}ms) must beat default ({md:.0}ms)"
+            );
+        }
     }
 
     #[test]

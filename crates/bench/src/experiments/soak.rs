@@ -77,6 +77,13 @@ pub enum Mutation {
     StickyAttrs,
     /// Do not flush dirty data on close: other clients read old bytes.
     NoClosePush,
+    /// Lease client serves cached data past its lease expiry (lease
+    /// worlds only): the cache outlives the term the server promised.
+    ServeStaleLease,
+    /// Server reboots without waiting out the maximum lease term (lease
+    /// worlds only): conflicting leases are granted while pre-crash
+    /// holders still trust theirs.
+    NoRebootGrace,
 }
 
 /// One scheduled fault window of a generated world.
@@ -179,6 +186,13 @@ pub enum SoakProfile {
     /// nfsd pools, denser fault timelines including repeated
     /// crash/reboot cycles. Meant for `--long` overnight runs.
     Long,
+    /// NQNFS lease worlds: the server issues leases and clients mount
+    /// in lease mode (write-behind under a write lease). Hard mounts
+    /// only, crash windows timed to straddle lease terms, and a
+    /// **tighter** oracle grace (see [`StreamConfig::for_lease_soak`])
+    /// so stale cache served past a lease term is a violation, not
+    /// tolerated slack.
+    Lease,
 }
 
 impl SoakProfile {
@@ -186,6 +200,7 @@ impl SoakProfile {
         match self {
             SoakProfile::Quick => "quick",
             SoakProfile::Long => "long",
+            SoakProfile::Lease => "lease",
         }
     }
 }
@@ -196,6 +211,110 @@ pub fn derive_world_for(seed: u64, profile: SoakProfile) -> DerivedWorld {
     match profile {
         SoakProfile::Quick => derive_world(seed),
         SoakProfile::Long => derive_long_world(seed),
+        SoakProfile::Lease => derive_lease_world(seed),
+    }
+}
+
+/// The lease-world recipe: its own seed domain, hard mounts only (a
+/// soft timeout mid write-behind would conflate mount semantics with
+/// lease semantics), and fault windows biased toward the spans where
+/// lease state is most exposed — crashes land between the cross-read
+/// slot (readers acquire read leases at +4s) and the late rewrite
+/// (+5s), so the reboot grace is what stands between a pre-crash read
+/// lease and a conflicting post-crash write grant.
+fn derive_lease_world(seed: u64) -> DerivedWorld {
+    let mut rng = Rng::new(point_seed(0x1EA5E, seed as usize, 0));
+    let clients = 2 + rng.gen_range(0, 3) as usize; // 2..=4
+    let rounds = 3 + rng.gen_range(0, 3) as usize; // 3..=5
+    let topo = match rng.index(3) {
+        0 => ("same LAN", TopologyKind::SameLan),
+        1 => ("token ring", TopologyKind::TokenRing),
+        _ => ("56Kbps", TopologyKind::SlowLink),
+    };
+    let slow = topo.1 == TopologyKind::SlowLink;
+    let files = if slow { 1 } else { 1 + rng.index(2) };
+    let temps = if slow { 1 } else { 2 };
+    let transport = match rng.index(3) {
+        0 => (
+            "UDP rto=1s",
+            TransportKind::UdpFixed {
+                timeo: SimDuration::from_secs(1),
+            },
+        ),
+        1 => (
+            "UDP rto=A+4D",
+            TransportKind::UdpDynamic {
+                timeo: SimDuration::from_secs(1),
+            },
+        ),
+        _ => ("TCP", TransportKind::Tcp),
+    };
+    let nfsds = [0usize, 2, 4, 8][rng.index(4)];
+    let span_ms = (SETUP + rounds as u64 * ROUND) * 1000;
+    let nwindows = 1 + rng.index(4);
+    let mut windows = Vec::with_capacity(nwindows);
+    for _ in 0..nwindows {
+        let kind = match rng.index(6) {
+            0 => WindowKind::Partition,
+            1 => WindowKind::Loss,
+            2 => WindowKind::Dup,
+            3 => WindowKind::Reorder,
+            4 => WindowKind::Crash,
+            _ => WindowKind::Corrupt,
+        };
+        if kind == WindowKind::Crash {
+            // Aim the crash inside one round's read-lease window: down
+            // shortly after the +4s read slot, back up before (or just
+            // after) the +5s late rewrite, so the rewrite's write-lease
+            // acquisition crosses the reboot.
+            let round = rng.index(rounds.max(1)) as u64;
+            let at_ms = SETUP * 1000 + round * ROUND * 1000 + rng.gen_range(4100, 4900);
+            let dur_ms = rng.gen_range(400, 1400);
+            windows.push(WindowSpec {
+                kind,
+                at_ms,
+                dur_ms,
+                prob: 0.0,
+                delay_ms: 0,
+            });
+            continue;
+        }
+        let at_ms = rng.gen_range(
+            SETUP * 1000,
+            span_ms.saturating_sub(4000).max(SETUP * 1000 + 1),
+        );
+        let (dur_ms, prob, delay_ms) = match kind {
+            // Partitions stay below the lease term so a holder's renew
+            // can always get through before its term lapses.
+            WindowKind::Partition => (rng.gen_range(800, 2500), 0.0, 0),
+            WindowKind::Loss => (rng.gen_range(3000, 9000), rng.gen_range_f64(0.25, 0.5), 0),
+            WindowKind::Dup => (rng.gen_range(2000, 7000), rng.gen_range_f64(0.1, 0.3), 0),
+            WindowKind::Reorder => (
+                rng.gen_range(2000, 7000),
+                rng.gen_range_f64(0.1, 0.3),
+                rng.gen_range(10, 40),
+            ),
+            WindowKind::Corrupt => (rng.gen_range(3000, 9000), rng.gen_range_f64(0.05, 0.3), 0),
+            WindowKind::DelaySpike | WindowKind::Crash => unreachable!(),
+        };
+        windows.push(WindowSpec {
+            kind,
+            at_ms,
+            dur_ms,
+            prob,
+            delay_ms,
+        });
+    }
+    DerivedWorld {
+        clients,
+        rounds,
+        files,
+        temps,
+        topo,
+        transport,
+        nfsds,
+        soft: false,
+        windows,
     }
 }
 
@@ -457,6 +576,7 @@ impl SoakCase {
                     profile = match v.trim() {
                         "quick" => SoakProfile::Quick,
                         "long" => SoakProfile::Long,
+                        "lease" => SoakProfile::Lease,
                         other => return Err(format!("unknown profile {other:?}")),
                     }
                 }
@@ -547,6 +667,17 @@ pub struct CaseOutcome {
     pub garbage: u64,
     /// Server duplicate-cache hits.
     pub dup_hits: u64,
+    /// Lease grants the server issued (lease worlds; else 0).
+    pub leases_issued: u64,
+    /// Lease terms extended (explicit + piggybacked renewals).
+    pub leases_renewed: u64,
+    /// Recall callbacks queued to conflicting holders.
+    pub lease_recalls: u64,
+    /// Calls deferred with `try later` while a recall or the reboot
+    /// grace was pending.
+    pub lease_vacate_waits: u64,
+    /// Leases the server reaped unreleased at term end.
+    pub lease_expiries: u64,
     /// High-water mark of streaming-checker retained state (versions +
     /// pending reads): the memory bound, O(open window) not O(ops).
     pub peak_retained: usize,
@@ -565,7 +696,9 @@ pub struct RunOpts {
     /// Also capture the full observation log (defeats the memory
     /// bound; differential tests only).
     pub capture: bool,
-    /// Streaming-checker windows.
+    /// Streaming-checker windows. Lease-profile cases ignore this and
+    /// always run under [`StreamConfig::for_lease_soak`], whose tighter
+    /// grace is part of the lease contract being checked.
     pub stream: StreamConfig,
 }
 
@@ -678,19 +811,18 @@ fn status_of(e: &ClientError) -> String {
     }
 }
 
-/// The cross-read phase of one workload round: sleep to the round's
-/// read slot (if it has not already passed), then read neighbours'
+/// The cross-read phase of one workload round: sleep to the given
+/// slot (if it has not already passed), then read neighbours'
 /// files end to end, logging observed contents or failures.
 fn cross_reads<S: Syscalls>(
     fs: &mut ClientFs<S>,
     log: &mut ObsSink,
     rng: &mut Rng,
-    base: SimTime,
+    read_at: SimTime,
     ci: usize,
     nclients: usize,
     files: usize,
 ) {
-    let read_at = base + SimDuration::from_secs(READ_SLOT);
     let now = fs.sys().now();
     if read_at > now {
         fs.sys().sleep(read_at.since(now));
@@ -793,7 +925,10 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
     cfg.background = Background::quiet();
     cfg.clients = case.clients;
     cfg.nfsds = derived.nfsds;
+    let lease = case.profile == SoakProfile::Lease;
     cfg.server.dup_cache = mutation != Mutation::NoDupCache;
+    cfg.server.leases = lease;
+    cfg.server.lease_no_reboot_grace = mutation == Mutation::NoRebootGrace;
     cfg.faults = plan;
     cfg.sim_threads = opts.sim_threads;
     cfg.mount = if derived.soft {
@@ -806,11 +941,16 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
     cfg.seed = point_seed(0x50AC, case.seed as usize, 1)
         .wrapping_add(case.salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
-    let mut ccfg = ClientConfig::reno();
+    let mut ccfg = if lease {
+        ClientConfig::reno_lease()
+    } else {
+        ClientConfig::reno()
+    };
     ccfg.attr_timeout = ATTR_TIMEOUT;
     match mutation {
         Mutation::StickyAttrs => ccfg.attr_timeout = SimDuration::from_secs(600),
         Mutation::NoClosePush => ccfg.push_on_close = false,
+        Mutation::ServeStaleLease => ccfg.lease_ignore_expiry = true,
         _ => {}
     }
 
@@ -822,7 +962,12 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
     let files = derived.files;
     let temps = derived.temps;
     let seed = case.seed;
-    let mut checker = StreamingOracle::new(nclients, opts.stream);
+    let stream = if lease {
+        StreamConfig::for_lease_soak()
+    } else {
+        opts.stream
+    };
+    let mut checker = StreamingOracle::new(nclients, stream);
     if opts.capture {
         checker = checker.with_capture();
     }
@@ -871,7 +1016,12 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                     .collect();
                 temp_offs.sort_unstable();
 
-                // Write phase: rewrite every owned file in place.
+                // Write phase: rewrite every owned file in place. In
+                // lease worlds the close is write-behind — data stays
+                // dirty in the client cache — so the durability claim
+                // (Committed) is deferred until the explicit flush
+                // below, with t_start preserved at close time.
+                let mut behind: Vec<(String, usize, u64, u64, bool)> = Vec::new();
                 for f in 0..files {
                     let path = format!("{dir}/f{f}");
                     let len = file_len(seed, ci, f);
@@ -894,6 +1044,16 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                     let t_close = fs.sys().now().as_nanos();
                     let wrote = fs.write(fh, 0, &data);
                     let closed = fs.close(fh);
+                    if lease {
+                        behind.push((
+                            path.clone(),
+                            len,
+                            fnv1a(&data),
+                            t_close,
+                            wrote.is_ok() && closed.is_ok(),
+                        ));
+                        continue;
+                    }
                     let t_done = fs.sys().now().as_nanos();
                     let certain = wrote.is_ok() && closed.is_ok();
                     log.emit(Obs {
@@ -922,14 +1082,36 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                         });
                     }
                 }
+                if lease {
+                    // Push the round's write-behind data before any
+                    // sleep: neighbours read at the +4s slot and the
+                    // tightened oracle grace does not excuse data that
+                    // never left the client.
+                    let flushed = fs.flush_idle();
+                    let t_done = fs.sys().now().as_nanos();
+                    for (path, len, fnv, t_close, ok) in behind.drain(..) {
+                        log.emit(Obs {
+                            client: ci,
+                            t_start: t_close,
+                            t_done,
+                            kind: ObsKind::Committed {
+                                path,
+                                len,
+                                fnv,
+                                certain: ok && flushed.is_ok(),
+                            },
+                        });
+                    }
+                }
 
                 // Interleave the spread-out non-idempotent pairs with
                 // the cross-read phase at its fixed slot.
                 let read_ms = READ_SLOT * 1000;
                 let mut read_done = false;
+                let read_at = base + SimDuration::from_secs(READ_SLOT);
                 for &(off, t) in &temp_offs {
                     if off >= read_ms && !read_done {
-                        cross_reads(&mut fs, &mut log, &mut rng, base, ci, nclients, files);
+                        cross_reads(&mut fs, &mut log, &mut rng, read_at, ci, nclients, files);
                         read_done = true;
                     }
                     let at = base + SimDuration::from_millis(off);
@@ -971,7 +1153,70 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                     });
                 }
                 if !read_done {
-                    cross_reads(&mut fs, &mut log, &mut rng, base, ci, nclients, files);
+                    cross_reads(&mut fs, &mut log, &mut rng, read_at, ci, nclients, files);
+                }
+
+                if lease {
+                    // Late rewrite of f0 inside the round: readers
+                    // still hold read leases from the +4s slot, so the
+                    // write-lease reacquisition exercises the recall /
+                    // vacate-wait path — and when a crash window lands
+                    // here, the reboot grace is all that keeps this
+                    // grant from conflicting with pre-crash leases.
+                    let at = base + SimDuration::from_millis(5_000);
+                    let now = fs.sys().now();
+                    if at > now {
+                        fs.sys().sleep(at.since(now));
+                        log.heartbeat(fs.sys().now().as_nanos());
+                    }
+                    let path = format!("{dir}/f0");
+                    let len = file_len(seed, ci, 0);
+                    // Round keys ≥ 0x40 never collide with the write
+                    // phase's (rounds cap well below 64).
+                    let data = content(seed, ci, 0, r + 0x40, len);
+                    let t_open = fs.sys().now().as_nanos();
+                    let opened = fs.open(&path, true, false);
+                    log.emit(Obs {
+                        client: ci,
+                        t_start: t_open,
+                        t_done: fs.sys().now().as_nanos(),
+                        kind: ObsKind::Created {
+                            path: path.clone(),
+                            outcome: opened
+                                .as_ref()
+                                .map(|_| OpOutcome::Ok)
+                                .unwrap_or_else(outcome_of),
+                        },
+                    });
+                    if let Ok(fh) = opened {
+                        let t_close = fs.sys().now().as_nanos();
+                        let wrote = fs.write(fh, 0, &data);
+                        let closed = fs.close(fh);
+                        let flushed = fs.flush_idle();
+                        log.emit(Obs {
+                            client: ci,
+                            t_start: t_close,
+                            t_done: fs.sys().now().as_nanos(),
+                            kind: ObsKind::Committed {
+                                path,
+                                len,
+                                fnv: fnv1a(&data),
+                                certain: wrote.is_ok() && closed.is_ok() && flushed.is_ok(),
+                            },
+                        });
+                    }
+                    // Second cross-read after the late rewrites: each
+                    // client re-reads its neighbours' f0 under whatever
+                    // read lease survives from the first pass.
+                    cross_reads(
+                        &mut fs,
+                        &mut log,
+                        &mut rng,
+                        base + SimDuration::from_millis(6_500),
+                        ci,
+                        nclients,
+                        1,
+                    );
                 }
 
                 // List the home directory: durable files must appear.
@@ -1019,6 +1264,11 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
         checksum_drops: net.checksum_drops,
         garbage: sstats.garbage,
         dup_hits: sstats.dup_hits,
+        leases_issued: sstats.leases_issued,
+        leases_renewed: sstats.leases_renewed,
+        lease_recalls: sstats.lease_recalls,
+        lease_vacate_waits: sstats.lease_vacate_waits,
+        lease_expiries: sstats.lease_expiries,
         peak_retained: stream_out.stats.peak_retained,
         retired: stream_out.stats.retired,
         full_log: stream_out.log,
@@ -1131,6 +1381,9 @@ pub struct SoakRow {
     pub garbage: u64,
     /// Oracle violations.
     pub violations: usize,
+    /// Server lease counters (issued, renewed, recalls, vacate waits,
+    /// expiries) — all zero outside lease worlds.
+    pub lease: [u64; 5],
 }
 
 /// The soak report: one row per seed, plus the shrunk repro for the
@@ -1143,6 +1396,9 @@ pub struct SoakReport {
     pub first_violations: Vec<String>,
     /// The shrunk minimal case, if anything violated.
     pub shrunk: Option<SoakCase>,
+    /// The world recipe the seeds ran through: lease reports render
+    /// extra lease-traffic columns.
+    pub profile: SoakProfile,
 }
 
 impl SoakReport {
@@ -1152,8 +1408,88 @@ impl SoakReport {
     }
 }
 
+impl SoakReport {
+    /// The lease-profile render: drops the corruption bookkeeping
+    /// columns in favour of the server's lease traffic, so a soak table
+    /// shows at a glance whether leases were actually exercised
+    /// (issued/recalled/expired) in the worlds that came back clean.
+    fn fmt_lease(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Soak (lease profile): NQNFS lease worlds checked against the \
+             sequential oracle (grace {} ms — tighter than the {} ms lease \
+             term, so stale cache past a term is a violation)",
+            StreamConfig::for_lease_soak().grace / 1_000_000,
+            renofs::proto::LEASE_TERM_MS,
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut v = vec![
+                    format!("{}", r.seed),
+                    format!("{}", r.clients),
+                    format!("{}", r.nfsds),
+                    r.topo.clone(),
+                    r.transport.clone(),
+                    format!("{}", r.rounds),
+                    r.faults.clone(),
+                    format!("{}", r.ops),
+                    format!("{}", r.taints),
+                ];
+                v.extend(r.lease.iter().map(|c| format!("{c}")));
+                v.push(format!("{}", r.violations));
+                v
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            table(
+                &[
+                    "seed",
+                    "N",
+                    "nfsd",
+                    "config",
+                    "transport",
+                    "rnds",
+                    "faults",
+                    "ops",
+                    "taint",
+                    "issued",
+                    "renew",
+                    "recall",
+                    "vacate",
+                    "expire",
+                    "viol"
+                ],
+                &rows
+            )
+        )?;
+        let total: u64 = self.rows.iter().map(|r| r.ops).sum();
+        writeln!(
+            f,
+            "checked {} lease worlds: {} successful ops, {} violations",
+            self.rows.len(),
+            total,
+            self.total_violations()
+        )?;
+        if let Some(shrunk) = &self.shrunk {
+            writeln!(f, "ORACLE VIOLATIONS (first violating seed):")?;
+            for v in &self.first_violations {
+                writeln!(f, "  {v}")?;
+            }
+            writeln!(f, "minimal repro: repro soak --case \"{shrunk}\"")?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for SoakReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.profile == SoakProfile::Lease {
+            return self.fmt_lease(f);
+        }
         writeln!(
             f,
             "Soak: randomized chaos worlds checked against the sequential \
@@ -1227,17 +1563,23 @@ impl fmt::Display for SoakReport {
 /// Runs seeds `first..first + count` through [`run_case`], in parallel,
 /// then shrinks the first violating seed (if any) sequentially.
 pub fn soak_with(scale: &Scale, first: u64, count: usize, mutation: Mutation) -> SoakReport {
+    soak_profile_with(scale, first, count, mutation, SoakProfile::Quick)
+}
+
+/// [`soak_with`] under an explicit world recipe: `repro soak --lease`
+/// runs the same sweep-shrink loop over lease worlds.
+pub fn soak_profile_with(
+    scale: &Scale,
+    first: u64,
+    count: usize,
+    mutation: Mutation,
+    profile: SoakProfile,
+) -> SoakReport {
     let seeds: Vec<u64> = (first..first + count as u64).collect();
     let rows = run_jobs(&seeds, scale.jobs, |&seed| {
-        let case = SoakCase::from_seed(seed);
-        let d = derive_world(seed);
+        let case = SoakCase::from_seed_profile(seed, profile);
+        let d = derive_world_for(seed, profile);
         let outcome = run_case_with_threads(&case, mutation, scale.sim_threads);
-        let mut kinds: Vec<&'static str> = Vec::new();
-        for w in &d.windows {
-            if !kinds.contains(&w.label()) {
-                kinds.push(w.label());
-            }
-        }
         SoakRow {
             seed,
             clients: d.clients,
@@ -1246,19 +1588,26 @@ pub fn soak_with(scale: &Scale, first: u64, count: usize, mutation: Mutation) ->
             transport: d.transport.0.to_string(),
             mount: if d.soft { "soft" } else { "hard" },
             rounds: d.rounds,
-            faults: kinds.join("+"),
+            faults: fault_kinds(&d),
             ops: outcome.ok_ops,
             taints: outcome.taints,
             corrupted: outcome.corrupted_frames,
             checksum_drops: outcome.checksum_drops,
             garbage: outcome.garbage,
             violations: outcome.violations.len(),
+            lease: [
+                outcome.leases_issued,
+                outcome.leases_renewed,
+                outcome.lease_recalls,
+                outcome.lease_vacate_waits,
+                outcome.lease_expiries,
+            ],
         }
     });
     let first_bad = rows.iter().find(|r| r.violations > 0).map(|r| r.seed);
     let (first_violations, shrunk) = match first_bad {
         Some(seed) => {
-            let case = SoakCase::from_seed(seed);
+            let case = SoakCase::from_seed_profile(seed, profile);
             let outcome = run_case(&case, mutation);
             let msgs = outcome
                 .violations
@@ -1274,6 +1623,7 @@ pub fn soak_with(scale: &Scale, first: u64, count: usize, mutation: Mutation) ->
         rows,
         first_violations,
         shrunk,
+        profile,
     }
 }
 
@@ -1550,6 +1900,13 @@ pub fn soak_budget(scale: &Scale, opts: &BudgetOpts) -> BudgetReport {
                     checksum_drops: out.checksum_drops,
                     garbage: out.garbage,
                     violations: out.violations.len(),
+                    lease: [
+                        out.leases_issued,
+                        out.leases_renewed,
+                        out.lease_recalls,
+                        out.lease_vacate_waits,
+                        out.lease_expiries,
+                    ],
                 },
                 peak_retained: out.peak_retained,
                 wall,
@@ -1660,5 +2017,49 @@ mod tests {
             r.rows.iter().any(|row| row.faults.contains("corrupt")),
             "expected at least one corrupt window in the first seeds"
         );
+    }
+
+    #[test]
+    fn lease_worlds_soak_clean_and_exercise_leases() {
+        let mut scale = Scale::quick();
+        scale.jobs = 2;
+        let r = soak_profile_with(&scale, 0, 4, Mutation::None, SoakProfile::Lease);
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.total_violations(), 0, "{r}");
+        assert!(r.shrunk.is_none());
+        for row in &r.rows {
+            assert!(row.ops > 0, "{row:?}");
+            assert_eq!(row.mount, "hard", "lease worlds are hard mounts only");
+            assert!(row.lease[0] > 0, "no leases issued: {row:?}");
+        }
+        // The sweep hits lease contention somewhere: recalls, deferred
+        // grants, or server-side expiry of unreleased terms.
+        assert!(
+            r.rows
+                .iter()
+                .any(|row| row.lease[2] > 0 || row.lease[3] > 0 || row.lease[4] > 0),
+            "no lease contention anywhere in the sweep: {r}"
+        );
+        // The lease render carries the lease-traffic columns.
+        assert!(r.to_string().contains("recall"), "{r}");
+    }
+
+    #[test]
+    fn lease_case_roundtrips_and_derivation_is_pure() {
+        let case = SoakCase::from_seed_profile(3, SoakProfile::Lease);
+        let s = case.to_string();
+        assert!(s.contains("profile=lease"), "{s}");
+        assert_eq!(SoakCase::parse(&s).unwrap(), case);
+        for seed in 0..32 {
+            let a = derive_lease_world(seed);
+            let b = derive_lease_world(seed);
+            assert_eq!(a.windows, b.windows);
+            assert!(!a.soft, "lease worlds must mount hard");
+            for w in &a.windows {
+                if w.kind == WindowKind::Partition {
+                    assert!(w.dur_ms < 2_500, "partition outlives the term: {w:?}");
+                }
+            }
+        }
     }
 }

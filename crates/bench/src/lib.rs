@@ -10,6 +10,7 @@
 pub mod bench;
 pub mod experiments;
 pub mod fmt;
+pub mod lease;
 pub mod pdes;
 pub mod runner;
 

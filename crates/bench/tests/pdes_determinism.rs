@@ -83,6 +83,37 @@ fn soak_output_is_byte_identical_across_sim_threads() {
     }
 }
 
+/// Lease worlds through the same matrix: write-behind and recall
+/// servicing add client-side state (the lease map, the recall queue,
+/// retry sleeps) whose iteration order must stay deterministic for the
+/// rendered report — lease-traffic columns included — to survive the
+/// `--sim-threads` × `--jobs` product byte for byte.
+#[test]
+fn lease_soak_output_is_byte_identical_across_the_matrix() {
+    let render = |threads: usize, jobs: usize| {
+        soak::soak_profile_with(
+            &scale(threads, jobs),
+            0,
+            2,
+            soak::Mutation::None,
+            soak::SoakProfile::Lease,
+        )
+        .to_string()
+    };
+    let baseline = render(1, 1);
+    assert!(
+        baseline.contains("recall"),
+        "lease report must carry lease columns: {baseline}"
+    );
+    for (threads, jobs) in [(2usize, 1usize), (4, 1), (1, 4), (2, 4), (4, 4)] {
+        let got = render(threads, jobs);
+        assert_eq!(
+            got, baseline,
+            "lease soak output diverged at sim_threads={threads} jobs={jobs}"
+        );
+    }
+}
+
 /// The streaming checker's internals — not just the rendered table —
 /// must be deterministic across the PDES axis: watermark arrival order
 /// changes with thread interleaving, but the released sequence (and so

@@ -21,17 +21,33 @@
 //!
 //! Every RPC is counted per procedure — the instrument behind Table 3.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use renofs_mbuf::{CopyMeter, MbufChain};
 use renofs_sim::{SimDuration, SimTime};
-use renofs_sunrpc::{AcceptStat, AuthUnix, CallHeader, ReplyHeader, NFS_PROGRAM, NFS_VERSION};
+use renofs_sunrpc::{
+    AcceptStat, AuthUnix, CallHeader, ReplyHeader, NFS_PROGRAM, NFS_VERSION, NQNFS_VERSION,
+};
 use renofs_vfs::{AttrCache, Buf, BufCache, CacheOrg, NameCache, Vattr, VnodeId, BLOCK_SIZE};
 use renofs_xdr::XdrDecoder;
 
 use crate::costs;
-use crate::proto::{self, results, DirEntry, FileHandle, NfsProc, NfsStatus, Sattr};
+use crate::proto::{
+    self, results, DirEntry, FileHandle, NfsProc, NfsStatus, Sattr, LEASE_MODE_READ,
+    LEASE_MODE_RELEASE, LEASE_MODE_WRITE,
+};
 use crate::syscalls::{Syscalls, Ticket};
+
+/// Pacing of retries after the server answers `NQNFS_TRYLATER`: the
+/// requester is waiting out a vacate (the server recalling a conflicting
+/// lease) or the post-reboot grace period.
+const LEASE_RETRY_STEP: SimDuration = SimDuration::from_millis(200);
+
+/// Retry bound (~8 s of virtual time): comfortably longer than a full
+/// vacate wait (one lease term) or a post-reboot grace period, after
+/// which the client gives up on the lease and falls back to classic
+/// close-to-open behaviour.
+const LEASE_RETRY_MAX: u32 = 40;
 
 /// When the client pushes written data to the server.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,6 +93,15 @@ pub struct ClientConfig {
     pub rsize: usize,
     /// Write transfer size.
     pub wsize: usize,
+    /// NQNFS lease mount mode: RPCs go out under [`NQNFS_VERSION`], the
+    /// client acquires read/write leases from the server and, under a
+    /// valid write lease, holds dirty blocks past `close()`
+    /// (write-behind) and trusts attr/data caches without revalidation.
+    pub lease: bool,
+    /// Planted-mutant hook: keep trusting cached data and attributes
+    /// past the lease expiry (no sweep, no invalidation). The soak
+    /// oracle must catch this as a staleness violation.
+    pub lease_ignore_expiry: bool,
 }
 
 impl ClientConfig {
@@ -95,6 +120,20 @@ impl ClientConfig {
             bufcache_blocks: 128,
             rsize: proto::NFS_MAXDATA,
             wsize: proto::NFS_MAXDATA,
+            lease: false,
+            lease_ignore_expiry: false,
+        }
+    }
+
+    /// Reno mounted in NQNFS lease mode: delayed writes held past close
+    /// under a write lease (write-behind), caches trusted while a lease
+    /// is valid, and classic close-to-open behaviour as the fallback
+    /// whenever a lease cannot be had.
+    pub fn reno_lease() -> Self {
+        ClientConfig {
+            lease: true,
+            write_policy: WritePolicy::Delayed,
+            ..Self::reno()
         }
     }
 
@@ -176,7 +215,7 @@ pub type CResult<T> = Result<T, ClientError>;
 /// Per-procedure RPC counters (Table 3's instrument).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RpcCounts {
-    counts: [u64; 19],
+    counts: [u64; 20],
 }
 
 impl RpcCounts {
@@ -227,6 +266,19 @@ struct VnodeState {
     path: Option<String>,
 }
 
+/// One NQNFS lease held from the server, keyed by inode number (the
+/// unit the server's lease table uses). `expiry` is conservative: the
+/// grant's send time plus the term, never extended by the renewals the
+/// server applies to our normal RPCs — the client may only ever
+/// under-estimate how long it holds a lease, so a lapse on our side is
+/// always at or before the server's.
+#[derive(Clone, Copy, Debug)]
+struct ClientLease {
+    fh: FileHandle,
+    write: bool,
+    expiry: SimTime,
+}
+
 /// One asynchronous WRITE in flight. The pushed byte range is recorded
 /// so a reply of `NFSERR_STALE` (server rebooted under the write) can be
 /// re-sent from the still-cached block under a fresh handle.
@@ -251,6 +303,12 @@ pub struct ClientFs<S: Syscalls> {
     readdir_cache: HashMap<VnodeId, Vec<DirEntry>>,
     pending_reads: HashMap<(VnodeId, u64), Ticket>,
     pending_writes: HashMap<VnodeId, Vec<PendingWrite>>,
+    /// Leases held, by inode number. A BTreeMap so the expiry sweep and
+    /// idle flush iterate in a deterministic order.
+    leases: BTreeMap<u32, ClientLease>,
+    /// Recall notices harvested from NQNFS reply trailers, processed at
+    /// the next syscall entry.
+    recall_queue: VecDeque<u32>,
     counts: RpcCounts,
     meter: CopyMeter,
 }
@@ -273,6 +331,8 @@ impl<S: Syscalls> ClientFs<S> {
             readdir_cache: HashMap::new(),
             pending_reads: HashMap::new(),
             pending_writes: HashMap::new(),
+            leases: BTreeMap::new(),
+            recall_queue: VecDeque::new(),
             counts: RpcCounts::default(),
             meter: CopyMeter::new(),
         }
@@ -314,11 +374,16 @@ impl<S: Syscalls> ClientFs<S> {
     ) -> MbufChain {
         let xid = self.next_xid;
         self.next_xid += 1;
+        let vers = if self.cfg.lease {
+            NQNFS_VERSION
+        } else {
+            NFS_VERSION
+        };
         let mut msg = MbufChain::with_leading_space(64);
         CallHeader {
             xid,
             prog: NFS_PROGRAM,
-            vers: NFS_VERSION,
+            vers,
             proc: proc.to_wire(),
             auth: AuthUnix::root(self.machine),
         }
@@ -350,11 +415,22 @@ impl<S: Syscalls> ClientFs<S> {
         self.sys.rpc_async(proc, msg)
     }
 
-    fn open_reply(reply: &MbufChain) -> CResult<XdrDecoder<'_>> {
+    /// Decodes a reply header and, on an NQNFS mount, harvests the
+    /// recall trailer (one inode number after every successful reply;
+    /// zero means nothing pending) before handing back a decoder
+    /// positioned at the procedure results. Recalls are only queued
+    /// here; they are acted on at the next syscall entry.
+    fn open_reply<'a>(&mut self, reply: &'a MbufChain) -> CResult<XdrDecoder<'a>> {
         let mut dec = XdrDecoder::new(reply);
         let header = ReplyHeader::decode(&mut dec).map_err(|_| ClientError::Protocol)?;
         if header.stat != AcceptStat::Success {
             return Err(ClientError::Protocol);
+        }
+        if self.cfg.lease {
+            let recall = dec.get_u32().map_err(|_| ClientError::Protocol)?;
+            if recall != 0 && !self.recall_queue.contains(&recall) {
+                self.recall_queue.push_back(recall);
+            }
         }
         Ok(dec)
     }
@@ -407,7 +483,11 @@ impl<S: Syscalls> ClientFs<S> {
     fn receive_attrs(&mut self, fh: FileHandle, attr: &Vattr, own_write: bool) {
         let token = fh.vnode_token();
         let now = self.sys.now();
-        let consistency = self.cfg.consistency;
+        // Under a valid lease nobody else can have changed the file (the
+        // server recalls before admitting a conflicting writer), so an
+        // mtime change can only be our own flush landing: no purge.
+        let leased = self.lease_valid(fh.ino, false);
+        let consistency = self.cfg.consistency && !leased;
         let assume_own = self.cfg.assume_own_writes;
         let has_pending = self
             .pending_writes
@@ -490,6 +570,14 @@ impl<S: Syscalls> ClientFs<S> {
 
     fn getattr_inner(&mut self, fh: FileHandle) -> CResult<Vattr> {
         let token = fh.vnode_token();
+        if self.lease_valid(fh.ino, false) {
+            // Under a valid lease the server recalls before anyone may
+            // change the file: cached attributes stay good past the
+            // attribute timeout, no revalidation GETATTR needed.
+            if let Some(a) = self.attrcache.peek(token).copied() {
+                return Ok(a);
+            }
+        }
         let now = self.sys.now();
         if let Some(a) = self.attrcache.get(token, now) {
             return Ok(a);
@@ -497,7 +585,7 @@ impl<S: Syscalls> ClientFs<S> {
         let reply = self.call(NfsProc::Getattr, |c, m| {
             proto::build::handle_args(c, m, &fh)
         })?;
-        let mut dec = Self::open_reply(&reply)?;
+        let mut dec = self.open_reply(&reply)?;
         let attr = results::get_attrstat(&mut dec)??;
         self.receive_attrs(fh, &attr, false);
         Ok(attr)
@@ -554,13 +642,163 @@ impl<S: Syscalls> ClientFs<S> {
         }
     }
 
+    // ----- NQNFS leases -------------------------------------------------
+
+    /// Whether a held lease on `ino` still covers `write`-strength
+    /// access. Under the planted `lease_ignore_expiry` mutant the expiry
+    /// check is skipped — exactly the bug the soak oracle must catch.
+    fn lease_valid(&mut self, ino: u32, write: bool) -> bool {
+        if !self.cfg.lease {
+            return false;
+        }
+        let now = self.sys.now();
+        match self.leases.get(&ino) {
+            Some(l) if l.write || !write => self.cfg.lease_ignore_expiry || now < l.expiry,
+            _ => false,
+        }
+    }
+
+    /// One GETLEASE RPC. A grant doubles as a GETATTR: the reply carries
+    /// the term alongside fresh attributes.
+    fn getlease_rpc(&mut self, fh: FileHandle, mode: u32) -> CResult<(u32, Option<Vattr>)> {
+        let reply = self.call(NfsProc::Getlease, |c, m| {
+            proto::build::getlease_args(c, m, &fh, mode)
+        })?;
+        let mut dec = self.open_reply(&reply)?;
+        Ok(results::get_leaseres(&mut dec)??)
+    }
+
+    /// Acquires (or upgrades to) a lease on `fh`, waiting out a bounded
+    /// number of `try_later` deferrals — the server's vacate wait while
+    /// it recalls conflicting holders, or its post-reboot grace period.
+    /// Returns `false` when no lease could be had; the caller then falls
+    /// back to classic close-to-open behaviour.
+    fn lease_acquire(&mut self, fh: FileHandle, write: bool) -> CResult<bool> {
+        if !self.cfg.lease {
+            return Ok(false);
+        }
+        self.lease_service()?;
+        if self.lease_valid(fh.ino, write) {
+            return Ok(true);
+        }
+        let mode = if write {
+            LEASE_MODE_WRITE
+        } else {
+            LEASE_MODE_READ
+        };
+        for _ in 0..LEASE_RETRY_MAX {
+            let sent = self.sys.now();
+            match self.getlease_rpc(fh, mode) {
+                Ok((term_ms, attr)) => {
+                    // Fold the grant's attributes in *before* recording
+                    // the lease: a lease promises future stability, not
+                    // that data cached before it was granted is fresh —
+                    // the classic mtime comparison must still run here.
+                    if let Some(a) = attr {
+                        self.receive_attrs(fh, &a, false);
+                    }
+                    self.leases.insert(
+                        fh.ino,
+                        ClientLease {
+                            fh,
+                            write,
+                            expiry: sent + SimDuration::from_millis(term_ms as u64),
+                        },
+                    );
+                    return Ok(true);
+                }
+                Err(ClientError::Nfs(NfsStatus::TryLater)) => {
+                    self.sys.sleep(LEASE_RETRY_STEP);
+                    self.lease_service()?;
+                }
+                Err(ClientError::TimedOut) => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(false)
+    }
+
+    /// Lease housekeeping, run at syscall entry: delivers queued recall
+    /// notices (flush dirty write-behind data, release, invalidate) and
+    /// sweeps lapsed leases (flush, drop, invalidate) so the next access
+    /// revalidates classically.
+    fn lease_service(&mut self) -> CResult<()> {
+        if !self.cfg.lease {
+            return Ok(());
+        }
+        while let Some(ino) = self.recall_queue.pop_front() {
+            let Some(l) = self.leases.get(&ino).copied() else {
+                // Already released (or a duplicate-cache replay of an
+                // old trailer): nothing to vacate.
+                continue;
+            };
+            if l.write {
+                self.push_dirty(l.fh, true)?;
+                self.drain_writes(l.fh)?;
+            }
+            self.getlease_rpc(l.fh, LEASE_MODE_RELEASE)?;
+            self.leases.remove(&ino);
+            self.lease_invalidate(l.fh);
+        }
+        if self.cfg.lease_ignore_expiry {
+            return Ok(());
+        }
+        let now = self.sys.now();
+        let lapsed: Vec<ClientLease> = self
+            .leases
+            .values()
+            .filter(|l| now >= l.expiry)
+            .copied()
+            .collect();
+        for l in lapsed {
+            if l.write {
+                self.push_dirty(l.fh, true)?;
+                self.drain_writes(l.fh)?;
+            }
+            self.leases.remove(&l.fh.ino);
+            self.lease_invalidate(l.fh);
+        }
+        Ok(())
+    }
+
+    /// After losing a lease the cache contents are only as good as
+    /// classic NFS: drop the attributes and clean blocks so the next
+    /// access goes back to the wire.
+    fn lease_invalidate(&mut self, fh: FileHandle) {
+        let token = fh.vnode_token();
+        self.attrcache.invalidate(token);
+        self.purge_clean_blocks(token);
+    }
+
+    /// Pushes the write-behind data of every write-leased file (the
+    /// idle-time flush a biod would do). Lease-mode workloads call this
+    /// before going idle so dirty blocks are durable before the holding
+    /// lease lapses; without leases it is a no-op.
+    pub fn flush_idle(&mut self) -> CResult<()> {
+        if !self.cfg.lease {
+            return Ok(());
+        }
+        self.lease_service()?;
+        let targets: Vec<FileHandle> = self
+            .leases
+            .values()
+            .filter(|l| l.write)
+            .map(|l| l.fh)
+            .collect();
+        for fh in targets {
+            self.push_dirty(fh, true)?;
+            self.drain_writes(fh)?;
+        }
+        Ok(())
+    }
+
     // ----- name resolution ----------------------------------------------
 
     fn lookup_rpc(&mut self, dir: FileHandle, name: &str) -> CResult<(FileHandle, Vattr)> {
         let reply = self.call(NfsProc::Lookup, |c, m| {
             proto::build::dirop_args(c, m, &dir, name)
         })?;
-        let mut dec = Self::open_reply(&reply)?;
+        let mut dec = self.open_reply(&reply)?;
         let (fh, attr) = results::get_diropres(&mut dec)??;
         self.receive_attrs(fh, &attr, false);
         // Ensure the vnode table knows the handle, refreshing a stored
@@ -656,6 +894,7 @@ impl<S: Syscalls> ClientFs<S> {
     /// Gets attributes for a path (the stat(2) syscall).
     pub fn stat(&mut self, path: &str) -> CResult<Vattr> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        self.lease_service()?;
         self.with_stale_retry(|c| {
             let fh = c.lookup_path(path)?;
             c.getattr_validated(fh)
@@ -666,6 +905,7 @@ impl<S: Syscalls> ClientFs<S> {
     /// `truncate`, an existing file is truncated to zero.
     pub fn open(&mut self, path: &str, create: bool, truncate: bool) -> CResult<FileHandle> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        self.lease_service()?;
         let fh = self.with_stale_retry(|c| c.open_inner(path, create, truncate))?;
         self.remember_path(fh, path);
         Ok(fh)
@@ -681,6 +921,15 @@ impl<S: Syscalls> ClientFs<S> {
                     let vn = self.vnode(fh);
                     vn.size = 0;
                     vn.write_high = 0;
+                    if self.cfg.lease {
+                        // Truncate-open is a write-intent open.
+                        self.lease_acquire(fh, true)?;
+                    }
+                } else if self.cfg.lease && self.lease_acquire(fh, false)? {
+                    // The grant carried fresh attributes (or a held
+                    // lease already vouches for the cache): no classic
+                    // open-time revalidation.
+                    self.apply_pending_flush(fh);
                 } else if self.cfg.consistency {
                     // nfs_open: revalidate attributes at open.
                     self.getattr_validated(fh)?;
@@ -703,12 +952,18 @@ impl<S: Syscalls> ClientFs<S> {
                         },
                     )
                 })?;
-                let mut dec = Self::open_reply(&reply)?;
+                let mut dec = self.open_reply(&reply)?;
                 let (fh, attr) = results::get_diropres(&mut dec)??;
                 self.receive_attrs(fh, &attr, false);
                 self.vnode(fh);
                 self.namecache
                     .enter(dir.vnode_token(), &name, fh.vnode_token());
+                if self.cfg.lease {
+                    // A freshly created file is about to be written:
+                    // take the write lease up front so those writes can
+                    // stay behind.
+                    self.lease_acquire(fh, true)?;
+                }
                 Ok(fh)
             }
             Err(e) => Err(e),
@@ -719,7 +974,15 @@ impl<S: Syscalls> ClientFs<S> {
     /// and waits for every outstanding write.
     pub fn close(&mut self, fh: FileHandle) -> CResult<()> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        self.lease_service()?;
         let fh = self.current_fh(fh);
+        if self.lease_valid(fh.ino, true) {
+            // Write-behind: a valid write lease lets dirty blocks stay
+            // cached past close. They go out on recall, lease expiry, or
+            // the idle flush — and a Create-Delete of a temporary file
+            // never writes them at all.
+            return Ok(());
+        }
         if self.cfg.consistency && self.cfg.push_on_close {
             self.push_dirty(fh, false)?;
             self.drain_writes(fh)?;
@@ -731,7 +994,11 @@ impl<S: Syscalls> ClientFs<S> {
     /// Reads up to `len` bytes at `off`.
     pub fn read(&mut self, fh: FileHandle, off: u32, len: u32) -> CResult<Vec<u8>> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        self.lease_service()?;
         let fh = self.current_fh(fh);
+        if self.cfg.lease {
+            self.lease_acquire(fh, false)?;
+        }
         self.validate_for_read(fh)?;
         let fh = self.current_fh(fh);
         let size = self.file_size(fh)?;
@@ -803,12 +1070,21 @@ impl<S: Syscalls> ClientFs<S> {
     /// rebooted and the handle (or a read-ahead issued under it) went
     /// stale.
     fn fill_block(&mut self, fh: FileHandle, blk: u64) -> CResult<()> {
-        match self.fill_block_inner(fh, blk) {
-            Err(ClientError::Stale) => {
-                let fh = self.recover_stale_fh(fh)?;
-                self.fill_block_inner(fh, blk)
+        let mut tries = 0;
+        loop {
+            match self.fill_block_inner(fh, blk) {
+                Err(ClientError::Stale) => {
+                    let fh = self.recover_stale_fh(fh)?;
+                    return self.fill_block_inner(fh, blk);
+                }
+                Err(ClientError::Nfs(NfsStatus::TryLater)) if tries < LEASE_RETRY_MAX => {
+                    // The server is waiting out a conflicting lease (or
+                    // its post-reboot grace period): pace and retry.
+                    tries += 1;
+                    self.sys.sleep(LEASE_RETRY_STEP);
+                }
+                r => return r,
             }
-            r => r,
         }
     }
 
@@ -823,7 +1099,7 @@ impl<S: Syscalls> ClientFs<S> {
                 })?
             }
         };
-        let mut dec = Self::open_reply(&reply)?;
+        let mut dec = self.open_reply(&reply)?;
         let (attr, data) = results::get_readres(&mut dec)??;
         self.receive_attrs(fh, &attr, false);
         self.sys
@@ -873,6 +1149,11 @@ impl<S: Syscalls> ClientFs<S> {
     /// flushes the cache. The Ultrix model trusts its own writes; the
     /// noconsist flag skips everything.
     fn validate_for_read(&mut self, fh: FileHandle) -> CResult<()> {
+        if self.lease_valid(fh.ino, false) {
+            // The lease IS the consistency protocol: no push-before-read
+            // and no revalidation while it holds.
+            return Ok(());
+        }
         if !self.cfg.consistency {
             return Ok(());
         }
@@ -910,7 +1191,13 @@ impl<S: Syscalls> ClientFs<S> {
     /// Writes `data` at `off`.
     pub fn write(&mut self, fh: FileHandle, off: u32, data: &[u8]) -> CResult<()> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        self.lease_service()?;
         let fh = self.current_fh(fh);
+        if self.cfg.lease {
+            // Ensure (or upgrade to) the write lease; on failure the
+            // write proceeds classically and close() will push it.
+            self.lease_acquire(fh, true)?;
+        }
         self.sys
             .charge_cpu(costs::USER_COPY_PER_BYTE * data.len() as u64);
         {
@@ -1091,10 +1378,11 @@ impl<S: Syscalls> ClientFs<S> {
         // completion is leaked; the first error is reported after.
         let mut first_err: Option<ClientError> = None;
         let mut stale: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut deferred: Vec<(u32, Vec<u8>)> = Vec::new();
         for (pw, snap) in pending.iter().zip(snaps) {
             match self.sys.await_ticket(pw.ticket) {
                 Ok(reply) => {
-                    if let Ok(mut dec) = Self::open_reply(&reply) {
+                    if let Ok(mut dec) = self.open_reply(&reply) {
                         match results::get_attrstat(&mut dec) {
                             Ok(Ok(attr)) => self.receive_attrs(fh, &attr, true),
                             Ok(Err(NfsStatus::Stale)) => match snap {
@@ -1104,6 +1392,18 @@ impl<S: Syscalls> ClientFs<S> {
                                 None => {
                                     if first_err.is_none() {
                                         first_err = Some(ClientError::Stale);
+                                    }
+                                }
+                            },
+                            // The server deferred the write while it
+                            // recalls a conflicting lease; re-send it
+                            // synchronously (with the vacate wait) so no
+                            // acknowledged data is dropped.
+                            Ok(Err(NfsStatus::TryLater)) => match snap {
+                                Some(s) => deferred.push(s),
+                                None => {
+                                    if first_err.is_none() {
+                                        first_err = Some(ClientError::Nfs(NfsStatus::TryLater));
                                     }
                                 }
                             },
@@ -1121,6 +1421,14 @@ impl<S: Syscalls> ClientFs<S> {
         if !stale.is_empty() && first_err.is_none() {
             if let Err(e) = self.redo_stale_writes(fh, stale) {
                 first_err = Some(e);
+            }
+        }
+        if !deferred.is_empty() && first_err.is_none() {
+            for (woff, payload) in deferred {
+                if let Err(e) = self.write_rpc_recovering(fh, woff, &payload) {
+                    first_err = Some(e);
+                    break;
+                }
             }
         }
         match first_err {
@@ -1147,7 +1455,7 @@ impl<S: Syscalls> ClientFs<S> {
         let reply = self.call(NfsProc::Write, |c, m| {
             proto::build::write_args(c, m, &fh, woff, data_chain)
         })?;
-        let mut dec = Self::open_reply(&reply)?;
+        let mut dec = self.open_reply(&reply)?;
         let attr = results::get_attrstat(&mut dec)??;
         self.receive_attrs(fh, &attr, true);
         Ok(attr)
@@ -1160,12 +1468,21 @@ impl<S: Syscalls> ClientFs<S> {
         woff: u32,
         payload: &[u8],
     ) -> CResult<Vattr> {
-        match self.write_rpc(fh, woff, payload) {
-            Err(ClientError::Stale) => {
-                let fh = self.recover_stale_fh(fh)?;
-                self.write_rpc(fh, woff, payload)
+        let mut tries = 0;
+        loop {
+            match self.write_rpc(fh, woff, payload) {
+                Err(ClientError::Stale) => {
+                    let fh = self.recover_stale_fh(fh)?;
+                    return self.write_rpc(fh, woff, payload);
+                }
+                Err(ClientError::Nfs(NfsStatus::TryLater)) if tries < LEASE_RETRY_MAX => {
+                    // Conflicting read leases are being recalled: wait
+                    // for the vacate rather than dropping the data.
+                    tries += 1;
+                    self.sys.sleep(LEASE_RETRY_STEP);
+                }
+                r => return r,
             }
-            r => r,
         }
     }
 
@@ -1200,12 +1517,19 @@ impl<S: Syscalls> ClientFs<S> {
     /// from a stale handle.
     pub fn setattr_fh(&mut self, fh: FileHandle, sattr: Sattr) -> CResult<Vattr> {
         let fh = self.current_fh(fh);
-        match self.setattr_inner(fh, sattr) {
-            Err(ClientError::Stale) => {
-                let fh = self.recover_stale_fh(fh)?;
-                self.setattr_inner(fh, sattr)
+        let mut tries = 0;
+        loop {
+            match self.setattr_inner(fh, sattr) {
+                Err(ClientError::Stale) => {
+                    let fh = self.recover_stale_fh(fh)?;
+                    return self.setattr_inner(fh, sattr);
+                }
+                Err(ClientError::Nfs(NfsStatus::TryLater)) if tries < LEASE_RETRY_MAX => {
+                    tries += 1;
+                    self.sys.sleep(LEASE_RETRY_STEP);
+                }
+                r => return r,
             }
-            r => r,
         }
     }
 
@@ -1213,7 +1537,7 @@ impl<S: Syscalls> ClientFs<S> {
         let reply = self.call(NfsProc::Setattr, |c, m| {
             proto::build::setattr_args(c, m, &fh, &sattr)
         })?;
-        let mut dec = Self::open_reply(&reply)?;
+        let mut dec = self.open_reply(&reply)?;
         let attr = results::get_attrstat(&mut dec)??;
         if let Some(size) = sattr.size {
             let token = fh.vnode_token();
@@ -1239,7 +1563,7 @@ impl<S: Syscalls> ClientFs<S> {
         let reply = self.call(NfsProc::Mkdir, |c, m| {
             proto::build::create_args(c, m, &dir, &name, &Sattr::default())
         })?;
-        let mut dec = Self::open_reply(&reply)?;
+        let mut dec = self.open_reply(&reply)?;
         let (fh, attr) = results::get_diropres(&mut dec)??;
         self.receive_attrs(fh, &attr, false);
         self.vnode(fh);
@@ -1253,6 +1577,7 @@ impl<S: Syscalls> ClientFs<S> {
     /// Removes a file.
     pub fn remove(&mut self, path: &str) -> CResult<()> {
         self.sys.charge_cpu(costs::SYSCALL_FIXED);
+        self.lease_service()?;
         self.with_stale_retry(|c| c.remove_inner(path))
     }
 
@@ -1262,13 +1587,20 @@ impl<S: Syscalls> ClientFs<S> {
         let reply = self.call(NfsProc::Remove, |c, m| {
             proto::build::dirop_args(c, m, &dir, &name)
         })?;
-        let mut dec = Self::open_reply(&reply)?;
+        let mut dec = self.open_reply(&reply)?;
         match results::get_stat(&mut dec)? {
             NfsStatus::Ok => {}
             s => return Err(ClientError::Nfs(s)),
         }
         self.namecache.invalidate(dir.vnode_token(), &name);
         if let Some(token) = target {
+            // Remove-discard: dirty write-behind blocks of a deleted
+            // file are dropped unwritten (the server purges its lease
+            // entry along with the inode) — the Create-Delete win.
+            if let Some(v) = self.vnodes.get(&token) {
+                let ino = v.fh.ino;
+                self.leases.remove(&ino);
+            }
             self.drop_vnode(token);
         }
         self.attrcache.invalidate(dir.vnode_token());
@@ -1288,7 +1620,7 @@ impl<S: Syscalls> ClientFs<S> {
         let reply = self.call(NfsProc::Rmdir, |c, m| {
             proto::build::dirop_args(c, m, &dir, &name)
         })?;
-        let mut dec = Self::open_reply(&reply)?;
+        let mut dec = self.open_reply(&reply)?;
         match results::get_stat(&mut dec)? {
             NfsStatus::Ok => {}
             s => return Err(ClientError::Nfs(s)),
@@ -1314,7 +1646,7 @@ impl<S: Syscalls> ClientFs<S> {
         let reply = self.call(NfsProc::Rename, |c, m| {
             proto::build::rename_args(c, m, &fdir, &fname, &tdir, &tname)
         })?;
-        let mut dec = Self::open_reply(&reply)?;
+        let mut dec = self.open_reply(&reply)?;
         match results::get_stat(&mut dec)? {
             NfsStatus::Ok => {}
             s => return Err(ClientError::Nfs(s)),
@@ -1339,7 +1671,7 @@ impl<S: Syscalls> ClientFs<S> {
         let reply = self.call(NfsProc::Symlink, |c, m| {
             proto::build::symlink_args(c, m, &dir, &name, target)
         })?;
-        let mut dec = Self::open_reply(&reply)?;
+        let mut dec = self.open_reply(&reply)?;
         match results::get_stat(&mut dec)? {
             NfsStatus::Ok => Ok(()),
             s => Err(ClientError::Nfs(s)),
@@ -1354,7 +1686,7 @@ impl<S: Syscalls> ClientFs<S> {
             let reply = c.call(NfsProc::Readlink, |ch, m| {
                 proto::build::handle_args(ch, m, &fh)
             })?;
-            let mut dec = Self::open_reply(&reply)?;
+            let mut dec = c.open_reply(&reply)?;
             Ok(results::get_readlinkres(&mut dec)??)
         })
     }
@@ -1385,7 +1717,7 @@ impl<S: Syscalls> ClientFs<S> {
                 let reply = self.call(NfsProc::ReaddirLookup, |c, m| {
                     proto::build::readdir_args(c, m, &fh, cookie, 8192)
                 })?;
-                let mut dec = Self::open_reply(&reply)?;
+                let mut dec = self.open_reply(&reply)?;
                 let (entries, eof) = results::get_readdirplusres(&mut dec)??;
                 if let Some(last) = entries.last() {
                     cookie = last.entry.cookie;
@@ -1405,7 +1737,7 @@ impl<S: Syscalls> ClientFs<S> {
                 let reply = self.call(NfsProc::Readdir, |c, m| {
                     proto::build::readdir_args(c, m, &fh, cookie, 8192)
                 })?;
-                let mut dec = Self::open_reply(&reply)?;
+                let mut dec = self.open_reply(&reply)?;
                 let (entries, eof) = results::get_readdirres(&mut dec)??;
                 if let Some(last) = entries.last() {
                     cookie = last.cookie;
@@ -1427,7 +1759,7 @@ impl<S: Syscalls> ClientFs<S> {
         let reply = self.call(NfsProc::Statfs, |c, m| {
             proto::build::handle_args(c, m, &root)
         })?;
-        let mut dec = Self::open_reply(&reply)?;
+        let mut dec = self.open_reply(&reply)?;
         Ok(results::get_statfsres(&mut dec)??)
     }
 }
@@ -1852,6 +2184,154 @@ mod tests {
             "uvax1",
         );
         assert!(matches!(c.readdir("/"), Err(ClientError::Protocol)));
+    }
+
+    fn lease_client(cfg: ClientConfig) -> ClientFs<Loopback> {
+        let server = NfsServer::new(
+            ServerConfig {
+                leases: true,
+                ..ServerConfig::reno()
+            },
+            SimTime::ZERO,
+        );
+        let root = server.root_handle();
+        ClientFs::mount(Loopback::new(server), cfg, root, "uvax1")
+    }
+
+    #[test]
+    fn write_lease_holds_dirty_past_close() {
+        let mut c = lease_client(ClientConfig::reno_lease());
+        let fh = c.open("/wb.bin", true, false).unwrap();
+        c.write(fh, 0, &vec![1u8; 2 * BLOCK_SIZE]).unwrap();
+        c.close(fh).unwrap();
+        assert_eq!(
+            c.counts().count(NfsProc::Write),
+            0,
+            "write-behind: close pushed nothing"
+        );
+        // The cache stays trusted: an immediate re-read costs no RPC.
+        let reads = c.counts().count(NfsProc::Read);
+        let getattrs = c.counts().count(NfsProc::Getattr);
+        let data = c.read(fh, 0, 100).unwrap();
+        assert_eq!(data, vec![1u8; 100]);
+        assert_eq!(
+            c.counts().count(NfsProc::Read),
+            reads,
+            "no push-before-read"
+        );
+        assert_eq!(
+            c.counts().count(NfsProc::Getattr),
+            getattrs,
+            "no revalidation under the lease"
+        );
+        // The idle flush makes the data durable.
+        c.flush_idle().unwrap();
+        assert_eq!(c.counts().count(NfsProc::Write), 2, "idle flush pushed");
+    }
+
+    #[test]
+    fn lease_remove_discards_unwritten_data() {
+        let mut c = lease_client(ClientConfig::reno_lease());
+        let fh = c.open("/cd.bin", true, false).unwrap();
+        c.write(fh, 0, &vec![2u8; 4 * BLOCK_SIZE]).unwrap();
+        c.close(fh).unwrap();
+        c.remove("/cd.bin").unwrap();
+        assert_eq!(
+            c.counts().count(NfsProc::Write),
+            0,
+            "create-write-delete of a temporary never hits the wire"
+        );
+        c.flush_idle().unwrap();
+        assert_eq!(c.counts().count(NfsProc::Write), 0, "nothing left to flush");
+    }
+
+    #[test]
+    fn lapsed_lease_is_flushed_and_swept() {
+        let mut c = lease_client(ClientConfig::reno_lease());
+        let fh = c.open("/exp.bin", true, false).unwrap();
+        c.write(fh, 0, b"payload").unwrap();
+        c.close(fh).unwrap();
+        assert_eq!(c.counts().count(NfsProc::Write), 0);
+        c.sys().advance(SimDuration::from_secs(4));
+        // The next syscall's housekeeping sweeps the lapsed lease:
+        // dirty data is flushed, then the caches revalidate classically.
+        let _ = c.stat("/exp.bin").unwrap();
+        assert_eq!(
+            c.counts().count(NfsProc::Write),
+            1,
+            "expiry sweep flushed the write-behind data"
+        );
+        assert!(
+            c.counts().count(NfsProc::Getattr) > 0,
+            "post-lapse stat revalidates over the wire"
+        );
+    }
+
+    #[test]
+    fn ignore_expiry_mutant_serves_stale_cache() {
+        let mut c = lease_client(ClientConfig {
+            lease_ignore_expiry: true,
+            ..ClientConfig::reno_lease()
+        });
+        let fh = c.open("/mut.bin", true, false).unwrap();
+        c.write(fh, 0, b"round zero").unwrap();
+        c.close(fh).unwrap();
+        c.sys().advance(SimDuration::from_secs(10));
+        let reads = c.counts().count(NfsProc::Read);
+        let writes = c.counts().count(NfsProc::Write);
+        let data = c.read(fh, 0, 10).unwrap();
+        assert_eq!(data, b"round zero");
+        assert_eq!(
+            c.counts().count(NfsProc::Read),
+            reads,
+            "mutant keeps serving the cache past expiry"
+        );
+        assert_eq!(
+            c.counts().count(NfsProc::Write),
+            writes,
+            "mutant never flushes on expiry"
+        );
+    }
+
+    #[test]
+    fn recall_triggers_flush_and_release() {
+        use renofs_mbuf::CopyMeter;
+        use renofs_sunrpc::{AuthUnix, CallHeader, NFS_PROGRAM, NQNFS_VERSION};
+
+        let mut c = lease_client(ClientConfig::reno_lease());
+        let fh = c.open("/sh.bin", true, false).unwrap();
+        c.write(fh, 0, b"shared data").unwrap();
+        c.close(fh).unwrap();
+        assert_eq!(c.counts().count(NfsProc::Write), 0, "held behind the lease");
+        // Another machine asks the server for a read lease on the same
+        // file: the server defers it and queues a recall for us.
+        let now = c.sys().now();
+        let mut meter = CopyMeter::new();
+        let mut msg = MbufChain::with_leading_space(64);
+        CallHeader {
+            xid: 9_000,
+            prog: NFS_PROGRAM,
+            vers: NQNFS_VERSION,
+            proc: NfsProc::Getlease.to_wire(),
+            auth: AuthUnix::root("rival"),
+        }
+        .encode(&mut msg, &mut meter);
+        proto::build::getlease_args(&mut msg, &mut meter, &fh, proto::LEASE_MODE_READ);
+        let (_reply, _) = c.sys().server.service_from(now, &msg, 9);
+        assert_eq!(c.sys().server.stats().lease_recalls, 1);
+        // Our next RPC piggybacks the recall notice; the syscall after
+        // that vacates: flush, then release.
+        let _ = c.open("/other.bin", true, false).unwrap();
+        let _ = c.stat("/other.bin").unwrap();
+        assert_eq!(
+            c.counts().count(NfsProc::Write),
+            1,
+            "recall flushed the write-behind data"
+        );
+        assert!(
+            c.counts().count(NfsProc::Getlease) >= 3,
+            "two grants plus the vacating release"
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum ClientPreset {
     RenoNopush,
     /// Reno with the noconsist experimental mount flag.
     RenoNoconsist,
+    /// Reno mounted in NQNFS lease mode (write-behind under a write
+    /// lease; the server must enable leases).
+    RenoLease,
     /// The Ultrix 2.2 client model.
     Ultrix,
 }
@@ -27,6 +30,7 @@ impl ClientPreset {
             ClientPreset::Reno | ClientPreset::RenoTcp => ClientConfig::reno(),
             ClientPreset::RenoNopush => ClientConfig::reno_nopush(),
             ClientPreset::RenoNoconsist => ClientConfig::reno_noconsist(),
+            ClientPreset::RenoLease => ClientConfig::reno_lease(),
             ClientPreset::Ultrix => ClientConfig::ultrix(),
         }
     }
@@ -43,6 +47,7 @@ impl ClientPreset {
             ClientPreset::RenoTcp => "Reno-TCP",
             ClientPreset::RenoNopush => "Reno-nopush",
             ClientPreset::RenoNoconsist => "Reno-noconsist",
+            ClientPreset::RenoLease => "Reno-lease",
             ClientPreset::Ultrix => "Ultrix2.2",
         }
     }

@@ -5,7 +5,7 @@
 //! The types here are shared by the client and the server.
 
 use renofs_mbuf::{CopyMeter, MbufChain};
-use renofs_sim::SimTime;
+use renofs_sim::{SimDuration, SimTime};
 use renofs_vfs::{FileType, FsError, Vattr, VnodeId};
 use renofs_xdr::{XdrDecoder, XdrEncoder, XdrError};
 
@@ -20,6 +20,28 @@ pub const NFS_MAXPATHLEN: u32 = 1024;
 
 /// Size of the opaque file handle.
 pub const NFS_FHSIZE: usize = 32;
+
+/// Fixed lease term, in virtual time (NQNFS-style leases, PR 8).
+///
+/// Three seconds: long enough that a whole soak write burst or
+/// Create-Delete iteration runs under one lease, short enough that an
+/// unrenewed lease lapses well before the next soak round (8 s), so
+/// conflicting access is never deferred across rounds. The soak's
+/// lease worlds pair this with a *tightened* oracle grace (see
+/// `StreamConfig::for_lease_soak`): a correct lease protocol
+/// serializes writers behind readers, so observable staleness shrinks
+/// to RPC latency rather than growing by the term.
+pub const LEASE_TERM: SimDuration = SimDuration::from_secs(3);
+
+/// [`LEASE_TERM`] on the wire (milliseconds of virtual time).
+pub const LEASE_TERM_MS: u32 = (LEASE_TERM.as_nanos() / 1_000_000) as u32;
+
+/// GETLEASE mode: shared read lease.
+pub const LEASE_MODE_READ: u32 = 0;
+/// GETLEASE mode: exclusive write lease.
+pub const LEASE_MODE_WRITE: u32 = 1;
+/// GETLEASE mode: voluntary release (vacate after a recall).
+pub const LEASE_MODE_RELEASE: u32 = 2;
 
 /// NFS v2 procedure numbers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -65,6 +87,10 @@ pub enum NfsProc {
     /// RPC, possibly by adding a readdir_and_lookup_files RPC to the
     /// protocol". (NFSv3 later standardized this as READDIRPLUS.)
     ReaddirLookup,
+    /// Extension (NQNFS, Macklem's lease-based follow-up): acquire,
+    /// renew, or release a read/write lease on a file. Only served
+    /// when the caller speaks `NQNFS_VERSION`.
+    Getlease,
 }
 
 impl NfsProc {
@@ -110,6 +136,7 @@ impl NfsProc {
             NfsProc::Readdir => 16,
             NfsProc::Statfs => 17,
             NfsProc::ReaddirLookup => 18,
+            NfsProc::Getlease => 19,
         }
     }
 
@@ -135,6 +162,7 @@ impl NfsProc {
             16 => NfsProc::Readdir,
             17 => NfsProc::Statfs,
             18 => NfsProc::ReaddirLookup,
+            19 => NfsProc::Getlease,
             _ => return None,
         })
     }
@@ -194,6 +222,9 @@ pub enum NfsStatus {
     NotEmpty,
     /// Stale file handle.
     Stale,
+    /// NQNFS: a conflicting lease is being recalled — retry after a
+    /// short vacate wait (the paper-era `NQNFS_TRYLATER`).
+    TryLater,
 }
 
 impl NfsStatus {
@@ -211,6 +242,7 @@ impl NfsStatus {
             NfsStatus::NameTooLong => 63,
             NfsStatus::NotEmpty => 66,
             NfsStatus::Stale => 70,
+            NfsStatus::TryLater => 11,
         }
     }
 
@@ -228,6 +260,7 @@ impl NfsStatus {
             63 => NfsStatus::NameTooLong,
             66 => NfsStatus::NotEmpty,
             70 => NfsStatus::Stale,
+            11 => NfsStatus::TryLater,
             _ => return Err(XdrError::Invalid),
         })
     }
@@ -436,6 +469,9 @@ pub enum NfsArgs {
     Readdir(FileHandle, u32, u32),
     /// READDIRLOOKUP (extension): handle, cookie, byte count.
     ReaddirLookup(FileHandle, u32, u32),
+    /// GETLEASE (NQNFS extension): handle + mode
+    /// (`LEASE_MODE_READ`/`WRITE`/`RELEASE`).
+    Getlease(FileHandle, u32),
 }
 
 /// One READDIR entry on the wire.
@@ -580,6 +616,13 @@ pub mod build {
         Sattr::default().encode(&mut enc);
     }
 
+    /// GETLEASE arguments.
+    pub fn getlease_args(chain: &mut MbufChain, meter: &mut CopyMeter, fh: &FileHandle, mode: u32) {
+        let mut enc = XdrEncoder::new(chain, meter);
+        fh.encode(&mut enc);
+        enc.put_u32(mode);
+    }
+
     /// READDIR arguments.
     pub fn readdir_args(
         chain: &mut MbufChain,
@@ -667,6 +710,11 @@ pub fn decode_args(proc: NfsProc, dec: &mut XdrDecoder<'_>) -> Result<NfsArgs, X
             let cookie = dec.get_u32()?;
             let count = dec.get_u32()?;
             NfsArgs::ReaddirLookup(fh, cookie, count)
+        }
+        NfsProc::Getlease => {
+            let fh = FileHandle::decode(dec)?;
+            let mode = dec.get_u32()?;
+            NfsArgs::Getlease(fh, mode)
         }
     })
 }
@@ -906,6 +954,52 @@ pub mod results {
         }
     }
 
+    /// Encodes a GETLEASE result: on success, the granted term in
+    /// milliseconds of virtual time plus (for acquire/renew grants) the
+    /// file's current attributes — the grant doubles as a GETATTR, so
+    /// lease acquisition never costs an extra revalidation RPC.
+    /// Release acks carry `term == 0` and no attributes.
+    pub fn put_leaseres(
+        chain: &mut MbufChain,
+        meter: &mut CopyMeter,
+        res: &Result<(u32, Option<Vattr>), NfsStatus>,
+    ) {
+        let mut enc = XdrEncoder::new(chain, meter);
+        match res {
+            Ok((term_ms, attr)) => {
+                enc.put_u32(NfsStatus::Ok.to_wire());
+                enc.put_u32(*term_ms);
+                match attr {
+                    Some(a) => {
+                        enc.put_bool(true);
+                        put_fattr(&mut enc, a);
+                    }
+                    None => enc.put_bool(false),
+                }
+            }
+            Err(s) => enc.put_u32(s.to_wire()),
+        }
+    }
+
+    /// Decoded GETLEASE result: `(term_ms, attrs)` or an NFS error.
+    pub type LeaseRes = Result<(u32, Option<Vattr>), NfsStatus>;
+
+    /// Decodes a GETLEASE result.
+    pub fn get_leaseres(dec: &mut XdrDecoder<'_>) -> Result<LeaseRes, XdrError> {
+        match NfsStatus::from_wire(dec.get_u32()?)? {
+            NfsStatus::Ok => {
+                let term_ms = dec.get_u32()?;
+                let attr = if dec.get_bool()? {
+                    Some(get_fattr(dec)?)
+                } else {
+                    None
+                };
+                Ok(Ok((term_ms, attr)))
+            }
+            s => Ok(Err(s)),
+        }
+    }
+
     /// Encodes a STATFS result: `(tsize, bsize, blocks, bfree, bavail)`.
     pub fn put_statfsres(
         chain: &mut MbufChain,
@@ -967,7 +1061,12 @@ mod tests {
             Some(NfsProc::ReaddirLookup),
             "the extension procedure"
         );
-        assert_eq!(NfsProc::from_wire(19), None);
+        assert_eq!(
+            NfsProc::from_wire(19),
+            Some(NfsProc::Getlease),
+            "the NQNFS lease procedure"
+        );
+        assert_eq!(NfsProc::from_wire(20), None);
     }
 
     #[test]
@@ -975,6 +1074,10 @@ mod tests {
         assert!(NfsProc::Read.is_idempotent());
         assert!(NfsProc::Lookup.is_idempotent());
         assert!(NfsProc::Write.is_idempotent(), "NFSv2 write is idempotent");
+        assert!(
+            NfsProc::Getlease.is_idempotent(),
+            "re-granting or re-releasing a lease is harmless"
+        );
         assert!(!NfsProc::Create.is_idempotent());
         assert!(!NfsProc::Remove.is_idempotent());
         assert!(!NfsProc::Rename.is_idempotent());
@@ -1179,10 +1282,48 @@ mod tests {
             NfsStatus::NameTooLong,
             NfsStatus::NotEmpty,
             NfsStatus::Stale,
+            NfsStatus::TryLater,
         ] {
             assert_eq!(NfsStatus::from_wire(s.to_wire()).unwrap(), s);
         }
         assert!(NfsStatus::from_wire(12345).is_err());
+    }
+
+    #[test]
+    fn getlease_args_and_results_round_trip() {
+        let mut meter = CopyMeter::new();
+        let mut chain = MbufChain::new();
+        build::getlease_args(&mut chain, &mut meter, &fh(7), LEASE_MODE_WRITE);
+        let mut dec = XdrDecoder::new(&chain);
+        match decode_args(NfsProc::Getlease, &mut dec).unwrap() {
+            NfsArgs::Getlease(h, mode) => {
+                assert_eq!((h, mode), (fh(7), LEASE_MODE_WRITE));
+            }
+            other => panic!("wrong args: {other:?}"),
+        }
+
+        // A grant carries the term and attributes.
+        let mut chain = MbufChain::new();
+        results::put_leaseres(&mut chain, &mut meter, &Ok((1000, Some(attr()))));
+        let mut dec = XdrDecoder::new(&chain);
+        let (term, a) = results::get_leaseres(&mut dec).unwrap().unwrap();
+        assert_eq!(term, 1000);
+        assert_eq!(a.unwrap().size, 9999);
+
+        // A release ack carries neither.
+        let mut chain = MbufChain::new();
+        results::put_leaseres(&mut chain, &mut meter, &Ok((0, None)));
+        let mut dec = XdrDecoder::new(&chain);
+        assert_eq!(results::get_leaseres(&mut dec).unwrap(), Ok((0, None)));
+
+        // The vacate-wait error arm.
+        let mut chain = MbufChain::new();
+        results::put_leaseres(&mut chain, &mut meter, &Err(NfsStatus::TryLater));
+        let mut dec = XdrDecoder::new(&chain);
+        assert_eq!(
+            results::get_leaseres(&mut dec).unwrap(),
+            Err(NfsStatus::TryLater)
+        );
     }
 
     #[test]

@@ -18,14 +18,15 @@ use std::collections::VecDeque;
 
 use renofs_mbuf::{CopyMeter, MbufChain};
 use renofs_sim::SimTime;
-use renofs_sunrpc::{AcceptStat, CallHeader, ReplyHeader, NFS_PROGRAM, NFS_VERSION};
+use renofs_sunrpc::{AcceptStat, CallHeader, ReplyHeader, NFS_PROGRAM, NFS_VERSION, NQNFS_VERSION};
 use renofs_vfs::{
     Buf, BufCache, CacheOrg, FsError, InodeId, MemFs, NameCache, VnodeId, BLOCK_SIZE,
 };
-use renofs_xdr::XdrDecoder;
+use renofs_xdr::{XdrDecoder, XdrEncoder};
 
 use crate::proto::{
     self, decode_args, results, DirEntry, DirEntryPlus, FileHandle, NfsArgs, NfsProc, NfsStatus,
+    LEASE_MODE_RELEASE, LEASE_MODE_WRITE, LEASE_TERM,
 };
 
 /// Server configuration.
@@ -49,6 +50,15 @@ pub struct ServerConfig {
     /// Serve the READDIRLOOKUP extension (the paper's Future Directions
     /// "readdir_and_lookup_files" RPC).
     pub readdir_lookup: bool,
+    /// Serve NQNFS-style leases: accept `NQNFS_VERSION` calls, run the
+    /// per-file lease table, and piggyback recall callbacks on reply
+    /// trailers. Off by default — classic traffic stays byte-identical.
+    pub leases: bool,
+    /// Mutation-test hook: skip the post-reboot lease grace period (the
+    /// rule that a rebooted server waits out the maximum lease term
+    /// before serving reads or granting new leases). Never set outside
+    /// planted-bug tests.
+    pub lease_no_reboot_grace: bool,
 }
 
 impl ServerConfig {
@@ -62,6 +72,8 @@ impl ServerConfig {
             loan_read_pages: false,
             ambient_blocks: 192,
             readdir_lookup: false,
+            leases: false,
+            lease_no_reboot_grace: false,
         }
     }
 
@@ -75,6 +87,8 @@ impl ServerConfig {
             loan_read_pages: false,
             ambient_blocks: 192,
             readdir_lookup: false,
+            leases: false,
+            lease_no_reboot_grace: false,
         }
     }
 }
@@ -103,11 +117,23 @@ pub struct ServiceCost {
 #[derive(Clone, Debug, Default)]
 pub struct ServerStats {
     /// Calls served, indexed by procedure wire number.
-    pub calls: [u64; 19],
+    pub calls: [u64; 20],
     /// Garbled requests.
     pub garbage: u64,
     /// Duplicate-cache hits.
     pub dup_hits: u64,
+    /// Leases granted to a client that did not already hold one.
+    pub leases_issued: u64,
+    /// Lease terms extended — explicit GETLEASE renewals plus renewals
+    /// piggybacked on normal RPCs from the holder.
+    pub leases_renewed: u64,
+    /// Recall callbacks queued to conflicting holders.
+    pub lease_recalls: u64,
+    /// `TryLater` replies sent while waiting for a holder to vacate
+    /// (includes reads/grants deferred by the post-reboot grace).
+    pub lease_vacate_waits: u64,
+    /// Leases that lapsed unrenewed and were purged from the table.
+    pub lease_expiries: u64,
 }
 
 impl ServerStats {
@@ -171,6 +197,222 @@ impl DupCache {
 /// clients cannot flush each other's entries before the retry arrives.
 const DUP_CACHE_PER_CLIENT: usize = 128;
 
+/// One read-lease hold on a file.
+#[derive(Debug)]
+struct ReadHold {
+    client: u32,
+    expiry: SimTime,
+    /// A recall callback has already been queued to this holder.
+    recalled: bool,
+}
+
+/// The lease state of one file: shared readers or one exclusive writer.
+#[derive(Debug)]
+enum Lease {
+    Read(Vec<ReadHold>),
+    Write {
+        holder: u32,
+        expiry: SimTime,
+        recalled: bool,
+    },
+}
+
+/// The NQNFS lease table (volatile — lost on reboot, which is exactly
+/// why the reboot grace period exists).
+///
+/// Entries are only ever touched by inode-keyed lookups, never by map
+/// iteration, so the table adds no hash-order nondeterminism to the
+/// simulation. Recall callbacks queue per holder and drain one per
+/// reply trailer the next time that client talks to the server — the
+/// protocol is strictly request/response, so there is no push channel.
+#[derive(Debug, Default)]
+struct LeaseTable {
+    entries: std::collections::HashMap<u32, Lease>,
+    recalls: std::collections::HashMap<u32, VecDeque<u32>>,
+}
+
+impl LeaseTable {
+    /// Purges lapsed holds on one file, counting them.
+    fn purge_expired(&mut self, ino: u32, now: SimTime, stats: &mut ServerStats) {
+        let Some(lease) = self.entries.get_mut(&ino) else {
+            return;
+        };
+        let empty = match lease {
+            Lease::Write { expiry, .. } => {
+                if *expiry <= now {
+                    stats.lease_expiries += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Lease::Read(holds) => {
+                let before = holds.len();
+                holds.retain(|h| h.expiry > now);
+                stats.lease_expiries += (before - holds.len()) as u64;
+                holds.is_empty()
+            }
+        };
+        if empty {
+            self.entries.remove(&ino);
+        }
+    }
+
+    /// Admission gate for an access to `ino`. Renews the caller's own
+    /// hold (renewal piggybacked on normal RPCs); a conflicting hold by
+    /// another client gets one recall callback queued and the caller a
+    /// `TryLater` — the bounded vacate wait.
+    fn gate(
+        &mut self,
+        ino: u32,
+        client: u32,
+        write: bool,
+        now: SimTime,
+        stats: &mut ServerStats,
+    ) -> Result<(), NfsStatus> {
+        self.purge_expired(ino, now, stats);
+        let mut queue: Vec<u32> = Vec::new();
+        let mut verdict = Ok(());
+        if let Some(lease) = self.entries.get_mut(&ino) {
+            match lease {
+                Lease::Write {
+                    holder,
+                    expiry,
+                    recalled,
+                } => {
+                    if *holder == client {
+                        *expiry = now + LEASE_TERM;
+                        stats.leases_renewed += 1;
+                    } else {
+                        if !*recalled {
+                            *recalled = true;
+                            queue.push(*holder);
+                        }
+                        verdict = Err(NfsStatus::TryLater);
+                    }
+                }
+                Lease::Read(holds) => {
+                    if write {
+                        let mut conflict = false;
+                        for h in holds.iter_mut() {
+                            if h.client == client {
+                                continue;
+                            }
+                            conflict = true;
+                            if !h.recalled {
+                                h.recalled = true;
+                                queue.push(h.client);
+                            }
+                        }
+                        if conflict {
+                            verdict = Err(NfsStatus::TryLater);
+                        }
+                    } else if let Some(h) = holds.iter_mut().find(|h| h.client == client) {
+                        h.expiry = now + LEASE_TERM;
+                        stats.leases_renewed += 1;
+                    }
+                }
+            }
+        }
+        for holder in queue {
+            stats.lease_recalls += 1;
+            self.recalls.entry(holder).or_default().push_back(ino);
+        }
+        if verdict.is_err() {
+            stats.lease_vacate_waits += 1;
+        }
+        verdict
+    }
+
+    /// Records a grant after [`LeaseTable::gate`] admitted the caller.
+    fn grant(&mut self, ino: u32, client: u32, write: bool, now: SimTime, stats: &mut ServerStats) {
+        let expiry = now + LEASE_TERM;
+        let next = match self.entries.remove(&ino) {
+            Some(Lease::Write { holder, .. }) if holder == client => {
+                stats.leases_renewed += 1;
+                // A write lease covers reads too; keep the stronger kind.
+                Lease::Write {
+                    holder,
+                    expiry,
+                    recalled: false,
+                }
+            }
+            Some(Lease::Read(mut holds)) => {
+                if write {
+                    // The gate admitted the writer, so every remaining
+                    // hold is its own: a sole-reader upgrade.
+                    stats.leases_issued += 1;
+                    Lease::Write {
+                        holder: client,
+                        expiry,
+                        recalled: false,
+                    }
+                } else {
+                    match holds.iter_mut().find(|h| h.client == client) {
+                        Some(h) => {
+                            h.expiry = expiry;
+                            stats.leases_renewed += 1;
+                        }
+                        None => {
+                            stats.leases_issued += 1;
+                            holds.push(ReadHold {
+                                client,
+                                expiry,
+                                recalled: false,
+                            });
+                        }
+                    }
+                    Lease::Read(holds)
+                }
+            }
+            // No lease held (a conflicting write hold cannot reach here —
+            // the gate rejected it; overwriting would still be safe).
+            _ => {
+                stats.leases_issued += 1;
+                if write {
+                    Lease::Write {
+                        holder: client,
+                        expiry,
+                        recalled: false,
+                    }
+                } else {
+                    Lease::Read(vec![ReadHold {
+                        client,
+                        expiry,
+                        recalled: false,
+                    }])
+                }
+            }
+        };
+        self.entries.insert(ino, next);
+    }
+
+    /// Drops `client`'s hold on `ino` (voluntary vacate after a recall,
+    /// or teardown on remove).
+    fn release(&mut self, ino: u32, client: u32) {
+        let empty = match self.entries.get_mut(&ino) {
+            Some(Lease::Write { holder, .. }) => *holder == client,
+            Some(Lease::Read(holds)) => {
+                holds.retain(|h| h.client != client);
+                holds.is_empty()
+            }
+            None => return,
+        };
+        if empty {
+            self.entries.remove(&ino);
+        }
+    }
+
+    /// The next recall callback to piggyback on a reply to `client`
+    /// (0 = none).
+    fn next_recall(&mut self, client: u32) -> u32 {
+        self.recalls
+            .get_mut(&client)
+            .and_then(|q| q.pop_front())
+            .unwrap_or(0)
+    }
+}
+
 /// The NFS server instance.
 pub struct NfsServer {
     cfg: ServerConfig,
@@ -192,6 +434,17 @@ pub struct NfsServer {
     /// `NfsStatus::Stale` (the root is exempt — the MOUNT protocol
     /// re-derives it), forcing clients to re-lookup their paths.
     epoch: u32,
+    /// NQNFS lease state (empty and inert unless `cfg.leases`).
+    leases: LeaseTable,
+    /// Set by [`NfsServer::reboot`]; the first request afterwards arms
+    /// `lease_grace_until` (reboot happens outside virtual time, so the
+    /// grace clock starts when the server first hears a client).
+    lease_grace_pending: bool,
+    /// Until this instant the rebooted server defers reads and lease
+    /// grants with `TryLater`: pre-crash leases it no longer remembers
+    /// must lapse (and their holders' write-behind data land) before it
+    /// serves state — the reboot-wait rule.
+    lease_grace_until: SimTime,
 }
 
 impl NfsServer {
@@ -212,6 +465,9 @@ impl NfsServer {
             stats: ServerStats::default(),
             read_scratch: Vec::new(),
             epoch: 1,
+            leases: LeaseTable::default(),
+            lease_grace_pending: false,
+            lease_grace_until: SimTime::ZERO,
         }
     }
 
@@ -252,6 +508,15 @@ impl NfsServer {
         self.bufcache = bufcache;
         if self.cfg.dup_cache {
             self.dupcache = Some(DupCache::new(self.dup_cache_cap));
+        }
+        // The lease table is volatile: all grants and queued recalls are
+        // forgotten. Clients out there may still hold unexpired leases,
+        // so the rebooted server must wait out the maximum term before
+        // serving reads or granting new leases (armed lazily — reboot
+        // happens outside virtual time).
+        self.leases = LeaseTable::default();
+        if self.cfg.leases && !self.cfg.lease_no_reboot_grace {
+            self.lease_grace_pending = true;
         }
     }
 
@@ -326,7 +591,9 @@ impl NfsServer {
             }
         };
         let xid = header.xid;
-        if header.prog != NFS_PROGRAM || header.vers != NFS_VERSION {
+        let vers_ok =
+            header.vers == NFS_VERSION || (header.vers == NQNFS_VERSION && self.cfg.leases);
+        if header.prog != NFS_PROGRAM || !vers_ok {
             let mut reply = MbufChain::new();
             ReplyHeader {
                 xid,
@@ -335,7 +602,18 @@ impl NfsServer {
             .encode(&mut reply, &mut self.meter);
             return (reply, cost);
         }
-        let proc_supported = |p: NfsProc| p != NfsProc::ReaddirLookup || self.cfg.readdir_lookup;
+        // NQNFS callers get a one-word recall trailer on every success
+        // reply; classic-version traffic stays byte-identical.
+        let nq = header.vers == NQNFS_VERSION;
+        if self.lease_grace_pending {
+            self.lease_grace_pending = false;
+            self.lease_grace_until = now + LEASE_TERM;
+        }
+        let proc_supported = |p: NfsProc| match p {
+            NfsProc::ReaddirLookup => self.cfg.readdir_lookup,
+            NfsProc::Getlease => nq,
+            _ => true,
+        };
         let Some(proc) = NfsProc::from_wire(header.proc).filter(|p| proc_supported(*p)) else {
             let mut reply = MbufChain::new();
             ReplyHeader {
@@ -377,7 +655,15 @@ impl NfsServer {
             stat: AcceptStat::Success,
         }
         .encode(&mut reply, &mut self.meter);
-        self.dispatch(now, proc, args, &mut reply, &mut cost);
+        if nq {
+            // Piggybacked eviction callback: the inode of one file whose
+            // lease this client must vacate (0 = none). Replayed from the
+            // dup cache this re-delivers a stale recall, which a client
+            // honors by a redundant flush — harmless.
+            let recall = self.leases.next_recall(client);
+            XdrEncoder::new(&mut reply, &mut self.meter).put_u32(recall);
+        }
+        self.dispatch(now, proc, args, client, &mut reply, &mut cost);
         if !proc.is_idempotent() {
             if let Some(dc) = &mut self.dupcache {
                 dc.put(client, xid, proc, reply.clone());
@@ -386,11 +672,68 @@ impl NfsServer {
         (reply, cost)
     }
 
+    /// Whether the post-reboot lease grace period is still in force.
+    fn in_grace(&self, now: SimTime) -> bool {
+        self.cfg.leases && now < self.lease_grace_until
+    }
+
+    /// Lease admission for a data access: during the reboot grace every
+    /// read defers; otherwise the lease table arbitrates. Inert unless
+    /// leases are enabled. Resolution failures pass — the handler will
+    /// report the real error.
+    fn lease_admit(
+        &mut self,
+        fh: &FileHandle,
+        client: u32,
+        write: bool,
+        now: SimTime,
+    ) -> Result<(), NfsStatus> {
+        if !self.cfg.leases {
+            return Ok(());
+        }
+        if !write && self.in_grace(now) {
+            self.stats.lease_vacate_waits += 1;
+            return Err(NfsStatus::TryLater);
+        }
+        let Ok(ino) = self.resolve(fh) else {
+            return Ok(());
+        };
+        self.leases.gate(ino.0, client, write, now, &mut self.stats)
+    }
+
+    fn do_getlease(
+        &mut self,
+        fh: &FileHandle,
+        mode: u32,
+        client: u32,
+        now: SimTime,
+    ) -> Result<(u32, Option<renofs_vfs::Vattr>), NfsStatus> {
+        let ino = self.resolve(fh)?;
+        if mode == LEASE_MODE_RELEASE {
+            self.leases.release(ino.0, client);
+            return Ok((0, None));
+        }
+        if self.in_grace(now) {
+            self.stats.lease_vacate_waits += 1;
+            return Err(NfsStatus::TryLater);
+        }
+        let write = mode == LEASE_MODE_WRITE;
+        self.leases
+            .gate(ino.0, client, write, now, &mut self.stats)?;
+        self.leases
+            .grant(ino.0, client, write, now, &mut self.stats);
+        // The grant doubles as a GETATTR so acquisition never costs a
+        // separate revalidation RPC.
+        let attr = self.fs.getattr(ino).map_err(NfsStatus::from)?;
+        Ok((proto::LEASE_TERM_MS, Some(attr)))
+    }
+
     fn dispatch(
         &mut self,
         now: SimTime,
         proc: NfsProc,
         args: NfsArgs,
+        client: u32,
         reply: &mut MbufChain,
         cost: &mut ServiceCost,
     ) {
@@ -404,7 +747,8 @@ impl NfsServer {
                 results::put_attrstat(reply, &mut self.meter, &res);
             }
             (NfsProc::Setattr, NfsArgs::Setattr(fh, sattr)) => {
-                let res = self.resolve(&fh).and_then(|ino| {
+                let res = self.lease_admit(&fh, client, true, now).and_then(|()| {
+                    let ino = self.resolve(&fh)?;
                     self.fs
                         .setattr(ino, sattr.size, sattr.mode, sattr.uid, sattr.gid, now)
                         .map_err(NfsStatus::from)
@@ -425,11 +769,16 @@ impl NfsServer {
                 results::put_readlinkres(reply, &mut self.meter, &res);
             }
             (NfsProc::Read, NfsArgs::Read(fh, offset, count)) => {
-                let res = self.do_read(&fh, offset, count, now, cost);
+                let res = match self.lease_admit(&fh, client, false, now) {
+                    Ok(()) => self.do_read(&fh, offset, count, now, cost),
+                    Err(s) => Err(s),
+                };
                 results::put_readres(reply, &mut self.meter, res);
             }
             (NfsProc::Write, NfsArgs::Write(fh, offset, data)) => {
-                let res = self.do_write(&fh, offset, data, now, cost);
+                let res = self
+                    .lease_admit(&fh, client, true, now)
+                    .and_then(|()| self.do_write(&fh, offset, data, now, cost));
                 results::put_attrstat(reply, &mut self.meter, &res);
             }
             (NfsProc::Create, NfsArgs::Create(fh, name, sattr)) => {
@@ -455,11 +804,20 @@ impl NfsServer {
             (NfsProc::Remove, NfsArgs::DirOp(fh, name)) => {
                 let res = self.resolve(&fh).and_then(|dir| {
                     let target = self.fs.lookup(dir, &name).ok();
+                    // Removing a leased file needs the same write
+                    // admission as writing it; a conflicting holder is
+                    // recalled and the remover told to retry.
+                    if let Some(t) = target {
+                        if self.cfg.leases {
+                            self.leases.gate(t.0, client, true, now, &mut self.stats)?;
+                        }
+                    }
                     self.fs.remove(dir, &name, now).map_err(NfsStatus::from)?;
                     self.namecache.invalidate(VnodeId(dir.0 as u64), &name);
                     if let Some(t) = target {
                         self.namecache.purge_vnode(VnodeId(t.0 as u64));
                         self.bufcache.purge_vnode(VnodeId(t.0 as u64));
+                        self.leases.entries.remove(&t.0);
                     }
                     cost.disk_writes.push(512); // dir block
                     cost.disk_writes.push(512); // inode free
@@ -530,6 +888,11 @@ impl NfsServer {
                     (proto::NFS_MAXDATA as u32, bsize, blocks, bfree, bfree)
                 });
                 results::put_statfsres(reply, &mut self.meter, &res);
+            }
+            (NfsProc::Getlease, NfsArgs::Getlease(fh, mode)) => {
+                let res = self.do_getlease(&fh, mode, client, now);
+                cost.cache_steps += 1;
+                results::put_leaseres(reply, &mut self.meter, &res);
             }
             _ => {
                 // Argument/procedure mismatch can't happen via decode_args.
@@ -1245,6 +1608,223 @@ mod tests {
         });
         let (_, cost) = s.service(t(1), &req);
         assert_eq!(cost.bytes_copied, 0, "page loan: no cache->mbuf copy");
+    }
+
+    /// Builds a complete NQNFS-version call message.
+    fn nq_call(
+        xid: u32,
+        proc: NfsProc,
+        args: impl FnOnce(&mut MbufChain, &mut CopyMeter),
+    ) -> MbufChain {
+        let mut meter = CopyMeter::new();
+        let mut chain = MbufChain::new();
+        CallHeader {
+            xid,
+            prog: NFS_PROGRAM,
+            vers: NQNFS_VERSION,
+            proc: proc.to_wire(),
+            auth: AuthUnix::root("testclient"),
+        }
+        .encode(&mut chain, &mut meter);
+        args(&mut chain, &mut meter);
+        chain
+    }
+
+    /// Decodes an NQNFS reply: returns the recall trailer and a decoder
+    /// positioned at the result body.
+    fn nq_reply_body(reply: &MbufChain) -> (u32, XdrDecoder<'_>) {
+        let mut dec = XdrDecoder::new(reply);
+        let h = ReplyHeader::decode(&mut dec).unwrap();
+        assert_eq!(h.stat, AcceptStat::Success);
+        let recall = dec.get_u32().unwrap();
+        (recall, dec)
+    }
+
+    fn lease_server() -> NfsServer {
+        let mut cfg = ServerConfig::reno();
+        cfg.leases = true;
+        NfsServer::new(cfg, t(0))
+    }
+
+    #[test]
+    fn nqnfs_version_only_served_when_leases_enabled() {
+        // A lease-less server refuses the NQNFS version outright.
+        let mut s = server();
+        let req = nq_call(1, NfsProc::Null, |_, _| {});
+        let (reply, _) = s.service(t(1), &req);
+        let mut dec = XdrDecoder::new(&reply);
+        assert_eq!(
+            ReplyHeader::decode(&mut dec).unwrap().stat,
+            AcceptStat::ProgUnavail
+        );
+        // And a lease server refuses GETLEASE over the classic version
+        // (classic mounts must see a protocol-identical server).
+        let mut s = lease_server();
+        let root = s.root_handle();
+        let req = call(2, NfsProc::Getlease, |c, m| {
+            proto::build::getlease_args(c, m, &root, proto::LEASE_MODE_READ)
+        });
+        let (reply, _) = s.service(t(1), &req);
+        let mut dec = XdrDecoder::new(&reply);
+        assert_eq!(
+            ReplyHeader::decode(&mut dec).unwrap().stat,
+            AcceptStat::ProcUnavail
+        );
+    }
+
+    #[test]
+    fn write_lease_conflict_recalls_holder_and_defers_requester() {
+        let mut s = lease_server();
+        let root_ino = s.fs().root();
+        let ino = s.fs_mut().create(root_ino, "f", 0o644, t(0)).unwrap();
+        let fh = s.handle_for(ino).unwrap();
+        // Client 0 takes a write lease.
+        let req = nq_call(1, NfsProc::Getlease, |c, m| {
+            proto::build::getlease_args(c, m, &fh, LEASE_MODE_WRITE)
+        });
+        let (reply, _) = s.service_from(t(1), &req, 0);
+        let (recall, mut dec) = nq_reply_body(&reply);
+        assert_eq!(recall, 0);
+        let (term, attr) = results::get_leaseres(&mut dec).unwrap().unwrap();
+        assert_eq!(term, proto::LEASE_TERM_MS);
+        assert!(attr.is_some(), "the grant doubles as a GETATTR");
+        assert_eq!(s.stats().leases_issued, 1);
+        // Client 1 wants to read: recalled + TryLater.
+        let req = nq_call(2, NfsProc::Getlease, |c, m| {
+            proto::build::getlease_args(c, m, &fh, proto::LEASE_MODE_READ)
+        });
+        let (reply, _) = s.service_from(t(1), &req, 1);
+        let (_, mut dec) = nq_reply_body(&reply);
+        assert_eq!(
+            results::get_leaseres(&mut dec).unwrap(),
+            Err(NfsStatus::TryLater)
+        );
+        assert_eq!(s.stats().lease_recalls, 1);
+        assert_eq!(s.stats().lease_vacate_waits, 1);
+        // The recall rides the trailer of client 0's next reply.
+        let req = nq_call(3, NfsProc::Getattr, |c, m| {
+            proto::build::handle_args(c, m, &fh)
+        });
+        let (reply, _) = s.service_from(t(1), &req, 0);
+        let (recall, _) = nq_reply_body(&reply);
+        assert_eq!(recall, ino.0, "eviction callback piggybacked");
+        // Client 0 vacates; client 1's retry is granted.
+        let req = nq_call(4, NfsProc::Getlease, |c, m| {
+            proto::build::getlease_args(c, m, &fh, LEASE_MODE_RELEASE)
+        });
+        let (_, _) = s.service_from(t(1), &req, 0);
+        let req = nq_call(5, NfsProc::Getlease, |c, m| {
+            proto::build::getlease_args(c, m, &fh, proto::LEASE_MODE_READ)
+        });
+        let (reply, _) = s.service_from(t(1), &req, 1);
+        let (_, mut dec) = nq_reply_body(&reply);
+        assert!(results::get_leaseres(&mut dec).unwrap().is_ok());
+        assert_eq!(s.stats().leases_issued, 2);
+    }
+
+    #[test]
+    fn normal_rpcs_renew_and_lapsed_leases_expire() {
+        let mut s = lease_server();
+        let root_ino = s.fs().root();
+        let ino = s.fs_mut().create(root_ino, "f", 0o644, t(0)).unwrap();
+        let fh = s.handle_for(ino).unwrap();
+        let grant = |xid| {
+            nq_call(xid, NfsProc::Getlease, |c, m| {
+                proto::build::getlease_args(c, m, &fh, LEASE_MODE_WRITE)
+            })
+        };
+        s.service_from(t(1), &grant(1), 0);
+        // A WRITE from the holder inside the term renews it…
+        let mut meter = CopyMeter::new();
+        let data = MbufChain::from_slice(&[7u8; 512], &mut meter);
+        let req = nq_call(2, NfsProc::Write, |c, m| {
+            proto::build::write_args(c, m, &fh, 0, data)
+        });
+        s.service_from(t(3), &req, 0);
+        assert_eq!(s.stats().leases_renewed, 1, "piggybacked renewal");
+        // …so at t=5 (within the renewed term) another client still
+        // conflicts, but at t=7 the lease has lapsed and access is free.
+        let read_req = |xid| {
+            nq_call(xid, NfsProc::Read, |c, m| {
+                proto::build::read_args(c, m, &fh, 0, 512)
+            })
+        };
+        let (reply, _) = s.service_from(t(5), &read_req(3), 1);
+        let (_, mut dec) = nq_reply_body(&reply);
+        assert_eq!(
+            results::get_readres(&mut dec).unwrap().unwrap_err(),
+            NfsStatus::TryLater
+        );
+        let (reply, _) = s.service_from(t(7), &read_req(4), 1);
+        let (_, mut dec) = nq_reply_body(&reply);
+        assert!(results::get_readres(&mut dec).unwrap().is_ok());
+        assert_eq!(s.stats().lease_expiries, 1);
+    }
+
+    #[test]
+    fn reboot_grace_defers_reads_until_the_term_is_waited_out() {
+        let mut s = lease_server();
+        let root_ino = s.fs().root();
+        let ino = s.fs_mut().create(root_ino, "f", 0o644, t(0)).unwrap();
+        s.fs_mut().write(ino, 0, &[1u8; 512], t(0)).unwrap();
+        s.reboot();
+        let fh = s.handle_for(ino).unwrap();
+        // First contact at t=10 arms the grace clock: reads and grants
+        // defer until t=13 (one full lease term), writes proceed so
+        // crashed holders can land their write-behind data.
+        let read_req = |xid| {
+            nq_call(xid, NfsProc::Read, |c, m| {
+                proto::build::read_args(c, m, &fh, 0, 512)
+            })
+        };
+        let (reply, _) = s.service_from(t(10), &read_req(1), 1);
+        let (_, mut dec) = nq_reply_body(&reply);
+        assert_eq!(
+            results::get_readres(&mut dec).unwrap().unwrap_err(),
+            NfsStatus::TryLater
+        );
+        let grant = nq_call(2, NfsProc::Getlease, |c, m| {
+            proto::build::getlease_args(c, m, &fh, LEASE_MODE_WRITE)
+        });
+        let (reply, _) = s.service_from(t(11), &grant, 1);
+        let (_, mut dec) = nq_reply_body(&reply);
+        assert_eq!(
+            results::get_leaseres(&mut dec).unwrap(),
+            Err(NfsStatus::TryLater)
+        );
+        let mut meter = CopyMeter::new();
+        let data = MbufChain::from_slice(&[2u8; 512], &mut meter);
+        let wreq = nq_call(3, NfsProc::Write, |c, m| {
+            proto::build::write_args(c, m, &fh, 0, data)
+        });
+        let (reply, _) = s.service_from(t(11), &wreq, 0);
+        let (_, mut dec) = nq_reply_body(&reply);
+        assert!(
+            results::get_attrstat(&mut dec).unwrap().is_ok(),
+            "recovery writes are admitted during the grace"
+        );
+        let (reply, _) = s.service_from(t(13), &read_req(4), 1);
+        let (_, mut dec) = nq_reply_body(&reply);
+        assert!(results::get_readres(&mut dec).unwrap().is_ok());
+        // The mutation hook skips the wait entirely.
+        let mut cfg = ServerConfig::reno();
+        cfg.leases = true;
+        cfg.lease_no_reboot_grace = true;
+        let mut s = NfsServer::new(cfg, t(0));
+        let root_ino = s.fs().root();
+        let ino = s.fs_mut().create(root_ino, "f", 0o644, t(0)).unwrap();
+        s.fs_mut().write(ino, 0, &[1u8; 512], t(0)).unwrap();
+        s.reboot();
+        let fh = s.handle_for(ino).unwrap();
+        let req = nq_call(1, NfsProc::Read, |c, m| {
+            proto::build::read_args(c, m, &fh, 0, 512)
+        });
+        let (reply, _) = s.service_from(t(10), &req, 1);
+        let (_, mut dec) = nq_reply_body(&reply);
+        assert!(
+            results::get_readres(&mut dec).unwrap().is_ok(),
+            "no-grace mutant serves state immediately"
+        );
     }
 
     #[test]

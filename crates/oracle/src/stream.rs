@@ -122,6 +122,19 @@ impl StreamConfig {
     pub fn for_soak(grace: u64) -> Self {
         StreamConfig::new(grace, 120_000_000_000, 240_000_000_000)
     }
+
+    /// The lease-soak profile: a *tightened* 500 ms staleness grace.
+    /// Correct NQNFS leases serialize writers behind readers (a writer
+    /// is deferred until conflicting read leases vacate or lapse), so
+    /// honest staleness shrinks well below the classic close-to-open
+    /// window — and crucially the 3 s lease term deliberately *exceeds*
+    /// this grace, so a client that keeps serving its cache past expiry
+    /// (or a server that skips the reboot wait) produces reads stale by
+    /// more than the grace and is caught, not excused. Hold and retain
+    /// match [`StreamConfig::for_soak`].
+    pub fn for_lease_soak() -> Self {
+        StreamConfig::new(500_000_000, 120_000_000_000, 240_000_000_000)
+    }
 }
 
 /// Counters proving the bounded-memory claim and sizing the run.

@@ -25,5 +25,12 @@ pub const NFS_PROGRAM: u32 = 100003;
 /// NFS protocol version 2.
 pub const NFS_VERSION: u32 = 2;
 
+/// NQNFS protocol version: NFS v2 extended with GETLEASE and a
+/// piggybacked lease-recall trailer on every successful reply. Clients
+/// mounted in `lease` mode send this version; servers only accept it
+/// when leases are enabled, and classic-version traffic stays
+/// byte-identical on the wire.
+pub const NQNFS_VERSION: u32 = 3;
+
 /// The well-known NFS server UDP/TCP port.
 pub const NFS_PORT: u16 = 2049;

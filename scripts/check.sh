@@ -31,6 +31,13 @@ echo "==> repro soak --seeds 24 --scale quick (chaos oracle gate)"
 # gate deterministic and bounded.
 cargo run -q --release -p renofs-bench --bin repro -- soak --seeds 24 --scale quick >/dev/null
 
+echo "==> repro soak --lease --seeds 12 --scale quick (NQNFS lease oracle gate)"
+# Lease worlds (write-behind clients, crash/reboot and partition
+# windows) against the tightened lease oracle grace; exits nonzero on
+# any violation.
+cargo run -q --release -p renofs-bench --bin repro -- soak --lease --seeds 12 \
+    --scale quick >/dev/null
+
 echo "==> repro soak --duration 30 --seeds 8 (streaming budget-mode smoke)"
 # Time-boxed streaming-oracle run: exits 1 on the first violation
 # (fail-fast), caps at 8 seeds so it finishes well inside the box.
@@ -40,7 +47,9 @@ cargo run -q --release -p renofs-bench --bin repro -- soak --duration 30 --seeds
 echo "==> cargo test -p renofs-bench --features profile (alloc discipline + profiler)"
 cargo test -q -p renofs-bench --features profile --release
 
-echo "==> repro bench --check BENCH_pr4.json (queue + crowd regression gate)"
+echo "==> repro bench --check BENCH_pr4.json (queue + crowd + lease regression gates)"
+# Also holds the PDES matrix gates and the BENCH_pr8.json lease gate
+# (>=60% write-RPC recovery vs noconsist at zero soak violations).
 cargo run -q --release -p renofs-bench --bin repro -- bench --scale quick --check BENCH_pr4.json
 
 echo "All checks passed."
