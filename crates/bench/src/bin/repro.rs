@@ -24,6 +24,9 @@
 //!   all              everything above
 //!   bench            the simulator benchmarking itself (see below)
 //!   pdes-smoke       256-client PDES determinism smoke gate
+//!   shard            N-client × M-server sharded-fleet sweep (writes
+//!                    BENCH_pr9.json and holds the LAN scaling gate)
+//!   shard-smoke      32-client M=1/M=2 fleet determinism smoke gate
 //! ```
 //!
 //! `--jobs N` sets the worker-thread count for the parallel job runner
@@ -49,21 +52,27 @@
 //! 1,024-client worlds, monolithic baseline vs 1/2/4/8 sim threads)
 //! and writes `BENCH_pr6.json` with `nproc`/rustc metadata, and the
 //! lease section (Create-Delete write-RPC recovery vs noconsist plus
-//! a lease-soak certification) into `BENCH_pr8.json`. `repro bench
-//! --check FILE` re-runs the microbenches, the PDES matrix, and the
-//! lease section, and exits nonzero if: throughput regressed more
-//! than 30% against the committed numbers; the adaptive queue trails
-//! the heap more than 5% on the shallow replay; the partitioned
-//! engine costs more than 10% at one sim thread; any thread count
-//! diverges from the monolithic state hash; (given ≥4 cores) 4 sim
-//! threads fail a 2x speedup; the lease mount recovers under 60% of
-//! the noconsist write-RPC reduction on any topology; or the lease
-//! soak reports a violation. A committed report missing a gated
-//! section fails loudly rather than waiving the gate. Gates that need
-//! more cores than the machine has are reported as skipped.
+//! a lease-soak certification) into `BENCH_pr8.json`, and the sharded
+//! N×M fleet sweep into `BENCH_pr9.json`. `repro bench --check FILE`
+//! re-runs the microbenches, the PDES matrix, the lease section, and
+//! the shard gate cells, and exits nonzero if: throughput regressed
+//! more than 30% against the committed numbers; the adaptive queue
+//! trails the heap more than 5% on the shallow replay; the
+//! partitioned engine costs more than 10% at one sim thread; any
+//! thread count diverges from the monolithic state hash; (given ≥4
+//! cores) 4 sim threads fail a 2x speedup; the lease mount recovers
+//! under 60% of the noconsist write-RPC reduction on any topology;
+//! the lease soak reports a violation; the committed or fresh LAN
+//! fleet fails the M=4 ≥ 2× M=1 aggregate-throughput floor; or the
+//! shard gate cells diverge across `--sim-threads` × `--jobs`
+//! settings. A committed report missing a gated section fails loudly
+//! rather than waiving the gate. Gates that need more cores than the
+//! machine has are reported as skipped — and recorded as skipped in
+//! the JSON, so a committed report says which gates actually ran.
 
 use std::time::Instant;
 
+use renofs_bench::experiments::shard;
 use renofs_bench::Scale;
 use renofs_bench::{bench, lease, pdes};
 use renofs_workload::andrew::AndrewSpec;
@@ -77,7 +86,8 @@ static ALLOC: renofs_sim::profile::CountingAlloc = renofs_sim::profile::Counting
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|bench|pdes-smoke> [--quick | --scale quick|paper] \
+        "usage: repro <experiment|all|bench|pdes-smoke|shard|shard-smoke> \
+         [--quick | --scale quick|paper] \
          [--jobs N] [--sim-threads N] [--profile] [--out FILE] [--check FILE] [--seeds N] \
          [--case SPEC] [--duration SECS] [--max-ops N] [--long] [--lease]"
     );
@@ -296,6 +306,36 @@ const PDES_OUT: &str = "BENCH_pr6.json";
 /// Where the lease write-behind section lands.
 const LEASE_OUT: &str = "BENCH_pr8.json";
 
+/// Where the sharded N×M fleet sweep lands.
+const SHARD_OUT: &str = "BENCH_pr9.json";
+
+/// The `repro shard` subcommand: runs the full N×M fleet sweep, writes
+/// `BENCH_pr9.json`, and holds the scaling, fairness, routing and
+/// determinism gates on the fresh numbers.
+fn run_shard_mode(scale: &Scale) {
+    let report = shard::shard(scale);
+    if let Err(e) = std::fs::write(SHARD_OUT, report.to_json()) {
+        eprintln!("[shard] cannot write {SHARD_OUT}: {e}");
+        std::process::exit(1);
+    }
+    print!("{}", report.summary());
+    match report.check() {
+        Ok(msg) => eprintln!("[shard] {msg}"),
+        Err(msg) => {
+            eprintln!("[shard] FAIL: {msg}");
+            std::process::exit(1);
+        }
+    }
+    match shard::determinism_probe(scale, &report) {
+        Ok(msg) => eprintln!("[shard] {msg}"),
+        Err(msg) => {
+            eprintln!("[shard] FAIL: {msg}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("[shard] wrote {SHARD_OUT}");
+}
+
 fn run_bench_mode(opts: &Options, scale: &Scale, spec: &AndrewSpec) {
     let checking = opts.check.is_some();
     let report = bench::run_bench(scale, spec, opts.jobs, !checking);
@@ -348,6 +388,27 @@ fn run_bench_mode(opts: &Options, scale: &Scale, spec: &AndrewSpec) {
                     std::process::exit(1);
                 }
             }
+            // The shard gate holds the committed BENCH_pr9.json (which
+            // must exist, parse, and certify the scaling floor) and a
+            // fresh run of the two LAN gate cells at two
+            // `--sim-threads` × `--jobs` settings.
+            let committed_shard = match std::fs::read_to_string(SHARD_OUT) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!(
+                        "[bench] FAIL: cannot read {SHARD_OUT}: {e} — the shard gate \
+                         needs the committed report; regenerate it with `repro shard`"
+                    );
+                    std::process::exit(1);
+                }
+            };
+            match shard::check_against(&committed_shard, scale) {
+                Ok(msg) => eprintln!("[bench] shard: {msg}"),
+                Err(msg) => {
+                    eprintln!("[bench] FAIL: shard: {msg}");
+                    std::process::exit(1);
+                }
+            }
         }
         None => {
             if let Err(e) = std::fs::write(&opts.out, report.to_json()) {
@@ -362,9 +423,15 @@ fn run_bench_mode(opts: &Options, scale: &Scale, spec: &AndrewSpec) {
                 eprintln!("[bench] cannot write {LEASE_OUT}: {e}");
                 std::process::exit(1);
             }
+            let shard_report = shard::run_shard_section(scale, &report.scale_name);
+            if let Err(e) = std::fs::write(SHARD_OUT, shard_report.to_json()) {
+                eprintln!("[bench] cannot write {SHARD_OUT}: {e}");
+                std::process::exit(1);
+            }
             print!("{}", report.summary());
             print!("{}", pdes_report.summary());
             print!("{}", lease_report.summary());
+            print!("{}", shard_report.summary());
             match pdes_report.check() {
                 Ok(msg) => eprintln!("[bench] pdes: {msg}"),
                 Err(msg) => {
@@ -379,7 +446,24 @@ fn run_bench_mode(opts: &Options, scale: &Scale, spec: &AndrewSpec) {
                     std::process::exit(1);
                 }
             }
-            eprintln!("[bench] wrote {}, {PDES_OUT} and {LEASE_OUT}", opts.out);
+            match shard_report.check() {
+                Ok(msg) => eprintln!("[bench] shard: {msg}"),
+                Err(msg) => {
+                    eprintln!("[bench] FAIL: shard: {msg}");
+                    std::process::exit(1);
+                }
+            }
+            match shard::determinism_probe(scale, &shard_report) {
+                Ok(msg) => eprintln!("[bench] shard: {msg}"),
+                Err(msg) => {
+                    eprintln!("[bench] FAIL: shard: {msg}");
+                    std::process::exit(1);
+                }
+            }
+            eprintln!(
+                "[bench] wrote {}, {PDES_OUT}, {LEASE_OUT} and {SHARD_OUT}",
+                opts.out
+            );
         }
     }
 }
@@ -417,6 +501,25 @@ fn main() {
             Ok(msg) => eprintln!("[pdes-smoke] {msg}"),
             Err(msg) => {
                 eprintln!("[pdes-smoke] FAIL: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if opts.what == "shard" {
+        run_shard_mode(&scale);
+        if opts.profile {
+            eprint!("{}", renofs_sim::profile::report());
+        }
+        return;
+    }
+
+    if opts.what == "shard-smoke" {
+        match shard::shard_smoke(&scale) {
+            Ok(msg) => eprintln!("[shard-smoke] {msg}"),
+            Err(msg) => {
+                eprintln!("[shard-smoke] FAIL: {msg}");
                 std::process::exit(1);
             }
         }

@@ -8,6 +8,7 @@ pub mod faults;
 pub mod mab;
 pub mod scale;
 pub mod servercmp;
+pub mod shard;
 pub mod soak;
 pub mod trace;
 pub mod transport;

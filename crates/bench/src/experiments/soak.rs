@@ -33,8 +33,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use renofs::{
-    ClientConfig, ClientError, ClientFs, MountOptions, Syscalls, TopologyKind, TransportKind,
-    World, WorldConfig,
+    ClientConfig, ClientError, ExportMap, MountOptions, RouterFs, Syscalls, TopologyKind,
+    TransportKind, World, WorldConfig,
 };
 use renofs_netsim::topology::presets::Background;
 use renofs_netsim::FaultPlan;
@@ -84,6 +84,11 @@ pub enum Mutation {
     /// worlds only): conflicting leases are granted while pre-crash
     /// holders still trust theirs.
     NoRebootGrace,
+    /// Client 0's automount map aliases every non-root export onto
+    /// server 0 (sharded worlds only): that one client resolves its
+    /// peers' shard subtrees against the wrong server's namespace, so
+    /// durable files its neighbours wrote simply are not there.
+    WrongShardRoute,
 }
 
 /// One scheduled fault window of a generated world.
@@ -169,6 +174,9 @@ pub struct DerivedWorld {
     pub transport: (&'static str, TransportKind),
     /// nfsd pool width (0 = unbounded).
     pub nfsds: usize,
+    /// Servers in the fleet (each client's home directory shards onto
+    /// server `ci % servers`; clients mount through [`RouterFs`]).
+    pub servers: usize,
     /// Mount semantics.
     pub soft: bool,
     /// The full fault-window roster.
@@ -212,6 +220,28 @@ pub fn derive_world_for(seed: u64, profile: SoakProfile) -> DerivedWorld {
         SoakProfile::Quick => derive_world(seed),
         SoakProfile::Long => derive_long_world(seed),
         SoakProfile::Lease => derive_lease_world(seed),
+    }
+}
+
+/// Fleet width for a soak seed, drawn from a seed stream independent of
+/// the shape RNG so every other derived field keeps the value it had in
+/// the single-server harness. `domain` separates the quick (0) and long
+/// (1) recipes.
+fn derive_servers(seed: u64, domain: usize) -> usize {
+    1 + Rng::new(point_seed(0xF1EE7, seed as usize, domain)).index(2)
+}
+
+/// A client's home directory in the stitched fleet namespace
+/// ([`ExportMap::fleet`]): shard-0 homes live at the root (server 0
+/// exports "/"); a client on shard j > 0 homes under that server's
+/// "/s{j}" export. Two homes on one shard keep distinct server-side
+/// paths, and with one server every home is the legacy "/c{ci}".
+fn home_dir(ci: usize, servers: usize) -> String {
+    let shard = ci % servers;
+    if shard == 0 {
+        format!("/c{ci}")
+    } else {
+        format!("/s{shard}/c{ci}")
     }
 }
 
@@ -313,6 +343,10 @@ fn derive_lease_world(seed: u64) -> DerivedWorld {
         topo,
         transport,
         nfsds,
+        // Lease worlds stay single-server: the lease table, reboot
+        // grace, and recall timing are per-server state and the lease
+        // recipe's crash windows are tuned against exactly one of them.
+        servers: 1,
         soft: false,
         windows,
     }
@@ -417,6 +451,7 @@ fn derive_long_world(seed: u64) -> DerivedWorld {
         topo,
         transport,
         nfsds,
+        servers: derive_servers(seed, 1),
         soft,
         windows,
     }
@@ -499,6 +534,7 @@ pub fn derive_world(seed: u64) -> DerivedWorld {
         topo,
         transport,
         nfsds,
+        servers: derive_servers(seed, 0),
         soft,
         windows,
     }
@@ -814,19 +850,21 @@ fn status_of(e: &ClientError) -> String {
 /// The cross-read phase of one workload round: sleep to the given
 /// slot (if it has not already passed), then read neighbours'
 /// files end to end, logging observed contents or failures.
+#[allow(clippy::too_many_arguments)]
 fn cross_reads<S: Syscalls>(
-    fs: &mut ClientFs<S>,
+    fs: &mut RouterFs<S>,
     log: &mut ObsSink,
     rng: &mut Rng,
     read_at: SimTime,
     ci: usize,
     nclients: usize,
+    servers: usize,
     files: usize,
 ) {
-    let now = fs.sys().now();
+    let now = fs.now();
     if read_at > now {
-        fs.sys().sleep(read_at.since(now));
-        log.heartbeat(fs.sys().now().as_nanos());
+        fs.sleep(read_at.since(now));
+        log.heartbeat(fs.now().as_nanos());
     }
     let neighbours = 2.min(nclients.saturating_sub(1)).max(
         // A lone client reads its own files back.
@@ -839,15 +877,15 @@ fn cross_reads<S: Syscalls>(
             (ci + 1 + k) % nclients
         };
         let f = rng.index(files);
-        let path = format!("/c{target}/f{f}");
-        let t_open = fs.sys().now().as_nanos();
+        let path = format!("{}/f{f}", home_dir(target, servers));
+        let t_open = fs.now().as_nanos();
         match fs.open(&path, false, false) {
             Ok(fh) => {
                 match fs.read(fh, 0, 8192) {
                     Ok(bytes) => log.emit(Obs {
                         client: ci,
                         t_start: t_open,
-                        t_done: fs.sys().now().as_nanos(),
+                        t_done: fs.now().as_nanos(),
                         kind: ObsKind::Observed {
                             path: path.clone(),
                             len: bytes.len(),
@@ -857,7 +895,7 @@ fn cross_reads<S: Syscalls>(
                     Err(e) => log.emit(Obs {
                         client: ci,
                         t_start: t_open,
-                        t_done: fs.sys().now().as_nanos(),
+                        t_done: fs.now().as_nanos(),
                         kind: ObsKind::ReadFailed {
                             path: path.clone(),
                             status: status_of(&e),
@@ -869,7 +907,7 @@ fn cross_reads<S: Syscalls>(
             Err(e) => log.emit(Obs {
                 client: ci,
                 t_start: t_open,
-                t_done: fs.sys().now().as_nanos(),
+                t_done: fs.now().as_nanos(),
                 kind: ObsKind::ReadFailed {
                     path: path.clone(),
                     status: status_of(&e),
@@ -925,6 +963,7 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
     cfg.background = Background::quiet();
     cfg.clients = case.clients;
     cfg.nfsds = derived.nfsds;
+    cfg.servers = derived.servers;
     let lease = case.profile == SoakProfile::Lease;
     cfg.server.dup_cache = mutation != Mutation::NoDupCache;
     cfg.server.leases = lease;
@@ -955,9 +994,13 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
     }
 
     let mut world = World::new(cfg);
-    let root = world.root_handle();
+    let roots: Vec<_> = (0..derived.servers)
+        .map(|sj| world.root_handle_of(sj))
+        .collect();
+    let map = ExportMap::fleet(derived.servers);
     let (tx, rx) = channel();
     let nclients = case.clients;
+    let servers = derived.servers;
     let rounds = case.rounds;
     let files = derived.files;
     let temps = derived.temps;
@@ -975,22 +1018,30 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
     for ci in 0..nclients {
         let tx = tx.clone();
         let oracle = Arc::clone(&oracle);
+        let roots = roots.clone();
+        let map = map.clone();
         world.spawn_on(ci, move |sys| {
-            let mut fs = ClientFs::mount(sys, ccfg, root, "soak");
+            let mut fs = RouterFs::mount(sys, ccfg, map, &roots, "soak");
+            if mutation == Mutation::WrongShardRoute && ci == 0 {
+                // Only one machine runs the stale automount map: a
+                // fleet-wide misroute would be a *consistent* (if
+                // wrong) namespace the oracle could never fault.
+                fs.set_misroute(true);
+            }
             let mut log = ObsSink {
                 oracle,
                 ci,
                 tally: Tally::default(),
             };
-            let dir = format!("/c{ci}");
+            let dir = home_dir(ci, servers);
 
             // Setup: the client's own directory and data files.
-            let t0 = fs.sys().now().as_nanos();
+            let t0 = fs.now().as_nanos();
             let mk = fs.mkdir(&dir);
             log.emit(Obs {
                 client: ci,
                 t_start: t0,
-                t_done: fs.sys().now().as_nanos(),
+                t_done: fs.now().as_nanos(),
                 kind: ObsKind::Created {
                     path: dir.clone(),
                     outcome: mk.map(|_| OpOutcome::Ok).unwrap_or_else(|e| outcome_of(&e)),
@@ -999,10 +1050,10 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
 
             for r in 0..rounds {
                 let base = SimTime::from_secs(SETUP + r as u64 * ROUND);
-                let now = fs.sys().now();
+                let now = fs.now();
                 if base > now {
-                    fs.sys().sleep(base.since(now));
-                    log.heartbeat(fs.sys().now().as_nanos());
+                    fs.sleep(base.since(now));
+                    log.heartbeat(fs.now().as_nanos());
                 }
                 let mut rng = Rng::new(
                     point_seed(0x50AC, seed as usize, 2).wrapping_add((ci as u64) << 8 | r as u64),
@@ -1026,12 +1077,12 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                     let path = format!("{dir}/f{f}");
                     let len = file_len(seed, ci, f);
                     let data = content(seed, ci, f, r, len);
-                    let t_open = fs.sys().now().as_nanos();
+                    let t_open = fs.now().as_nanos();
                     let opened = fs.open(&path, true, false);
                     log.emit(Obs {
                         client: ci,
                         t_start: t_open,
-                        t_done: fs.sys().now().as_nanos(),
+                        t_done: fs.now().as_nanos(),
                         kind: ObsKind::Created {
                             path: path.clone(),
                             outcome: opened
@@ -1041,7 +1092,7 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                         },
                     });
                     let Ok(fh) = opened else { continue };
-                    let t_close = fs.sys().now().as_nanos();
+                    let t_close = fs.now().as_nanos();
                     let wrote = fs.write(fh, 0, &data);
                     let closed = fs.close(fh);
                     if lease {
@@ -1054,7 +1105,7 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                         ));
                         continue;
                     }
-                    let t_done = fs.sys().now().as_nanos();
+                    let t_done = fs.now().as_nanos();
                     let certain = wrote.is_ok() && closed.is_ok();
                     log.emit(Obs {
                         client: ci,
@@ -1088,7 +1139,7 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                     // tightened oracle grace does not excuse data that
                     // never left the client.
                     let flushed = fs.flush_idle();
-                    let t_done = fs.sys().now().as_nanos();
+                    let t_done = fs.now().as_nanos();
                     for (path, len, fnv, t_close, ok) in behind.drain(..) {
                         log.emit(Obs {
                             client: ci,
@@ -1111,22 +1162,24 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                 let read_at = base + SimDuration::from_secs(READ_SLOT);
                 for &(off, t) in &temp_offs {
                     if off >= read_ms && !read_done {
-                        cross_reads(&mut fs, &mut log, &mut rng, read_at, ci, nclients, files);
+                        cross_reads(
+                            &mut fs, &mut log, &mut rng, read_at, ci, nclients, servers, files,
+                        );
                         read_done = true;
                     }
                     let at = base + SimDuration::from_millis(off);
-                    let now = fs.sys().now();
+                    let now = fs.now();
                     if at > now {
-                        fs.sys().sleep(at.since(now));
-                        log.heartbeat(fs.sys().now().as_nanos());
+                        fs.sleep(at.since(now));
+                        log.heartbeat(fs.now().as_nanos());
                     }
                     let path = format!("{dir}/t{r}x{t}");
-                    let t_open = fs.sys().now().as_nanos();
+                    let t_open = fs.now().as_nanos();
                     let opened = fs.open(&path, true, false);
                     log.emit(Obs {
                         client: ci,
                         t_start: t_open,
-                        t_done: fs.sys().now().as_nanos(),
+                        t_done: fs.now().as_nanos(),
                         kind: ObsKind::Created {
                             path: path.clone(),
                             outcome: opened
@@ -1138,12 +1191,12 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                     if let Ok(fh) = opened {
                         let _ = fs.close(fh);
                     }
-                    let t_rm = fs.sys().now().as_nanos();
+                    let t_rm = fs.now().as_nanos();
                     let removed = fs.remove(&path);
                     log.emit(Obs {
                         client: ci,
                         t_start: t_rm,
-                        t_done: fs.sys().now().as_nanos(),
+                        t_done: fs.now().as_nanos(),
                         kind: ObsKind::Removed {
                             path: path.clone(),
                             outcome: removed
@@ -1153,7 +1206,9 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                     });
                 }
                 if !read_done {
-                    cross_reads(&mut fs, &mut log, &mut rng, read_at, ci, nclients, files);
+                    cross_reads(
+                        &mut fs, &mut log, &mut rng, read_at, ci, nclients, servers, files,
+                    );
                 }
 
                 if lease {
@@ -1164,22 +1219,22 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                     // here, the reboot grace is all that keeps this
                     // grant from conflicting with pre-crash leases.
                     let at = base + SimDuration::from_millis(5_000);
-                    let now = fs.sys().now();
+                    let now = fs.now();
                     if at > now {
-                        fs.sys().sleep(at.since(now));
-                        log.heartbeat(fs.sys().now().as_nanos());
+                        fs.sleep(at.since(now));
+                        log.heartbeat(fs.now().as_nanos());
                     }
                     let path = format!("{dir}/f0");
                     let len = file_len(seed, ci, 0);
                     // Round keys ≥ 0x40 never collide with the write
                     // phase's (rounds cap well below 64).
                     let data = content(seed, ci, 0, r + 0x40, len);
-                    let t_open = fs.sys().now().as_nanos();
+                    let t_open = fs.now().as_nanos();
                     let opened = fs.open(&path, true, false);
                     log.emit(Obs {
                         client: ci,
                         t_start: t_open,
-                        t_done: fs.sys().now().as_nanos(),
+                        t_done: fs.now().as_nanos(),
                         kind: ObsKind::Created {
                             path: path.clone(),
                             outcome: opened
@@ -1189,14 +1244,14 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                         },
                     });
                     if let Ok(fh) = opened {
-                        let t_close = fs.sys().now().as_nanos();
+                        let t_close = fs.now().as_nanos();
                         let wrote = fs.write(fh, 0, &data);
                         let closed = fs.close(fh);
                         let flushed = fs.flush_idle();
                         log.emit(Obs {
                             client: ci,
                             t_start: t_close,
-                            t_done: fs.sys().now().as_nanos(),
+                            t_done: fs.now().as_nanos(),
                             kind: ObsKind::Committed {
                                 path,
                                 len,
@@ -1215,17 +1270,110 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
                         base + SimDuration::from_millis(6_500),
                         ci,
                         nclients,
+                        servers,
                         1,
                     );
                 }
 
+                // Cross-shard churn (sharded worlds): create a file at
+                // home, rename it into the next client's directory —
+                // crossing shards whenever the two homes live on
+                // different servers, which drives the router's
+                // copy-and-remove rename — then remove it there. The
+                // oracle sees the rename as a Removed/Created pair, so
+                // exactly-once and namespace checks span exports.
+                if servers > 1 && nclients > 1 {
+                    let peer = (ci + 1) % nclients;
+                    let from = format!("{dir}/x{r}");
+                    let to = format!("{}/x{ci}r{r}", home_dir(peer, servers));
+                    let t_mk = fs.now().as_nanos();
+                    let opened = fs.open(&from, true, false);
+                    log.emit(Obs {
+                        client: ci,
+                        t_start: t_mk,
+                        t_done: fs.now().as_nanos(),
+                        kind: ObsKind::Created {
+                            path: from.clone(),
+                            outcome: opened
+                                .as_ref()
+                                .map(|_| OpOutcome::Ok)
+                                .unwrap_or_else(outcome_of),
+                        },
+                    });
+                    if let Ok(fh) = opened {
+                        let _ = fs.close(fh);
+                        let t_mv = fs.now().as_nanos();
+                        let renamed = fs.rename(&from, &to);
+                        let t_done = fs.now().as_nanos();
+                        match renamed {
+                            Ok(()) => {
+                                log.emit(Obs {
+                                    client: ci,
+                                    t_start: t_mv,
+                                    t_done,
+                                    kind: ObsKind::Removed {
+                                        path: from.clone(),
+                                        outcome: OpOutcome::Ok,
+                                    },
+                                });
+                                log.emit(Obs {
+                                    client: ci,
+                                    t_start: t_mv,
+                                    t_done,
+                                    kind: ObsKind::Created {
+                                        path: to.clone(),
+                                        outcome: OpOutcome::Ok,
+                                    },
+                                });
+                                let t_rm = fs.now().as_nanos();
+                                let removed = fs.remove(&to);
+                                log.emit(Obs {
+                                    client: ci,
+                                    t_start: t_rm,
+                                    t_done: fs.now().as_nanos(),
+                                    kind: ObsKind::Removed {
+                                        path: to.clone(),
+                                        outcome: removed
+                                            .map(|_| OpOutcome::Ok)
+                                            .unwrap_or_else(|e| outcome_of(&e)),
+                                    },
+                                });
+                            }
+                            Err(_) => {
+                                // A failed cross-shard rename is a
+                                // multi-RPC sequence: the copy may have
+                                // landed and the source may or may not
+                                // be gone. Both sides are indeterminate.
+                                log.emit(Obs {
+                                    client: ci,
+                                    t_start: t_mv,
+                                    t_done,
+                                    kind: ObsKind::Removed {
+                                        path: from.clone(),
+                                        outcome: OpOutcome::Indeterminate,
+                                    },
+                                });
+                                log.emit(Obs {
+                                    client: ci,
+                                    t_start: t_mv,
+                                    t_done,
+                                    kind: ObsKind::Created {
+                                        path: to.clone(),
+                                        outcome: OpOutcome::Indeterminate,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+
                 // List the home directory: durable files must appear.
-                let t_ls = fs.sys().now().as_nanos();
+                let t_ls = fs.now().as_nanos();
                 if let Ok(entries) = fs.readdir(&dir) {
                     log.emit(Obs {
                         client: ci,
                         t_start: t_ls,
-                        t_done: fs.sys().now().as_nanos(),
+                        t_done: fs.now().as_nanos(),
                         kind: ObsKind::Listed {
                             dir: dir.clone(),
                             names: entries.into_iter().map(|e| e.name).collect(),
@@ -1254,7 +1402,20 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
     filter_crash_replays(&kept, &mut violations);
 
     let net = world.net_stats();
-    let sstats = world.server().stats();
+    // Fleet-wide server counters: every shard contributes.
+    let mut garbage = 0u64;
+    let mut dup_hits = 0u64;
+    let mut lease_sums = [0u64; 5];
+    for sj in 0..world.server_count() {
+        let s = world.server_of(sj).stats();
+        garbage += s.garbage;
+        dup_hits += s.dup_hits;
+        lease_sums[0] += s.leases_issued;
+        lease_sums[1] += s.leases_renewed;
+        lease_sums[2] += s.lease_recalls;
+        lease_sums[3] += s.lease_vacate_waits;
+        lease_sums[4] += s.lease_expiries;
+    }
     CaseOutcome {
         violations,
         observations: stream_out.stats.processed as usize,
@@ -1262,13 +1423,13 @@ pub fn run_case_opts(case: &SoakCase, mutation: Mutation, opts: &RunOpts) -> Cas
         taints,
         corrupted_frames: net.corrupted_frames,
         checksum_drops: net.checksum_drops,
-        garbage: sstats.garbage,
-        dup_hits: sstats.dup_hits,
-        leases_issued: sstats.leases_issued,
-        leases_renewed: sstats.leases_renewed,
-        lease_recalls: sstats.lease_recalls,
-        lease_vacate_waits: sstats.lease_vacate_waits,
-        lease_expiries: sstats.lease_expiries,
+        garbage,
+        dup_hits,
+        leases_issued: lease_sums[0],
+        leases_renewed: lease_sums[1],
+        lease_recalls: lease_sums[2],
+        lease_vacate_waits: lease_sums[3],
+        lease_expiries: lease_sums[4],
         peak_retained: stream_out.stats.peak_retained,
         retired: stream_out.stats.retired,
         full_log: stream_out.log,
@@ -1359,6 +1520,8 @@ pub struct SoakRow {
     pub clients: usize,
     /// nfsd pool width.
     pub nfsds: usize,
+    /// Servers in the fleet.
+    pub servers: usize,
     /// Topology label.
     pub topo: String,
     /// Transport label.
@@ -1504,6 +1667,7 @@ impl fmt::Display for SoakReport {
                     format!("{}", r.seed),
                     format!("{}", r.clients),
                     format!("{}", r.nfsds),
+                    format!("{}", r.servers),
                     r.topo.clone(),
                     r.transport.clone(),
                     r.mount.to_string(),
@@ -1526,6 +1690,7 @@ impl fmt::Display for SoakReport {
                     "seed",
                     "N",
                     "nfsd",
+                    "M",
                     "config",
                     "transport",
                     "mount",
@@ -1584,6 +1749,7 @@ pub fn soak_profile_with(
             seed,
             clients: d.clients,
             nfsds: d.nfsds,
+            servers: d.servers,
             topo: d.topo.0.to_string(),
             transport: d.transport.0.to_string(),
             mount: if d.soft { "soft" } else { "hard" },
@@ -1644,12 +1810,13 @@ pub fn replay_report(case: &SoakCase) -> (String, bool) {
         .collect();
     let _ = writeln!(
         s,
-        "world: {} clients, {} rounds, {} / {}, nfsd={}, {} mount, faults [{}]",
+        "world: {} clients, {} rounds, {} / {}, nfsd={}, {} server(s), {} mount, faults [{}]",
         case.clients,
         case.rounds,
         d.topo.0,
         d.transport.0,
         d.nfsds,
+        d.servers,
         if d.soft { "soft" } else { "hard" },
         winlist.join(", ")
     );
@@ -1773,6 +1940,7 @@ impl fmt::Display for BudgetReport {
                     format!("{}", r.seed),
                     format!("{}", r.clients),
                     format!("{}", r.nfsds),
+                    format!("{}", r.servers),
                     r.topo.clone(),
                     r.transport.clone(),
                     r.mount.to_string(),
@@ -1795,6 +1963,7 @@ impl fmt::Display for BudgetReport {
                     "seed",
                     "N",
                     "nfsd",
+                    "M",
                     "config",
                     "transport",
                     "mount",
@@ -1889,6 +2058,7 @@ pub fn soak_budget(scale: &Scale, opts: &BudgetOpts) -> BudgetReport {
                     seed,
                     clients: d.clients,
                     nfsds: d.nfsds,
+                    servers: d.servers,
                     topo: d.topo.0.to_string(),
                     transport: d.transport.0.to_string(),
                     mount: if d.soft { "soft" } else { "hard" },

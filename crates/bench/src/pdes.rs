@@ -461,13 +461,50 @@ impl PdesReport {
         Ok(verdict.join("; "))
     }
 
+    /// The 4-thread speedup on the largest world, when its cells exist.
+    fn multicore_speedup(&self) -> Option<f64> {
+        let clients = PDES_SIZES[PDES_SIZES.len() - 1];
+        let one = self.cell(clients, PdesMode::Partitioned(1))?;
+        let four = self.cell(clients, PdesMode::Partitioned(4))?;
+        Some(four.events_per_sec / one.events_per_sec)
+    }
+
     /// Renders the report as JSON (the whole `BENCH_pr6.json` file).
+    ///
+    /// The `gates` section records whether the core-conditioned speedup
+    /// gate actually ran on this machine: a committed report from a
+    /// single-core box says `"skipped"` (and why) instead of silently
+    /// looking identical to one whose speedup gate held.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str("  \"bench\": \"pr6-pdes\",\n");
         s.push_str(&format!("  \"env\": {},\n", self.env.to_json()));
         s.push_str(&format!("  \"nfsds\": {PDES_NFSDS},\n"));
+        s.push_str("  \"gates\": {\n");
+        match (
+            self.env.nproc >= PDES_SPEEDUP_CORES,
+            self.multicore_speedup(),
+        ) {
+            (true, Some(speedup)) => s.push_str(&format!(
+                "    \"multi_core_speedup\": {{ \"status\": \"ran\", \"nproc\": {}, \
+                 \"required_cores\": {PDES_SPEEDUP_CORES}, \"speedup\": {speedup:.2}, \
+                 \"floor\": {PDES_SPEEDUP_FLOOR:.1} }}\n",
+                self.env.nproc
+            )),
+            (ran, _) => s.push_str(&format!(
+                "    \"multi_core_speedup\": {{ \"status\": \"skipped\", \"reason\": \
+                 \"{}\", \"nproc\": {}, \"required_cores\": {PDES_SPEEDUP_CORES}, \
+                 \"floor\": {PDES_SPEEDUP_FLOOR:.1} }}\n",
+                if ran {
+                    "matrix is missing the 1- or 4-thread cell".to_string()
+                } else {
+                    format!("nproc={} < {PDES_SPEEDUP_CORES}", self.env.nproc)
+                },
+                self.env.nproc
+            )),
+        }
+        s.push_str("  },\n");
         s.push_str("  \"pdes\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             let comma = if i + 1 < self.cells.len() { "," } else { "" };
@@ -662,5 +699,26 @@ mod tests {
         assert!(json.contains("\"clients\": 1024"), "got: {json}");
         assert!(json.contains("\"mode\": \"monolithic\""), "got: {json}");
         assert_eq!(json.matches("\"state_hash\"").count(), r.cells.len());
+    }
+
+    /// A committed report must record which gates actually ran: a
+    /// single-core machine's JSON says the speedup gate was skipped
+    /// (and why), a multi-core machine's carries the measured speedup.
+    #[test]
+    fn json_records_skipped_and_ran_multicore_gates() {
+        let json = report(1).to_json();
+        assert!(
+            json.contains("\"multi_core_speedup\": { \"status\": \"skipped\""),
+            "got: {json}"
+        );
+        assert!(json.contains("\"reason\": \"nproc=1 < 4\""), "got: {json}");
+        assert!(json.contains("\"required_cores\": 4"), "got: {json}");
+        let json = report(8).to_json();
+        assert!(
+            json.contains("\"multi_core_speedup\": { \"status\": \"ran\""),
+            "got: {json}"
+        );
+        assert!(json.contains("\"speedup\": 4.00"), "got: {json}");
+        assert!(json.contains("\"floor\": 2.0"), "got: {json}");
     }
 }

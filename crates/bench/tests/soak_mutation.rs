@@ -102,6 +102,64 @@ fn planted_consistency_bugs_are_caught() {
     }
 }
 
+/// The sharded-fleet mutant: client 0 runs a stale automount map that
+/// aliases every non-root export onto server 0, so its neighbours'
+/// shard subtrees resolve against the wrong server's namespace. Any
+/// derived world fielding at least two servers exposes it the moment
+/// client 0 cross-reads a neighbour's durable file (the file simply is
+/// not on server 0), and because the catch needs no fault window at
+/// all, the shrinker must strip the case down to a faultless two-client
+/// world.
+#[test]
+fn planted_wrong_shard_route_is_caught_and_shrunk() {
+    let seeds: Vec<u64> = (0..100)
+        .filter(|&seed| derive_world(seed).servers >= 2)
+        .collect();
+    assert!(
+        seeds.len() >= 10,
+        "the seed space must offer multi-server worlds, got {}",
+        seeds.len()
+    );
+    let mut caught: Option<SoakCase> = None;
+    for &seed in &seeds {
+        let case = SoakCase::from_seed(seed);
+        let mutant = run_case(&case, Mutation::WrongShardRoute);
+        if !mutant.violations.is_empty() {
+            let clean = run_case(&case, Mutation::None);
+            assert!(
+                clean.violations.is_empty(),
+                "seed {seed}: the unmutated fleet must pass the oracle, got {:?}",
+                clean.violations
+            );
+            caught = Some(case);
+            break;
+        }
+    }
+    let case = caught.expect("no multi-server world exposed the wrong-shard route");
+    let minimal = shrink(&case, Mutation::WrongShardRoute);
+    assert!(
+        minimal.clients <= 2,
+        "shrunk to {} clients: {minimal:?}",
+        minimal.clients
+    );
+    assert!(
+        minimal.windows.is_empty(),
+        "a wrong route needs no fault window, kept {:?}",
+        minimal.windows
+    );
+    let replay = run_case(&minimal, Mutation::WrongShardRoute);
+    assert!(
+        !replay.violations.is_empty(),
+        "the minimal case must still violate"
+    );
+    let again = run_case(&minimal, Mutation::WrongShardRoute);
+    assert_eq!(
+        replay.violations.len(),
+        again.violations.len(),
+        "identical reruns reproduce identically"
+    );
+}
+
 /// The two planted NQNFS lease bugs, each fatal to the lease contract:
 /// a client that serves cached data past its lease expiry (the term the
 /// server promised is the *only* thing standing in for per-open

@@ -233,6 +233,14 @@ impl RpcCounts {
         self.counts.iter().sum()
     }
 
+    /// Adds another counter set into this one (aggregating the mounts
+    /// of a sharded fleet into one Table 3 view).
+    pub fn absorb(&mut self, other: &RpcCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
     /// The "Other" row of Table 3: everything except the six listed
     /// procedures.
     pub fn other(&self) -> u64 {

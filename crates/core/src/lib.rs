@@ -13,8 +13,11 @@
 //! - [`client::ClientFs`]: the client — name/attribute/block caching,
 //!   write policies, push-on-close, the `noconsist` experimental mount
 //!   flag, and per-procedure RPC counters (Table 3's instrument).
+//! - [`router::RouterFs`]: the automount-style client router stitching
+//!   an M-server sharded fleet into one namespace, with read-only
+//!   replica failover.
 //! - [`world::World`]: the deterministic event loop tying client hosts,
-//!   transports, network and server together, with blocking-style
+//!   transports, network and servers together, with blocking-style
 //!   workload threads.
 //! - [`presets`]: ready-made "4.3BSD Reno" and "Ultrix 2.2" machine and
 //!   mount configurations, plus the MicroVAXII and DS3100 hardware
@@ -25,6 +28,7 @@ pub mod costs;
 pub mod host;
 pub mod presets;
 pub mod proto;
+pub mod router;
 pub mod server;
 pub mod syscalls;
 pub mod world;
@@ -33,8 +37,9 @@ pub use client::{ClientConfig, ClientError, ClientFs, RpcCounts, WritePolicy};
 pub use host::{Host, HostProfile};
 pub use presets::{ClientPreset, ServerPreset};
 pub use proto::{FileHandle, NfsProc, NfsStatus};
+pub use router::{Export, ExportMap, RouterFs, RouterHandle, ServerPort};
 pub use server::{NfsServer, ServerConfig};
-pub use syscalls::Syscalls;
+pub use syscalls::{PinTo, Syscalls};
 pub use world::{
     ClientEvent, ClientEventKind, MountOptions, NfsdStats, TopologyKind, TransportKind, World,
     WorldConfig, WorldScratch, WorldSys,

@@ -51,9 +51,25 @@ pub trait Syscalls {
     /// soft mount the call can fail with [`RpcError::TimedOut`].
     fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> RpcResult;
 
+    /// [`rpc`](Self::rpc) addressed to one server of a sharded fleet.
+    /// Single-server implementations only know server 0; the full
+    /// simulation routes each index to its own machine, transport and
+    /// XID stream.
+    fn rpc_to(&mut self, server: usize, proc: NfsProc, msg: MbufChain) -> RpcResult {
+        assert_eq!(server, 0, "this Syscalls implementation is single-server");
+        self.rpc(proc, msg)
+    }
+
     /// Starts an RPC on a biod slot, blocking only if every slot is
     /// busy. The reply is retrievable via the ticket.
     fn rpc_async(&mut self, proc: NfsProc, msg: MbufChain) -> Ticket;
+
+    /// [`rpc_async`](Self::rpc_async) addressed to one server of a
+    /// sharded fleet.
+    fn rpc_async_to(&mut self, server: usize, proc: NfsProc, msg: MbufChain) -> Ticket {
+        assert_eq!(server, 0, "this Syscalls implementation is single-server");
+        self.rpc_async(proc, msg)
+    }
 
     /// Blocks until the ticketed RPC completes and returns its reply
     /// (or the soft-mount timeout it died with).
@@ -85,8 +101,14 @@ impl<T: Syscalls + ?Sized> Syscalls for &mut T {
     fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> RpcResult {
         (**self).rpc(proc, msg)
     }
+    fn rpc_to(&mut self, server: usize, proc: NfsProc, msg: MbufChain) -> RpcResult {
+        (**self).rpc_to(server, proc, msg)
+    }
     fn rpc_async(&mut self, proc: NfsProc, msg: MbufChain) -> Ticket {
         (**self).rpc_async(proc, msg)
+    }
+    fn rpc_async_to(&mut self, server: usize, proc: NfsProc, msg: MbufChain) -> Ticket {
+        (**self).rpc_async_to(server, proc, msg)
     }
     fn await_ticket(&mut self, t: Ticket) -> RpcResult {
         (**self).await_ticket(t)
@@ -102,6 +124,65 @@ impl<T: Syscalls + ?Sized> Syscalls for &mut T {
     }
     fn local_disk(&mut self, bytes: usize, write: bool, sequential: bool) {
         (**self).local_disk(bytes, write, sequential)
+    }
+}
+
+/// Pins a borrowed system to one server of a sharded fleet: plain
+/// [`Syscalls::rpc`]/[`Syscalls::rpc_async`] calls are rewritten to the
+/// pinned index, while explicit `*_to` calls pass through untouched.
+///
+/// This is the borrow-based sibling of [`crate::router::ServerPort`]:
+/// workload threads that receive the world's system by `&mut` (and so
+/// cannot share it through an `Rc`) wrap it in a `PinTo` to aim a
+/// single-server load generator at one shard.
+pub struct PinTo<'a, S: Syscalls> {
+    sys: &'a mut S,
+    server: usize,
+}
+
+impl<'a, S: Syscalls> PinTo<'a, S> {
+    /// Wraps `sys`, routing implicit RPCs to `server`.
+    pub fn new(sys: &'a mut S, server: usize) -> Self {
+        PinTo { sys, server }
+    }
+}
+
+impl<S: Syscalls> Syscalls for PinTo<'_, S> {
+    fn now(&mut self) -> SimTime {
+        self.sys.now()
+    }
+    fn charge_cpu(&mut self, d: SimDuration) {
+        self.sys.charge_cpu(d)
+    }
+    fn sleep(&mut self, d: SimDuration) {
+        self.sys.sleep(d)
+    }
+    fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> RpcResult {
+        self.sys.rpc_to(self.server, proc, msg)
+    }
+    fn rpc_to(&mut self, server: usize, proc: NfsProc, msg: MbufChain) -> RpcResult {
+        self.sys.rpc_to(server, proc, msg)
+    }
+    fn rpc_async(&mut self, proc: NfsProc, msg: MbufChain) -> Ticket {
+        self.sys.rpc_async_to(self.server, proc, msg)
+    }
+    fn rpc_async_to(&mut self, server: usize, proc: NfsProc, msg: MbufChain) -> Ticket {
+        self.sys.rpc_async_to(server, proc, msg)
+    }
+    fn await_ticket(&mut self, t: Ticket) -> RpcResult {
+        self.sys.await_ticket(t)
+    }
+    fn poll_ticket(&mut self, t: Ticket) -> Option<RpcResult> {
+        self.sys.poll_ticket(t)
+    }
+    fn forget_ticket(&mut self, t: Ticket) {
+        self.sys.forget_ticket(t)
+    }
+    fn wait_all_async(&mut self) {
+        self.sys.wait_all_async()
+    }
+    fn local_disk(&mut self, bytes: usize, write: bool, sequential: bool) {
+        self.sys.local_disk(bytes, write, sequential)
     }
 }
 

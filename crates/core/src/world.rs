@@ -30,6 +30,20 @@
 //! time are recorded in [`NfsdStats`]. `nfsds == 0` retains the pre-pool
 //! model (a daemon per request, serialization only through the CPU and
 //! disks), which the calibrated single-client experiments rely on.
+//!
+//! # Sharded fleets
+//!
+//! [`WorldConfig::servers`] scales the server side the same way:
+//! `M > 1` builds M server machines, each with its own host model, NFS
+//! server instance (hence its own dup cache and boot epoch), and nfsd
+//! pool, hanging off the shared trunk of the chosen topology. Every
+//! client keeps one transport *per server* — independent XID streams
+//! and RTO state per (client, server) pair — and addresses RPCs with
+//! [`Syscalls::rpc_to`]. An M = 1 world is byte-identical to the
+//! pre-shard single-server world. Under PDES the whole fleet lives in
+//! the hub domain (the servers share the trunk, so they share the
+//! coordinator's queue); the carve must be legal toward every server
+//! and publishes the minimum lookahead over shards.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -169,6 +183,10 @@ pub struct WorldConfig {
     pub client_host: HostProfile,
     /// Number of client machines mounting the server.
     pub clients: usize,
+    /// Number of server machines the export namespace is sharded over.
+    /// 1 (the default) is the paper's single box; M > 1 builds a fleet
+    /// with per-server nfsd pools, dup caches and boot epochs.
+    pub servers: usize,
     /// nfsd daemon contexts on the server; requests beyond this
     /// concurrency queue FIFO. 0 = unbounded (the pre-pool model used by
     /// the calibrated single-client experiments).
@@ -209,6 +227,7 @@ impl WorldConfig {
             server_host: HostProfile::microvax_tuned(),
             client_host: HostProfile::microvax_tuned(),
             clients: 1,
+            servers: 1,
             nfsds: 0,
             biods: 4,
             seed: 42,
@@ -225,8 +244,8 @@ enum Req {
     Now,
     Sleep(SimDuration),
     ChargeCpu(SimDuration),
-    Rpc(NfsProc, MbufChain),
-    RpcAsync(NfsProc, MbufChain),
+    Rpc(usize, NfsProc, MbufChain),
+    RpcAsync(usize, NfsProc, MbufChain),
     AwaitTicket(u64),
     PollTicket(u64),
     ForgetTicket(u64),
@@ -269,11 +288,13 @@ enum Ev {
     },
     UdpTimer {
         client: usize,
+        server: usize,
         xid: u32,
         gen: u64,
     },
     TcpTimer {
         client: usize,
+        server: usize,
         server_side: bool,
         gen: u64,
     },
@@ -286,13 +307,18 @@ enum Ev {
     },
     /// An nfsd daemon context handed its reply to the transport and
     /// returns to the pool.
-    NfsdDone,
-    /// Fault plan: the server dies, losing volatile state.
+    NfsdDone {
+        server: usize,
+    },
+    /// Fault plan: a server dies, losing volatile state.
     ServerCrash {
+        server: usize,
         downtime: SimDuration,
     },
-    /// Fault plan: the server finishes rebooting.
-    ServerReboot,
+    /// Fault plan: a server finishes rebooting.
+    ServerReboot {
+        server: usize,
+    },
     /// A console note whose time is known at construction (crash/reboot
     /// observations). Partitioned worlds pre-schedule these in each client
     /// domain so the hub's crash handler never has to reach into client
@@ -323,16 +349,20 @@ struct TcpState {
 struct ClientRt {
     node: NodeId,
     host: Host,
-    transport: Transport,
+    /// One transport per server: independent XID streams and RTO state
+    /// per (client, server) pair, so two shards can never observe — or
+    /// be confused by — each other's xids.
+    transports: Vec<Transport>,
     sport: u16,
-    /// Path MTU toward the server (fragmentation costing).
-    mtu: usize,
-    /// In-flight RPCs by xid. Per-client: independent machines draw xids
-    /// from independent counters and routinely collide.
-    pending: HashMap<u32, Waker>,
+    /// Path MTU toward each server (fragmentation costing).
+    mtus: Vec<usize>,
+    /// In-flight RPCs by (server, xid). Per-client: independent machines
+    /// draw xids from independent counters and routinely collide, and so
+    /// do one machine's per-server streams.
+    pending: HashMap<(usize, u32), Waker>,
     events: Vec<ClientEvent>,
     async_outstanding: usize,
-    parked_async: VecDeque<(usize, NfsProc, MbufChain)>,
+    parked_async: VecDeque<(usize, usize, NfsProc, MbufChain)>,
     wait_all: Vec<usize>,
 }
 
@@ -416,14 +446,22 @@ impl Syscalls for WorldSys {
     }
 
     fn rpc(&mut self, proc: NfsProc, msg: MbufChain) -> RpcResult {
-        match self.ask(Req::Rpc(proc, msg)) {
+        self.rpc_to(0, proc, msg)
+    }
+
+    fn rpc_to(&mut self, server: usize, proc: NfsProc, msg: MbufChain) -> RpcResult {
+        match self.ask(Req::Rpc(server, proc, msg)) {
             Resp::Chain(c) => c,
             _ => unreachable!(),
         }
     }
 
     fn rpc_async(&mut self, proc: NfsProc, msg: MbufChain) -> Ticket {
-        match self.ask(Req::RpcAsync(proc, msg)) {
+        self.rpc_async_to(0, proc, msg)
+    }
+
+    fn rpc_async_to(&mut self, server: usize, proc: NfsProc, msg: MbufChain) -> Ticket {
+        match self.ask(Req::RpcAsync(server, proc, msg)) {
             Resp::Ticket(t) => Ticket(t),
             _ => unreachable!(),
         }
@@ -470,33 +508,44 @@ impl Syscalls for WorldSys {
 }
 
 /// Immutable per-client addressing facts the server domain needs to build
-/// replies (node, port, path MTU) without touching client-owned state.
-#[derive(Clone, Copy)]
+/// replies (node, port, per-server path MTU) without touching
+/// client-owned state.
+#[derive(Clone)]
 struct ClientMeta {
     node: NodeId,
     sport: u16,
-    mtu: usize,
+    mtus: Vec<usize>,
 }
 
-/// The server machine's simulation domain: the shared internetwork (minus
-/// any carved client access links), the NFS server, its host model, and
-/// the nfsd service pool. In a partitioned world this is everything
-/// domain 0 owns; a monolithic world keeps the same struct and simply
-/// runs every event against it from the single global queue.
-struct Hub {
-    net: Network,
-    server_node: NodeId,
-    server_host: Host,
+/// One shard's server machine: node, host model, NFS server instance
+/// (its own dup cache and boot epoch), crash state, and nfsd service
+/// pool. Index 0 is "the" server of the single-server experiments.
+struct ServerRt {
+    node: NodeId,
+    host: Host,
     server: NfsServer,
-    server_up: bool,
-    /// Node index -> client index, for demultiplexing deliveries.
-    node_client: Vec<Option<usize>>,
-    metas: Vec<ClientMeta>,
-    // nfsd pool.
-    nfsds: usize,
+    up: bool,
     nfsd_busy: usize,
     nfsd_queue: VecDeque<QueuedRpc>,
     nfsd_stats: NfsdStats,
+}
+
+/// The server-side simulation domain: the shared internetwork (minus
+/// any carved client access links) and every server machine of the
+/// fleet. In a partitioned world this is everything domain 0 owns (the
+/// shards share the trunk, so they share the coordinator's queue); a
+/// monolithic world keeps the same struct and simply runs every event
+/// against it from the single global queue.
+struct Hub {
+    net: Network,
+    servers: Vec<ServerRt>,
+    /// Node index -> client index, for demultiplexing deliveries.
+    node_client: Vec<Option<usize>>,
+    /// Node index -> server index, same.
+    node_server: Vec<Option<usize>>,
+    metas: Vec<ClientMeta>,
+    /// nfsd daemon contexts per server (0 = unbounded).
+    nfsds: usize,
     scratch: CopyMeter,
     /// Reusable network-step output: drained after every absorb, so the
     /// per-hop path allocates nothing once the vectors reach working size.
@@ -513,7 +562,9 @@ struct ClientDom {
     la_up: SimDuration,
     /// Hub→client conservative lookahead (final-link propagation delay).
     la_dn: SimDuration,
-    server_node: NodeId,
+    /// Every shard's server node, indexed by server (Send addressing and
+    /// reply demultiplexing inside the client domain).
+    server_nodes: Vec<NodeId>,
     biods: usize,
     // Per-client scheduler. Thread ids, ticket numbers and datagram ids
     // are all domain-local; workloads treat every one of them as opaque.
@@ -609,17 +660,24 @@ impl World {
     /// [`World::new`] with buffer capacity hints from earlier runs.
     pub fn with_scratch(cfg: WorldConfig, scratch: &WorldScratch) -> Self {
         let n = cfg.clients.max(1);
-        let (mut topo, client_nodes, server_node) = match cfg.topology {
-            TopologyKind::SameLan => presets::same_lan_n(&cfg.background, n),
-            TopologyKind::TokenRing => presets::token_ring_path_n(&cfg.background, n),
-            TopologyKind::SlowLink => presets::slow_link_path_n(&cfg.background, n),
+        let m = cfg.servers.max(1);
+        let (mut topo, client_nodes, server_nodes) = match cfg.topology {
+            TopologyKind::SameLan => presets::same_lan_nm(&cfg.background, n, m),
+            TopologyKind::TokenRing => presets::token_ring_path_nm(&cfg.background, n, m),
+            TopologyKind::SlowLink => presets::slow_link_path_nm(&cfg.background, n, m),
         };
         for &c in &client_nodes {
-            topo.apply_faults(&cfg.faults, c, server_node);
+            for &s in &server_nodes {
+                topo.apply_faults(&cfg.faults, c, s);
+            }
         }
         let mut node_client = vec![None; topo.node_count()];
         for (i, &c) in client_nodes.iter().enumerate() {
             node_client[c.0] = Some(i);
+        }
+        let mut node_server = vec![None; topo.node_count()];
+        for (j, &s) in server_nodes.iter().enumerate() {
+            node_server[s.0] = Some(j);
         }
         // Soft/hard mount flags configure the UDP transport's retry
         // budget; TCP mounts are hard by construction.
@@ -630,41 +688,49 @@ impl World {
         };
         let mut clients = Vec::with_capacity(n);
         for (i, &node) in client_nodes.iter().enumerate() {
-            let mtu = topo.path_mtu(node, server_node).unwrap_or(1500);
-            let xid_seed = (i + 1) as u32;
-            let transport = match &cfg.transport {
-                TransportKind::UdpFixed { timeo } => Transport::Udp(UdpRpcClient::new(
-                    mounted(UdpRpcConfig::fixed(*timeo)),
-                    xid_seed,
-                )),
-                TransportKind::UdpDynamic { timeo } => Transport::Udp(UdpRpcClient::new(
-                    mounted(UdpRpcConfig::dynamic_paper(*timeo)),
-                    xid_seed,
-                )),
-                TransportKind::UdpCustom(c) => {
-                    Transport::Udp(UdpRpcClient::new(mounted(c.clone()), xid_seed))
-                }
-                TransportKind::Tcp => {
-                    let mss = mtu - IP_HEADER - TCP_HEADER;
-                    let tcp_cfg = TcpConfig::for_mss(mss);
-                    Transport::Tcp(Box::new(TcpState {
-                        // The client connection is a placeholder until
-                        // `tcp_connect` replaces it with the active
-                        // opener and pumps the handshake.
-                        client: TcpConn::server(tcp_cfg, 0),
-                        server: TcpConn::server(tcp_cfg, 88_000),
-                        client_reader: RecordReader::new(),
-                        server_reader: RecordReader::new(),
-                        mss,
-                    }))
-                }
-            };
+            let mut transports = Vec::with_capacity(m);
+            let mut mtus = Vec::with_capacity(m);
+            for (j, &snode) in server_nodes.iter().enumerate() {
+                let mtu = topo.path_mtu(node, snode).unwrap_or(1500);
+                // Per-(client, server) XID stream; server 0 keeps the
+                // historical seed so M = 1 stays byte-identical.
+                let xid_seed = (i + 1) as u32 ^ ((j as u32) << 20);
+                let transport = match &cfg.transport {
+                    TransportKind::UdpFixed { timeo } => Transport::Udp(UdpRpcClient::new(
+                        mounted(UdpRpcConfig::fixed(*timeo)),
+                        xid_seed,
+                    )),
+                    TransportKind::UdpDynamic { timeo } => Transport::Udp(UdpRpcClient::new(
+                        mounted(UdpRpcConfig::dynamic_paper(*timeo)),
+                        xid_seed,
+                    )),
+                    TransportKind::UdpCustom(c) => {
+                        Transport::Udp(UdpRpcClient::new(mounted(c.clone()), xid_seed))
+                    }
+                    TransportKind::Tcp => {
+                        let mss = mtu - IP_HEADER - TCP_HEADER;
+                        let tcp_cfg = TcpConfig::for_mss(mss);
+                        Transport::Tcp(Box::new(TcpState {
+                            // The client connection is a placeholder until
+                            // `tcp_connect` replaces it with the active
+                            // opener and pumps the handshake.
+                            client: TcpConn::server(tcp_cfg, 0),
+                            server: TcpConn::server(tcp_cfg, 88_000),
+                            client_reader: RecordReader::new(),
+                            server_reader: RecordReader::new(),
+                            mss,
+                        }))
+                    }
+                };
+                transports.push(transport);
+                mtus.push(mtu);
+            }
             clients.push(ClientRt {
                 node,
                 host: Host::new(cfg.client_host, cfg.seed ^ 0xc11e ^ client_salt(i)),
-                transport,
+                transports,
                 sport: 1023 + i as u16,
-                mtu,
+                mtus,
                 pending: HashMap::new(),
                 events: Vec::new(),
                 async_outstanding: 0,
@@ -673,27 +739,44 @@ impl World {
             });
         }
         let net = Network::new(topo, cfg.seed ^ 0x6e65_7473);
-        let mut server = NfsServer::new(cfg.server, SimTime::ZERO);
-        server.set_client_count(n);
+        let servers: Vec<ServerRt> = server_nodes
+            .iter()
+            .enumerate()
+            .map(|(j, &snode)| {
+                let mut server = NfsServer::new(cfg.server, SimTime::ZERO);
+                server.set_client_count(n);
+                ServerRt {
+                    node: snode,
+                    // Server 0 keeps the unsalted stream: M = 1 worlds
+                    // stay byte-identical to the pre-shard single box.
+                    host: Host::new(cfg.server_host, cfg.seed ^ 0x5e17 ^ client_salt(j)),
+                    server,
+                    up: true,
+                    nfsd_busy: 0,
+                    nfsd_queue: VecDeque::new(),
+                    nfsd_stats: NfsdStats::default(),
+                }
+            })
+            .collect();
         let metas = clients
             .iter()
             .map(|c| ClientMeta {
                 node: c.node,
                 sport: c.sport,
-                mtu: c.mtu,
+                mtus: c.mtus.clone(),
             })
             .collect();
         // Per-machine domain partition: legal only when every client's
-        // access network carves cleanly (draw-free uplink, corruption-free
-        // reply path) so the hub RNG stream is untouched, there are at
-        // least two clients to separate, and the transport is UDP (a TCP
-        // connection's two endpoints share one congestion state, which
-        // cannot be split across domains).
+        // access network carves cleanly toward every server (draw-free
+        // uplink, corruption-free reply paths) so the hub RNG stream is
+        // untouched, there are at least two clients to separate, and the
+        // transport is UDP (a TCP connection's two endpoints share one
+        // congestion state, which cannot be split across domains).
         let carves =
             if !cfg.force_monolithic && n >= 2 && !matches!(cfg.transport, TransportKind::Tcp) {
                 client_nodes
                     .iter()
-                    .map(|&c| net.carve_access(c, server_node))
+                    .map(|&c| net.carve_access_multi(c, &server_nodes))
                     .collect::<Option<Vec<_>>>()
             } else {
                 None
@@ -709,7 +792,7 @@ impl World {
                         access: carve.access,
                         la_up: carve.lookahead_up,
                         la_dn: carve.lookahead_down,
-                        server_node,
+                        server_nodes: server_nodes.clone(),
                         biods: cfg.biods,
                         req_tx,
                         req_rx,
@@ -732,16 +815,11 @@ impl World {
         let mut world = World {
             hub: Hub {
                 net,
-                server_node,
-                server_host: Host::new(cfg.server_host, cfg.seed ^ 0x5e17),
-                server,
-                server_up: true,
+                servers,
                 node_client,
+                node_server,
                 metas,
                 nfsds: cfg.nfsds,
-                nfsd_busy: 0,
-                nfsd_queue: VecDeque::new(),
-                nfsd_stats: NfsdStats::default(),
                 scratch: CopyMeter::new(),
                 net_out: NetOutput {
                     events: Vec::with_capacity(scratch.net_events_cap),
@@ -765,8 +843,16 @@ impl World {
             started: false,
             udp_actions: Vec::new(),
         };
+        // Fault-plan crashes hit server 0 (the paper's box; sharded
+        // worlds crash their primary shard).
         for (at, downtime) in world.cfg.faults.server_crashes() {
-            world.doms[0].push(at, Ev::ServerCrash { downtime });
+            world.doms[0].push(
+                at,
+                Ev::ServerCrash {
+                    server: 0,
+                    downtime,
+                },
+            );
             if world.part.is_some() {
                 // Console notes have statically known times; scheduling
                 // them per client domain keeps the hub's crash handler
@@ -789,7 +875,9 @@ impl World {
         }
         if matches!(world.cfg.transport, TransportKind::Tcp) {
             for ci in 0..world.clients.len() {
-                world.tcp_connect(ci);
+                for sj in 0..world.hub.servers.len() {
+                    world.tcp_connect(ci, sj);
+                }
             }
         }
         world
@@ -801,19 +889,19 @@ impl World {
         self.part.is_some()
     }
 
-    fn tcp_connect(&mut self, ci: usize) {
-        let mss = match &self.clients[ci].transport {
+    fn tcp_connect(&mut self, ci: usize, sj: usize) {
+        let mss = match &self.clients[ci].transports[sj] {
             Transport::Tcp(t) => t.mss,
             _ => unreachable!(),
         };
         let (conn, out) = TcpConn::client(TcpConfig::for_mss(mss), 11_000, self.doms[0].clock());
-        if let Transport::Tcp(t) = &mut self.clients[ci].transport {
+        if let Transport::Tcp(t) = &mut self.clients[ci].transports[sj] {
             t.client = conn;
         }
-        self.apply_tcp_out(ci, out, true, self.doms[0].clock());
+        self.apply_tcp_out(ci, sj, out, true, self.doms[0].clock());
         // Pump the event loop until established.
         for _ in 0..10_000 {
-            let established = match &self.clients[ci].transport {
+            let established = match &self.clients[ci].transports[sj] {
                 Transport::Tcp(t) => t.client.is_established() && t.server.is_established(),
                 _ => true,
             };
@@ -828,14 +916,29 @@ impl World {
         panic!("TCP connection failed to establish");
     }
 
-    /// The server's root file handle (as the MOUNT protocol provides).
+    /// Server 0's root file handle (as the MOUNT protocol provides).
     pub fn root_handle(&self) -> crate::proto::FileHandle {
-        self.hub.server.root_handle()
+        self.root_handle_of(0)
     }
 
-    /// Direct access to the server (test preloading, stats).
+    /// A specific shard's root file handle.
+    pub fn root_handle_of(&self, sj: usize) -> crate::proto::FileHandle {
+        self.hub.servers[sj].server.root_handle()
+    }
+
+    /// Direct access to server 0 (test preloading, stats).
     pub fn server_mut(&mut self) -> &mut NfsServer {
-        &mut self.hub.server
+        &mut self.hub.servers[0].server
+    }
+
+    /// Direct access to a specific shard's server.
+    pub fn server_of_mut(&mut self, sj: usize) -> &mut NfsServer {
+        &mut self.hub.servers[sj].server
+    }
+
+    /// Number of server machines in the world.
+    pub fn server_count(&self) -> usize {
+        self.hub.servers.len()
     }
 
     /// Lifetime queue counters: `(events popped, peak pending depth)`.
@@ -855,19 +958,29 @@ impl World {
         self.doms[0].take_trace()
     }
 
-    /// Read access to the server.
+    /// Read access to server 0.
     pub fn server(&self) -> &NfsServer {
-        &self.hub.server
+        &self.hub.servers[0].server
     }
 
-    /// The server machine (CPU/disk stats).
+    /// Read access to a specific shard's server.
+    pub fn server_of(&self, sj: usize) -> &NfsServer {
+        &self.hub.servers[sj].server
+    }
+
+    /// Server 0's machine (CPU/disk stats).
     pub fn server_host(&self) -> &Host {
-        &self.hub.server_host
+        &self.hub.servers[0].host
     }
 
-    /// Mutable server machine access (accounting resets).
+    /// A specific shard's server machine.
+    pub fn server_host_of(&self, sj: usize) -> &Host {
+        &self.hub.servers[sj].host
+    }
+
+    /// Mutable server-0 machine access (accounting resets).
     pub fn server_host_mut(&mut self) -> &mut Host {
-        &mut self.hub.server_host
+        &mut self.hub.servers[0].host
     }
 
     /// Number of client machines in the world.
@@ -907,9 +1020,14 @@ impl World {
         self.udp_stats_of(0)
     }
 
-    /// A specific client's UDP transport statistics.
+    /// A specific client's UDP transport statistics toward server 0.
     pub fn udp_stats_of(&self, ci: usize) -> Option<UdpStats> {
-        match &self.clients[ci].transport {
+        self.udp_stats_to(ci, 0)
+    }
+
+    /// A specific (client, server) pair's UDP transport statistics.
+    pub fn udp_stats_to(&self, ci: usize, sj: usize) -> Option<UdpStats> {
+        match &self.clients[ci].transports[sj] {
             Transport::Udp(u) => Some(u.stats()),
             _ => None,
         }
@@ -917,7 +1035,7 @@ impl World {
 
     /// Current RTO for a class (Graph 7 traces), if client 0 uses UDP.
     pub fn current_rto(&self, class: renofs_transport::RpcClass) -> Option<SimDuration> {
-        match &self.clients[0].transport {
+        match &self.clients[0].transports[0] {
             Transport::Udp(u) => Some(u.current_rto(class)),
             _ => None,
         }
@@ -928,23 +1046,35 @@ impl World {
         self.tcp_stats_of(0)
     }
 
-    /// A specific client's TCP statistics.
+    /// A specific client's TCP statistics toward server 0.
     pub fn tcp_stats_of(&self, ci: usize) -> Option<renofs_transport::tcp::TcpStats> {
-        match &self.clients[ci].transport {
+        self.tcp_stats_to(ci, 0)
+    }
+
+    /// A specific (client, server) pair's TCP transport statistics.
+    pub fn tcp_stats_to(&self, ci: usize, sj: usize) -> Option<renofs_transport::tcp::TcpStats> {
+        match &self.clients[ci].transports[sj] {
             Transport::Tcp(t) => Some(t.client.stats()),
             _ => None,
         }
     }
 
-    /// nfsd service-pool accounting.
+    /// Server 0's nfsd service-pool accounting.
     pub fn nfsd_stats(&self) -> &NfsdStats {
-        &self.hub.nfsd_stats
+        &self.hub.servers[0].nfsd_stats
+    }
+
+    /// A specific shard's nfsd service-pool accounting.
+    pub fn nfsd_stats_of(&self, sj: usize) -> &NfsdStats {
+        &self.hub.servers[sj].nfsd_stats
     }
 
     /// Clears nfsd pool accounting (warm-up windows), like the host
     /// models' accounting resets.
     pub fn reset_nfsd_accounting(&mut self) {
-        self.hub.nfsd_stats = NfsdStats::default();
+        for s in &mut self.hub.servers {
+            s.nfsd_stats = NfsdStats::default();
+        }
     }
 
     /// Current virtual time. For a partitioned world after `run`, this is
@@ -969,9 +1099,14 @@ impl World {
         &self.clients[ci].events
     }
 
-    /// Whether the server is currently up (fault plans can crash it).
+    /// Whether server 0 is currently up (fault plans can crash it).
     pub fn server_is_up(&self) -> bool {
-        self.hub.server_up
+        self.hub.servers[0].up
+    }
+
+    /// Whether a specific shard's server is currently up.
+    pub fn server_is_up_of(&self, sj: usize) -> bool {
+        self.hub.servers[sj].up
     }
 
     /// Spawns a workload thread on client 0. It starts suspended;
@@ -1167,11 +1302,11 @@ impl World {
                     self.doms[0].push(done, Ev::Wake(tid, Resp::Unit));
                     return;
                 }
-                Req::Rpc(proc, msg) => {
-                    self.start_rpc(ci, Waker::Sync(tid), proc, msg);
+                Req::Rpc(sj, proc, msg) => {
+                    self.start_rpc(ci, sj, Waker::Sync(tid), proc, msg);
                     return;
                 }
-                Req::RpcAsync(proc, msg) => {
+                Req::RpcAsync(sj, proc, msg) => {
                     let slots = self.cfg.biods;
                     if slots == 0 {
                         // No biods: the process itself performs the RPC,
@@ -1181,17 +1316,19 @@ impl World {
                         self.next_ticket += 1;
                         self.clients[ci].async_outstanding += 1;
                         self.ticket_block_thread(tid, ticket);
-                        self.start_rpc(ci, Waker::Async(ticket), proc, msg);
+                        self.start_rpc(ci, sj, Waker::Async(ticket), proc, msg);
                         return;
                     }
                     if self.clients[ci].async_outstanding < slots {
                         let ticket = self.next_ticket;
                         self.next_ticket += 1;
                         self.clients[ci].async_outstanding += 1;
-                        self.start_rpc(ci, Waker::Async(ticket), proc, msg);
+                        self.start_rpc(ci, sj, Waker::Async(ticket), proc, msg);
                         let _ = self.threads[tid].resp_tx.send(Resp::Ticket(ticket));
                     } else {
-                        self.clients[ci].parked_async.push_back((tid, proc, msg));
+                        self.clients[ci]
+                            .parked_async
+                            .push_back((tid, sj, proc, msg));
                         return;
                     }
                 }
@@ -1229,50 +1366,50 @@ impl World {
 
     // ----- RPC initiation and completion ---------------------------------
 
-    fn start_rpc(&mut self, ci: usize, waker: Waker, proc: NfsProc, msg: MbufChain) {
+    fn start_rpc(&mut self, ci: usize, sj: usize, waker: Waker, proc: NfsProc, msg: MbufChain) {
         let Ok((xid, MsgKind::Call)) = peek_xid_kind(&msg) else {
             panic!("workload issued a malformed RPC message");
         };
         debug_assert!(
-            !self.clients[ci].pending.contains_key(&xid),
-            "duplicate xid {xid} in flight on client {ci}"
+            !self.clients[ci].pending.contains_key(&(sj, xid)),
+            "duplicate xid {xid} in flight on client {ci} toward server {sj}"
         );
-        self.clients[ci].pending.insert(xid, waker);
+        self.clients[ci].pending.insert((sj, xid), waker);
         let now = self.doms[0].clock();
-        match &mut self.clients[ci].transport {
+        match &mut self.clients[ci].transports[sj] {
             Transport::Udp(u) => {
                 let mut actions = std::mem::take(&mut self.udp_actions);
                 u.call(now, xid, proc.rto_class(), msg, &mut actions);
-                self.apply_udp_actions(ci, &mut actions);
+                self.apply_udp_actions(ci, sj, &mut actions);
                 self.udp_actions = actions;
             }
             Transport::Tcp(_) => {
                 // Once-per-record socket/codec work.
                 let t = self.clients[ci].host.charge_record(now);
                 let framed = frame_record(msg, &mut self.hub.scratch);
-                let out = match &mut self.clients[ci].transport {
+                let out = match &mut self.clients[ci].transports[sj] {
                     Transport::Tcp(ts) => ts.client.send(framed, t),
                     _ => unreachable!(),
                 };
-                self.apply_tcp_out(ci, out, true, t);
+                self.apply_tcp_out(ci, sj, out, true, t);
             }
         }
     }
 
-    fn apply_udp_actions(&mut self, ci: usize, actions: &mut Vec<UdpAction>) {
+    fn apply_udp_actions(&mut self, ci: usize, sj: usize, actions: &mut Vec<UdpAction>) {
         let now = self.doms[0].clock();
         for action in actions.drain(..) {
             match action {
                 UdpAction::Send { payload, .. } => {
                     let c = &mut self.clients[ci];
-                    let frags = udp_fragments(payload.len(), c.mtu);
+                    let frags = udp_fragments(payload.len(), c.mtus[sj]);
                     let done = c.host.charge_tx(now, &payload, frags, false);
                     let (src, sport) = (c.node, c.sport);
                     self.doms[0].push(
                         done,
                         Ev::Send {
                             src,
-                            dst: self.hub.server_node,
+                            dst: self.hub.servers[sj].node,
                             proto: ProtoHeader::Udp {
                                 sport,
                                 dport: NFS_PORT,
@@ -1286,6 +1423,7 @@ impl World {
                         deadline,
                         Ev::UdpTimer {
                             client: ci,
+                            server: sj,
                             xid,
                             gen,
                         },
@@ -1296,7 +1434,7 @@ impl World {
                         at: now,
                         kind: ClientEventKind::SoftTimeout,
                     });
-                    self.finish_rpc(ci, xid, Err(RpcError::TimedOut), now);
+                    self.finish_rpc(ci, sj, xid, Err(RpcError::TimedOut), now);
                 }
                 UdpAction::NotResponding { .. } => {
                     self.clients[ci].events.push(ClientEvent {
@@ -1317,6 +1455,7 @@ impl World {
     fn apply_tcp_out(
         &mut self,
         ci: usize,
+        sj: usize,
         out: renofs_transport::TcpOut,
         from_client: bool,
         at: SimTime,
@@ -1325,13 +1464,14 @@ impl World {
         // side, so its received chunks belong to that side's record
         // reader — RPC replies on the client, requests on the server.
         for chunk in out.received {
-            self.tcp_ingest(ci, chunk, from_client, at);
+            self.tcp_ingest(ci, sj, chunk, from_client, at);
         }
         if let Some((deadline, gen)) = out.arm_timer {
             self.doms[0].push(
                 deadline,
                 Ev::TcpTimer {
                     client: ci,
+                    server: sj,
                     server_side: !from_client,
                     gen,
                 },
@@ -1341,7 +1481,7 @@ impl World {
             let host = if from_client {
                 &mut self.clients[ci].host
             } else {
-                &mut self.hub.server_host
+                &mut self.hub.servers[sj].host
             };
             let done = host.charge_tcp_tx(at, &seg.payload);
             let csport = self.clients[ci].sport;
@@ -1351,9 +1491,9 @@ impl World {
                 (NFS_PORT, csport)
             };
             let (src, dst) = if from_client {
-                (self.clients[ci].node, self.hub.server_node)
+                (self.clients[ci].node, self.hub.servers[sj].node)
             } else {
-                (self.hub.server_node, self.clients[ci].node)
+                (self.hub.servers[sj].node, self.clients[ci].node)
             };
             self.doms[0].push(
                 done,
@@ -1376,9 +1516,16 @@ impl World {
 
     /// Feeds in-order stream data into the record reader of the side
     /// that received it.
-    fn tcp_ingest(&mut self, ci: usize, chunk: MbufChain, receiver_is_client: bool, at: SimTime) {
+    fn tcp_ingest(
+        &mut self,
+        ci: usize,
+        sj: usize,
+        chunk: MbufChain,
+        receiver_is_client: bool,
+        at: SimTime,
+    ) {
         let mut records = Vec::new();
-        if let Transport::Tcp(t) = &mut self.clients[ci].transport {
+        if let Transport::Tcp(t) = &mut self.clients[ci].transports[sj] {
             let reader = if receiver_is_client {
                 &mut t.client_reader
             } else {
@@ -1394,17 +1541,17 @@ impl World {
             let t = if receiver_is_client {
                 self.clients[ci].host.charge_record(at)
             } else {
-                self.hub.server_host.charge_record(at)
+                self.hub.servers[sj].host.charge_record(at)
             };
             if receiver_is_client {
-                self.client_rpc_reply(ci, rec, t);
+                self.client_rpc_reply(ci, sj, rec, t);
             } else {
-                self.serve_request(rec, ci, true, t);
+                self.serve_request(rec, ci, sj, true, t);
             }
         }
     }
 
-    fn client_rpc_reply(&mut self, ci: usize, reply: MbufChain, at: SimTime) {
+    fn client_rpc_reply(&mut self, ci: usize, sj: usize, reply: MbufChain, at: SimTime) {
         let _sp = profile::span(profile::Subsystem::Client);
         profile::count(profile::Subsystem::Client, 1);
         let Ok((xid, MsgKind::Reply)) = peek_xid_kind(&reply) else {
@@ -1412,22 +1559,22 @@ impl World {
         };
         // For UDP the transport tracked RTTs itself; over TCP there is
         // no RPC-level bookkeeping to update.
-        if let Transport::Udp(u) = &mut self.clients[ci].transport {
+        if let Transport::Udp(u) = &mut self.clients[ci].transports[sj] {
             let mut actions = std::mem::take(&mut self.udp_actions);
             let completed = u.on_reply(at, xid, reply, &mut actions);
-            self.apply_udp_actions(ci, &mut actions);
+            self.apply_udp_actions(ci, sj, &mut actions);
             self.udp_actions = actions;
             let Some(call) = completed else {
                 return;
             };
-            self.finish_rpc(ci, xid, Ok(call.reply), at);
+            self.finish_rpc(ci, sj, xid, Ok(call.reply), at);
         } else {
-            self.finish_rpc(ci, xid, Ok(reply), at);
+            self.finish_rpc(ci, sj, xid, Ok(reply), at);
         }
     }
 
-    fn finish_rpc(&mut self, ci: usize, xid: u32, result: RpcResult, at: SimTime) {
-        let Some(waker) = self.clients[ci].pending.remove(&xid) else {
+    fn finish_rpc(&mut self, ci: usize, sj: usize, xid: u32, result: RpcResult, at: SimTime) {
+        let Some(waker) = self.clients[ci].pending.remove(&(sj, xid)) else {
             return;
         };
         match waker {
@@ -1449,26 +1596,30 @@ impl World {
 
     /// Admits an RPC request to the nfsd pool: service starts now if a
     /// daemon context is free, otherwise the request queues FIFO.
-    fn serve_request(&mut self, request: MbufChain, client: usize, tcp: bool, at: SimTime) {
+    fn serve_request(
+        &mut self,
+        request: MbufChain,
+        client: usize,
+        sj: usize,
+        tcp: bool,
+        at: SimTime,
+    ) {
         if self.cfg.nfsds > 0 {
-            if self.hub.nfsd_busy >= self.cfg.nfsds {
-                self.hub.nfsd_queue.push_back(QueuedRpc {
+            let srv = &mut self.hub.servers[sj];
+            if srv.nfsd_busy >= self.cfg.nfsds {
+                srv.nfsd_queue.push_back(QueuedRpc {
                     request,
                     client,
                     tcp,
                     arrival: at,
                 });
-                self.hub.nfsd_stats.queued += 1;
-                self.hub.nfsd_stats.peak_queue = self
-                    .hub
-                    .nfsd_stats
-                    .peak_queue
-                    .max(self.hub.nfsd_queue.len());
+                srv.nfsd_stats.queued += 1;
+                srv.nfsd_stats.peak_queue = srv.nfsd_stats.peak_queue.max(srv.nfsd_queue.len());
                 return;
             }
-            self.hub.nfsd_busy += 1;
+            srv.nfsd_busy += 1;
         }
-        self.nfsd_serve(request, client, tcp, at, at);
+        self.nfsd_serve(request, client, sj, tcp, at, at);
     }
 
     /// One nfsd daemon services a request: runs the server code, charges
@@ -1477,25 +1628,29 @@ impl World {
         &mut self,
         request: MbufChain,
         client: usize,
+        sj: usize,
         tcp: bool,
         arrival: SimTime,
         start: SimTime,
     ) {
         let _sp = profile::span(profile::Subsystem::Server);
         profile::count(profile::Subsystem::Server, 1);
-        self.hub
+        self.hub.servers[sj]
             .nfsd_stats
             .queue_delays_ms
             .push(start.since(arrival).as_millis_f64());
-        let (reply, cost) = self.hub.server.service_from(start, &request, client as u32);
+        let (reply, cost) =
+            self.hub.servers[sj]
+                .server
+                .service_from(start, &request, client as u32);
         if reply.is_empty() {
             // Unparseable request: the daemon is immediately free again.
             if self.cfg.nfsds > 0 {
-                self.doms[0].push(start, Ev::NfsdDone);
+                self.doms[0].push(start, Ev::NfsdDone { server: sj });
             }
             return;
         }
-        let host = &mut self.hub.server_host;
+        let host = &mut self.hub.servers[sj].host;
         let mut t = host.cpu.charge(
             start,
             costs::NFS_SERVICE_FIXED
@@ -1521,23 +1676,23 @@ impl World {
         }
         let done;
         if tcp {
-            let t = self.hub.server_host.charge_record(t);
+            let t = self.hub.servers[sj].host.charge_record(t);
             let framed = frame_record(reply, &mut self.hub.scratch);
-            let out = match &mut self.clients[client].transport {
+            let out = match &mut self.clients[client].transports[sj] {
                 Transport::Tcp(ts) => ts.server.send(framed, t),
                 _ => unreachable!(),
             };
-            self.apply_tcp_out(client, out, false, t);
+            self.apply_tcp_out(client, sj, out, false, t);
             done = t;
         } else {
             let c = &self.clients[client];
-            let frags = udp_fragments(reply.len(), c.mtu);
+            let frags = udp_fragments(reply.len(), c.mtus[sj]);
             let (dst, dport) = (c.node, c.sport);
-            done = self.hub.server_host.charge_tx(t, &reply, frags, false);
+            done = self.hub.servers[sj].host.charge_tx(t, &reply, frags, false);
             self.doms[0].push(
                 done,
                 Ev::Send {
-                    src: self.hub.server_node,
+                    src: self.hub.servers[sj].node,
                     dst,
                     proto: ProtoHeader::Udp {
                         sport: NFS_PORT,
@@ -1547,13 +1702,13 @@ impl World {
                 },
             );
         }
-        self.hub.nfsd_stats.served += 1;
-        self.hub
+        self.hub.servers[sj].nfsd_stats.served += 1;
+        self.hub.servers[sj]
             .nfsd_stats
             .service_ms
             .add(done.since(start).as_millis_f64());
         if self.cfg.nfsds > 0 {
-            self.doms[0].push(done, Ev::NfsdDone);
+            self.doms[0].push(done, Ev::NfsdDone { server: sj });
         }
     }
 
@@ -1567,20 +1722,26 @@ impl World {
                 ticket,
                 result,
             } => self.async_done(client, ticket, result),
-            Ev::UdpTimer { client, xid, gen } => {
-                if let Transport::Udp(u) = &mut self.clients[client].transport {
+            Ev::UdpTimer {
+                client,
+                server,
+                xid,
+                gen,
+            } => {
+                if let Transport::Udp(u) = &mut self.clients[client].transports[server] {
                     let mut actions = std::mem::take(&mut self.udp_actions);
                     u.on_timer(now, xid, gen, &mut actions);
-                    self.apply_udp_actions(client, &mut actions);
+                    self.apply_udp_actions(client, server, &mut actions);
                     self.udp_actions = actions;
                 }
             }
             Ev::TcpTimer {
                 client,
+                server,
                 server_side,
                 gen,
             } => {
-                let out = match &mut self.clients[client].transport {
+                let out = match &mut self.clients[client].transports[server] {
                     Transport::Tcp(t) => {
                         if server_side {
                             t.server.on_timer(gen, now)
@@ -1590,7 +1751,7 @@ impl World {
                     }
                     _ => return,
                 };
-                self.apply_tcp_out(client, out, !server_side, now);
+                self.apply_tcp_out(client, server, out, !server_side, now);
             }
             Ev::Send {
                 src,
@@ -1622,33 +1783,36 @@ impl World {
                 self.absorb_net(&mut out);
                 self.hub.net_out = out;
             }
-            Ev::NfsdDone => {
-                self.hub.nfsd_busy = self.hub.nfsd_busy.saturating_sub(1);
-                if self.hub.server_up {
-                    if let Some(q) = self.hub.nfsd_queue.pop_front() {
-                        self.hub.nfsd_busy += 1;
-                        self.nfsd_serve(q.request, q.client, q.tcp, q.arrival, now);
+            Ev::NfsdDone { server } => {
+                let srv = &mut self.hub.servers[server];
+                srv.nfsd_busy = srv.nfsd_busy.saturating_sub(1);
+                if srv.up {
+                    if let Some(q) = srv.nfsd_queue.pop_front() {
+                        srv.nfsd_busy += 1;
+                        self.nfsd_serve(q.request, q.client, server, q.tcp, q.arrival, now);
                     }
                 }
             }
-            Ev::ServerCrash { downtime } => {
-                self.hub.server_up = false;
+            Ev::ServerCrash { server, downtime } => {
+                let srv = &mut self.hub.servers[server];
+                srv.up = false;
                 // Requests waiting for a daemon die with the machine;
                 // the clients retransmit them after the reboot.
-                self.hub.nfsd_queue.clear();
+                srv.nfsd_queue.clear();
                 for c in &mut self.clients {
                     c.events.push(ClientEvent {
                         at: now,
                         kind: ClientEventKind::ServerCrashed,
                     });
                 }
-                self.doms[0].push(now + downtime, Ev::ServerReboot);
+                self.doms[0].push(now + downtime, Ev::ServerReboot { server });
             }
-            Ev::ServerReboot => {
+            Ev::ServerReboot { server } => {
                 // Volatile state (name cache, buffer cache, dup cache)
                 // is lost; the on-disk file system survives.
-                self.hub.server.reboot();
-                self.hub.server_up = true;
+                let srv = &mut self.hub.servers[server];
+                srv.server.reboot();
+                srv.up = true;
                 for c in &mut self.clients {
                     c.events.push(ClientEvent {
                         at: now,
@@ -1674,32 +1838,38 @@ impl World {
 
     fn on_delivery(&mut self, d: Delivery) {
         let now = self.doms[0].clock();
-        let at_server = d.host == self.hub.server_node;
+        let at_server = self.hub.node_server[d.host.0];
         // A crashed host receives nothing: requests (and TCP segments)
         // addressed to it die on arrival and the client must retransmit.
-        if at_server && !self.hub.server_up {
-            return;
+        if let Some(sj) = at_server {
+            if !self.hub.servers[sj].up {
+                return;
+            }
         }
-        // Which client machine this delivery concerns: the receiver for
-        // client-bound traffic, the datagram's source for server-bound.
-        let ci = if at_server {
-            self.hub.node_client[d.dgram.src.0]
+        // Which client machine and which server this delivery concerns:
+        // the datagram's source identifies the other endpoint.
+        let (ci, sj) = if let Some(sj) = at_server {
+            (self.hub.node_client[d.dgram.src.0], Some(sj))
         } else {
-            self.hub.node_client[d.host.0]
+            (
+                self.hub.node_client[d.host.0],
+                self.hub.node_server[d.dgram.src.0],
+            )
         };
-        let Some(ci) = ci else {
-            return; // not addressed to or from any client machine
+        let (Some(ci), Some(sj)) = (ci, sj) else {
+            return; // not a client<->server exchange this world models
         };
         let len = d.dgram.payload.len();
         let frags = d.frags.max(1);
+        let at_server = at_server.is_some();
         match d.dgram.proto {
             ProtoHeader::Udp { .. } => {
                 if at_server {
-                    let t = self.hub.server_host.charge_rx(now, len, frags, false);
-                    self.serve_request(d.dgram.payload, ci, false, t);
+                    let t = self.hub.servers[sj].host.charge_rx(now, len, frags, false);
+                    self.serve_request(d.dgram.payload, ci, sj, false, t);
                 } else {
                     let t = self.clients[ci].host.charge_rx(now, len, frags, false);
-                    self.client_rpc_reply(ci, d.dgram.payload, t);
+                    self.client_rpc_reply(ci, sj, d.dgram.payload, t);
                 }
             }
             ProtoHeader::Tcp {
@@ -1710,12 +1880,12 @@ impl World {
                 ..
             } => {
                 let host = if at_server {
-                    &mut self.hub.server_host
+                    &mut self.hub.servers[sj].host
                 } else {
                     &mut self.clients[ci].host
                 };
                 let t = host.charge_tcp_rx(now, len);
-                let out = match &mut self.clients[ci].transport {
+                let out = match &mut self.clients[ci].transports[sj] {
                     Transport::Tcp(ts) => {
                         let conn = if at_server {
                             &mut ts.server
@@ -1726,7 +1896,7 @@ impl World {
                     }
                     _ => return,
                 };
-                self.apply_tcp_out(ci, out, !at_server, t);
+                self.apply_tcp_out(ci, sj, out, !at_server, t);
             }
         }
     }
@@ -1749,11 +1919,11 @@ impl World {
             self.tickets_done.insert(ticket, result);
         }
         // A slot freed: admit a parked async request from this client.
-        if let Some((tid, proc, msg)) = self.clients[ci].parked_async.pop_front() {
+        if let Some((tid, sj, proc, msg)) = self.clients[ci].parked_async.pop_front() {
             let t = self.next_ticket;
             self.next_ticket += 1;
             self.clients[ci].async_outstanding += 1;
-            self.start_rpc(ci, Waker::Async(t), proc, msg);
+            self.start_rpc(ci, sj, Waker::Async(t), proc, msg);
             self.ready.push_back((tid, Resp::Ticket(t)));
         }
         if self.clients[ci].async_outstanding == 0 {
@@ -1975,28 +2145,28 @@ impl ClientCtx<'_> {
                     self.dq.push(done, Ev::Wake(tid, Resp::Unit));
                     return;
                 }
-                Req::Rpc(proc, msg) => {
-                    self.start_rpc(Waker::Sync(tid), proc, msg);
+                Req::Rpc(sj, proc, msg) => {
+                    self.start_rpc(sj, Waker::Sync(tid), proc, msg);
                     return;
                 }
-                Req::RpcAsync(proc, msg) => {
+                Req::RpcAsync(sj, proc, msg) => {
                     let slots = self.cd.biods;
                     if slots == 0 {
                         let ticket = self.cd.next_ticket;
                         self.cd.next_ticket += 1;
                         self.rt.async_outstanding += 1;
                         self.cd.ticket_waiters.insert(ticket, usize::MAX - tid);
-                        self.start_rpc(Waker::Async(ticket), proc, msg);
+                        self.start_rpc(sj, Waker::Async(ticket), proc, msg);
                         return;
                     }
                     if self.rt.async_outstanding < slots {
                         let ticket = self.cd.next_ticket;
                         self.cd.next_ticket += 1;
                         self.rt.async_outstanding += 1;
-                        self.start_rpc(Waker::Async(ticket), proc, msg);
+                        self.start_rpc(sj, Waker::Async(ticket), proc, msg);
                         let _ = self.cd.resp_txs[tid].send(Resp::Ticket(ticket));
                     } else {
-                        self.rt.parked_async.push_back((tid, proc, msg));
+                        self.rt.parked_async.push_back((tid, sj, proc, msg));
                         return;
                     }
                 }
@@ -2025,40 +2195,40 @@ impl ClientCtx<'_> {
         }
     }
 
-    fn start_rpc(&mut self, waker: Waker, proc: NfsProc, msg: MbufChain) {
+    fn start_rpc(&mut self, sj: usize, waker: Waker, proc: NfsProc, msg: MbufChain) {
         let Ok((xid, MsgKind::Call)) = peek_xid_kind(&msg) else {
             panic!("workload issued a malformed RPC message");
         };
         debug_assert!(
-            !self.rt.pending.contains_key(&xid),
-            "duplicate xid {xid} in flight on client {}",
+            !self.rt.pending.contains_key(&(sj, xid)),
+            "duplicate xid {xid} in flight on client {} toward server {sj}",
             self.ci
         );
-        self.rt.pending.insert(xid, waker);
+        self.rt.pending.insert((sj, xid), waker);
         let now = self.dq.clock();
-        match &mut self.rt.transport {
+        match &mut self.rt.transports[sj] {
             Transport::Udp(u) => {
                 let mut actions = std::mem::take(&mut self.cd.udp_actions);
                 u.call(now, xid, proc.rto_class(), msg, &mut actions);
-                self.apply_udp_actions(&mut actions);
+                self.apply_udp_actions(sj, &mut actions);
                 self.cd.udp_actions = actions;
             }
             Transport::Tcp(_) => unreachable!("TCP worlds are never partitioned"),
         }
     }
 
-    fn apply_udp_actions(&mut self, actions: &mut Vec<UdpAction>) {
+    fn apply_udp_actions(&mut self, sj: usize, actions: &mut Vec<UdpAction>) {
         let now = self.dq.clock();
         for action in actions.drain(..) {
             match action {
                 UdpAction::Send { payload, .. } => {
-                    let frags = udp_fragments(payload.len(), self.rt.mtu);
+                    let frags = udp_fragments(payload.len(), self.rt.mtus[sj]);
                     let done = self.rt.host.charge_tx(now, &payload, frags, false);
                     self.dq.push(
                         done,
                         Ev::Send {
                             src: self.rt.node,
-                            dst: self.cd.server_node,
+                            dst: self.cd.server_nodes[sj],
                             proto: ProtoHeader::Udp {
                                 sport: self.rt.sport,
                                 dport: NFS_PORT,
@@ -2072,6 +2242,7 @@ impl ClientCtx<'_> {
                         deadline,
                         Ev::UdpTimer {
                             client: self.ci,
+                            server: sj,
                             xid,
                             gen,
                         },
@@ -2082,7 +2253,7 @@ impl ClientCtx<'_> {
                         at: now,
                         kind: ClientEventKind::SoftTimeout,
                     });
-                    self.finish_rpc(xid, Err(RpcError::TimedOut), now);
+                    self.finish_rpc(sj, xid, Err(RpcError::TimedOut), now);
                 }
                 UdpAction::NotResponding { .. } => {
                     self.rt.events.push(ClientEvent {
@@ -2100,29 +2271,29 @@ impl ClientCtx<'_> {
         }
     }
 
-    fn client_rpc_reply(&mut self, reply: MbufChain, at: SimTime) {
+    fn client_rpc_reply(&mut self, sj: usize, reply: MbufChain, at: SimTime) {
         let _sp = profile::span(profile::Subsystem::Client);
         profile::count(profile::Subsystem::Client, 1);
         let Ok((xid, MsgKind::Reply)) = peek_xid_kind(&reply) else {
             return;
         };
-        match &mut self.rt.transport {
+        match &mut self.rt.transports[sj] {
             Transport::Udp(u) => {
                 let mut actions = std::mem::take(&mut self.cd.udp_actions);
                 let completed = u.on_reply(at, xid, reply, &mut actions);
-                self.apply_udp_actions(&mut actions);
+                self.apply_udp_actions(sj, &mut actions);
                 self.cd.udp_actions = actions;
                 let Some(call) = completed else {
                     return;
                 };
-                self.finish_rpc(xid, Ok(call.reply), at);
+                self.finish_rpc(sj, xid, Ok(call.reply), at);
             }
             Transport::Tcp(_) => unreachable!("TCP worlds are never partitioned"),
         }
     }
 
-    fn finish_rpc(&mut self, xid: u32, result: RpcResult, at: SimTime) {
-        let Some(waker) = self.rt.pending.remove(&xid) else {
+    fn finish_rpc(&mut self, sj: usize, xid: u32, result: RpcResult, at: SimTime) {
+        let Some(waker) = self.rt.pending.remove(&(sj, xid)) else {
             return;
         };
         match waker {
@@ -2160,11 +2331,11 @@ impl ClientCtx<'_> {
             self.cd.tickets_done.insert(ticket, result);
         }
         // A slot freed: admit a parked async request from this client.
-        if let Some((tid, proc, msg)) = self.rt.parked_async.pop_front() {
+        if let Some((tid, sj, proc, msg)) = self.rt.parked_async.pop_front() {
             let t = self.cd.next_ticket;
             self.cd.next_ticket += 1;
             self.rt.async_outstanding += 1;
-            self.start_rpc(Waker::Async(t), proc, msg);
+            self.start_rpc(sj, Waker::Async(t), proc, msg);
             self.cd.ready.push_back((tid, Resp::Ticket(t)));
         }
         if self.rt.async_outstanding == 0 {
@@ -2178,11 +2349,13 @@ impl ClientCtx<'_> {
         match ev {
             Ev::Wake(tid, resp) => self.cd.ready.push_back((tid, resp)),
             Ev::AsyncDone { ticket, result, .. } => self.async_done(ticket, result),
-            Ev::UdpTimer { xid, gen, .. } => {
-                if let Transport::Udp(u) = &mut self.rt.transport {
+            Ev::UdpTimer {
+                server, xid, gen, ..
+            } => {
+                if let Transport::Udp(u) = &mut self.rt.transports[server] {
                     let mut actions = std::mem::take(&mut self.cd.udp_actions);
                     u.on_timer(now, xid, gen, &mut actions);
-                    self.apply_udp_actions(&mut actions);
+                    self.apply_udp_actions(server, &mut actions);
                     self.cd.udp_actions = actions;
                 }
             }
@@ -2229,10 +2402,18 @@ impl ClientCtx<'_> {
                     debug_assert_eq!(d.host, self.rt.node, "delivery left the client domain");
                     let len = d.dgram.payload.len();
                     let frags = d.frags.max(1);
+                    // Which shard this reply came back from: the
+                    // datagram's source is that server's node.
+                    let sj = self
+                        .cd
+                        .server_nodes
+                        .iter()
+                        .position(|&s| s == d.dgram.src)
+                        .expect("reply source is a known server");
                     match d.dgram.proto {
                         ProtoHeader::Udp { .. } => {
                             let t = self.rt.host.charge_rx(now, len, frags, false);
-                            self.client_rpc_reply(d.dgram.payload, t);
+                            self.client_rpc_reply(sj, d.dgram.payload, t);
                         }
                         ProtoHeader::Tcp { .. } => {
                             unreachable!("TCP worlds are never partitioned")
@@ -2242,7 +2423,10 @@ impl ClientCtx<'_> {
                 self.cd.net_out = out;
             }
             Ev::Note { kind } => self.rt.events.push(ClientEvent { at: now, kind }),
-            Ev::TcpTimer { .. } | Ev::NfsdDone | Ev::ServerCrash { .. } | Ev::ServerReboot => {
+            Ev::TcpTimer { .. }
+            | Ev::NfsdDone { .. }
+            | Ev::ServerCrash { .. }
+            | Ev::ServerReboot { .. } => {
                 unreachable!("hub event in a client domain")
             }
         }
@@ -2304,27 +2488,30 @@ impl Hub {
                 self.absorb_net(dq, now, &mut out, emits);
                 self.net_out = out;
             }
-            Ev::NfsdDone => {
-                self.nfsd_busy = self.nfsd_busy.saturating_sub(1);
-                if self.server_up {
-                    if let Some(q) = self.nfsd_queue.pop_front() {
+            Ev::NfsdDone { server } => {
+                let srv = &mut self.servers[server];
+                srv.nfsd_busy = srv.nfsd_busy.saturating_sub(1);
+                if srv.up {
+                    if let Some(q) = srv.nfsd_queue.pop_front() {
                         debug_assert!(!q.tcp, "TCP worlds are never partitioned");
-                        self.nfsd_busy += 1;
-                        self.nfsd_serve(dq, q.request, q.client, q.arrival, now);
+                        srv.nfsd_busy += 1;
+                        self.nfsd_serve(dq, q.request, q.client, server, q.arrival, now);
                     }
                 }
             }
-            Ev::ServerCrash { downtime } => {
-                self.server_up = false;
+            Ev::ServerCrash { server, downtime } => {
+                let srv = &mut self.servers[server];
+                srv.up = false;
                 // Requests waiting for a daemon die with the machine; the
                 // clients retransmit them after the reboot. Client console
                 // notes were pre-scheduled in each client domain.
-                self.nfsd_queue.clear();
-                dq.push(now + downtime, Ev::ServerReboot);
+                srv.nfsd_queue.clear();
+                dq.push(now + downtime, Ev::ServerReboot { server });
             }
-            Ev::ServerReboot => {
-                self.server.reboot();
-                self.server_up = true;
+            Ev::ServerReboot { server } => {
+                let srv = &mut self.servers[server];
+                srv.server.reboot();
+                srv.up = true;
             }
             Ev::Wake(..)
             | Ev::AsyncDone { .. }
@@ -2360,13 +2547,16 @@ impl Hub {
     }
 
     fn on_delivery(&mut self, dq: &mut DomainQ<Ev>, now: SimTime, d: Delivery) {
-        debug_assert_eq!(
-            d.host, self.server_node,
-            "client-bound fragments cross domains before reassembly"
-        );
+        let Some(sj) = self.node_server[d.host.0] else {
+            debug_assert!(
+                false,
+                "client-bound fragments cross domains before reassembly"
+            );
+            return;
+        };
         // A crashed server receives nothing: requests addressed to it die
         // on arrival and the client must retransmit.
-        if !self.server_up {
+        if !self.servers[sj].up {
             return;
         }
         let Some(ci) = self.node_client[d.dgram.src.0] else {
@@ -2376,8 +2566,8 @@ impl Hub {
         let frags = d.frags.max(1);
         match d.dgram.proto {
             ProtoHeader::Udp { .. } => {
-                let t = self.server_host.charge_rx(now, len, frags, false);
-                self.serve_request(dq, d.dgram.payload, ci, t);
+                let t = self.servers[sj].host.charge_rx(now, len, frags, false);
+                self.serve_request(dq, d.dgram.payload, ci, sj, t);
             }
             ProtoHeader::Tcp { .. } => unreachable!("TCP worlds are never partitioned"),
         }
@@ -2388,23 +2578,25 @@ impl Hub {
         dq: &mut DomainQ<Ev>,
         request: MbufChain,
         client: usize,
+        sj: usize,
         at: SimTime,
     ) {
         if self.nfsds > 0 {
-            if self.nfsd_busy >= self.nfsds {
-                self.nfsd_queue.push_back(QueuedRpc {
+            let srv = &mut self.servers[sj];
+            if srv.nfsd_busy >= self.nfsds {
+                srv.nfsd_queue.push_back(QueuedRpc {
                     request,
                     client,
                     tcp: false,
                     arrival: at,
                 });
-                self.nfsd_stats.queued += 1;
-                self.nfsd_stats.peak_queue = self.nfsd_stats.peak_queue.max(self.nfsd_queue.len());
+                srv.nfsd_stats.queued += 1;
+                srv.nfsd_stats.peak_queue = srv.nfsd_stats.peak_queue.max(srv.nfsd_queue.len());
                 return;
             }
-            self.nfsd_busy += 1;
+            srv.nfsd_busy += 1;
         }
-        self.nfsd_serve(dq, request, client, at, at);
+        self.nfsd_serve(dq, request, client, sj, at, at);
     }
 
     fn nfsd_serve(
@@ -2412,23 +2604,25 @@ impl Hub {
         dq: &mut DomainQ<Ev>,
         request: MbufChain,
         client: usize,
+        sj: usize,
         arrival: SimTime,
         start: SimTime,
     ) {
         let _sp = profile::span(profile::Subsystem::Server);
         profile::count(profile::Subsystem::Server, 1);
-        self.nfsd_stats
+        let srv = &mut self.servers[sj];
+        srv.nfsd_stats
             .queue_delays_ms
             .push(start.since(arrival).as_millis_f64());
-        let (reply, cost) = self.server.service_from(start, &request, client as u32);
+        let (reply, cost) = srv.server.service_from(start, &request, client as u32);
         if reply.is_empty() {
             // Unparseable request: the daemon is immediately free again.
             if self.nfsds > 0 {
-                dq.push(start, Ev::NfsdDone);
+                dq.push(start, Ev::NfsdDone { server: sj });
             }
             return;
         }
-        let host = &mut self.server_host;
+        let host = &mut srv.host;
         let mut t = host.cpu.charge(
             start,
             costs::NFS_SERVICE_FIXED
@@ -2452,13 +2646,13 @@ impl Hub {
             t = host.disk_io(t, *bytes, true, seq && *bytes > 512);
             seq = true;
         }
-        let m = self.metas[client];
-        let frags = udp_fragments(reply.len(), m.mtu);
-        let done = self.server_host.charge_tx(t, &reply, frags, false);
+        let m = &self.metas[client];
+        let frags = udp_fragments(reply.len(), m.mtus[sj]);
+        let done = srv.host.charge_tx(t, &reply, frags, false);
         dq.push(
             done,
             Ev::Send {
-                src: self.server_node,
+                src: srv.node,
                 dst: m.node,
                 proto: ProtoHeader::Udp {
                     sport: NFS_PORT,
@@ -2467,12 +2661,12 @@ impl Hub {
                 payload: reply,
             },
         );
-        self.nfsd_stats.served += 1;
-        self.nfsd_stats
+        srv.nfsd_stats.served += 1;
+        srv.nfsd_stats
             .service_ms
             .add(done.since(start).as_millis_f64());
         if self.nfsds > 0 {
-            dq.push(done, Ev::NfsdDone);
+            dq.push(done, Ev::NfsdDone { server: sj });
         }
     }
 }

@@ -227,6 +227,28 @@ impl Network {
             lookahead_down: downlink.params().prop_delay.max(MIN_LOOKAHEAD),
         })
     }
+
+    /// [`carve_access`](Self::carve_access) generalized to a sharded
+    /// fleet: the carve is legal only when it is legal toward **every**
+    /// server *and* the client's first hop is the same physical uplink
+    /// for all of them (the carved [`AccessNet`] owns exactly one
+    /// uplink; the presets guarantee one access drop per client). The
+    /// published lookaheads are the minima over servers, which keeps the
+    /// conservative barrier sound for whichever shard answers first.
+    pub fn carve_access_multi(&self, client: NodeId, servers: &[NodeId]) -> Option<AccessCarve> {
+        let (&first, rest) = servers.split_first()?;
+        let mut carve = self.carve_access(client, first)?;
+        let up_id = self.topology().route(client, first)?;
+        for &s in rest {
+            if self.topology().route(client, s)? != up_id {
+                return None; // per-server uplinks cannot share one carve
+            }
+            let other = self.carve_access(client, s)?;
+            carve.lookahead_up = carve.lookahead_up.min(other.lookahead_up);
+            carve.lookahead_down = carve.lookahead_down.min(other.lookahead_down);
+        }
+        Some(carve)
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +285,25 @@ mod tests {
             assert_eq!(carve.lookahead_down, SimDuration::from_micros(50));
             assert_eq!(carve.access.client(), c);
         }
+    }
+
+    #[test]
+    fn multi_server_carve_requires_every_shard_path() {
+        let (topo, clients, servers) = presets::same_lan_nm(&Background::quiet(), 2, 3);
+        let net = Network::new(topo, 7);
+        for &c in &clients {
+            let carve = net
+                .carve_access_multi(c, &servers)
+                .expect("quiet sharded LAN must carve");
+            assert_eq!(carve.lookahead_up, SimDuration::from_micros(50));
+            assert_eq!(carve.lookahead_down, SimDuration::from_micros(50));
+        }
+        // A fault window on one shard's drop poisons the whole carve.
+        let (mut topo, clients, servers) = presets::same_lan_nm(&Background::quiet(), 2, 3);
+        let plan = FaultPlan::new().corrupt(SimTime::from_secs(1), 0.5, SimDuration::from_secs(1));
+        topo.apply_faults(&plan, clients[0], servers[2]);
+        let net = Network::new(topo, 8);
+        assert!(net.carve_access_multi(clients[0], &servers).is_none());
     }
 
     #[test]

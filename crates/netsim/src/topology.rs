@@ -389,6 +389,16 @@ pub mod presets {
         CLIENT_NAMES.get(i).copied().unwrap_or("client")
     }
 
+    /// Stable display names for a sharded fleet's server machines (8
+    /// covers the largest `repro shard` sweep point).
+    const SERVER_NAMES: [&str; 8] = [
+        "server1", "server2", "server3", "server4", "server5", "server6", "server7", "server8",
+    ];
+
+    fn server_name(j: usize) -> &'static str {
+        SERVER_NAMES.get(j).copied().unwrap_or("server")
+    }
+
     /// A multiport bridge joining hosts on one LAN segment: store-and-
     /// forward like a router, but with 1991-era learning-bridge latency
     /// rather than an IP forwarding path.
@@ -476,6 +486,114 @@ pub mod presets {
         t.add_duplex_link(r3, server, ethernet(bg));
         t.compute_routes();
         (t, clients, server)
+    }
+
+    /// Configuration 1 sharded to `m` servers: every client and every
+    /// server gets its own drop onto the bridge, so the shared segment
+    /// carries the whole fleet's aggregate. `m == 1` is exactly
+    /// [`same_lan_n`] (and therefore byte-identical to the pre-shard
+    /// worlds).
+    ///
+    /// Returns `(topology, clients, servers)`.
+    pub fn same_lan_nm(
+        bg: &Background,
+        n: usize,
+        m: usize,
+    ) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+        assert!(m >= 1, "at least one server");
+        if m == 1 {
+            let (t, c, s) = same_lan_n(bg, n);
+            return (t, c, vec![s]);
+        }
+        assert!(n >= 1, "at least one client");
+        let mut t = Topology::new();
+        let clients: Vec<NodeId> = (0..n)
+            .map(|i| t.add_node(client_name(i), NodeKind::Host))
+            .collect();
+        let hub = t.add_node("hub", bridge());
+        let servers: Vec<NodeId> = (0..m)
+            .map(|j| t.add_node(server_name(j), NodeKind::Host))
+            .collect();
+        for &c in &clients {
+            t.add_duplex_link(c, hub, ethernet(bg));
+        }
+        for &s in &servers {
+            t.add_duplex_link(hub, s, ethernet(bg));
+        }
+        t.compute_routes();
+        (t, clients, servers)
+    }
+
+    /// Configuration 2 sharded to `m` servers: the clients share the
+    /// token ring as before, then each server hangs off the far router
+    /// on its own Ethernet drop — the ring stays the common bottleneck.
+    /// `m == 1` is exactly [`token_ring_path_n`].
+    pub fn token_ring_path_nm(
+        bg: &Background,
+        n: usize,
+        m: usize,
+    ) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+        assert!(m >= 1, "at least one server");
+        if m == 1 {
+            let (t, c, s) = token_ring_path_n(bg, n);
+            return (t, c, vec![s]);
+        }
+        assert!(n >= 1, "at least one client");
+        let mut t = Topology::new();
+        let clients: Vec<NodeId> = (0..n)
+            .map(|i| t.add_node(client_name(i), NodeKind::Host))
+            .collect();
+        let r1 = t.add_node("router1", router());
+        let r2 = t.add_node("router2", router());
+        let servers: Vec<NodeId> = (0..m)
+            .map(|j| t.add_node(server_name(j), NodeKind::Host))
+            .collect();
+        for &c in &clients {
+            t.add_duplex_link(c, r1, ethernet(bg));
+        }
+        t.add_duplex_link(r1, r2, token_ring(bg));
+        for &s in &servers {
+            t.add_duplex_link(r2, s, ethernet(bg));
+        }
+        t.compute_routes();
+        (t, clients, servers)
+    }
+
+    /// Configuration 3 sharded to `m` servers: the whole fleet still
+    /// funnels through the 56 Kbit/s serial hop before fanning out to
+    /// per-server Ethernet drops. `m == 1` is exactly
+    /// [`slow_link_path_n`].
+    pub fn slow_link_path_nm(
+        bg: &Background,
+        n: usize,
+        m: usize,
+    ) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+        assert!(m >= 1, "at least one server");
+        if m == 1 {
+            let (t, c, s) = slow_link_path_n(bg, n);
+            return (t, c, vec![s]);
+        }
+        assert!(n >= 1, "at least one client");
+        let mut t = Topology::new();
+        let clients: Vec<NodeId> = (0..n)
+            .map(|i| t.add_node(client_name(i), NodeKind::Host))
+            .collect();
+        let r1 = t.add_node("router1", router());
+        let r2 = t.add_node("router2", router());
+        let r3 = t.add_node("router3", router());
+        let servers: Vec<NodeId> = (0..m)
+            .map(|j| t.add_node(server_name(j), NodeKind::Host))
+            .collect();
+        for &c in &clients {
+            t.add_duplex_link(c, r1, ethernet(bg));
+        }
+        t.add_duplex_link(r1, r2, token_ring(bg));
+        t.add_duplex_link(r2, r3, serial_56k(bg));
+        for &s in &servers {
+            t.add_duplex_link(r3, s, ethernet(bg));
+        }
+        t.compute_routes();
+        (t, clients, servers)
     }
 }
 
@@ -569,6 +687,61 @@ mod tests {
             shared = Some(last);
         }
         assert_eq!(t.path_mtu(clients[0], server), Some(1500));
+    }
+
+    #[test]
+    fn nm_presets_with_one_server_collapse_to_n_presets() {
+        let bg = Background::quiet();
+        let (tn, cn, sn) = presets::same_lan_n(&bg, 4);
+        let (tm, cm, sm) = presets::same_lan_nm(&bg, 4, 1);
+        assert_eq!(cm, cn);
+        assert_eq!(sm, vec![sn]);
+        assert_eq!(tm.node_count(), tn.node_count());
+        let (tn, _, sn) = presets::token_ring_path_n(&bg, 3);
+        let (tm, _, sm) = presets::token_ring_path_nm(&bg, 3, 1);
+        assert_eq!(sm, vec![sn]);
+        assert_eq!(tm.node_count(), tn.node_count());
+        let (tn, _, sn) = presets::slow_link_path_n(&bg, 2);
+        let (tm, _, sm) = presets::slow_link_path_nm(&bg, 2, 1);
+        assert_eq!(sm, vec![sn]);
+        assert_eq!(tm.node_count(), tn.node_count());
+    }
+
+    #[test]
+    fn nm_lan_servers_share_the_bridge_segmentwise() {
+        let bg = Background::quiet();
+        let (t, clients, servers) = presets::same_lan_nm(&bg, 4, 3);
+        assert_eq!(t.node_count(), 4 + 1 + 3, "clients + bridge + servers");
+        for &c in &clients {
+            for &s in &servers {
+                let path = t.path_links(c, s);
+                assert_eq!(path.len(), 2, "client -> bridge -> server");
+                // Every client's first hop toward every server is its own
+                // access drop (the multi-server carve depends on this).
+                assert_eq!(t.route(c, s), t.route(c, servers[0]));
+            }
+        }
+        // Distinct server drops: the last hop differs per server.
+        let a = *t.path_links(clients[0], servers[0]).last().unwrap();
+        let b = *t.path_links(clients[0], servers[1]).last().unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nm_slow_link_shares_serial_hop_across_servers() {
+        let bg = Background::quiet();
+        let (t, clients, servers) = presets::slow_link_path_nm(&bg, 2, 2);
+        for &c in &clients {
+            for &s in &servers {
+                assert_eq!(t.path_mtu(c, s), Some(576), "serial is the bottleneck");
+                assert_eq!(t.path_links(c, s).len(), 4);
+                assert_eq!(t.route(c, s), t.route(c, servers[0]));
+            }
+        }
+        let a = t.path_links(clients[0], servers[0]);
+        let b = t.path_links(clients[0], servers[1]);
+        assert_eq!(a[2], b[2], "serial hop shared by both shards");
+        assert_ne!(a[3], b[3], "per-server drops behind the last router");
     }
 
     #[test]

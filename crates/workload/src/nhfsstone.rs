@@ -175,10 +175,19 @@ pub fn file_name(i: usize, long: bool) -> String {
 /// Creates the test subtree directly in the server filesystem (out of
 /// band, as test setup) and returns `(dir_handle, file_handles)`.
 pub fn preload_subtree(world: &mut World, cfg: &NhfsstoneConfig) -> (FileHandle, Vec<FileHandle>) {
-    let root = world.server().fs().root();
+    preload_subtree_on(world, 0, cfg)
+}
+
+/// [`preload_subtree`] on one shard of a multi-server world.
+pub fn preload_subtree_on(
+    world: &mut World,
+    sj: usize,
+    cfg: &NhfsstoneConfig,
+) -> (FileHandle, Vec<FileHandle>) {
+    let root = world.server_of(sj).fs().root();
     let t0 = SimTime::ZERO;
     let dir = world
-        .server_mut()
+        .server_of_mut(sj)
         .fs_mut()
         .mkdir(root, "nhfsstone", 0o755, t0)
         .expect("fresh tree");
@@ -187,20 +196,20 @@ pub fn preload_subtree(world: &mut World, cfg: &NhfsstoneConfig) -> (FileHandle,
     for i in 0..cfg.nfiles {
         let name = file_name(i, cfg.long_names);
         let ino = world
-            .server_mut()
+            .server_of_mut(sj)
             .fs_mut()
             .create(dir, &name, 0o644, t0)
             .expect("create test file");
         if cfg.preload_bytes > 0 {
             world
-                .server_mut()
+                .server_of_mut(sj)
                 .fs_mut()
                 .write(ino, 0, &data, t0)
                 .expect("preload");
         }
-        handles.push(world.server_mut().handle_for(ino).expect("handle"));
+        handles.push(world.server_of_mut(sj).handle_for(ino).expect("handle"));
     }
-    let dir_fh = world.server_mut().handle_for(dir).expect("dir handle");
+    let dir_fh = world.server_of_mut(sj).handle_for(dir).expect("dir handle");
     (dir_fh, handles)
 }
 
@@ -420,6 +429,52 @@ pub fn run_crowd(world: &mut World, cfg: &NhfsstoneConfig) -> Vec<NhfsstoneRepor
         .collect()
 }
 
+/// [`run_crowd`] against a sharded fleet: every server exports its own
+/// preloaded subtree, and generator process `p` of client `ci` pins
+/// itself to shard `(ci + p) % servers` (via
+/// [`renofs::PinTo`]), so load spreads evenly over the fleet and a
+/// client with several processes talks to several servers at once over
+/// its per-server transports and XID streams.
+///
+/// Returns one report per **shard**, in server order, aggregating the
+/// samples of every process homed on it — the per-shard achieved rates
+/// an N×M sweep compares for fairness and aggregate scaling.
+pub fn run_crowd_sharded(world: &mut World, cfg: &NhfsstoneConfig) -> Vec<NhfsstoneReport> {
+    let servers = world.server_count();
+    let trees: Vec<(FileHandle, Vec<FileHandle>)> = (0..servers)
+        .map(|sj| preload_subtree_on(world, sj, cfg))
+        .collect();
+    let clients = world.client_count();
+    let measure_from = world.now() + cfg.warmup;
+    let end = measure_from + cfg.duration;
+    let (tx, rx) = std::sync::mpsc::channel();
+    for ci in 0..clients {
+        for p in 0..cfg.procs {
+            let sj = (ci + p) % servers;
+            let (dir, files) = trees[sj].clone();
+            let mut cfg = cfg.clone();
+            cfg.seed ^= crowd_salt(ci);
+            let tx = tx.clone();
+            world.spawn_on(ci, move |sys| {
+                let mut pinned = renofs::PinTo::new(sys, sj);
+                let samples =
+                    generator_proc(&mut pinned, p, &cfg, dir, &files, measure_from, end, None);
+                let _ = tx.send((sj, samples));
+            });
+        }
+    }
+    drop(tx);
+    world.run();
+    let mut per_shard: Vec<Vec<OpSample>> = vec![Vec::new(); servers];
+    while let Ok((sj, mut s)) = rx.recv() {
+        per_shard[sj].append(&mut s);
+    }
+    per_shard
+        .into_iter()
+        .map(|samples| summarize(samples, cfg.duration))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +575,32 @@ mod tests {
         assert!(
             rates.iter().any(|&r| r != rates[0]),
             "salted RNG streams should desynchronize clients: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_crowd_run_spreads_over_every_server() {
+        let mut wcfg = WorldConfig::baseline();
+        wcfg.clients = 4;
+        wcfg.servers = 2;
+        wcfg.server.dup_cache = true;
+        let mut world = World::new(wcfg);
+        let cfg = quick_cfg(LoadMix::crowd(), 8.0);
+        let reports = run_crowd_sharded(&mut world, &cfg);
+        assert_eq!(reports.len(), 2, "one report per shard");
+        for (sj, r) in reports.iter().enumerate() {
+            assert!(r.ops > 40, "shard {sj} measured only {} ops", r.ops);
+            assert!(
+                world.server_of(sj).stats().total() >= r.ops,
+                "shard {sj} must have served its own measured ops"
+            );
+        }
+        // With 4 clients x 2 procs pinned to (ci + p) % 2, the shards
+        // split the offered load roughly in half.
+        let (a, b) = (reports[0].ops as f64, reports[1].ops as f64);
+        assert!(
+            (a - b).abs() / (a + b) < 0.25,
+            "shards out of balance: {a} vs {b}"
         );
     }
 

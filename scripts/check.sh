@@ -26,6 +26,12 @@ cargo run -q --release -p renofs-bench --bin repro -- pdes-smoke --scale quick
 echo "==> crowd determinism matrix (sim-threads x jobs, byte-identical)"
 cargo test -q -p renofs-bench --release --test pdes_determinism
 
+echo "==> repro shard-smoke --scale quick (N x M fleet + router determinism gate)"
+# Runs a small sharded-fleet cell, checks every shard served traffic,
+# and re-runs it under a sim-threads x jobs matrix asserting
+# byte-identical digests; exits nonzero on any mismatch.
+cargo run -q --release -p renofs-bench --bin repro -- shard-smoke --scale quick
+
 echo "==> repro soak --seeds 24 --scale quick (chaos oracle gate)"
 # Exits nonzero on any oracle violation; a fixed seed range keeps the
 # gate deterministic and bounded.
@@ -48,8 +54,11 @@ echo "==> cargo test -p renofs-bench --features profile (alloc discipline + prof
 cargo test -q -p renofs-bench --features profile --release
 
 echo "==> repro bench --check BENCH_pr4.json (queue + crowd + lease regression gates)"
-# Also holds the PDES matrix gates and the BENCH_pr8.json lease gate
-# (>=60% write-RPC recovery vs noconsist at zero soak violations).
+# Also holds the PDES matrix gates, the BENCH_pr8.json lease gate
+# (>=60% write-RPC recovery vs noconsist at zero soak violations), and
+# the BENCH_pr9.json shard gate (LAN aggregate op/s at M=4 >= 2x M=1,
+# all shards routed, fairness >= 0.8, byte-identical across a fresh
+# sim-threads x jobs matrix).
 cargo run -q --release -p renofs-bench --bin repro -- bench --scale quick --check BENCH_pr4.json
 
 echo "All checks passed."
